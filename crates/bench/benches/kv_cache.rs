@@ -1,0 +1,65 @@
+//! Paged vs contiguous KV-cache storage: append and full-sweep read.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moe_engine::kvcache::{ContiguousKv, KvStore, PagedKv};
+use std::hint::black_box;
+
+const LAYERS: usize = 4;
+const KV_DIM: usize = 64;
+const TOKENS: usize = 512;
+
+fn fill<S: KvStore>(store: &mut S) {
+    let k: Vec<f32> = (0..KV_DIM).map(|i| i as f32).collect();
+    for l in 0..LAYERS {
+        for t in 0..TOKENS {
+            store.write(l, t, &k, &k);
+        }
+    }
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_append");
+    group.bench_function("contiguous", |b| {
+        b.iter(|| {
+            let mut s = ContiguousKv::new(LAYERS, KV_DIM);
+            fill(&mut s);
+            black_box(s.len())
+        })
+    });
+    group.bench_function("paged", |b| {
+        b.iter(|| {
+            let mut s = PagedKv::new(LAYERS, KV_DIM);
+            fill(&mut s);
+            black_box(s.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_read_sweep");
+    let mut cont = ContiguousKv::new(LAYERS, KV_DIM);
+    fill(&mut cont);
+    let mut paged = PagedKv::new(LAYERS, KV_DIM);
+    fill(&mut paged);
+
+    let sum_all = |s: &dyn KvStore| -> f32 {
+        let mut acc = 0.0;
+        for l in 0..LAYERS {
+            for t in 0..TOKENS {
+                acc += s.key(l, t)[0] + s.value(l, t)[KV_DIM - 1];
+            }
+        }
+        acc
+    };
+    group.bench_with_input(BenchmarkId::from_parameter("contiguous"), &0, |b, _| {
+        b.iter(|| black_box(sum_all(&cont)))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("paged"), &0, |b, _| {
+        b.iter(|| black_box(sum_all(&paged)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_read);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Figure 3: TTFT, ITL and end-to-end latency of the six LLMs at batch 64
+//! and input/output length 2048.
+
+use moe_gpusim::perfmodel::RunMetrics;
+use moe_model::registry;
+use moe_tensor::Precision;
+
+use crate::common::auto_place;
+use crate::report::{secs, ExperimentReport, Table};
+
+/// Workload from the figure caption.
+pub const BATCH: usize = 64;
+pub const IN_LEN: usize = 2048;
+pub const OUT_LEN: usize = 2048;
+
+/// Per-model latency results.
+pub fn measure(fast: bool) -> Vec<(String, usize, RunMetrics)> {
+    let _ = fast; // analytic model: full lengths are free
+    let (input, output) = (IN_LEN, OUT_LEN);
+    registry::llms()
+        .into_iter()
+        .map(|m| {
+            let placed = auto_place(&m, Precision::F16, BATCH, input + output)
+                .expect("all Fig.3 LLMs fit on <=8 H100s");
+            let gpus = placed.cluster().num_devices;
+            let run = placed.run(BATCH, input, output).expect("placement fits");
+            (m.name, gpus, run)
+        })
+        .collect()
+}
+
+/// Build the report.
+pub fn run(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig3",
+        "Figure 3: TTFT, ITL and E2E Latency of LLMs (batch 64, in/out 2048)",
+    );
+    let mut t = Table::new(
+        "latency",
+        &["Model", "GPUs", "TTFT", "ITL", "E2E", "Throughput tok/s"],
+    );
+    let results = measure(fast);
+    for (name, gpus, r) in &results {
+        t.row(vec![
+            name.clone(),
+            gpus.to_string(),
+            secs(r.ttft_s),
+            secs(r.itl_s),
+            secs(r.e2e_s),
+            crate::report::num(r.throughput_tok_s),
+        ]);
+    }
+    report.table(t);
+    let best_ttft = results
+        .iter()
+        .min_by(|a, b| a.2.ttft_s.partial_cmp(&b.2.ttft_s).expect("finite"))
+        .expect("non-empty");
+    report.note(format!(
+        "Fastest TTFT: {} — the paper reports OLMoE-1B-7B fastest, ~70% ahead of \
+         DeepSeek-V2-Lite.",
+        best_ttft.0
+    ));
+    report.note(
+        "Each model is auto-placed on the smallest H100 TP group that fits (the paper \
+         deploys through vLLM on an H100 node).",
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results() -> Vec<(String, usize, RunMetrics)> {
+        measure(true)
+    }
+
+    #[test]
+    fn covers_all_six_llms() {
+        assert_eq!(results().len(), 6);
+    }
+
+    #[test]
+    fn olmoe_has_fastest_ttft() {
+        let rs = results();
+        let best = rs
+            .iter()
+            .min_by(|a, b| a.2.ttft_s.partial_cmp(&b.2.ttft_s).unwrap())
+            .unwrap();
+        assert_eq!(best.0, "OLMoE-1B-7B");
+    }
+
+    #[test]
+    fn olmoe_beats_dsv2lite_ttft_by_wide_margin() {
+        // Paper: ~70% faster. Accept a broad band around that.
+        let rs = results();
+        let get = |n: &str| rs.iter().find(|r| r.0 == n).unwrap().2.ttft_s;
+        let ratio = get("DeepSeek-V2-Lite") / get("OLMoE-1B-7B");
+        assert!(ratio > 1.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn large_models_have_larger_e2e() {
+        let rs = results();
+        let get = |n: &str| rs.iter().find(|r| r.0 == n).unwrap().2.e2e_s;
+        assert!(get("Mixtral-8x7B") > get("OLMoE-1B-7B"));
+        assert!(get("Phi-3.5-MoE") > get("Qwen1.5-MoE-A2.7B"));
+    }
+
+    #[test]
+    fn itl_spread_is_substantial() {
+        // Paper: ITL varies by nearly 100% between best and worst. Our
+        // spread is somewhat compressed (the shared per-step host overhead
+        // narrows relative gaps) but remains large; see EXPERIMENTS.md.
+        let rs = results();
+        let itls: Vec<f64> = rs.iter().map(|r| r.2.itl_s).collect();
+        let min = itls.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = itls.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 1.35, "spread {}", max / min);
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 7: throughput vs FFN dimension (one panel per expert count),
+//! Mixtral-8x7B skeleton, batch 16, in/out 2048, 4 H100s.
+
+use moe_model::variants::{ACTIVE_COUNTS, EXPERT_COUNTS, FFN_DIMS};
+
+use super::sweep59::{at, run_grid, GridResult};
+use crate::report::{tput_cell, ExperimentReport, Table};
+
+/// Build the report (panels: expert count; rows: FFN dim; columns: TopK).
+pub fn run(fast: bool) -> ExperimentReport {
+    let grid = run_grid(fast);
+    let mut report = ExperimentReport::new(
+        "fig7",
+        "Figure 7: Throughput vs FFN Dimension (batch 16, in/out 2048, 4xH100)",
+    );
+    for &e in &EXPERT_COUNTS {
+        if !grid.iter().any(|g| g.num_experts == e) {
+            continue;
+        }
+        report.table(panel(&grid, e));
+    }
+    report.note(
+        "Throughput declines steeply as the FFN dimension grows (paper: ~50% average from \
+         1792 to 14336), with the largest drops at high active-expert counts; blank (OOM) \
+         cells reproduce the figure's missing points.",
+    );
+    report
+}
+
+fn panel(grid: &[GridResult], e: usize) -> Table {
+    let mut cols = vec!["FFN dim".to_string()];
+    cols.extend(ACTIVE_COUNTS.iter().map(|k| format!("TopK={k}")));
+    let mut t = Table::new(
+        format!("{e} experts — throughput (tok/s)"),
+        &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for &ffn in &FFN_DIMS {
+        if !grid.iter().any(|g| g.ffn_dim == ffn && g.num_experts == e) {
+            continue;
+        }
+        let mut row = vec![ffn.to_string()];
+        for &k in &ACTIVE_COUNTS {
+            if grid.iter().any(|g| g.top_k == k) {
+                row.push(tput_cell(at(grid, ffn, e, k)));
+            } else {
+                row.push("-".into());
+            }
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_has_expert_panels() {
+        let r = run(true);
+        assert_eq!(r.tables.len(), 2); // fast grid: 8 and 64 experts
+        assert!(r.tables[0].name.contains("8 experts"));
+    }
+
+    #[test]
+    fn oom_cells_rendered() {
+        let r = run(true);
+        let all: String = r.tables.iter().map(|t| t.render()).collect();
+        assert!(all.contains("OOM"), "expected OOM gaps:\n{all}");
+    }
+}

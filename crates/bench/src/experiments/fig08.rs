@@ -1,0 +1,74 @@
+//! Figure 8: throughput vs number of experts (one panel per FFN
+//! dimension), Mixtral-8x7B skeleton, batch 16, in/out 2048, 4 H100s.
+
+use moe_model::variants::{ACTIVE_COUNTS, EXPERT_COUNTS, FFN_DIMS};
+
+use super::sweep59::{at, run_grid, GridResult};
+use crate::report::{tput_cell, ExperimentReport, Table};
+
+/// Build the report (panels: FFN dim; rows: expert count; columns: TopK).
+pub fn run(fast: bool) -> ExperimentReport {
+    let grid = run_grid(fast);
+    let mut report = ExperimentReport::new(
+        "fig8",
+        "Figure 8: Throughput vs #Experts (batch 16, in/out 2048, 4xH100)",
+    );
+    for &ffn in &FFN_DIMS {
+        if !grid.iter().any(|g| g.ffn_dim == ffn) {
+            continue;
+        }
+        report.table(panel(&grid, ffn));
+    }
+    report.note(
+        "At small FFN dimensions, growing the expert pool 8 -> 64 maintains throughput \
+         (the extra experts mostly add capacity, not per-token work); at large FFN \
+         dimensions the additional weight traffic and memory pressure dominate, ending in \
+         OOM.",
+    );
+    report
+}
+
+fn panel(grid: &[GridResult], ffn: usize) -> Table {
+    let mut cols = vec!["#Experts".to_string()];
+    cols.extend(ACTIVE_COUNTS.iter().map(|k| format!("TopK={k}")));
+    let mut t = Table::new(
+        format!("FFN {ffn} — throughput (tok/s)"),
+        &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for &e in &EXPERT_COUNTS {
+        if !grid.iter().any(|g| g.ffn_dim == ffn && g.num_experts == e) {
+            continue;
+        }
+        let mut row = vec![e.to_string()];
+        for &k in &ACTIVE_COUNTS {
+            if grid.iter().any(|g| g.top_k == k) {
+                row.push(tput_cell(at(grid, ffn, e, k)));
+            } else {
+                row.push("-".into());
+            }
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_by_ffn_dim() {
+        let r = run(true);
+        assert_eq!(r.tables.len(), 2);
+        assert!(r.tables[0].name.contains("FFN 1792"));
+    }
+
+    #[test]
+    fn more_experts_hurt_less_at_small_ffn() {
+        let grid = run_grid(true);
+        let small_ratio = at(&grid, 1792, 64, 1).unwrap() / at(&grid, 1792, 8, 1).unwrap();
+        // At 14336 the 64-expert point OOMs entirely.
+        assert!(at(&grid, 14_336, 64, 1).is_none());
+        assert!(small_ratio > 0.5, "{small_ratio}");
+    }
+}

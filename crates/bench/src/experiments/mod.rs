@@ -1,0 +1,25 @@
+//! One module per paper table/figure. Each exposes
+//! `run(fast: bool) -> ExperimentReport`; `fast` shrinks grids for tests
+//! and smoke runs without changing the mechanisms exercised.
+
+pub mod ablations;
+pub mod extensions;
+pub mod fig01;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod sweep59;
+pub mod table1;

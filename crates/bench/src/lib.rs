@@ -1,0 +1,49 @@
+//! # moe-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation from the simulated serving stack. See `DESIGN.md`
+//! for the experiment index and `EXPERIMENTS.md` for paper-vs-measured
+//! records.
+//!
+//! Run `moe-bench list` for the experiment roster, `moe-bench <id>` to
+//! regenerate one, `moe-bench all` for everything.
+
+pub mod common;
+pub mod experiments;
+pub mod report;
+
+pub use report::{ExperimentReport, Table};
+
+/// All registered experiments, in paper order.
+pub fn all_experiment_ids() -> Vec<&'static str> {
+    vec!["table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablations", "ext-placement", "ext-multinode", "ext-qps"]
+}
+
+/// Run one experiment by id.
+pub fn run_experiment(id: &str, fast: bool) -> Option<ExperimentReport> {
+    Some(match id {
+        "table1" => experiments::table1::run(fast),
+        "fig1" => experiments::fig01::run(fast),
+        "fig3" => experiments::fig03::run(fast),
+        "fig4" => experiments::fig04::run(fast),
+        "fig5" => experiments::fig05::run(fast),
+        "fig6" => experiments::fig06::run(fast),
+        "fig7" => experiments::fig07::run(fast),
+        "fig8" => experiments::fig08::run(fast),
+        "fig9" => experiments::fig09::run(fast),
+        "fig10" => experiments::fig10::run(fast),
+        "fig11" => experiments::fig11::run(fast),
+        "fig12" => experiments::fig12::run(fast),
+        "fig13" => experiments::fig13::run(fast),
+        "fig14" => experiments::fig14::run(fast),
+        "fig15" => experiments::fig15::run(fast),
+        "fig16" => experiments::fig16::run(fast),
+        "fig17" => experiments::fig17::run(fast),
+        "fig18" => experiments::fig18::run(fast),
+        "ablations" => experiments::ablations::run(fast),
+        "ext-placement" => experiments::extensions::run_placement(fast),
+        "ext-multinode" => experiments::extensions::run_multinode(fast),
+        "ext-qps" => experiments::extensions::run_qps(fast),
+        _ => return None,
+    })
+}

@@ -1,0 +1,80 @@
+//! The `moe-bench` CLI: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! moe-bench list                 # roster of experiments
+//! moe-bench fig5                 # one experiment, text tables
+//! moe-bench fig5 --json          # machine-readable output
+//! moe-bench fig5 --csv           # comma-separated tables
+//! moe-bench all [--fast]         # everything (--fast shrinks grids)
+//! ```
+
+use std::process::ExitCode;
+
+fn print_report(report: &moe_bench::ExperimentReport, csv: bool) {
+    if csv {
+        for t in &report.tables {
+            println!("# {} / {}", report.id, t.name);
+            print!("{}", t.to_csv());
+        }
+    } else {
+        println!("{}", report.render());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let csv = args.iter().any(|a| a == "--csv");
+    let fast = args.iter().any(|a| a == "--fast");
+    let targets: Vec<&String> =
+        args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let Some(&target) = targets.first() else {
+        eprintln!("usage: moe-bench <experiment-id|all|list> [--json] [--fast]");
+        eprintln!("       moe-bench list");
+        return ExitCode::FAILURE;
+    };
+
+    match target.as_str() {
+        "list" => {
+            println!("available experiments:");
+            for id in moe_bench::all_experiment_ids() {
+                println!("  {id}");
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            let mut reports = Vec::new();
+            for id in moe_bench::all_experiment_ids() {
+                eprintln!("running {id} ...");
+                let report = moe_bench::run_experiment(id, fast)
+                    .expect("registered experiment id");
+                if !json {
+                    print_report(&report, csv);
+                }
+                reports.push(report);
+            }
+            if json {
+                println!("{}", serde_json::to_string_pretty(&reports).expect("serializable"));
+            }
+            ExitCode::SUCCESS
+        }
+        id => match moe_bench::run_experiment(id, fast) {
+            Some(report) => {
+                if json {
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&report).expect("serializable")
+                    );
+                } else {
+                    print_report(&report, csv);
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; try `moe-bench list`");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

@@ -1,0 +1,272 @@
+//! The MoE block: routing and expert execution.
+//!
+//! Two dispatch strategies implement the same mathematics:
+//!
+//! * [`moe_forward_unfused`] — the naive path: for each token, run each of
+//!   its top-k experts as separate GEMVs (this is what "without Fused MoE"
+//!   measures in Fig. 14: per-expert kernels plus scatter/gather).
+//! * [`moe_forward_fused`] — the fused path: tokens are sorted by expert,
+//!   each expert processes its whole group as one batched GEMM, and
+//!   results scatter-add back. On a GPU this is the single fused
+//!   grouped-GEMM kernel; here it is the same algorithm (and, per the
+//!   tests, the same output to floating-point tolerance).
+//!
+//! Routing follows the model's [`RouterKind`]: Mixtral-style
+//! top-k-then-softmax or DeepSeek-style softmax-then-top-k.
+
+use moe_model::{MoeConfig, RouterKind};
+use moe_tensor::matrix::gemv;
+use moe_tensor::ops::swiglu_inplace;
+use moe_tensor::topk::{softmax_then_top_k, top_k_softmax, TopK};
+use moe_tensor::Matrix;
+use rayon::prelude::*;
+
+use crate::stats::ActivationStats;
+use crate::weights::{ExpertWeights, LayerWeights};
+
+/// Routing decision for one token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routing {
+    /// Selected expert indices with combination weights.
+    pub experts: TopK,
+}
+
+/// Route every row of `x` through the layer's router.
+pub fn route(w: &LayerWeights, moe: &MoeConfig, x: &Matrix) -> Vec<Routing> {
+    (0..x.rows())
+        .map(|r| {
+            let mut logits = gemv(&w.router, x.row(r));
+            for (l, b) in logits.iter_mut().zip(&w.router_bias) {
+                *l += b;
+            }
+            let experts = match moe.router {
+                RouterKind::TopKSoftmax => top_k_softmax(&logits, moe.top_k),
+                RouterKind::SoftmaxTopK => softmax_then_top_k(&logits, moe.top_k),
+            };
+            Routing { experts }
+        })
+        .collect()
+}
+
+/// One expert's SwiGLU FFN applied to a single row.
+pub fn expert_forward_row(e: &ExpertWeights, x: &[f32]) -> Vec<f32> {
+    let mut gate = gemv(&e.gate, x);
+    let up = gemv(&e.up, x);
+    swiglu_inplace(&mut gate, &up);
+    gemv(&e.down, &gate)
+}
+
+/// One expert's SwiGLU FFN applied to a gathered batch of rows.
+pub fn expert_forward_batch(e: &ExpertWeights, x: &Matrix) -> Matrix {
+    let mut gate = x.matmul_transposed(&e.gate);
+    let up = x.matmul_transposed(&e.up);
+    for r in 0..gate.rows() {
+        // Split borrows: swiglu row by row.
+        let up_row: &[f32] = up.row(r);
+        // SAFETY-free workaround: copy the up row is avoided by indexing.
+        let gate_row = gate.row_mut(r);
+        swiglu_inplace(gate_row, up_row);
+    }
+    gate.matmul_transposed(&e.down)
+}
+
+/// Unfused dispatch: per-token, per-expert GEMVs.
+pub fn moe_forward_unfused(
+    w: &LayerWeights,
+    moe: &MoeConfig,
+    x: &Matrix,
+    stats: Option<&mut ActivationStats>,
+    layer: usize,
+) -> Matrix {
+    let routing = route(w, moe, x);
+    record(stats, layer, &routing);
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    let rows: Vec<Vec<f32>> = (0..x.rows())
+        .into_par_iter()
+        .map(|r| {
+            let mut acc = vec![0.0f32; x.cols()];
+            for (i, &e) in routing[r].experts.indices.iter().enumerate() {
+                let weight = routing[r].experts.values[i];
+                let y = expert_forward_row(&w.experts[e], x.row(r));
+                for (a, v) in acc.iter_mut().zip(&y) {
+                    *a += weight * v;
+                }
+            }
+            acc
+        })
+        .collect();
+    for (r, row) in rows.into_iter().enumerate() {
+        out.row_mut(r).copy_from_slice(&row);
+    }
+    add_shared_experts(w, x, &mut out);
+    out
+}
+
+/// Fused dispatch: group tokens by expert, one batched GEMM per active
+/// expert, scatter-add combine.
+pub fn moe_forward_fused(
+    w: &LayerWeights,
+    moe: &MoeConfig,
+    x: &Matrix,
+    stats: Option<&mut ActivationStats>,
+    layer: usize,
+) -> Matrix {
+    let routing = route(w, moe, x);
+    record(stats, layer, &routing);
+
+    // Build per-expert token groups.
+    let mut groups: Vec<Vec<(usize, f32)>> = vec![Vec::new(); moe.num_experts];
+    for (r, routed) in routing.iter().enumerate() {
+        for (i, &e) in routed.experts.indices.iter().enumerate() {
+            groups[e].push((r, routed.experts.values[i]));
+        }
+    }
+
+    // Each active expert processes its group as one batch (in parallel
+    // across experts — the grouped-GEMM analogue).
+    let results: Vec<(usize, Matrix)> = groups
+        .par_iter()
+        .enumerate()
+        .filter(|(_, g)| !g.is_empty())
+        .map(|(e, g)| {
+            let idx: Vec<usize> = g.iter().map(|(r, _)| *r).collect();
+            let gathered = x.gather_rows(&idx);
+            (e, expert_forward_batch(&w.experts[e], &gathered))
+        })
+        .collect();
+
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for (e, y) in results {
+        for (slot, &(r, weight)) in groups[e].iter().enumerate() {
+            out.scatter_add_row(r, y.row(slot), weight);
+        }
+    }
+    add_shared_experts(w, x, &mut out);
+    out
+}
+
+fn add_shared_experts(w: &LayerWeights, x: &Matrix, out: &mut Matrix) {
+    for shared in &w.shared_experts {
+        for r in 0..x.rows() {
+            let y = expert_forward_row(shared, x.row(r));
+            out.scatter_add_row(r, &y, 1.0);
+        }
+    }
+}
+
+fn record(stats: Option<&mut ActivationStats>, layer: usize, routing: &[Routing]) {
+    if let Some(s) = stats {
+        for r in routing {
+            s.record(layer, &r.experts.indices);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::ModelWeights;
+    use moe_model::registry::tiny_test_model;
+    use proptest::prelude::*;
+
+    fn setup(experts: usize, k: usize) -> (MoeConfig, LayerWeights) {
+        let cfg = tiny_test_model(experts, k);
+        let w = ModelWeights::init(&cfg, 99);
+        (cfg.moe.unwrap(), w.layers.into_iter().next().unwrap())
+    }
+
+    #[test]
+    fn routing_selects_k_distinct_experts() {
+        let (moe, w) = setup(8, 2);
+        let x = Matrix::random(5, 64, 1, 0.5);
+        for r in route(&w, &moe, &x) {
+            assert_eq!(r.experts.indices.len(), 2);
+            assert_ne!(r.experts.indices[0], r.experts.indices[1]);
+            let sum: f32 = r.experts.values.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn deepseek_routing_weights_not_renormalized() {
+        let (mut moe, w) = setup(8, 2);
+        moe.router = RouterKind::SoftmaxTopK;
+        let x = Matrix::random(5, 64, 2, 0.5);
+        for r in route(&w, &moe, &x) {
+            let sum: f32 = r.experts.values.iter().sum();
+            assert!(sum < 1.0, "softmax-then-topk keeps unnormalized mass");
+            assert!(sum > 0.0);
+        }
+    }
+
+    #[test]
+    fn fused_equals_unfused() {
+        for (e, k) in [(4usize, 1usize), (8, 2), (8, 8), (16, 4)] {
+            let (moe, w) = setup(e, k);
+            let x = Matrix::random(13, 64, 3, 0.5);
+            let a = moe_forward_unfused(&w, &moe, &x, None, 0);
+            let b = moe_forward_fused(&w, &moe, &x, None, 0);
+            assert!(a.max_abs_diff(&b) < 1e-4, "e={e} k={k}: {}", a.max_abs_diff(&b));
+        }
+    }
+
+    #[test]
+    fn expert_batch_equals_row_by_row() {
+        let (_, w) = setup(4, 1);
+        let x = Matrix::random(7, 64, 4, 0.5);
+        let batch = expert_forward_batch(&w.experts[0], &x);
+        for r in 0..7 {
+            let row = expert_forward_row(&w.experts[0], x.row(r));
+            for (a, b) in batch.row(r).iter().zip(&row) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_experts_always_contribute() {
+        let (mut moe, mut w) = setup(4, 1);
+        let x = Matrix::random(3, 64, 5, 0.5);
+        let without = moe_forward_fused(&w, &moe, &x, None, 0);
+        // Add a shared expert.
+        moe.num_shared_experts = 1;
+        moe.shared_expert_ffn_dim = 96;
+        w.shared_experts = vec![w.experts[0].clone()];
+        let with = moe_forward_fused(&w, &moe, &x, None, 0);
+        assert!(without.max_abs_diff(&with) > 1e-6);
+    }
+
+    #[test]
+    fn stats_count_routed_tokens() {
+        let (moe, w) = setup(8, 2);
+        let x = Matrix::random(10, 64, 6, 0.5);
+        let mut stats = ActivationStats::new(1, 8);
+        let _ = moe_forward_fused(&w, &moe, &x, Some(&mut stats), 0);
+        assert_eq!(stats.total_assignments(), 10 * 2);
+    }
+
+    #[test]
+    fn top1_routes_everything_to_argmax_expert() {
+        let (moe, w) = setup(4, 1);
+        let x = Matrix::random(6, 64, 7, 0.5);
+        let routing = route(&w, &moe, &x);
+        for (r, routed) in routing.iter().enumerate() {
+            let logits = gemv(&w.router, x.row(r));
+            let best = moe_tensor::ops::argmax(&logits);
+            assert_eq!(routed.experts.indices, vec![best]);
+            assert!((routed.experts.values[0] - 1.0).abs() < 1e-6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_fused_equals_unfused(seed in 0u64..1000, rows in 1usize..20) {
+            let (moe, w) = setup(8, 2);
+            let x = Matrix::random(rows, 64, seed, 0.5);
+            let a = moe_forward_unfused(&w, &moe, &x, None, 0);
+            let b = moe_forward_fused(&w, &moe, &x, None, 0);
+            prop_assert!(a.max_abs_diff(&b) < 1e-4);
+        }
+    }
+}

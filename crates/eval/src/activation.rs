@@ -1,0 +1,232 @@
+//! The expert-activation-frequency study (Fig. 15): route an MME-like
+//! multimodal token stream through *real* routers and compare activation
+//! heat maps between aux-loss-balanced models (DeepSeek-VL2 family) and
+//! an unbalanced one (MolmoE-1B).
+//!
+//! The mechanism is executed faithfully at reduced scale: a down-scaled
+//! analogue of each model (same expert count, same router kind, same
+//! balanced-vs-skewed gate statistics) processes synthetic image+text
+//! token batches, and the per-(layer, expert) selection counts are
+//! collected by the engine. Counts are then scaled to the full MME pass
+//! volume so magnitudes are comparable to the paper's (~290 K peak for
+//! DeepSeek-VL2, ~1 M for MolmoE).
+
+use moe_engine::model::MoeTransformer;
+use moe_engine::stats::ActivationStats;
+use moe_engine::weights::{default_router_skew, ModelWeights};
+use moe_model::{ModelConfig, MoeConfig};
+use moe_tensor::rng::{derive_seed, rng_from_seed};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Result of one activation study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivationReport {
+    pub model: String,
+    pub num_layers: usize,
+    pub num_experts: usize,
+    /// Row-normalized heat map (`[layer][expert]`, rows sum to 1).
+    pub heatmap: Vec<Vec<f64>>,
+    /// Peak single-expert count, scaled to the full MME token volume.
+    pub peak_count: u64,
+    /// Mean max/mean imbalance across layers.
+    pub mean_imbalance: f64,
+    /// Mean normalized entropy across layers (1 = uniform).
+    pub mean_entropy: f64,
+}
+
+/// Synthetic MME token stream: bursts of "image" tokens (drawn from a
+/// narrow vocabulary band, as projected patches cluster) interleaved with
+/// diverse text tokens.
+pub fn mme_token(rng: &mut rand_chacha::ChaCha8Rng, global_index: usize, vocab: usize) -> usize {
+    if (global_index / 16).is_multiple_of(2) {
+        rng.random_range(0..vocab / 8)
+    } else {
+        rng.random_range(0..vocab)
+    }
+}
+
+/// Build the down-scaled analogue: the real model's expert count, top-k,
+/// router kind and balance flag on the tiny executor geometry.
+pub fn analogue_config(full: &ModelConfig) -> ModelConfig {
+    let moe = full.moe.as_ref().expect("activation study needs an MoE model");
+    let mut tiny = moe_model::registry::tiny_test_model(moe.num_experts, moe.top_k);
+    tiny.name = format!("{}-analogue", full.name);
+    tiny.num_layers = full.num_layers.min(8);
+    tiny.moe = Some(MoeConfig {
+        num_experts: moe.num_experts,
+        top_k: moe.top_k,
+        expert_ffn_dim: 32,
+        num_shared_experts: 0,
+        shared_expert_ffn_dim: 0,
+        router: moe.router,
+        aux_loss_balanced: moe.aux_loss_balanced,
+    });
+    tiny
+}
+
+/// Total MoE routing decisions in a full MME pass for scaling counts:
+/// items x (image tokens + text tokens) x top_k per layer.
+pub fn mme_assignments_per_layer(full: &ModelConfig) -> u64 {
+    let image_tokens =
+        full.vision.as_ref().map(|v| v.tokens_per_image).unwrap_or(0) as u64;
+    let text_tokens = 64u64;
+    let items = 2374u64; // MME item count
+    let top_k = full.moe.as_ref().map(|m| m.top_k).unwrap_or(0) as u64;
+    items * (image_tokens + text_tokens) * top_k
+}
+
+/// Feed `sample_tokens` of the synthetic MME stream through the model,
+/// collecting activation statistics. Documents of 64 tokens are processed
+/// in 32-token chunks over a shared KV cache, then the cache restarts.
+/// (Document length is kept moderate: an *untrained* random-weight
+/// analogue degenerates to near-identical hidden states at deep context,
+/// which no balancing mechanism can split — an artifact real trained
+/// models do not share.)
+fn run_mme_stream(model: &mut MoeTransformer, sample_tokens: usize, seed: u64) -> ActivationStats {
+    model.enable_stats();
+    let mut rng = rng_from_seed(seed);
+    let vocab = model.config().vocab_size;
+    let mut processed = 0usize;
+    let mut doc_pos = 0usize; // position within the current "document"
+    let mut kv = model.new_kv();
+    let chunk = 32usize;
+    const DOC_LEN: usize = 64;
+    while processed < sample_tokens {
+        let n = chunk.min(sample_tokens - processed).min(DOC_LEN - doc_pos);
+        let tokens: Vec<usize> =
+            (0..n).map(|i| mme_token(&mut rng, processed + i, vocab)).collect();
+        let positions: Vec<usize> = (doc_pos..doc_pos + n).collect();
+        let _ = model.forward(&tokens, &positions, &mut kv);
+        processed += n;
+        doc_pos += n;
+        if doc_pos >= DOC_LEN {
+            kv = model.new_kv();
+            doc_pos = 0;
+        }
+    }
+    model.take_stats().expect("stats enabled")
+}
+
+/// Run the study for one model: `sample_tokens` synthetic multimodal
+/// tokens are routed through the analogue; counts are scaled to the full
+/// MME volume.
+pub fn activation_study(full: &ModelConfig, sample_tokens: usize, seed: u64) -> ActivationReport {
+    let tiny = analogue_config(full);
+    // Mix the model identity into the seed so structurally-identical
+    // analogues (e.g. VL2-Tiny vs VL2-Small) still get distinct routers.
+    let name_hash = full
+        .name
+        .bytes()
+        .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
+    let seed = derive_seed(seed, name_hash);
+    let weights = ModelWeights::init_with_skew(&tiny, seed, default_router_skew(full));
+    let mut model = MoeTransformer::with_weights(tiny.clone(), weights);
+    if full.moe.as_ref().is_some_and(|m| m.aux_loss_balanced) {
+        // Aux-loss-trained models route near-uniformly *on their training
+        // mix*; reproduce that property with bias-balancing calibration
+        // (the DeepSeek-V3 mechanism), calibrated on the exact stream the
+        // study measures.
+        for round in 0..12 {
+            let stats =
+                run_mme_stream(&mut model, sample_tokens, derive_seed(seed, 0xBA7 + round));
+            let lr = 1.2 / (1.0 + round as f32 * 0.5);
+            moe_engine::balance::apply_bias_update(&mut model, &stats, lr);
+        }
+    }
+
+    let stats = run_mme_stream(&mut model, sample_tokens, derive_seed(seed, 0xA11));
+    summarize(&full.name, full, &stats, sample_tokens)
+}
+
+fn summarize(
+    name: &str,
+    full: &ModelConfig,
+    stats: &ActivationStats,
+    sample_tokens: usize,
+) -> ActivationReport {
+    let sampled_assign_per_layer =
+        (sample_tokens * full.moe.as_ref().map(|m| m.top_k).unwrap_or(0)).max(1) as f64;
+    let scale = mme_assignments_per_layer(full) as f64 / sampled_assign_per_layer;
+    let peak_count = (stats.peak_count() as f64 * scale) as u64;
+    let mean_entropy = (0..stats.num_layers())
+        .map(|l| stats.normalized_entropy(l))
+        .sum::<f64>()
+        / stats.num_layers().max(1) as f64;
+    ActivationReport {
+        model: name.to_string(),
+        num_layers: stats.num_layers(),
+        num_experts: stats.num_experts(),
+        heatmap: stats.heatmap(),
+        peak_count,
+        mean_imbalance: stats.mean_imbalance(),
+        mean_entropy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moe_model::registry::{deepseek_vl2_tiny, molmoe_1b};
+
+    #[test]
+    fn analogue_preserves_routing_structure() {
+        let full = molmoe_1b();
+        let tiny = analogue_config(&full);
+        let fm = full.moe.as_ref().unwrap();
+        let tm = tiny.moe.as_ref().unwrap();
+        assert_eq!(fm.num_experts, tm.num_experts);
+        assert_eq!(fm.top_k, tm.top_k);
+        assert_eq!(fm.aux_loss_balanced, tm.aux_loss_balanced);
+        assert!(tiny.validate().is_empty());
+    }
+
+    #[test]
+    fn balanced_model_routes_more_uniformly_than_skewed() {
+        // The Fig. 15 headline, from real routing.
+        let balanced = activation_study(&deepseek_vl2_tiny(), 1024, 7);
+        let skewed = activation_study(&molmoe_1b(), 1024, 7);
+        assert!(
+            skewed.mean_imbalance > 1.5 * balanced.mean_imbalance,
+            "skewed {} vs balanced {}",
+            skewed.mean_imbalance,
+            balanced.mean_imbalance
+        );
+        assert!(skewed.mean_entropy < balanced.mean_entropy);
+    }
+
+    #[test]
+    fn peak_counts_match_paper_magnitudes() {
+        // DeepSeek-VL2 peaks around ~290 K, MolmoE around ~1 M.
+        let balanced = activation_study(&deepseek_vl2_tiny(), 1024, 3);
+        let skewed = activation_study(&molmoe_1b(), 1024, 3);
+        assert!(skewed.peak_count > 2 * balanced.peak_count);
+        assert!(
+            (50_000..5_000_000).contains(&balanced.peak_count),
+            "balanced peak {}",
+            balanced.peak_count
+        );
+        assert!(
+            (200_000..20_000_000).contains(&skewed.peak_count),
+            "skewed peak {}",
+            skewed.peak_count
+        );
+    }
+
+    #[test]
+    fn heatmap_rows_normalized() {
+        let rep = activation_study(&deepseek_vl2_tiny(), 256, 1);
+        for row in &rep.heatmap {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(rep.num_experts, 64);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = activation_study(&molmoe_1b(), 128, 5);
+        let b = activation_study(&molmoe_1b(), 128, 5);
+        assert_eq!(a, b);
+    }
+}

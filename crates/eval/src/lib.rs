@@ -1,0 +1,29 @@
+//! # moe-eval
+//!
+//! The accuracy-evaluation substrate — the substitution for lm-eval and
+//! VLMEvalKit (Section 8 of the paper).
+//!
+//! The paper's accuracy figures (17, 18) plot *model quality* (a property
+//! of the released checkpoints, measured by standard harnesses and widely
+//! published) against *serving performance* (which we simulate). Since no
+//! checkpoints exist in this environment, model quality comes from
+//! embedded capability profiles calibrated to publicly reported scores
+//! ([`profiles`]); the *harness machinery* — task suites, per-item
+//! scoring, aggregation — runs for real over synthetic items
+//! ([`tasks`], [`harness`]), so the code path a real evaluation would take
+//! is fully exercised and deterministic.
+//!
+//! The expert-activation-frequency study (Fig. 15) is *not* synthetic at
+//! the mechanism level: [`activation`] routes real token batches through
+//! the real `moe-engine` router, with balanced (aux-loss-style) vs skewed
+//! router weights, and reports the same heat-map/imbalance statistics the
+//! paper plots.
+
+pub mod activation;
+pub mod harness;
+pub mod profiles;
+pub mod tasks;
+
+pub use harness::{evaluate, EvalReport, TaskResult};
+pub use profiles::{capability, CapabilityProfile};
+pub use tasks::{lm_task_suite, vlm_task_suite, Task, TaskKind};

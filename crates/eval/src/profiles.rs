@@ -1,0 +1,112 @@
+//! Capability profiles: per-model quality scores calibrated to publicly
+//! reported benchmark results for the released checkpoints.
+//!
+//! These are *data*, not measurements — exactly as the paper's accuracy
+//! axis is: it reports what lm-eval measures for public checkpoints. The
+//! ordering the paper's Figures 17/18 rely on is pinned by tests:
+//! Qwen3-30B-A3B and Mixtral-8x7B lead, OLMoE trails them, DeepSeek-V2-Lite
+//! and Qwen1.5-MoE sit in the middle, Phi-3.5-MoE is competitive; for the
+//! VLMs Tiny < Small < Base.
+
+use serde::{Deserialize, Serialize};
+
+/// A model's quality profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapabilityProfile {
+    /// Language capability (0–1): drives language-task accuracy.
+    pub language: f64,
+    /// Vision-language capability (0–1): drives VLM-task accuracy;
+    /// zero for text-only models.
+    pub vision: f64,
+}
+
+const PROFILES: [(&str, CapabilityProfile); 15] = [
+    ("Mixtral-8x7B", CapabilityProfile { language: 0.70, vision: 0.0 }),
+    ("Qwen1.5-MoE-A2.7B", CapabilityProfile { language: 0.60, vision: 0.0 }),
+    ("Qwen3-30B-A3B", CapabilityProfile { language: 0.74, vision: 0.0 }),
+    ("DeepSeek-V2-Lite", CapabilityProfile { language: 0.62, vision: 0.0 }),
+    ("Phi-3.5-MoE", CapabilityProfile { language: 0.69, vision: 0.0 }),
+    ("OLMoE-1B-7B", CapabilityProfile { language: 0.55, vision: 0.0 }),
+    ("DeepSeek-VL2-Tiny", CapabilityProfile { language: 0.50, vision: 0.52 }),
+    ("DeepSeek-VL2-Small", CapabilityProfile { language: 0.58, vision: 0.60 }),
+    ("DeepSeek-VL2", CapabilityProfile { language: 0.63, vision: 0.66 }),
+    ("MolmoE-1B", CapabilityProfile { language: 0.52, vision: 0.50 }),
+    ("Llama-4-Scout-17B-16E", CapabilityProfile { language: 0.73, vision: 0.62 }),
+    ("Qwen3-0.6B", CapabilityProfile { language: 0.40, vision: 0.0 }),
+    ("Qwen3-1.7B", CapabilityProfile { language: 0.50, vision: 0.0 }),
+    ("Qwen3-4B", CapabilityProfile { language: 0.58, vision: 0.0 }),
+    ("Qwen3-8B", CapabilityProfile { language: 0.64, vision: 0.0 }),
+];
+
+/// Look up a model's capability profile by name.
+pub fn capability(model_name: &str) -> Option<CapabilityProfile> {
+    PROFILES.iter().find(|(n, _)| *n == model_name).map(|(_, p)| *p)
+}
+
+/// Heuristic fallback for custom/variant configs: capability grows
+/// logarithmically with active parameters (a crude but monotone scaling
+/// law), saturating below 0.8.
+pub fn capability_from_active_params(active_params: u64) -> CapabilityProfile {
+    let b = (active_params as f64 / 1e9).max(0.05);
+    let language = (0.42 + 0.09 * b.ln()).clamp(0.2, 0.8);
+    CapabilityProfile { language, vision: 0.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_models_have_profiles() {
+        for m in moe_model::registry::all_models() {
+            assert!(capability(&m.name).is_some(), "missing profile for {}", m.name);
+        }
+    }
+
+    #[test]
+    fn fig17_ordering_pinned() {
+        let cap = |n: &str| capability(n).unwrap().language;
+        // Large MoEs dominate accuracy.
+        assert!(cap("Qwen3-30B-A3B") > cap("Mixtral-8x7B"));
+        assert!(cap("Mixtral-8x7B") > cap("DeepSeek-V2-Lite"));
+        assert!(cap("DeepSeek-V2-Lite") > cap("Qwen1.5-MoE-A2.7B"));
+        assert!(cap("Qwen1.5-MoE-A2.7B") > cap("OLMoE-1B-7B"));
+        // Phi competitive despite worst efficiency.
+        assert!(cap("Phi-3.5-MoE") > cap("DeepSeek-V2-Lite"));
+    }
+
+    #[test]
+    fn fig18_vlm_ordering_pinned() {
+        let cap = |n: &str| capability(n).unwrap().vision;
+        assert!(cap("DeepSeek-VL2") > cap("DeepSeek-VL2-Small"));
+        assert!(cap("DeepSeek-VL2-Small") > cap("DeepSeek-VL2-Tiny"));
+    }
+
+    #[test]
+    fn draft_quality_ordered_by_size() {
+        let cap = |n: &str| capability(n).unwrap().language;
+        assert!(cap("Qwen3-0.6B") < cap("Qwen3-1.7B"));
+        assert!(cap("Qwen3-1.7B") < cap("Qwen3-4B"));
+        assert!(cap("Qwen3-4B") < cap("Qwen3-8B"));
+    }
+
+    #[test]
+    fn text_models_have_no_vision() {
+        assert_eq!(capability("Mixtral-8x7B").unwrap().vision, 0.0);
+        assert!(capability("DeepSeek-VL2").unwrap().vision > 0.0);
+    }
+
+    #[test]
+    fn fallback_is_monotone_and_bounded() {
+        let small = capability_from_active_params(500_000_000);
+        let big = capability_from_active_params(13_000_000_000);
+        assert!(small.language < big.language);
+        assert!((0.2..=0.8).contains(&small.language));
+        assert!((0.2..=0.8).contains(&big.language));
+    }
+
+    #[test]
+    fn unknown_model_is_none() {
+        assert!(capability("GPT-7-Ultra").is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Task-suite definitions mirroring the paper's evaluation sets:
+//! the lm-eval language-understanding tasks (Section 8.1) and the
+//! VLMEvalKit multimodal tasks (Section 8.2).
+//!
+//! Each task carries a difficulty (how much capability a model needs to
+//! beat chance decisively) and a chance floor (1/num_choices for
+//! multiple-choice). Synthetic items are generated deterministically per
+//! (task, index).
+
+use serde::Serialize;
+
+/// Modality of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TaskKind {
+    Language,
+    VisionLanguage,
+}
+
+/// One benchmark task. (Serialize-only: names are static literals.)
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Task {
+    pub name: &'static str,
+    pub kind: TaskKind,
+    /// Capability level (0–1 scale) at which models score halfway between
+    /// chance and ceiling.
+    pub difficulty: f64,
+    /// Random-guess accuracy floor.
+    pub chance: f64,
+    /// Items evaluated per run.
+    pub num_items: usize,
+}
+
+/// The language-understanding suite of Section 8.1 (lm-eval tasks).
+pub fn lm_task_suite() -> Vec<Task> {
+    use TaskKind::Language as L;
+    vec![
+        Task { name: "ARC-c", kind: L, difficulty: 0.62, chance: 0.25, num_items: 1172 },
+        Task { name: "ARC-e", kind: L, difficulty: 0.38, chance: 0.25, num_items: 2376 },
+        Task { name: "BoolQ", kind: L, difficulty: 0.45, chance: 0.50, num_items: 3270 },
+        Task { name: "HellaSwag", kind: L, difficulty: 0.50, chance: 0.25, num_items: 10_042 },
+        Task { name: "MMLU", kind: L, difficulty: 0.66, chance: 0.25, num_items: 14_042 },
+        Task { name: "OpenBookQA", kind: L, difficulty: 0.55, chance: 0.25, num_items: 500 },
+        Task { name: "RTE", kind: L, difficulty: 0.48, chance: 0.50, num_items: 277 },
+        Task { name: "WinoGrande", kind: L, difficulty: 0.52, chance: 0.50, num_items: 1267 },
+    ]
+}
+
+/// The vision-language suite of Section 8.2 (VLMEvalKit tasks).
+pub fn vlm_task_suite() -> Vec<Task> {
+    use TaskKind::VisionLanguage as V;
+    vec![
+        Task { name: "MME", kind: V, difficulty: 0.50, chance: 0.50, num_items: 2374 },
+        Task { name: "TextVQA", kind: V, difficulty: 0.55, chance: 0.05, num_items: 5000 },
+        Task { name: "AI2D", kind: V, difficulty: 0.58, chance: 0.25, num_items: 3088 },
+        Task { name: "DocVQA", kind: V, difficulty: 0.60, chance: 0.05, num_items: 5349 },
+        Task { name: "MMMU", kind: V, difficulty: 0.75, chance: 0.25, num_items: 900 },
+        Task { name: "InfoVQA", kind: V, difficulty: 0.68, chance: 0.05, num_items: 2801 },
+        Task { name: "RealWorldQA", kind: V, difficulty: 0.62, chance: 0.25, num_items: 765 },
+        Task { name: "ScienceQA", kind: V, difficulty: 0.52, chance: 0.25, num_items: 4241 },
+    ]
+}
+
+/// A deterministic synthetic item: a per-(task, index) difficulty jitter
+/// in [-0.15, 0.15] around the task difficulty, standing in for item-level
+/// variation.
+pub fn item_difficulty(task: &Task, index: usize) -> f64 {
+    let seed = moe_tensor::rng::derive_seed(
+        task.name.bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64)),
+        index as u64,
+    );
+    let unit = (seed % 10_000) as f64 / 10_000.0; // [0,1)
+    (task.difficulty + (unit - 0.5) * 0.30).clamp(0.01, 0.99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_paper_task_lists() {
+        let lm: Vec<&str> = lm_task_suite().iter().map(|t| t.name).collect();
+        for name in
+            ["ARC-c", "ARC-e", "BoolQ", "HellaSwag", "MMLU", "OpenBookQA", "RTE", "WinoGrande"]
+        {
+            assert!(lm.contains(&name), "missing {name}");
+        }
+        let vlm: Vec<&str> = vlm_task_suite().iter().map(|t| t.name).collect();
+        for name in
+            ["MME", "TextVQA", "AI2D", "DocVQA", "MMMU", "InfoVQA", "RealWorldQA", "ScienceQA"]
+        {
+            assert!(vlm.contains(&name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn kinds_are_consistent() {
+        assert!(lm_task_suite().iter().all(|t| t.kind == TaskKind::Language));
+        assert!(vlm_task_suite().iter().all(|t| t.kind == TaskKind::VisionLanguage));
+    }
+
+    #[test]
+    fn chance_floors_valid() {
+        for t in lm_task_suite().into_iter().chain(vlm_task_suite()) {
+            assert!((0.0..1.0).contains(&t.chance), "{}", t.name);
+            assert!((0.0..1.0).contains(&t.difficulty), "{}", t.name);
+            assert!(t.num_items > 0);
+        }
+    }
+
+    #[test]
+    fn item_difficulty_deterministic_and_jittered() {
+        let t = &lm_task_suite()[0];
+        assert_eq!(item_difficulty(t, 3), item_difficulty(t, 3));
+        let spread: Vec<f64> = (0..50).map(|i| item_difficulty(t, i)).collect();
+        let min = spread.iter().cloned().fold(1.0, f64::min);
+        let max = spread.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.1, "jitter too small: {min}..{max}");
+        assert!(min >= t.difficulty - 0.16 && max <= t.difficulty + 0.16);
+    }
+
+    #[test]
+    fn mmlu_harder_than_arc_easy() {
+        let lm = lm_task_suite();
+        let mmlu = lm.iter().find(|t| t.name == "MMLU").unwrap();
+        let arce = lm.iter().find(|t| t.name == "ARC-e").unwrap();
+        assert!(mmlu.difficulty > arce.difficulty);
+    }
+}

@@ -1,0 +1,258 @@
+//! A small discrete-event simulator, used to time pipeline-parallel
+//! execution (microbatch flow through stages) without closed-form bubble
+//! formulas, and reusable by the serving runtime for request timelines.
+//!
+//! The design is the classic event-queue pattern: a binary heap of
+//! `(time, sequence, event)` entries popped in order; resources are modeled
+//! as earliest-free times. The simulator is deterministic: ties are broken
+//! by insertion sequence.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a simulated time.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic discrete-event queue.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: f64,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), now: 0.0, seq: 0 }
+    }
+
+    /// Current simulated time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at` (must not be in the past).
+    pub fn schedule(&mut self, at: f64, event: E) {
+        assert!(at >= self.now - 1e-12, "scheduling into the past: {at} < {}", self.now);
+        self.heap.push(Scheduled { time: at.max(self.now), seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0, "negative delay");
+        let at = self.now + delay;
+        self.heap.push(Scheduled { time: at, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Pop the next event, advancing simulated time.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|s| {
+            self.now = s.time;
+            (s.time, s.event)
+        })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// A resource that serializes work: tracks when it next becomes free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Resource {
+    free_at: f64,
+}
+
+impl Resource {
+    pub fn new() -> Self {
+        Self { free_at: 0.0 }
+    }
+
+    /// Acquire the resource no earlier than `at` for `duration`; returns
+    /// the (start, end) actually granted.
+    pub fn acquire(&mut self, at: f64, duration: f64) -> (f64, f64) {
+        let start = self.free_at.max(at);
+        let end = start + duration;
+        self.free_at = end;
+        (start, end)
+    }
+
+    pub fn free_at(&self) -> f64 {
+        self.free_at
+    }
+}
+
+/// Simulate a linear pipeline: `microbatches` items flow through stages
+/// with per-stage service times `stage_times` and `comm_time` between
+/// adjacent stages. Returns the makespan.
+///
+/// Used for pipeline-parallel prefill; the closed-form
+/// `(m + s - 1) * t_stage` bubble formula only holds for uniform stages,
+/// while this handles arbitrary stage imbalance.
+pub fn simulate_pipeline(stage_times: &[f64], comm_time: f64, microbatches: usize) -> f64 {
+    assert!(!stage_times.is_empty());
+    assert!(microbatches >= 1);
+
+    #[derive(Debug)]
+    struct Arrive {
+        mb: usize,
+        stage: usize,
+    }
+
+    let mut stages: Vec<Resource> = vec![Resource::new(); stage_times.len()];
+    let mut q = EventQueue::new();
+    for mb in 0..microbatches {
+        q.schedule(0.0, Arrive { mb, stage: 0 });
+    }
+    let mut done_at = 0.0f64;
+    while let Some((t, ev)) = q.pop() {
+        let (_, end) = stages[ev.stage].acquire(t, stage_times[ev.stage]);
+        if ev.stage + 1 < stage_times.len() {
+            q.schedule(end + comm_time, Arrive { mb: ev.mb, stage: ev.stage + 1 });
+        } else {
+            done_at = done_at.max(end);
+        }
+    }
+    done_at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.schedule(1.0, "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    fn resource_serializes() {
+        let mut r = Resource::new();
+        let (s1, e1) = r.acquire(0.0, 2.0);
+        let (s2, e2) = r.acquire(1.0, 2.0);
+        assert_eq!((s1, e1), (0.0, 2.0));
+        assert_eq!((s2, e2), (2.0, 4.0));
+    }
+
+    #[test]
+    fn uniform_pipeline_matches_bubble_formula() {
+        // m microbatches through s uniform stages: (m + s - 1) * t.
+        for (s, m) in [(1usize, 1usize), (4, 1), (4, 8), (2, 16)] {
+            let t = 3.0;
+            let got = simulate_pipeline(&vec![t; s], 0.0, m);
+            let expect = (m + s - 1) as f64 * t;
+            assert!((got - expect).abs() < 1e-9, "s={s} m={m}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn slowest_stage_gates_throughput() {
+        // One slow stage dominates: makespan ~ m * t_slow for large m.
+        let got = simulate_pipeline(&[1.0, 10.0, 1.0], 0.0, 100);
+        assert!(got >= 100.0 * 10.0);
+        assert!(got < 100.0 * 10.0 + 25.0);
+    }
+
+    #[test]
+    fn comm_time_adds_per_hop() {
+        let base = simulate_pipeline(&[1.0, 1.0, 1.0], 0.0, 1);
+        let with_comm = simulate_pipeline(&[1.0, 1.0, 1.0], 0.5, 1);
+        assert!((with_comm - base - 2.0 * 0.5).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pipeline_monotone_in_microbatches(
+            times in proptest::collection::vec(0.1f64..10.0, 1..6),
+            m in 1usize..20,
+        ) {
+            let a = simulate_pipeline(&times, 0.05, m);
+            let b = simulate_pipeline(&times, 0.05, m + 1);
+            prop_assert!(b >= a - 1e-9);
+        }
+
+        #[test]
+        fn prop_pipeline_lower_bound_sum_of_stages(
+            times in proptest::collection::vec(0.1f64..10.0, 1..6),
+            m in 1usize..20,
+        ) {
+            let got = simulate_pipeline(&times, 0.0, m);
+            let sum: f64 = times.iter().sum();
+            let max = times.iter().cloned().fold(0.0, f64::max);
+            prop_assert!(got >= sum - 1e-9);
+            prop_assert!(got >= m as f64 * max - 1e-9);
+        }
+    }
+}

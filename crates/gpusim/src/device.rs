@@ -1,0 +1,245 @@
+//! Accelerator and cluster profiles.
+//!
+//! Numbers for the H100 SXM5 come from the public datasheet (dense, i.e.
+//! no structured sparsity): 989 TFLOP/s BF16/FP16, 1979 TFLOP/s FP8/INT8,
+//! 3.35 TB/s HBM3, 80 GB, 50 MB L2, 132 SMs, 4th-gen NVLink at 450 GB/s
+//! per direction. The CS-3 profile models the wafer-scale execution mode
+//! the paper describes: weights resident on-wafer (no per-step weight
+//! streaming), very high on-chip bandwidth, and a modest fixed per-launch
+//! overhead.
+
+use moe_tensor::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Performance-relevant description of one accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    pub name: String,
+    /// Dense tensor-core peak at 16-bit precision (FLOP/s).
+    pub peak_flops_16bit: f64,
+    /// Dense tensor-core peak at 8-bit precisions (FLOP/s).
+    pub peak_flops_8bit: f64,
+    /// Vector fp32 peak (FLOP/s) — used for non-GEMM work.
+    pub peak_flops_fp32: f64,
+    /// Main-memory bandwidth (B/s): HBM3 for the H100, on-wafer SRAM for
+    /// the CS-3.
+    pub mem_bandwidth: f64,
+    /// Memory capacity per device (B).
+    pub mem_capacity: f64,
+    /// Last-level cache size (B); reads hitting in LLC are free in the
+    /// model (used for small activation working sets).
+    pub llc_bytes: f64,
+    /// Fixed cost of dispatching one kernel (s).
+    pub kernel_launch_s: f64,
+    /// Number of streaming multiprocessors (wave-quantization granularity).
+    pub num_sms: usize,
+    /// Whether weights stay resident in compute-adjacent memory (CS-3
+    /// weight-stationary dataflow): if true, per-step weight streaming
+    /// costs no main-memory traffic.
+    pub weights_stationary: bool,
+    /// Sustained fraction of peak a well-tuned GEMM reaches at best.
+    pub gemm_peak_fraction: f64,
+    /// Sustained fraction of peak bandwidth streaming kernels reach.
+    pub mem_peak_fraction: f64,
+}
+
+impl DeviceProfile {
+    /// NVIDIA H100 SXM5 80GB.
+    pub fn h100_sxm5() -> Self {
+        Self {
+            name: "H100-SXM5-80GB".into(),
+            peak_flops_16bit: 989e12,
+            peak_flops_8bit: 1979e12,
+            peak_flops_fp32: 67e12,
+            mem_bandwidth: 3.35e12,
+            mem_capacity: 80e9,
+            llc_bytes: 50e6,
+            kernel_launch_s: 4e-6,
+            num_sms: 132,
+            weights_stationary: false,
+            gemm_peak_fraction: 0.72,
+            mem_peak_fraction: 0.85,
+        }
+    }
+
+    /// Cerebras CS-3 (WSE-3) running a cloud model replica with weights
+    /// resident on-wafer. Capacity reflects the external MemoryX-backed
+    /// weight store rather than a per-die HBM stack.
+    pub fn cs3() -> Self {
+        Self {
+            name: "CS-3".into(),
+            peak_flops_16bit: 25e15,
+            peak_flops_8bit: 50e15,
+            peak_flops_fp32: 12e15,
+            mem_bandwidth: 1.2e15,
+            mem_capacity: 1.2e12,
+            llc_bytes: 44e9, // on-wafer SRAM
+            kernel_launch_s: 1.5e-6,
+            num_sms: 900_000 / 1024, // ~cores grouped per tile region
+            weights_stationary: true,
+            gemm_peak_fraction: 0.45,
+            mem_peak_fraction: 0.80,
+        }
+    }
+
+    /// Tensor-core peak for the given weight precision. 16-bit activations
+    /// against 8-bit weights still run the 8-bit tensor pipes on H100.
+    pub fn peak_flops(&self, p: Precision) -> f64 {
+        match p {
+            Precision::F32 => self.peak_flops_fp32,
+            Precision::F16 | Precision::Bf16 => self.peak_flops_16bit,
+            Precision::Fp8E4M3 | Precision::Int8 | Precision::Int4 => self.peak_flops_8bit,
+        }
+    }
+
+    /// Effective sustained GEMM throughput ceiling (FLOP/s).
+    pub fn sustained_flops(&self, p: Precision) -> f64 {
+        self.peak_flops(p) * self.gemm_peak_fraction
+    }
+
+    /// Effective sustained memory bandwidth (B/s).
+    pub fn sustained_bandwidth(&self) -> f64 {
+        self.mem_bandwidth * self.mem_peak_fraction
+    }
+}
+
+/// One point-to-point / collective fabric between devices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Per-device injection bandwidth (B/s) usable by collectives.
+    pub bandwidth: f64,
+    /// Per-hop latency (s).
+    pub latency: f64,
+}
+
+impl Interconnect {
+    /// 4th-generation NVLink within an HGX H100 node.
+    pub fn nvlink4() -> Self {
+        Self { bandwidth: 450e9, latency: 3e-6 }
+    }
+
+    /// PCIe Gen5 x16 fallback fabric.
+    pub fn pcie_gen5() -> Self {
+        Self { bandwidth: 55e9, latency: 8e-6 }
+    }
+
+    /// InfiniBand NDR (400 Gb/s per port) inter-node fabric.
+    pub fn infiniband_ndr() -> Self {
+        Self { bandwidth: 50e9, latency: 12e-6 }
+    }
+}
+
+/// A set of identical devices joined by an intra-node fabric, optionally
+/// spanning multiple nodes over a slower inter-node fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    pub device: DeviceProfile,
+    pub num_devices: usize,
+    /// Intra-node fabric.
+    pub link: Interconnect,
+    /// Devices per node; `num_devices` when single-node.
+    pub devices_per_node: usize,
+    /// Inter-node fabric (unused when single-node).
+    pub inter_link: Interconnect,
+}
+
+impl Cluster {
+    /// `n` H100s inside one NVLink node (the paper's 1–4 GPU settings).
+    pub fn h100_node(n: usize) -> Self {
+        assert!(n >= 1, "cluster needs at least one device");
+        Self {
+            device: DeviceProfile::h100_sxm5(),
+            num_devices: n,
+            link: Interconnect::nvlink4(),
+            devices_per_node: n,
+            inter_link: Interconnect::infiniband_ndr(),
+        }
+    }
+
+    /// `nodes` NVLink nodes of `gpus_per_node` H100s joined by InfiniBand.
+    pub fn h100_multinode(nodes: usize, gpus_per_node: usize) -> Self {
+        assert!(nodes >= 1 && gpus_per_node >= 1);
+        Self {
+            device: DeviceProfile::h100_sxm5(),
+            num_devices: nodes * gpus_per_node,
+            link: Interconnect::nvlink4(),
+            devices_per_node: gpus_per_node,
+            inter_link: Interconnect::infiniband_ndr(),
+        }
+    }
+
+    /// A single CS-3.
+    pub fn cs3() -> Self {
+        let link = Interconnect { bandwidth: 1.2e12, latency: 1e-6 };
+        Self {
+            device: DeviceProfile::cs3(),
+            num_devices: 1,
+            link,
+            devices_per_node: 1,
+            inter_link: link,
+        }
+    }
+
+    /// Aggregate memory capacity across devices (B).
+    pub fn total_capacity(&self) -> f64 {
+        self.device.mem_capacity * self.num_devices as f64
+    }
+
+    /// The fabric that bottlenecks a collective over `group_size` devices:
+    /// the inter-node link once the group spans nodes.
+    pub fn effective_link(&self, group_size: usize) -> Interconnect {
+        if group_size > self.devices_per_node {
+            self.inter_link
+        } else {
+            self.link
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_datasheet_values() {
+        let d = DeviceProfile::h100_sxm5();
+        assert_eq!(d.peak_flops(Precision::F16), 989e12);
+        assert_eq!(d.peak_flops(Precision::Fp8E4M3), 1979e12);
+        assert!(d.peak_flops(Precision::F32) < d.peak_flops(Precision::F16));
+        assert_eq!(d.mem_capacity, 80e9);
+    }
+
+    #[test]
+    fn fp8_doubles_peak_on_h100() {
+        let d = DeviceProfile::h100_sxm5();
+        let ratio = d.peak_flops(Precision::Fp8E4M3) / d.peak_flops(Precision::F16);
+        assert!((ratio - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn cs3_is_weight_stationary_with_huge_bandwidth() {
+        let c = DeviceProfile::cs3();
+        let h = DeviceProfile::h100_sxm5();
+        assert!(c.weights_stationary);
+        assert!(!h.weights_stationary);
+        assert!(c.mem_bandwidth > 100.0 * h.mem_bandwidth);
+    }
+
+    #[test]
+    fn cluster_capacity_scales() {
+        assert_eq!(Cluster::h100_node(4).total_capacity(), 320e9);
+    }
+
+    #[test]
+    fn sustained_below_peak() {
+        let d = DeviceProfile::h100_sxm5();
+        assert!(d.sustained_flops(Precision::F16) < d.peak_flops(Precision::F16));
+        assert!(d.sustained_bandwidth() < d.mem_bandwidth);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_cluster_rejected() {
+        let _ = Cluster::h100_node(0);
+    }
+}

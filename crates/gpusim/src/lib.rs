@@ -1,0 +1,43 @@
+//! # moe-gpusim
+//!
+//! An analytical roofline + discrete-event performance model of the
+//! accelerators the paper measures on: the NVIDIA H100 SXM5 and the
+//! Cerebras CS-3. This crate is the substitution for the physical hardware
+//! (see `DESIGN.md`): it predicts *time*, *memory* and *scaling shape* for
+//! MoE transformer inference, and the serving runtime advances its
+//! simulated clock by these predictions.
+//!
+//! The model captures, explicitly and testably, the first-order mechanisms
+//! behind every performance result in the paper:
+//!
+//! * compute-vs-memory rooflines with GEMM pipeline-fill and wave
+//!   quantization efficiencies ([`roofline`]),
+//! * MoE expert weight traffic driven by the expected number of *distinct*
+//!   activated experts, router load imbalance, and fused-vs-unfused
+//!   dispatch ([`moecost`]),
+//! * weight/KV/activation memory footprints and OOM boundaries
+//!   ([`memory`]),
+//! * tensor/pipeline/expert parallelism with ring-collective costs and a
+//!   discrete-event pipeline simulation ([`parallel`], [`des`]),
+//! * end-to-end serving metrics — TTFT, ITL, E2E latency, throughput —
+//!   composed per layer and per phase ([`perfmodel`]),
+//! * a speculative-decoding cycle model ([`spec`]).
+//!
+//! Nothing here claims absolute-accuracy against real silicon; the paper's
+//! *relative* results (who wins, by what factor, where the crossovers and
+//! OOM walls are) all fall out of these mechanisms.
+
+pub mod des;
+pub mod device;
+pub mod memory;
+pub mod moecost;
+pub mod parallel;
+pub mod perfmodel;
+pub mod placement;
+pub mod roofline;
+pub mod spec;
+
+pub use device::{Cluster, DeviceProfile, Interconnect};
+pub use memory::{MemoryFootprint, OomError};
+pub use parallel::{ParallelMode, ParallelPlan};
+pub use perfmodel::{EngineOptions, PerfModel, RunMetrics};

@@ -1,0 +1,240 @@
+//! MoE-layer cost construction: routing, expert GEMMs, dispatch/combine
+//! traffic, fused vs unfused execution, and router load imbalance.
+//!
+//! Two mechanisms dominate the paper's MoE results and are modeled from
+//! first principles:
+//!
+//! * **Distinct-expert weight traffic.** During decode, a layer must
+//!   stream the weights of every expert that at least one token routed to.
+//!   With `A = tokens * top_k` assignments over `E` experts, the expected
+//!   number of distinct experts is `E * (1 - (1 - 1/E)^A)`. This is why
+//!   throughput falls as TopK rises, why the drop is steeper at larger
+//!   batch sizes (Fig. 5), and why large FFN dimensions saturate bandwidth
+//!   (Figs. 7, 9).
+//! * **Load imbalance.** The busiest expert gates the layer. For `A`
+//!   balanced-routing assignments over `E` experts, a balls-in-bins bound
+//!   gives `max/mean ≈ 1 + sqrt(2·ln(E)/(A/E))`; routers trained without an
+//!   auxiliary balancing loss are additionally skewed.
+
+use moe_model::MoeConfig;
+use moe_tensor::Precision;
+
+use crate::device::DeviceProfile;
+use crate::roofline::{fill_efficiency, gemm_cost, tuning_efficiency, OpCost};
+
+/// Expected number of distinct experts hit by `assignments` uniform
+/// token-to-expert assignments over `num_experts` experts.
+pub fn expected_distinct_experts(num_experts: usize, assignments: f64) -> f64 {
+    let e = num_experts as f64;
+    if assignments <= 0.0 {
+        return 0.0;
+    }
+    e * (1.0 - (1.0 - 1.0 / e).powf(assignments))
+}
+
+/// Ratio of the busiest expert's load to the mean load, for `assignments`
+/// routed tokens over `num_experts` experts, multiplied by `router_skew`
+/// (1.0 for aux-loss-balanced routers).
+pub fn imbalance_factor(num_experts: usize, assignments: f64, router_skew: f64) -> f64 {
+    if assignments <= 0.0 || num_experts <= 1 {
+        return router_skew.max(1.0);
+    }
+    let mean = assignments / num_experts as f64;
+    let ln_e = (num_experts as f64).ln().max(0.0);
+    let balanced = 1.0 + (2.0 * ln_e / mean.max(1e-9)).sqrt();
+    // The busiest expert can never exceed holding *all* assignments.
+    let cap = num_experts as f64;
+    (balanced * router_skew.max(1.0)).min(cap)
+}
+
+/// Router skew multiplier for a model's MoE config: 1.0 for models trained
+/// with an auxiliary load-balancing loss, 1.35 otherwise (MolmoE-style
+/// spiky routing; see Fig. 15).
+pub fn router_skew(moe: &MoeConfig) -> f64 {
+    if moe.aux_loss_balanced {
+        1.0
+    } else {
+        1.35
+    }
+}
+
+/// Full cost of one MoE layer processing `tokens` rows.
+///
+/// `fused = true` models a fused grouped-GEMM kernel (single launch for all
+/// experts, intermediate activations kept on chip); `fused = false` models
+/// the naive path (per-expert kernels plus gather/scatter round trips
+/// through HBM).
+pub fn moe_layer_cost(
+    device: &DeviceProfile,
+    precision: Precision,
+    tokens: usize,
+    hidden: usize,
+    moe: &MoeConfig,
+    fused: bool,
+) -> OpCost {
+    let e = moe.num_experts;
+    let k = moe.top_k;
+    let ffn = moe.expert_ffn_dim;
+    let h = hidden;
+    let assignments = (tokens * k) as f64;
+
+    let mut cost = OpCost::zero();
+
+    // Router: [tokens x h] @ [h x E] plus a top-k pass.
+    cost.add(&gemm_cost(device, Precision::F16, tokens, e, h));
+
+    // Expert GEMMs: per assignment, three projections (gate/up/down).
+    let flops = assignments * (2.0 * h as f64 * ffn as f64) * 3.0;
+    let distinct = expected_distinct_experts(e, assignments);
+    let weight_bytes = distinct * 3.0 * h as f64 * ffn as f64 * precision.bytes_per_param();
+
+    // Compute efficiency: per-expert GEMMs see only their share of rows.
+    let per_expert_rows = (assignments / e as f64).max(1.0) as usize;
+    let tuned = tuning_efficiency(ffn, h);
+    let eff = fill_efficiency(per_expert_rows) * tuned
+        / imbalance_factor(e, assignments, router_skew(moe));
+
+    let (launches, act_bytes) = if fused {
+        // Router output + one grouped kernel; intermediates stay on chip.
+        (2.0, assignments * (2.0 * h as f64) * 2.0)
+    } else {
+        // Three kernels per *activated* expert, plus gather/scatter of
+        // activations through HBM between stages.
+        let act = assignments * (2.0 * h as f64 + 2.0 * ffn as f64) * 2.0 * 2.0;
+        (2.0 + 3.0 * distinct.max(1.0), act)
+    };
+
+    cost.add(&OpCost {
+        flops,
+        compute_eff: eff.clamp(1e-6, 1.0),
+        mem_eff: tuned,
+        weight_bytes,
+        act_bytes,
+        launches,
+        precision,
+    });
+
+    // Shared experts are plain dense FFNs over every token.
+    if moe.num_shared_experts > 0 {
+        let sf = moe.shared_expert_ffn_dim * moe.num_shared_experts;
+        cost.add(&gemm_cost(device, precision, tokens, sf, h));
+        cost.add(&gemm_cost(device, precision, tokens, sf, h));
+        cost.add(&gemm_cost(device, precision, tokens, h, sf));
+    }
+
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h100() -> DeviceProfile {
+        DeviceProfile::h100_sxm5()
+    }
+
+    fn moe(e: usize, k: usize, ffn: usize) -> MoeConfig {
+        MoeConfig::routed(e, k, ffn)
+    }
+
+    #[test]
+    fn distinct_experts_limits() {
+        // One assignment -> exactly one expert.
+        assert!((expected_distinct_experts(8, 1.0) - 1.0).abs() < 1e-9);
+        // Many assignments -> all experts.
+        assert!(expected_distinct_experts(8, 10_000.0) > 7.999);
+        // Monotone in assignments.
+        let a = expected_distinct_experts(64, 8.0);
+        let b = expected_distinct_experts(64, 64.0);
+        let c = expected_distinct_experts(64, 512.0);
+        assert!(a < b && b < c);
+        assert!(c <= 64.0);
+    }
+
+    #[test]
+    fn imbalance_shrinks_with_load() {
+        let small = imbalance_factor(64, 64.0, 1.0);
+        let large = imbalance_factor(64, 64_000.0, 1.0);
+        assert!(small > large);
+        assert!(large < 1.2);
+        assert!(small <= 64.0);
+    }
+
+    #[test]
+    fn skewed_router_worse() {
+        let bal = imbalance_factor(64, 1024.0, 1.0);
+        let skew = imbalance_factor(64, 1024.0, 1.35);
+        assert!(skew > bal);
+    }
+
+    #[test]
+    fn more_active_experts_cost_more_time() {
+        // Decode-shaped: 64 tokens.
+        let d = h100();
+        let mut last = 0.0;
+        for k in [1usize, 2, 4, 8] {
+            let c = moe_layer_cost(&d, Precision::F16, 64, 4096, &moe(8, k, 14_336), true);
+            let t = c.time_on(&d);
+            assert!(t > last, "k={k}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn fused_beats_unfused() {
+        let d = h100();
+        for tokens in [16usize, 256, 4096] {
+            let f = moe_layer_cost(&d, Precision::F16, tokens, 4096, &moe(8, 2, 14_336), true)
+                .time_on(&d);
+            let u = moe_layer_cost(&d, Precision::F16, tokens, 4096, &moe(8, 2, 14_336), false)
+                .time_on(&d);
+            assert!(f < u, "tokens={tokens}: fused {f} vs unfused {u}");
+        }
+    }
+
+    #[test]
+    fn fp8_cheaper_than_fp16() {
+        let d = h100();
+        let t16 =
+            moe_layer_cost(&d, Precision::F16, 64, 4096, &moe(8, 2, 14_336), true).time_on(&d);
+        let t8 = moe_layer_cost(&d, Precision::Fp8E4M3, 64, 4096, &moe(8, 2, 14_336), true)
+            .time_on(&d);
+        assert!(t8 < t16 * 0.7);
+    }
+
+    #[test]
+    fn larger_ffn_costs_more() {
+        let d = h100();
+        let small =
+            moe_layer_cost(&d, Precision::F16, 64, 4096, &moe(8, 2, 1792), true).time_on(&d);
+        let big =
+            moe_layer_cost(&d, Precision::F16, 64, 4096, &moe(8, 2, 14_336), true).time_on(&d);
+        assert!(big > 4.0 * small);
+    }
+
+    #[test]
+    fn shared_experts_add_cost() {
+        let d = h100();
+        let plain = moe_layer_cost(&d, Precision::F16, 64, 2048, &moe(60, 4, 1408), true);
+        let mut with_shared_cfg = moe(60, 4, 1408);
+        with_shared_cfg.num_shared_experts = 1;
+        with_shared_cfg.shared_expert_ffn_dim = 5632;
+        let shared = moe_layer_cost(&d, Precision::F16, 64, 2048, &with_shared_cfg, true);
+        assert!(shared.time_on(&d) > plain.time_on(&d));
+        assert!(shared.weight_bytes > plain.weight_bytes);
+    }
+
+    #[test]
+    fn decode_weight_traffic_grows_with_batch_until_saturation() {
+        // The Fig. 5 mechanism: larger batches touch more distinct experts.
+        let d = h100();
+        let cfg = moe(64, 6, 1408);
+        let b1 = moe_layer_cost(&d, Precision::F16, 1, 2048, &cfg, true).weight_bytes;
+        let b16 = moe_layer_cost(&d, Precision::F16, 16, 2048, &cfg, true).weight_bytes;
+        let b128 = moe_layer_cost(&d, Precision::F16, 128, 2048, &cfg, true).weight_bytes;
+        assert!(b1 < b16 && b16 < b128);
+        // Saturation: all 64 experts.
+        let full = 64.0 * 3.0 * 2048.0 * 1408.0 * 2.0;
+        assert!(b128 <= full * 1.001);
+    }
+}

@@ -1,0 +1,223 @@
+//! Parallelism plans and collective-communication cost models.
+//!
+//! The paper evaluates four placements on 1–4 H100s (Fig. 13): tensor
+//! parallelism with and without expert parallelism, and pipeline
+//! parallelism with and without expert parallelism. A plan is therefore a
+//! base mode ([`ParallelMode::Tensor`] or [`ParallelMode::Pipeline`]) of a
+//! given degree, plus an `expert_parallel` flag that redistributes MoE
+//! experts across the same device group.
+//!
+//! Collectives use standard ring-algorithm cost models over the cluster
+//! fabric.
+
+use moe_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::device::Interconnect;
+
+/// Base sharding dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParallelMode {
+    /// Megatron-style intra-layer sharding: every GEMM split across the
+    /// group, two all-reduces per transformer layer.
+    Tensor,
+    /// Inter-layer staging: contiguous layer blocks per device,
+    /// point-to-point activations between stages.
+    Pipeline,
+}
+
+/// A complete placement description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelPlan {
+    pub mode: ParallelMode,
+    /// Number of devices in the group.
+    pub degree: usize,
+    /// Distribute whole experts across the group instead of sharding each
+    /// expert (vLLM `--enable-expert-parallel`).
+    pub expert_parallel: bool,
+}
+
+impl ParallelPlan {
+    /// Single device, no parallelism.
+    pub fn single() -> Self {
+        Self { mode: ParallelMode::Tensor, degree: 1, expert_parallel: false }
+    }
+
+    /// Tensor parallelism of the given degree.
+    pub fn tensor(degree: usize) -> Self {
+        assert!(degree >= 1);
+        Self { mode: ParallelMode::Tensor, degree, expert_parallel: false }
+    }
+
+    /// Pipeline parallelism of the given degree.
+    pub fn pipeline(degree: usize) -> Self {
+        assert!(degree >= 1);
+        Self { mode: ParallelMode::Pipeline, degree, expert_parallel: false }
+    }
+
+    /// Enable expert parallelism on top of the base mode.
+    pub fn with_expert_parallel(mut self) -> Self {
+        self.expert_parallel = true;
+        self
+    }
+
+    /// Human-readable label as used in Figure 13 ("TP4+EP", "PP2", ...).
+    pub fn label(&self) -> String {
+        let base = match self.mode {
+            ParallelMode::Tensor => "TP",
+            ParallelMode::Pipeline => "PP",
+        };
+        if self.expert_parallel {
+            format!("{base}{}+EP", self.degree)
+        } else {
+            format!("{base}{}", self.degree)
+        }
+    }
+
+    /// Validate the plan against a model; returns human-readable problems.
+    pub fn validate(&self, config: &ModelConfig) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.degree == 0 {
+            problems.push("parallel degree must be positive".into());
+        }
+        if self.expert_parallel {
+            match &config.moe {
+                None => problems.push("expert parallelism on a dense model".into()),
+                Some(moe) => {
+                    if moe.num_experts < self.degree {
+                        problems.push(format!(
+                            "cannot spread {} experts across {} devices",
+                            moe.num_experts, self.degree
+                        ));
+                    }
+                }
+            }
+        }
+        if self.mode == ParallelMode::Pipeline && config.num_layers < self.degree {
+            problems.push(format!(
+                "cannot split {} layers into {} pipeline stages",
+                config.num_layers, self.degree
+            ));
+        }
+        problems
+    }
+
+    /// The four placements evaluated in Figure 13 at a given degree.
+    pub fn fig13_plans(degree: usize) -> Vec<ParallelPlan> {
+        vec![
+            ParallelPlan::tensor(degree),
+            ParallelPlan::tensor(degree).with_expert_parallel(),
+            ParallelPlan::pipeline(degree).with_expert_parallel(),
+            ParallelPlan::pipeline(degree),
+        ]
+    }
+}
+
+/// Ring all-reduce time for `bytes` per device across `devices`.
+pub fn allreduce_time(link: &Interconnect, devices: usize, bytes: f64) -> f64 {
+    if devices <= 1 {
+        return 0.0;
+    }
+    let g = devices as f64;
+    2.0 * (g - 1.0) / g * bytes / link.bandwidth + 2.0 * (g - 1.0) * link.latency
+}
+
+/// Ring all-gather time for `bytes` contributed per device.
+pub fn allgather_time(link: &Interconnect, devices: usize, bytes: f64) -> f64 {
+    if devices <= 1 {
+        return 0.0;
+    }
+    let g = devices as f64;
+    (g - 1.0) / g * bytes / link.bandwidth + (g - 1.0) * link.latency
+}
+
+/// All-to-all time for `bytes` total shuffled per device (MoE expert
+/// dispatch/combine).
+pub fn all_to_all_time(link: &Interconnect, devices: usize, bytes: f64) -> f64 {
+    if devices <= 1 {
+        return 0.0;
+    }
+    let g = devices as f64;
+    (g - 1.0) / g * bytes / link.bandwidth + (g - 1.0) * link.latency
+}
+
+/// Point-to-point transfer time between adjacent pipeline stages.
+pub fn p2p_time(link: &Interconnect, bytes: f64) -> f64 {
+    bytes / link.bandwidth + link.latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moe_model::registry::{mixtral_8x7b, qwen3_1_7b};
+
+    #[test]
+    fn labels_match_fig13() {
+        assert_eq!(ParallelPlan::tensor(4).label(), "TP4");
+        assert_eq!(ParallelPlan::tensor(2).with_expert_parallel().label(), "TP2+EP");
+        assert_eq!(ParallelPlan::pipeline(4).label(), "PP4");
+        assert_eq!(ParallelPlan::pipeline(4).with_expert_parallel().label(), "PP4+EP");
+    }
+
+    #[test]
+    fn fig13_has_four_placements() {
+        let plans = ParallelPlan::fig13_plans(4);
+        assert_eq!(plans.len(), 4);
+        let labels: Vec<String> = plans.iter().map(|p| p.label()).collect();
+        assert!(labels.contains(&"TP4".to_string()));
+        assert!(labels.contains(&"PP4+EP".to_string()));
+    }
+
+    #[test]
+    fn ep_on_dense_model_invalid() {
+        let plan = ParallelPlan::tensor(2).with_expert_parallel();
+        assert!(!plan.validate(&qwen3_1_7b()).is_empty());
+        assert!(plan.validate(&mixtral_8x7b()).is_empty());
+    }
+
+    #[test]
+    fn ep_needs_enough_experts() {
+        let plan = ParallelPlan::tensor(16).with_expert_parallel();
+        // Mixtral has 8 experts; 16-way EP impossible.
+        assert!(!plan.validate(&mixtral_8x7b()).is_empty());
+    }
+
+    #[test]
+    fn pipeline_needs_enough_layers() {
+        let plan = ParallelPlan::pipeline(64);
+        assert!(!plan.validate(&mixtral_8x7b()).is_empty());
+        assert!(ParallelPlan::pipeline(4).validate(&mixtral_8x7b()).is_empty());
+    }
+
+    #[test]
+    fn single_device_collectives_free() {
+        let link = Interconnect::nvlink4();
+        assert_eq!(allreduce_time(&link, 1, 1e9), 0.0);
+        assert_eq!(all_to_all_time(&link, 1, 1e9), 0.0);
+    }
+
+    #[test]
+    fn allreduce_costs_twice_allgather_asymptotically() {
+        let link = Interconnect::nvlink4();
+        let ar = allreduce_time(&link, 4, 1e9);
+        let ag = allgather_time(&link, 4, 1e9);
+        assert!((ar / ag - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn collectives_scale_with_bytes_and_latency_floor() {
+        let link = Interconnect::nvlink4();
+        let tiny = allreduce_time(&link, 4, 8.0);
+        // Latency floor: 2*(G-1)*lat = 18 us.
+        assert!((tiny - 2.0 * 3.0 * link.latency).abs() / tiny < 0.01);
+        let big = allreduce_time(&link, 4, 10e9);
+        assert!(big > 100.0 * tiny);
+    }
+
+    #[test]
+    fn slower_fabric_costs_more() {
+        let nv = allreduce_time(&Interconnect::nvlink4(), 4, 1e9);
+        let pcie = allreduce_time(&Interconnect::pcie_gen5(), 4, 1e9);
+        assert!(pcie > 5.0 * nv);
+    }
+}

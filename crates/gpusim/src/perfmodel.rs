@@ -1,0 +1,724 @@
+//! End-to-end performance model: composes the roofline op costs per layer
+//! and per phase into the serving metrics the paper reports (Section 3.4):
+//! TTFT, ITL, end-to-end latency, throughput, and samples/s for VLMs.
+
+use moe_model::{ModelConfig, MoeConfig};
+use moe_tensor::Precision;
+use serde::{Deserialize, Serialize};
+
+use crate::des::simulate_pipeline;
+use crate::device::Cluster;
+use crate::memory::{check_fits, MemoryFootprint, OomError};
+use crate::moecost::{imbalance_factor, moe_layer_cost, router_skew};
+use crate::parallel::{all_to_all_time, allreduce_time, p2p_time, ParallelMode, ParallelPlan};
+use crate::roofline::{gemm_cost, stream_cost, OpCost};
+
+/// Host-side image preprocessing cost per image (decode, resize,
+/// normalize, tile) — a model-independent constant that dominates VLM TTFT
+/// in real serving stacks, which is why the paper's Fig. 4 TTFT gap across
+/// the VL2 family is far smaller than the model-size ratio.
+pub const IMAGE_PREPROCESS_S: f64 = 0.06;
+
+/// Execution phase of a forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Parallel encoding of the prompt.
+    Prefill,
+    /// One autoregressive step (one token per sequence).
+    Decode,
+}
+
+/// Inference-engine configuration knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineOptions {
+    /// Weight precision.
+    pub precision: Precision,
+    /// KV-cache precision.
+    pub kv_precision: Precision,
+    /// Fused MoE kernel (Section 7.2) vs naive per-expert dispatch.
+    pub fused_moe: bool,
+    /// Device placement.
+    pub plan: ParallelPlan,
+    /// Per-engine-step host-side overhead (scheduler, Python glue, sampler)
+    /// — vLLM-class serving engines pay milliseconds per iteration, which
+    /// dominates small-batch decode.
+    pub framework_overhead_s: f64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            precision: Precision::F16,
+            kv_precision: Precision::F16,
+            fused_moe: true,
+            plan: ParallelPlan::single(),
+            framework_overhead_s: 4e-3,
+        }
+    }
+}
+
+impl EngineOptions {
+    pub fn with_precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
+
+    pub fn with_plan(mut self, plan: ParallelPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    pub fn with_fused_moe(mut self, fused: bool) -> Self {
+        self.fused_moe = fused;
+        self
+    }
+
+    pub fn with_kv_precision(mut self, p: Precision) -> Self {
+        self.kv_precision = p;
+        self
+    }
+
+    pub fn with_framework_overhead(mut self, seconds: f64) -> Self {
+        assert!(seconds >= 0.0, "negative overhead");
+        self.framework_overhead_s = seconds;
+        self
+    }
+}
+
+/// Serving metrics for one (batch, input, output) run, following the
+/// paper's definitions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    pub batch: usize,
+    pub input_tokens: usize,
+    pub output_tokens: usize,
+    /// Time to first token (s): the full prefill.
+    pub ttft_s: f64,
+    /// Inter-token latency (s): mean time between consecutive output
+    /// tokens of one sequence.
+    pub itl_s: f64,
+    /// End-to-end latency (s).
+    pub e2e_s: f64,
+    /// Paper Eq. 2: `batch * (input + output) / e2e` (tokens/s).
+    pub throughput_tok_s: f64,
+    /// Generated tokens per second across the batch.
+    pub decode_tok_s: f64,
+    /// Samples (requests) per second.
+    pub samples_per_s: f64,
+}
+
+impl RunMetrics {
+    fn from_times(batch: usize, input: usize, output: usize, ttft: f64, e2e: f64) -> Self {
+        let decode_time = (e2e - ttft).max(0.0);
+        let itl = if output > 1 { decode_time / (output - 1) as f64 } else { 0.0 };
+        Self {
+            batch,
+            input_tokens: input,
+            output_tokens: output,
+            ttft_s: ttft,
+            itl_s: itl,
+            e2e_s: e2e,
+            throughput_tok_s: batch as f64 * (input + output) as f64 / e2e,
+            decode_tok_s: if itl > 0.0 { batch as f64 / itl } else { 0.0 },
+            samples_per_s: batch as f64 / e2e,
+        }
+    }
+}
+
+/// The per-model performance model.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    config: ModelConfig,
+    cluster: Cluster,
+    opts: EngineOptions,
+}
+
+impl PerfModel {
+    /// Build a model; validates that the plan matches the cluster and the
+    /// architecture.
+    pub fn new(config: ModelConfig, cluster: Cluster, opts: EngineOptions) -> Result<Self, String> {
+        if opts.plan.degree != cluster.num_devices {
+            return Err(format!(
+                "plan degree {} != cluster devices {}",
+                opts.plan.degree, cluster.num_devices
+            ));
+        }
+        let problems = opts.plan.validate(&config);
+        if !problems.is_empty() {
+            return Err(problems.join("; "));
+        }
+        Ok(Self { config, cluster, opts })
+    }
+
+    /// Convenience: single H100, default options.
+    pub fn h100(config: ModelConfig) -> Self {
+        Self::new(config, Cluster::h100_node(1), EngineOptions::default())
+            .expect("single-device plan always valid")
+    }
+
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Check that the run fits in memory.
+    pub fn check_memory(&self, batch: usize, max_seq: usize) -> Result<MemoryFootprint, OomError> {
+        check_fits(
+            &self.config,
+            self.opts.precision,
+            self.opts.kv_precision,
+            &self.opts.plan,
+            &self.cluster,
+            batch,
+            max_seq,
+        )
+    }
+
+    /// Tensor-sharding degree for within-layer GEMMs (1 in pipeline mode).
+    fn tp(&self) -> usize {
+        match self.opts.plan.mode {
+            ParallelMode::Tensor => self.opts.plan.degree,
+            ParallelMode::Pipeline => 1,
+        }
+    }
+
+    /// Attention cost for one layer on one device: QKV projection,
+    /// attention core (FlashAttention-style — no quadratic HBM traffic),
+    /// output projection, plus the KV-cache read/write traffic.
+    fn attn_layer_cost(&self, tokens: usize, batch: usize, ctx: usize, phase: Phase) -> OpCost {
+        let d = &self.cluster.device;
+        let tp = self.tp();
+        let h = self.config.hidden_size;
+        let q_dim = (self.config.num_heads * self.config.head_dim).div_ceil(tp);
+        let kv_dim = (self.config.num_kv_heads * self.config.head_dim).div_ceil(tp);
+        let heads = self.config.num_heads.div_ceil(tp);
+        let hd = self.config.head_dim;
+
+        let mut cost = OpCost::zero();
+        // Fused QKV projection.
+        cost.add(&gemm_cost(d, self.opts.precision, tokens, q_dim + 2 * kv_dim, h));
+        // Attention core.
+        let kv_layer_bytes_per_token =
+            self.config.kv_bytes_per_token(self.opts.kv_precision.bytes_per_param())
+                / self.config.num_layers as f64
+                / tp as f64;
+        let core = match phase {
+            Phase::Prefill => {
+                let seq = tokens / batch.max(1);
+                // Causal QK^T + AV: 2 * 2 * heads * seq^2/2 * hd per sequence.
+                let flops = 2.0 * (batch * heads * hd) as f64 * (seq as f64) * (seq as f64);
+                OpCost {
+                    flops,
+                    compute_eff: 0.6, // flash kernels sustain below GEMM peak
+                    mem_eff: 1.0,
+                    weight_bytes: 0.0,
+                    act_bytes: tokens as f64 * kv_layer_bytes_per_token
+                        + tokens as f64 * (q_dim + kv_dim) as f64 * 2.0,
+                    launches: 1.0,
+                    precision: Precision::F16,
+                }
+            }
+            Phase::Decode => {
+                let flops = 4.0 * (batch * heads * hd) as f64 * ctx as f64;
+                OpCost {
+                    flops,
+                    compute_eff: 0.5,
+                    mem_eff: 1.0,
+                    weight_bytes: 0.0,
+                    // Read the whole KV cache for the batch, write one slot.
+                    act_bytes: (batch * ctx) as f64 * kv_layer_bytes_per_token
+                        + batch as f64 * kv_layer_bytes_per_token,
+                    launches: 1.0,
+                    precision: Precision::F16,
+                }
+            }
+        };
+        cost.add(&core);
+        // Output projection.
+        cost.add(&gemm_cost(d, self.opts.precision, tokens, h, q_dim));
+        // Norms + residuals.
+        cost.add(&stream_cost(tokens as f64 * h as f64 * 2.0 * 4.0));
+        cost
+    }
+
+    /// MoE (or dense FFN) cost for one layer on one device, plus any
+    /// expert-parallel collective seconds.
+    fn ffn_layer_cost(&self, tokens: usize, moe_layer: bool) -> (OpCost, f64) {
+        let d = &self.cluster.device;
+        let h = self.config.hidden_size;
+        let tp = self.tp();
+        if !moe_layer {
+            let ffn = self.config.dense_ffn_dim.div_ceil(tp);
+            let mut cost = OpCost::zero();
+            cost.add(&gemm_cost(d, self.opts.precision, tokens, ffn, h));
+            cost.add(&gemm_cost(d, self.opts.precision, tokens, ffn, h));
+            cost.add(&gemm_cost(d, self.opts.precision, tokens, h, ffn));
+            return (cost, 0.0);
+        }
+        let moe = self.config.moe.as_ref().expect("moe layer on dense model");
+        let group = self.opts.plan.degree;
+        if self.opts.plan.expert_parallel && group > 1 {
+            // Whole experts distributed across the group; tokens shuffled
+            // to their experts with all-to-all dispatch + combine.
+            let local = MoeConfig {
+                num_experts: (moe.num_experts / group).max(1),
+                ..moe.clone()
+            };
+            let local_tokens = tokens.div_ceil(group);
+            let mut cost =
+                moe_layer_cost(d, self.opts.precision, local_tokens, h, &local, self.opts.fused_moe);
+            // Device-level load imbalance gates the group.
+            let assignments = (tokens * moe.top_k) as f64;
+            let dev_imbalance = imbalance_factor(group, assignments, router_skew(moe));
+            cost.compute_eff = (cost.compute_eff / dev_imbalance).clamp(1e-6, 1.0);
+            cost.weight_bytes *= dev_imbalance.min(group as f64);
+            let shuffle_bytes = assignments * h as f64 * 2.0 / group as f64;
+            let comm =
+                2.0 * all_to_all_time(&self.cluster.effective_link(group), group, shuffle_bytes);
+            (cost, comm)
+        } else {
+            // Tensor sharding: every expert split across the TP group.
+            let sharded = MoeConfig {
+                expert_ffn_dim: moe.expert_ffn_dim.div_ceil(tp),
+                shared_expert_ffn_dim: moe.shared_expert_ffn_dim.div_ceil(tp),
+                ..moe.clone()
+            };
+            let cost =
+                moe_layer_cost(d, self.opts.precision, tokens, h, &sharded, self.opts.fused_moe);
+            (cost, 0.0)
+        }
+    }
+
+    /// Time for one transformer layer on one device, including collectives.
+    fn layer_time(&self, tokens: usize, batch: usize, ctx: usize, phase: Phase, moe_layer: bool) -> f64 {
+        let d = &self.cluster.device;
+        let mut t = self.attn_layer_cost(tokens, batch, ctx, phase).time_on(d);
+        let (ffn_cost, ep_comm) = self.ffn_layer_cost(tokens, moe_layer);
+        t += ffn_cost.time_on(d) + ep_comm;
+        if self.opts.plan.mode == ParallelMode::Tensor && self.opts.plan.degree > 1 {
+            // Two all-reduces per layer (post-attention, post-FFN).
+            let bytes = (tokens * self.config.hidden_size) as f64 * 2.0;
+            t += 2.0
+                * allreduce_time(
+                    &self.cluster.effective_link(self.opts.plan.degree),
+                    self.opts.plan.degree,
+                    bytes,
+                );
+        }
+        t
+    }
+
+    /// Time for the stack of `layers` starting at `first_layer`, used for
+    /// pipeline stages.
+    fn layers_time(
+        &self,
+        first_layer: usize,
+        layers: usize,
+        tokens: usize,
+        batch: usize,
+        ctx: usize,
+        phase: Phase,
+    ) -> f64 {
+        let mut t = 0.0;
+        for l in first_layer..first_layer + layers {
+            let moe_layer = self.config.moe.is_some() && l >= self.config.first_k_dense_layers;
+            t += self.layer_time(tokens, batch, ctx, phase, moe_layer);
+        }
+        t
+    }
+
+    /// LM head + embedding costs; the head only projects the tokens that
+    /// actually sample (the last one of each sequence).
+    fn head_time(&self, batch: usize) -> f64 {
+        let d = &self.cluster.device;
+        let tp = self.tp();
+        let vocab = self.config.vocab_size.div_ceil(tp);
+        let h = self.config.hidden_size;
+        gemm_cost(d, self.opts.precision, batch, vocab, h).time_on(d)
+            + stream_cost(batch as f64 * vocab as f64 * 4.0).time_on(d)
+    }
+
+    /// One full forward pass over `tokens` rows at context `ctx`,
+    /// including the per-step host-side overhead.
+    pub fn forward_time(&self, tokens: usize, batch: usize, ctx: usize, phase: Phase) -> f64 {
+        self.opts.framework_overhead_s + self.device_forward_time(tokens, batch, ctx, phase)
+    }
+
+    /// Device-only time of one forward pass (no host overhead).
+    pub fn device_forward_time(
+        &self,
+        tokens: usize,
+        batch: usize,
+        ctx: usize,
+        phase: Phase,
+    ) -> f64 {
+        let l = self.config.num_layers;
+        match self.opts.plan.mode {
+            ParallelMode::Tensor => {
+                self.layers_time(0, l, tokens, batch, ctx, phase) + self.head_time(batch)
+            }
+            ParallelMode::Pipeline => {
+                let stages = self.opts.plan.degree;
+                let per_stage = l.div_ceil(stages);
+                match phase {
+                    Phase::Prefill => {
+                        // Split the batch into microbatches and pipeline them.
+                        let microbatches = batch.clamp(1, 8);
+                        let mb_tokens = tokens.div_ceil(microbatches);
+                        let mb_batch = batch.div_ceil(microbatches);
+                        let stage_times: Vec<f64> = (0..stages)
+                            .map(|s| {
+                                let first = s * per_stage;
+                                let n = per_stage.min(l.saturating_sub(first));
+                                self.layers_time(first, n, mb_tokens, mb_batch, ctx, phase)
+                            })
+                            .collect();
+                        let comm = p2p_time(
+                            &self.cluster.effective_link(self.opts.plan.degree),
+                            (mb_tokens * self.config.hidden_size) as f64 * 2.0,
+                        );
+                        simulate_pipeline(&stage_times, comm, microbatches) + self.head_time(batch)
+                    }
+                    Phase::Decode => {
+                        // A decode step traverses every stage sequentially;
+                        // no intra-batch pipelining (the paper's flat PP).
+                        let mut t = 0.0;
+                        for s in 0..stages {
+                            let first = s * per_stage;
+                            let n = per_stage.min(l.saturating_sub(first));
+                            t += self.layers_time(first, n, tokens, batch, ctx, phase);
+                        }
+                        t += (stages - 1) as f64
+                            * p2p_time(
+                                &self.cluster.effective_link(self.opts.plan.degree),
+                                (tokens * self.config.hidden_size) as f64 * 2.0,
+                            );
+                        t + self.head_time(batch)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Vision-tower encode time for `batch * images` images (dense ViT).
+    pub fn vision_encode_time(&self, batch: usize, images: usize) -> f64 {
+        let Some(v) = &self.config.vision else {
+            return 0.0;
+        };
+        let d = &self.cluster.device;
+        let tokens = batch * images * v.tokens_per_image;
+        if tokens == 0 {
+            return 0.0;
+        }
+        let mut cost = OpCost::zero();
+        for _ in 0..v.num_layers {
+            cost.add(&gemm_cost(d, self.opts.precision, tokens, 3 * v.hidden_size, v.hidden_size));
+            cost.add(&gemm_cost(d, self.opts.precision, tokens, v.hidden_size, v.hidden_size));
+            cost.add(&gemm_cost(d, self.opts.precision, tokens, v.ffn_dim, v.hidden_size));
+            cost.add(&gemm_cost(d, self.opts.precision, tokens, v.hidden_size, v.ffn_dim));
+            // Attention core within each image's token window.
+            cost.add(&OpCost {
+                flops: 4.0 * tokens as f64
+                    * v.tokens_per_image as f64
+                    * v.hidden_size as f64,
+                compute_eff: 0.6,
+                mem_eff: 1.0,
+                weight_bytes: 0.0,
+                act_bytes: tokens as f64 * v.hidden_size as f64 * 4.0,
+                launches: 1.0,
+                precision: Precision::F16,
+            });
+        }
+        (cost.time_on(d) / self.tp() as f64).max(0.0)
+    }
+
+    /// Prefill (prompt encoding) time for `batch` prompts of `prompt`
+    /// tokens each.
+    pub fn prefill_time(&self, batch: usize, prompt: usize) -> f64 {
+        self.forward_time(batch * prompt, batch, prompt, Phase::Prefill)
+    }
+
+    /// One decode step for `batch` sequences at context length `ctx`.
+    pub fn decode_step_time(&self, batch: usize, ctx: usize) -> f64 {
+        self.forward_time(batch, batch, ctx, Phase::Decode)
+    }
+
+    /// Full generation run. Decode time integrates the per-step cost,
+    /// which is affine in context length, via the midpoint step (exact for
+    /// affine costs).
+    pub fn run(&self, batch: usize, input: usize, output: usize) -> Result<RunMetrics, OomError> {
+        self.check_memory(batch, input + output)?;
+        let ttft = self.prefill_time(batch, input);
+        let steps = output.saturating_sub(1);
+        let decode = if steps > 0 {
+            let mid_ctx = input + output / 2;
+            steps as f64 * self.decode_step_time(batch, mid_ctx)
+        } else {
+            0.0
+        };
+        Ok(RunMetrics::from_times(batch, input, output, ttft, ttft + decode))
+    }
+
+    /// Full generation run for a VLM: each sample carries `images` images
+    /// whose tokens are prepended to the text prompt.
+    pub fn run_vlm(
+        &self,
+        batch: usize,
+        images: usize,
+        input: usize,
+        output: usize,
+    ) -> Result<RunMetrics, OomError> {
+        let image_tokens = self
+            .config
+            .vision
+            .as_ref()
+            .map(|v| v.tokens_per_image * images)
+            .unwrap_or(0);
+        let eff_input = input + image_tokens;
+        self.check_memory(batch, eff_input + output)?;
+        let ttft = (batch * images) as f64 * IMAGE_PREPROCESS_S
+            + self.vision_encode_time(batch, images)
+            + self.prefill_time(batch, eff_input);
+        let steps = output.saturating_sub(1);
+        let decode = if steps > 0 {
+            let mid_ctx = eff_input + output / 2;
+            steps as f64 * self.decode_step_time(batch, mid_ctx)
+        } else {
+            0.0
+        };
+        // Metrics are reported against the *text* input size (the image is
+        // the sample, not tokens the user typed).
+        Ok(RunMetrics::from_times(batch, input, output, ttft, ttft + decode))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moe_model::registry::{
+        deepseek_v2_lite, mixtral_8x7b, olmoe_1b_7b, qwen15_moe_a27b, qwen3_1_7b,
+    };
+
+    fn model_on(config: ModelConfig, gpus: usize, plan: ParallelPlan) -> PerfModel {
+        PerfModel::new(config, Cluster::h100_node(gpus), EngineOptions::default().with_plan(plan))
+            .unwrap()
+    }
+
+    #[test]
+    fn plan_cluster_mismatch_rejected() {
+        let r = PerfModel::new(
+            olmoe_1b_7b(),
+            Cluster::h100_node(2),
+            EngineOptions::default().with_plan(ParallelPlan::tensor(4)),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn throughput_grows_with_batch() {
+        let m = PerfModel::h100(olmoe_1b_7b());
+        let mut last = 0.0;
+        for b in [1usize, 16, 32, 64] {
+            let r = m.run(b, 512, 512).unwrap();
+            assert!(r.throughput_tok_s > last, "batch {b}");
+            last = r.throughput_tok_s;
+        }
+    }
+
+    #[test]
+    fn batch_scaling_sublinear() {
+        let m = PerfModel::h100(olmoe_1b_7b());
+        let t1 = m.run(1, 512, 512).unwrap().throughput_tok_s;
+        let t64 = m.run(64, 512, 512).unwrap().throughput_tok_s;
+        let gain = t64 / t1;
+        assert!(gain > 4.0 && gain < 64.0, "gain {gain}");
+    }
+
+    #[test]
+    fn shorter_sequences_higher_throughput() {
+        // Fig. 6: throughput at in/out 128 beats in/out 2048. (TP2: the
+        // batch-64, 4K-context KV cache exceeds a single 80 GB device.)
+        let m = model_on(deepseek_v2_lite(), 2, ParallelPlan::tensor(2));
+        let short = m.run(64, 128, 128).unwrap().throughput_tok_s;
+        let long = m.run(64, 2048, 2048).unwrap().throughput_tok_s;
+        assert!(short > long, "short {short} long {long}");
+    }
+
+    #[test]
+    fn ttft_scales_with_prompt() {
+        let m = PerfModel::h100(olmoe_1b_7b());
+        // At batch 1 short prompts sit on the weight-streaming floor, so
+        // scaling is sublinear; it must still grow clearly with length.
+        let a = m.prefill_time(1, 128);
+        let b = m.prefill_time(1, 4096);
+        assert!(b > 2.0 * a, "prefill 128: {a}, 4096: {b}");
+        // At large batch the prefill is compute-bound and scales ~linearly.
+        let c = m.prefill_time(64, 128);
+        let d = m.prefill_time(64, 2048);
+        assert!(d > 8.0 * c, "batched prefill 128: {c}, 2048: {d}");
+    }
+
+    #[test]
+    fn decode_step_grows_with_context() {
+        let m = PerfModel::h100(olmoe_1b_7b());
+        let a = m.decode_step_time(32, 256);
+        let b = m.decode_step_time(32, 4096);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn more_active_experts_lower_throughput() {
+        // Fig. 5 shape.
+        let base = deepseek_v2_lite();
+        let mut last = f64::INFINITY;
+        for k in [1usize, 2, 4, 8, 16, 32] {
+            let m = model_on(base.with_top_k(k), 2, ParallelPlan::tensor(2));
+            let r = m.run(64, 1024, 1024).unwrap();
+            assert!(r.throughput_tok_s < last, "k={k}");
+            last = r.throughput_tok_s;
+        }
+    }
+
+    #[test]
+    fn fp8_beats_fp16_by_20_to_40_percent() {
+        // Fig. 10 headline: 20-30% throughput gain at high batch.
+        let mk = |p: Precision| {
+            PerfModel::new(
+                mixtral_8x7b(),
+                Cluster::h100_node(2),
+                EngineOptions::default().with_plan(ParallelPlan::tensor(2)).with_precision(p),
+            )
+            .unwrap()
+            .run(64, 1024, 1024)
+            .unwrap()
+            .throughput_tok_s
+        };
+        let gain = mk(Precision::Fp8E4M3) / mk(Precision::F16);
+        assert!(gain > 1.15 && gain < 1.8, "fp8 gain {gain}");
+    }
+
+    #[test]
+    fn fused_moe_beats_unfused() {
+        // Fig. 14: roughly 12-20% throughput advantage.
+        let mk = |fused: bool| {
+            PerfModel::new(
+                mixtral_8x7b(),
+                Cluster::h100_node(4),
+                EngineOptions::default()
+                    .with_plan(ParallelPlan::tensor(4))
+                    .with_fused_moe(fused),
+            )
+            .unwrap()
+            .run(16, 1024, 1024)
+            .unwrap()
+            .throughput_tok_s
+        };
+        let gain = mk(true) / mk(false);
+        assert!(gain > 1.05 && gain < 1.6, "fused gain {gain}");
+    }
+
+    #[test]
+    fn tp_scales_well_pp_flat() {
+        // Fig. 13: Mixtral TP gains over 2x from 1 to 4 GPUs; PP nearly
+        // flat. (A single-GPU Mixtral requires 8-bit weights, as any real
+        // 1-GPU baseline would.)
+        let run_with = |plan: ParallelPlan| {
+            PerfModel::new(
+                mixtral_8x7b(),
+                Cluster::h100_node(plan.degree),
+                EngineOptions::default()
+                    .with_precision(Precision::Fp8E4M3)
+                    .with_plan(plan),
+            )
+            .unwrap()
+            .run(16, 1024, 1024)
+            .unwrap()
+            .throughput_tok_s
+        };
+        let single = run_with(ParallelPlan::single());
+        let tp4 = run_with(ParallelPlan::tensor(4));
+        let pp4 = run_with(ParallelPlan::pipeline(4));
+        assert!(tp4 / single > 2.0, "TP4 speedup {}", tp4 / single);
+        assert!(pp4 / single < 1.4, "PP4 speedup {}", pp4 / single);
+        assert!(tp4 > pp4);
+    }
+
+    #[test]
+    fn tp_with_ep_scales_worse_than_pure_tp() {
+        let tp4 = model_on(qwen15_moe_a27b(), 4, ParallelPlan::tensor(4))
+            .run(16, 1024, 1024)
+            .unwrap()
+            .throughput_tok_s;
+        let tp4ep = model_on(qwen15_moe_a27b(), 4, ParallelPlan::tensor(4).with_expert_parallel())
+            .run(16, 1024, 1024)
+            .unwrap()
+            .throughput_tok_s;
+        assert!(tp4ep < tp4, "TP4+EP {tp4ep} vs TP4 {tp4}");
+    }
+
+    #[test]
+    fn oom_propagates_from_run() {
+        let m = PerfModel::h100(mixtral_8x7b()); // 94 GB fp16 on one 80 GB GPU
+        assert!(m.run(1, 128, 128).is_err());
+    }
+
+    #[test]
+    fn dense_draft_model_runs() {
+        let m = PerfModel::h100(qwen3_1_7b());
+        let r = m.run(8, 256, 256).unwrap();
+        assert!(r.throughput_tok_s > 0.0);
+        assert!(r.itl_s > 0.0);
+    }
+
+    #[test]
+    fn metrics_identities_hold() {
+        let m = PerfModel::h100(olmoe_1b_7b());
+        let r = m.run(16, 512, 512).unwrap();
+        assert!(r.e2e_s > r.ttft_s);
+        let expect_tp = 16.0 * 1024.0 / r.e2e_s;
+        assert!((r.throughput_tok_s - expect_tp).abs() < 1e-9);
+        let expect_itl = (r.e2e_s - r.ttft_s) / 511.0;
+        assert!((r.itl_s - expect_itl).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vlm_run_includes_vision_cost() {
+        use moe_model::registry::deepseek_vl2_tiny;
+        let cfg = deepseek_vl2_tiny();
+        let m = PerfModel::h100(cfg.clone());
+        let with_img = m.run_vlm(4, 1, 256, 256).unwrap();
+        let no_img = m.run_vlm(4, 0, 256, 256).unwrap();
+        assert!(with_img.ttft_s > no_img.ttft_s);
+        assert!(with_img.samples_per_s < no_img.samples_per_s);
+    }
+
+    #[test]
+    fn cs3_latency_grows_slower_with_context_than_h100() {
+        // Fig. 16 mechanism.
+        use moe_model::registry::llama4_scout_17b_16e;
+        let cfg = llama4_scout_17b_16e();
+        let h100 = PerfModel::new(
+            cfg.clone(),
+            Cluster::h100_node(8),
+            EngineOptions::default().with_plan(ParallelPlan::tensor(8)),
+        )
+        .unwrap();
+        let cs3 = PerfModel::new(cfg, Cluster::cs3(), EngineOptions::default()).unwrap();
+        let ratio = |m: &PerfModel| m.decode_step_time(1, 8192) / m.decode_step_time(1, 128);
+        assert!(
+            ratio(&h100) > ratio(&cs3),
+            "H100 growth {} vs CS-3 {}",
+            ratio(&h100),
+            ratio(&cs3)
+        );
+        // And CS-3 is absolutely faster per step.
+        assert!(cs3.decode_step_time(1, 1024) < h100.decode_step_time(1, 1024));
+    }
+}

@@ -1,0 +1,176 @@
+//! Expert-placement optimization for expert parallelism.
+//!
+//! EP performance is gated by the most-loaded device. Contiguous
+//! placement (experts 0..E/G on device 0, ...) is what naive EP does; when
+//! activation frequencies are skewed (Fig. 15's MolmoE), hot experts
+//! cluster and one device becomes the bottleneck. Longest-processing-time
+//! (LPT) greedy placement assigns experts in descending load order to the
+//! least-loaded device — the classic 4/3-approximation for makespan — and
+//! is what load-aware serving systems implement.
+
+use serde::{Deserialize, Serialize};
+
+/// An assignment of experts to devices: `placement[d]` lists the expert
+/// indices on device `d`.
+pub type Placement = Vec<Vec<usize>>;
+
+/// Naive contiguous placement: equal-sized consecutive ranges.
+pub fn contiguous_placement(num_experts: usize, devices: usize) -> Placement {
+    assert!(devices >= 1);
+    let per = num_experts.div_ceil(devices);
+    (0..devices)
+        .map(|d| (d * per..((d + 1) * per).min(num_experts)).collect())
+        .collect()
+}
+
+/// Greedy LPT placement by observed expert loads.
+pub fn lpt_placement(loads: &[u64], devices: usize) -> Placement {
+    assert!(devices >= 1);
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    order.sort_by(|&a, &b| loads[b].cmp(&loads[a]).then(a.cmp(&b)));
+    let mut placement: Placement = vec![Vec::new(); devices];
+    let mut device_load = vec![0u64; devices];
+    for e in order {
+        let d = device_load
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &l)| l)
+            .map(|(d, _)| d)
+            .expect("at least one device");
+        placement[d].push(e);
+        device_load[d] += loads[e];
+    }
+    placement
+}
+
+/// Per-device total loads under a placement.
+pub fn device_loads(placement: &Placement, loads: &[u64]) -> Vec<u64> {
+    placement
+        .iter()
+        .map(|experts| experts.iter().map(|&e| loads[e]).sum())
+        .collect()
+}
+
+/// Max/mean device-load ratio (1.0 = perfectly balanced). This is the
+/// factor by which the busiest device gates an EP layer.
+pub fn placement_imbalance(placement: &Placement, loads: &[u64]) -> f64 {
+    let per_device = device_loads(placement, loads);
+    let total: u64 = per_device.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / per_device.len() as f64;
+    let max = *per_device.iter().max().expect("non-empty") as f64;
+    max / mean
+}
+
+/// Summary of a placement comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementComparison {
+    pub contiguous_imbalance: f64,
+    pub lpt_imbalance: f64,
+    /// EP-layer speedup from re-placing (busiest-device ratio).
+    pub speedup: f64,
+}
+
+/// Compare contiguous vs LPT placement for given loads.
+pub fn compare_placements(loads: &[u64], devices: usize) -> PlacementComparison {
+    let contiguous = placement_imbalance(&contiguous_placement(loads.len(), devices), loads);
+    let lpt = placement_imbalance(&lpt_placement(loads, devices), loads);
+    PlacementComparison {
+        contiguous_imbalance: contiguous,
+        lpt_imbalance: lpt,
+        speedup: contiguous / lpt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contiguous_covers_all_experts() {
+        let p = contiguous_placement(10, 3);
+        assert_eq!(p.len(), 3);
+        let mut all: Vec<usize> = p.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lpt_balances_skewed_loads() {
+        // Hot experts clustered at the front: contiguous is terrible.
+        let loads = [100u64, 90, 80, 70, 1, 1, 1, 1];
+        let c = compare_placements(&loads, 4);
+        assert!(c.contiguous_imbalance > 2.0, "{c:?}");
+        assert!(c.lpt_imbalance < 1.2, "{c:?}");
+        assert!(c.speedup > 1.8);
+    }
+
+    #[test]
+    fn lpt_on_uniform_loads_is_balanced() {
+        let loads = vec![10u64; 16];
+        let c = compare_placements(&loads, 4);
+        assert_eq!(c.contiguous_imbalance, 1.0);
+        assert_eq!(c.lpt_imbalance, 1.0);
+    }
+
+    #[test]
+    fn single_device_trivial() {
+        let loads = [5u64, 3, 2];
+        let p = lpt_placement(&loads, 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(placement_imbalance(&p, &loads), 1.0);
+    }
+
+    #[test]
+    fn zero_loads_are_neutral() {
+        let loads = [0u64; 8];
+        assert_eq!(placement_imbalance(&contiguous_placement(8, 4), &loads), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lpt_within_classical_bound(
+            loads in proptest::collection::vec(0u64..1000, 4..64),
+            devices in 2usize..8,
+        ) {
+            // Graham's bound: LPT makespan <= (4/3 - 1/3m) * OPT, and
+            // OPT >= max(mean load, largest single load).
+            let p = lpt_placement(&loads, devices);
+            let per_device = device_loads(&p, &loads);
+            let makespan = *per_device.iter().max().expect("non-empty") as f64;
+            let total: u64 = loads.iter().sum();
+            let mean = total as f64 / devices as f64;
+            let largest = loads.iter().copied().max().unwrap_or(0) as f64;
+            // With more jobs than machines, some machine runs two of the
+            // largest m+1 jobs: OPT >= L_m + L_{m+1} (1-indexed, sorted
+            // descending).
+            let mut sorted = loads.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let pair = if sorted.len() > devices {
+                (sorted[devices - 1] + sorted[devices]) as f64
+            } else {
+                0.0
+            };
+            let opt_lower = mean.max(largest).max(pair);
+            let bound = (4.0 / 3.0 - 1.0 / (3.0 * devices as f64)) * opt_lower;
+            prop_assert!(makespan <= bound + 1e-9, "makespan {makespan} bound {bound}");
+            prop_assert!(placement_imbalance(&p, &loads) >= 1.0 - 1e-12);
+        }
+
+        #[test]
+        fn prop_every_expert_placed_exactly_once(
+            n in 1usize..64,
+            devices in 1usize..8,
+        ) {
+            let loads: Vec<u64> = (0..n as u64).collect();
+            for p in [contiguous_placement(n, devices), lpt_placement(&loads, devices)] {
+                let mut all: Vec<usize> = p.into_iter().flatten().collect();
+                all.sort_unstable();
+                prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+}

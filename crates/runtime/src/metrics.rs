@@ -1,0 +1,110 @@
+//! The paper's performance metrics (Section 3.4) and small aggregation
+//! helpers.
+
+use serde::{Deserialize, Serialize};
+
+/// Equation 2: `throughput = batch * (input + output) / e2e` (tokens/s).
+pub fn throughput_eq2(batch: usize, input_tokens: usize, output_tokens: usize, e2e_s: f64) -> f64 {
+    assert!(e2e_s > 0.0, "non-positive latency");
+    batch as f64 * (input_tokens + output_tokens) as f64 / e2e_s
+}
+
+/// Equation 1 (as commonly implemented): mean inter-token latency per
+/// sequence, `(e2e - ttft) / (output_tokens - 1)`.
+pub fn itl_eq1(e2e_s: f64, ttft_s: f64, output_tokens: usize) -> f64 {
+    assert!(e2e_s >= ttft_s, "e2e below ttft");
+    if output_tokens > 1 {
+        (e2e_s - ttft_s) / (output_tokens - 1) as f64
+    } else {
+        0.0
+    }
+}
+
+/// Mean of a sample; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Percentile via nearest-rank on a sorted copy (`p` in [0, 100]).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+/// Aggregate latency statistics over a set of requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    pub mean_s: f64,
+    pub p50_s: f64,
+    pub p95_s: f64,
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    pub fn of(xs: &[f64]) -> Self {
+        Self {
+            mean_s: mean(xs),
+            p50_s: percentile(xs, 50.0),
+            p95_s: percentile(xs, 95.0),
+            max_s: xs.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq2_matches_paper_definition() {
+        // 64 sequences, 2048 in + 2048 out, 100 s => 2621.44 tok/s.
+        let t = throughput_eq2(64, 2048, 2048, 100.0);
+        assert!((t - 64.0 * 4096.0 / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq1_basic() {
+        assert!((itl_eq1(11.0, 1.0, 101) - 0.1).abs() < 1e-12);
+        assert_eq!(itl_eq1(5.0, 5.0, 1), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let s = LatencySummary::of(&xs);
+        assert_eq!(s.mean_s, 2.5);
+        assert_eq!(s.max_s, 4.0);
+        assert!(s.p50_s <= s.p95_s);
+        assert!(s.p95_s <= s.max_s);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive latency")]
+    fn zero_latency_rejected() {
+        let _ = throughput_eq2(1, 1, 1, 0.0);
+    }
+}

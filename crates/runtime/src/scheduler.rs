@@ -1,0 +1,471 @@
+//! The continuous-batching scheduler (vLLM-style):
+//!
+//! * **Admission**: waiting sequences are admitted FCFS into a prefill
+//!   step, bounded by a batched-token budget and the block-manager
+//!   watermark.
+//! * **Decode**: all running sequences advance one token per step.
+//! * **Preemption**: if a decode step cannot grow some sequence's KV
+//!   allocation, the *most recently admitted* running sequence is evicted
+//!   (recompute-style: blocks freed, sequence re-queued with its generated
+//!   prefix intact) until the step fits.
+//!
+//! The scheduler is pure bookkeeping — no clock, no tensors — so both the
+//! simulated and the live server drive it and its behaviour is
+//! deterministic and unit-testable.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::blockmgr::BlockManager;
+use crate::request::{Request, RequestId, SeqState};
+
+/// Scheduler limits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Maximum sequences decoding concurrently.
+    pub max_running: usize,
+    /// Maximum tokens in one prefill step (chunked-prefill budget).
+    pub max_batched_tokens: usize,
+    /// KV block size in tokens.
+    pub block_tokens: usize,
+    /// Total KV blocks available.
+    pub total_blocks: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            max_running: 256,
+            max_batched_tokens: 8192,
+            block_tokens: 16,
+            total_blocks: 4096,
+        }
+    }
+}
+
+/// Scheduler-internal sequence record.
+#[derive(Debug, Clone)]
+pub struct SeqRecord {
+    pub id: RequestId,
+    pub request: Request,
+    pub state: SeqState,
+    /// Tokens generated so far (survives preemption).
+    pub generated: usize,
+    /// Admission order stamp of the latest (re-)admission.
+    pub admitted_at: u64,
+    pub preemptions: usize,
+}
+
+impl SeqRecord {
+    /// Current total context length (prompt + generated).
+    pub fn context_len(&self) -> usize {
+        self.request.prompt_len + self.generated
+    }
+
+    /// Has the sequence generated everything it asked for?
+    pub fn done(&self) -> bool {
+        self.generated >= self.request.max_new_tokens
+    }
+}
+
+/// What the engine should execute next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepPlan {
+    /// Prefill these sequences (tokens = total prompt+regenerated tokens
+    /// to process).
+    Prefill { ids: Vec<RequestId>, tokens: usize },
+    /// One decode iteration for these running sequences.
+    Decode { ids: Vec<RequestId> },
+    /// Nothing to do.
+    Idle,
+}
+
+/// The continuous-batching scheduler.
+#[derive(Debug)]
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    blocks: BlockManager,
+    seqs: HashMap<RequestId, SeqRecord>,
+    /// FCFS waiting queue (front = next to admit).
+    waiting: Vec<RequestId>,
+    running: Vec<RequestId>,
+    next_id: RequestId,
+    admission_stamp: u64,
+}
+
+impl Scheduler {
+    pub fn new(cfg: SchedulerConfig) -> Self {
+        Self {
+            blocks: BlockManager::new(cfg.total_blocks, cfg.block_tokens),
+            cfg,
+            seqs: HashMap::new(),
+            waiting: Vec::new(),
+            running: Vec::new(),
+            next_id: 0,
+            admission_stamp: 0,
+        }
+    }
+
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    pub fn blocks(&self) -> &BlockManager {
+        &self.blocks
+    }
+
+    /// Submit a request; returns its id.
+    pub fn submit(&mut self, request: Request) -> RequestId {
+        assert!(request.prompt_len > 0, "empty prompt");
+        assert!(request.max_new_tokens > 0, "nothing to generate");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.seqs.insert(
+            id,
+            SeqRecord {
+                id,
+                request,
+                state: SeqState::Waiting,
+                generated: 0,
+                admitted_at: 0,
+                preemptions: 0,
+            },
+        );
+        self.waiting.push(id);
+        id
+    }
+
+    pub fn seq(&self, id: RequestId) -> Option<&SeqRecord> {
+        self.seqs.get(&id)
+    }
+
+    pub fn num_waiting(&self) -> usize {
+        self.waiting.len()
+    }
+
+    pub fn num_running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Are there unfinished sequences anywhere?
+    pub fn has_work(&self) -> bool {
+        !self.waiting.is_empty() || !self.running.is_empty()
+    }
+
+    /// Decide the next step. Prefill admission takes priority (as in
+    /// vLLM's default scheduler); otherwise a decode step for all running
+    /// sequences; otherwise idle.
+    pub fn plan_step(&mut self) -> StepPlan {
+        // --- Try to admit waiting sequences into a prefill batch. ---
+        let mut admit: Vec<RequestId> = Vec::new();
+        let mut tokens = 0usize;
+        while let Some(&id) = self.waiting.first() {
+            if self.running.len() + admit.len() >= self.cfg.max_running {
+                break;
+            }
+            let seq = &self.seqs[&id];
+            // On re-admission after preemption the whole prefix
+            // (prompt + generated) is recomputed.
+            let need = seq.context_len();
+            if tokens + need > self.cfg.max_batched_tokens && !admit.is_empty() {
+                break;
+            }
+            if tokens + need > self.cfg.max_batched_tokens {
+                // A single over-budget prompt still goes alone (chunking
+                // is modeled as one long step).
+                if !self.blocks.can_admit(need) {
+                    break;
+                }
+                if !self.blocks.allocate(id, need) {
+                    break;
+                }
+                self.waiting.remove(0);
+                admit.push(id);
+                tokens += need;
+                break;
+            }
+            if !self.blocks.can_admit(need) {
+                break;
+            }
+            if !self.blocks.allocate(id, need) {
+                break;
+            }
+            self.waiting.remove(0);
+            admit.push(id);
+            tokens += need;
+        }
+        if !admit.is_empty() {
+            for id in &admit {
+                let stamp = self.admission_stamp;
+                self.admission_stamp += 1;
+                let seq = self.seqs.get_mut(id).expect("admitted seq exists");
+                seq.state = SeqState::Running;
+                seq.admitted_at = stamp;
+            }
+            self.running.extend(&admit);
+            return StepPlan::Prefill { ids: admit, tokens };
+        }
+
+        // --- Decode step: grow every running sequence by one token,
+        // preempting the newest sequences until everything fits. ---
+        if self.running.is_empty() {
+            return StepPlan::Idle;
+        }
+        loop {
+            if self.try_grow_all() {
+                break;
+            }
+            if !self.preempt_newest() {
+                break; // nothing left to preempt; run with what fits
+            }
+        }
+        if self.running.is_empty() {
+            return StepPlan::Idle;
+        }
+        StepPlan::Decode { ids: self.running.clone() }
+    }
+
+    /// Reserve one more token of KV for every running sequence. Already
+    /// reserved boundary blocks are free (grow is idempotent per block),
+    /// so partial success before a failure needs no rollback: the retry
+    /// after preemption simply re-reserves. Returns false if any sequence
+    /// could not grow.
+    fn try_grow_all(&mut self) -> bool {
+        let ids: Vec<RequestId> = self.running.clone();
+        for id in ids {
+            let ctx = self.seqs[&id].context_len();
+            if !self.blocks.grow(id, ctx, ctx + 1) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evict the most recently admitted running sequence.
+    fn preempt_newest(&mut self) -> bool {
+        let Some((pos, &id)) = self
+            .running
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, id)| self.seqs[id].admitted_at)
+        else {
+            return false;
+        };
+        self.running.remove(pos);
+        self.blocks.release(id);
+        let seq = self.seqs.get_mut(&id).expect("running seq exists");
+        seq.state = SeqState::Preempted;
+        seq.preemptions += 1;
+        // Recompute-style: back to the head of the waiting queue.
+        self.waiting.insert(0, id);
+        let seq = self.seqs.get_mut(&id).expect("running seq exists");
+        seq.state = SeqState::Waiting;
+        true
+    }
+
+    /// Commit one decoded token for a sequence (KV block already reserved
+    /// by `plan_step`). Returns true when the sequence just finished.
+    pub fn commit_decode(&mut self, id: RequestId) -> bool {
+        let seq = self.seqs.get_mut(&id).expect("unknown sequence");
+        assert_eq!(seq.state, SeqState::Running, "decode on non-running seq");
+        seq.generated += 1;
+        if seq.done() {
+            seq.state = SeqState::Finished;
+            self.running.retain(|&r| r != id);
+            self.blocks.release(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Prefill also produces each sequence's first token; commit it.
+    /// Returns sequences that finished at the first token.
+    pub fn commit_prefill(&mut self, ids: &[RequestId]) -> Vec<RequestId> {
+        let mut finished = Vec::new();
+        for &id in ids {
+            // The first token occupies KV beyond the prompt.
+            let ctx = self.seqs[&id].context_len();
+            // Growth may dip into the watermark reserve; if even that
+            // fails the next decode plan will preempt.
+            let _ = self.blocks.grow(id, ctx, ctx + 1);
+            if self.commit_decode(id) {
+                finished.push(id);
+            }
+        }
+        finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SchedulerConfig {
+        SchedulerConfig {
+            max_running: 4,
+            max_batched_tokens: 64,
+            block_tokens: 16,
+            total_blocks: 32,
+        }
+    }
+
+    #[test]
+    fn fcfs_admission_under_token_budget() {
+        let mut s = Scheduler::new(small_cfg());
+        let a = s.submit(Request::new(30, 4));
+        let b = s.submit(Request::new(30, 4));
+        let c = s.submit(Request::new(30, 4));
+        match s.plan_step() {
+            StepPlan::Prefill { ids, tokens } => {
+                // 30 + 30 fits the 64-token budget; the third does not.
+                assert_eq!(ids, vec![a, b]);
+                assert_eq!(tokens, 60);
+            }
+            other => panic!("expected prefill, got {other:?}"),
+        }
+        assert_eq!(s.num_waiting(), 1);
+        let _ = c;
+    }
+
+    #[test]
+    fn decode_follows_prefill() {
+        let mut s = Scheduler::new(small_cfg());
+        let a = s.submit(Request::new(10, 3));
+        let StepPlan::Prefill { ids, .. } = s.plan_step() else { panic!() };
+        s.commit_prefill(&ids);
+        // Two decode steps remain (first token came from prefill).
+        for step in 0..2 {
+            match s.plan_step() {
+                StepPlan::Decode { ids } => {
+                    assert_eq!(ids, vec![a]);
+                    let finished = s.commit_decode(a);
+                    assert_eq!(finished, step == 1);
+                }
+                other => panic!("step {step}: {other:?}"),
+            }
+        }
+        assert!(!s.has_work());
+        assert_eq!(s.blocks().used_blocks(), 0);
+    }
+
+    #[test]
+    fn oversized_prompt_admitted_alone() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_batched_tokens: 16,
+            ..small_cfg()
+        });
+        let big = s.submit(Request::new(100, 2));
+        match s.plan_step() {
+            StepPlan::Prefill { ids, tokens } => {
+                assert_eq!(ids, vec![big]);
+                assert_eq!(tokens, 100);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn preemption_under_memory_pressure() {
+        // Pool of 8 blocks (128 tokens); two long-running sequences will
+        // eventually collide and the newer one must be preempted.
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_running: 4,
+            max_batched_tokens: 256,
+            block_tokens: 16,
+            total_blocks: 7,
+        });
+        let a = s.submit(Request::new(48, 64)); // 3 blocks
+        let b = s.submit(Request::new(48, 64)); // 3 blocks
+        let StepPlan::Prefill { ids, .. } = s.plan_step() else { panic!() };
+        assert_eq!(ids.len(), 2);
+        s.commit_prefill(&ids);
+
+        let mut b_preempted = false;
+        for _ in 0..40 {
+            match s.plan_step() {
+                StepPlan::Decode { ids } => {
+                    for id in ids {
+                        s.commit_decode(id);
+                    }
+                }
+                StepPlan::Prefill { ids, .. } => {
+                    s.commit_prefill(&ids);
+                }
+                StepPlan::Idle => break,
+            }
+            if s.seq(b).unwrap().preemptions > 0 {
+                b_preempted = true;
+                break;
+            }
+            if s.seq(a).unwrap().preemptions > 0 {
+                panic!("older sequence preempted before newer one");
+            }
+        }
+        assert!(b_preempted, "expected the newer sequence to be preempted");
+        s.blocks().check_invariants();
+    }
+
+    #[test]
+    fn preempted_sequence_resumes_and_finishes() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_running: 4,
+            max_batched_tokens: 256,
+            block_tokens: 16,
+            total_blocks: 7,
+        });
+        let ids = [s.submit(Request::new(48, 40)), s.submit(Request::new(48, 40))];
+        let mut finished = 0;
+        let mut guard = 0;
+        while s.has_work() {
+            guard += 1;
+            assert!(guard < 10_000, "scheduler livelock");
+            match s.plan_step() {
+                StepPlan::Prefill { ids, .. } => {
+                    finished += s.commit_prefill(&ids).len();
+                }
+                StepPlan::Decode { ids } => {
+                    for id in ids {
+                        if s.commit_decode(id) {
+                            finished += 1;
+                        }
+                    }
+                }
+                StepPlan::Idle => break,
+            }
+        }
+        assert_eq!(finished, 2);
+        for id in ids {
+            let seq = s.seq(id).unwrap();
+            assert_eq!(seq.state, SeqState::Finished);
+            assert_eq!(seq.generated, 40);
+        }
+        assert_eq!(s.blocks().used_blocks(), 0);
+    }
+
+    #[test]
+    fn max_running_respected() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_running: 2,
+            max_batched_tokens: 1024,
+            block_tokens: 16,
+            total_blocks: 1024,
+        });
+        for _ in 0..5 {
+            s.submit(Request::new(8, 10));
+        }
+        let StepPlan::Prefill { ids, .. } = s.plan_step() else { panic!() };
+        assert_eq!(ids.len(), 2);
+        s.commit_prefill(&ids);
+        // Running is full: next plan must be decode, not admission.
+        assert!(matches!(s.plan_step(), StepPlan::Decode { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prompt")]
+    fn empty_prompt_rejected() {
+        let mut s = Scheduler::new(small_cfg());
+        s.submit(Request::new(0, 1));
+    }
+}

@@ -1,0 +1,378 @@
+//! Row-major 2-D matrix over `f32` and the GEMM/GEMV kernels.
+//!
+//! The matmul kernels parallelize over blocks of output rows with rayon and
+//! use an inner loop ordered for sequential access of both operands
+//! (`C[i,:] += A[i,k] * B[k,:]`), which the compiler auto-vectorizes.
+//! Matrices smaller than [`PAR_THRESHOLD`] multiply sequentially to avoid
+//! fork/join overhead on the down-scaled models used in functional tests.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::rng;
+
+/// Minimum number of output elements before a GEMM goes parallel.
+pub const PAR_THRESHOLD: usize = 64 * 64;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Create a zero-filled `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix from an existing buffer. Panics if the buffer length
+    /// does not equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match {rows}x{cols}");
+        Self { rows, cols, data }
+    }
+
+    /// Deterministically random matrix with entries uniform in
+    /// `[-scale, scale)`.
+    pub fn random(rows: usize, cols: usize, seed: u64, scale: f32) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        rng::fill_uniform(&mut m.data, seed, scale);
+        m
+    }
+
+    /// Deterministically random matrix with ~N(0, std^2) entries, the usual
+    /// transformer weight initialization.
+    pub fn random_normal(rows: usize, cols: usize, seed: u64, std: f32) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        rng::fill_normal(&mut m.data, seed, std);
+        m
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the backing buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Copy the rows selected by `indices` into a new matrix (a gather, as
+    /// used by MoE token dispatch).
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Accumulate `alpha * src_row` into row `r` (a scatter-add, as used by
+    /// MoE expert-output combination).
+    pub fn scatter_add_row(&mut self, r: usize, src_row: &[f32], alpha: f32) {
+        let dst = self.row_mut(r);
+        debug_assert_eq!(dst.len(), src_row.len());
+        for (d, s) in dst.iter_mut().zip(src_row) {
+            *d += alpha * s;
+        }
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// `self @ other` — GEMM. Panics on a shape mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        matmul_into(self, other, &mut out);
+        out
+    }
+
+    /// `self @ other.T` — GEMM against a transposed right operand. This is
+    /// the natural layout for attention scores (`Q @ K^T`) and for weight
+    /// matrices stored output-major.
+    pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed shape mismatch: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let n = other.rows;
+        let k = self.cols;
+        let mut out = Matrix::zeros(self.rows, n);
+        let work = self.rows * n;
+        let body = |(i, out_row): (usize, &mut [f32])| {
+            let a_row = self.row(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a_row[kk] * b_row[kk];
+                }
+                *o = acc;
+            }
+        };
+        if work >= PAR_THRESHOLD {
+            out.data.par_chunks_mut(n).enumerate().for_each(body);
+        } else {
+            out.data.chunks_mut(n).enumerate().for_each(body);
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute difference against another matrix of the same shape.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// GEMM into a pre-allocated output (`out = a @ b`), reusing the output
+/// buffer to avoid allocation in the decode loop.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.cols, b.rows, "matmul shape mismatch");
+    assert_eq!((out.rows, out.cols), (a.rows, b.cols), "output shape mismatch");
+    let n = b.cols;
+    let k = a.cols;
+    let body = |(i, out_row): (usize, &mut [f32])| {
+        out_row.fill(0.0);
+        let a_row = a.row(i);
+        for (kk, &aik) in a_row.iter().enumerate().take(k) {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b.data[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    };
+    if a.rows * n >= PAR_THRESHOLD {
+        out.data.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        out.data.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// GEMV: `y = W @ x` where `W` is `m x k` and `x` has length `k`.
+pub fn gemv(w: &Matrix, x: &[f32]) -> Vec<f32> {
+    assert_eq!(w.cols, x.len(), "gemv shape mismatch");
+    let mut y = vec![0.0f32; w.rows];
+    if w.rows * w.cols >= PAR_THRESHOLD {
+        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+            *yi = dot(w.row(i), x);
+        });
+    } else {
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = dot(w.row(i), x);
+        }
+    }
+    y
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (AXPY).
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_large_parallel() {
+        let a = Matrix::random(97, 83, 1, 1.0);
+        let b = Matrix::random(83, 71, 2, 1.0);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::random(16, 16, 3, 1.0);
+        let i = Matrix::identity(16);
+        assert!(a.matmul(&i).max_abs_diff(&a) < 1e-6);
+        assert!(i.matmul(&a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let a = Matrix::random(33, 17, 4, 1.0);
+        let b = Matrix::random(29, 17, 5, 1.0);
+        let direct = a.matmul_transposed(&b);
+        let via_t = a.matmul(&b.transpose());
+        assert!(direct.max_abs_diff(&via_t) < 1e-4);
+    }
+
+    #[test]
+    fn gemv_matches_matmul() {
+        let w = Matrix::random(40, 30, 6, 1.0);
+        let x = Matrix::random(30, 1, 7, 1.0);
+        let y = gemv(&w, x.as_slice());
+        let y2 = w.matmul(&x);
+        for (a, b) in y.iter().zip(y2.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_roundtrip() {
+        let m = Matrix::random(8, 4, 8, 1.0);
+        let g = m.gather_rows(&[3, 1, 7]);
+        assert_eq!(g.row(0), m.row(3));
+        assert_eq!(g.row(1), m.row(1));
+        assert_eq!(g.row(2), m.row(7));
+
+        let mut acc = Matrix::zeros(8, 4);
+        acc.scatter_add_row(3, g.row(0), 2.0);
+        for (a, b) in acc.row(3).iter().zip(m.row(3)) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::random(5, 9, 9, 1.0);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let a = Matrix::random(12, 8, 10, 1.0);
+        let b = Matrix::random(8, 6, 11, 1.0);
+        let mut out = Matrix::zeros(12, 6);
+        matmul_into(&a, &b, &mut out);
+        assert!(out.max_abs_diff(&a.matmul(&b)) < 1e-5);
+        // Second call overwrites rather than accumulates.
+        matmul_into(&a, &b, &mut out);
+        assert!(out.max_abs_diff(&a.matmul(&b)) < 1e-5);
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+        assert_eq!(dot(&x, &x), 14.0);
+    }
+}

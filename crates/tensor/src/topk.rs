@@ -1,0 +1,161 @@
+//! Top-k selection, the primitive behind MoE expert routing.
+//!
+//! Routing semantics follow the Mixtral/Switch family: the router produces
+//! one logit per expert, the top-k logits are selected, and the selected
+//! logits are softmax-renormalized to produce combination weights.
+
+use crate::ops::softmax_inplace;
+
+/// Result of a top-k selection: parallel arrays of indices and values,
+/// ordered by descending value (ties broken by ascending index so the
+/// result is deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopK {
+    pub indices: Vec<usize>,
+    pub values: Vec<f32>,
+}
+
+/// Select the `k` largest entries of `x`.
+///
+/// Runs in `O(n log k)` via a bounded insertion list, which beats a full
+/// sort for the small `k` (1–8) used by every model in the study. Panics if
+/// `k == 0` or `k > x.len()`.
+pub fn top_k(x: &[f32], k: usize) -> TopK {
+    assert!(k >= 1 && k <= x.len(), "invalid k={k} for n={}", x.len());
+    // (value, index) pairs kept sorted descending by value, ascending index.
+    let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
+    for (i, &v) in x.iter().enumerate() {
+        if best.len() == k && !better(v, i, best[k - 1]) {
+            continue;
+        }
+        let pos = best.partition_point(|&e| better(e.0, e.1, (v, i)));
+        best.insert(pos, (v, i));
+        if best.len() > k {
+            best.pop();
+        }
+    }
+    TopK {
+        indices: best.iter().map(|e| e.1).collect(),
+        values: best.iter().map(|e| e.0).collect(),
+    }
+}
+
+#[inline]
+fn better(v: f32, i: usize, other: (f32, usize)) -> bool {
+    v > other.0 || (v == other.0 && i < other.1)
+}
+
+/// MoE routing: select top-k logits and softmax-renormalize the selected
+/// values into combination weights that sum to 1.
+pub fn top_k_softmax(logits: &[f32], k: usize) -> TopK {
+    let mut t = top_k(logits, k);
+    softmax_inplace(&mut t.values);
+    t
+}
+
+/// Softmax over *all* logits first, then select top-k of the probabilities
+/// without renormalizing — the DeepSeek-style routing variant. The returned
+/// weights sum to less than 1 in general.
+pub fn softmax_then_top_k(logits: &[f32], k: usize) -> TopK {
+    let mut probs = logits.to_vec();
+    softmax_inplace(&mut probs);
+    top_k(&probs, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn top1_is_argmax() {
+        let x = [0.1, 0.9, 0.5];
+        let t = top_k(&x, 1);
+        assert_eq!(t.indices, vec![1]);
+        assert_eq!(t.values, vec![0.9]);
+    }
+
+    #[test]
+    fn topk_orders_descending() {
+        let x = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+        let t = top_k(&x, 3);
+        assert_eq!(t.indices, vec![4, 2, 0]);
+        assert_eq!(t.values, vec![9.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn topk_ties_prefer_lower_index() {
+        let x = [5.0, 5.0, 5.0, 1.0];
+        let t = top_k(&x, 2);
+        assert_eq!(t.indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn topk_full_length_is_sort() {
+        let x = [2.0, -1.0, 0.5];
+        let t = top_k(&x, 3);
+        assert_eq!(t.indices, vec![0, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid k")]
+    fn k_zero_panics() {
+        let _ = top_k(&[1.0], 0);
+    }
+
+    #[test]
+    fn routing_weights_sum_to_one() {
+        let logits = [0.2, -1.0, 3.0, 0.7, 0.7];
+        let t = top_k_softmax(&logits, 2);
+        assert_eq!(t.indices, vec![2, 3]);
+        let sum: f32 = t.values.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(t.values[0] > t.values[1]);
+    }
+
+    #[test]
+    fn softmax_then_topk_weights_below_one() {
+        let logits = [0.0, 0.0, 0.0, 10.0];
+        let t = softmax_then_top_k(&logits, 2);
+        assert_eq!(t.indices[0], 3);
+        let sum: f32 = t.values.iter().sum();
+        assert!(sum <= 1.0 + 1e-6);
+        assert!(sum > 0.9); // the winning expert holds almost all mass
+    }
+
+    proptest! {
+        #[test]
+        fn prop_topk_matches_sorted_reference(
+            xs in proptest::collection::vec(-1e3f32..1e3, 1..64),
+            kf in 0.0f64..1.0,
+        ) {
+            let k = 1 + ((xs.len() - 1) as f64 * kf) as usize;
+            let t = top_k(&xs, k);
+            let mut pairs: Vec<(f32, usize)> =
+                xs.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+            pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+            let expect: Vec<usize> = pairs[..k].iter().map(|p| p.1).collect();
+            prop_assert_eq!(t.indices, expect);
+        }
+
+        #[test]
+        fn prop_routing_weights_simplex(
+            xs in proptest::collection::vec(-50f32..50.0, 2..32),
+        ) {
+            let k = 2.min(xs.len());
+            let t = top_k_softmax(&xs, k);
+            let sum: f32 = t.values.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(t.values.iter().all(|v| (0.0..=1.0 + 1e-6).contains(v)));
+        }
+
+        #[test]
+        fn prop_topk_values_are_maxima(
+            xs in proptest::collection::vec(-1e3f32..1e3, 2..64),
+        ) {
+            let t = top_k(&xs, 1);
+            let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert_eq!(t.values[0], max);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Capacity planner: for each model in the paper's roster, find the
+//! smallest H100 deployment (GPU count x precision) that serves a target
+//! workload, and report the expected metrics — the kind of deployment
+//! question the paper's OOM-boundary analysis (Section 5) informs.
+//!
+//! ```text
+//! cargo run --release --example capacity_planner [batch] [in_len] [out_len]
+//! ```
+
+use moe_inference_bench::gpusim::device::Cluster;
+use moe_inference_bench::gpusim::parallel::ParallelPlan;
+use moe_inference_bench::gpusim::perfmodel::{EngineOptions, PerfModel};
+use moe_inference_bench::model::registry;
+use moe_inference_bench::tensor::Precision;
+
+fn main() {
+    let args: Vec<usize> =
+        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let batch = args.first().copied().unwrap_or(32);
+    let input = args.get(1).copied().unwrap_or(1024);
+    let output = args.get(2).copied().unwrap_or(1024);
+
+    println!(
+        "capacity plan for batch {batch}, {input} in / {output} out tokens:\n"
+    );
+    println!(
+        "{:<22} {:>5} {:>5} | {:>10} {:>9} {:>9} | {:>11}",
+        "model", "prec", "GPUs", "tok/s", "TTFT ms", "ITL ms", "KV headroom"
+    );
+
+    for model in registry::llms() {
+        let mut planned = None;
+        'search: for precision in [Precision::F16, Precision::Fp8E4M3] {
+            for gpus in [1usize, 2, 4, 8] {
+                let plan = ParallelPlan::tensor(gpus);
+                let Ok(perf) = PerfModel::new(
+                    model.clone(),
+                    Cluster::h100_node(gpus),
+                    EngineOptions::default().with_plan(plan).with_precision(precision),
+                ) else {
+                    continue;
+                };
+                if let Ok(run) = perf.run(batch, input, output) {
+                    let fp = perf
+                        .check_memory(batch, input + output)
+                        .expect("run succeeded, memory must fit");
+                    planned = Some((precision, gpus, run, fp.headroom()));
+                    break 'search;
+                }
+            }
+        }
+        match planned {
+            Some((precision, gpus, run, headroom)) => println!(
+                "{:<22} {:>5} {:>5} | {:>10.0} {:>9.0} {:>9.2} | {:>8.1} GB",
+                model.name,
+                precision.label(),
+                gpus,
+                run.throughput_tok_s,
+                run.ttft_s * 1e3,
+                run.itl_s * 1e3,
+                headroom / 1e9,
+            ),
+            None => println!("{:<22} does not fit on 8 H100s at this workload", model.name),
+        }
+    }
+
+    println!(
+        "\n(preference order: fp16 before fp8, fewest GPUs first — change the \
+         loop order to prefer cheaper quantized deployments instead)"
+    );
+}

@@ -1,0 +1,24 @@
+//! # moe-inference-bench
+//!
+//! Umbrella crate for the MoE-Inference-Bench reproduction. Re-exports the
+//! public API of every subsystem so examples and downstream users can depend
+//! on a single crate:
+//!
+//! * [`tensor`] — dense/quantized kernels ([`moe_tensor`])
+//! * [`model`] — architecture registry and parameter accounting ([`moe_model`])
+//! * [`gpusim`] — H100/CS-3 roofline + discrete-event performance model ([`moe_gpusim`])
+//! * [`engine`] — functional MoE transformer executor ([`moe_engine`])
+//! * [`runtime`] — serving engine with continuous batching ([`moe_runtime`])
+//! * [`eval`] — accuracy-evaluation substrate ([`moe_eval`])
+//! * [`bench`] — experiment harness regenerating every paper table/figure ([`moe_bench`])
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and the per-experiment index.
+
+pub use moe_bench as bench;
+pub use moe_engine as engine;
+pub use moe_eval as eval;
+pub use moe_gpusim as gpusim;
+pub use moe_model as model;
+pub use moe_runtime as runtime;
+pub use moe_tensor as tensor;

@@ -1,0 +1,82 @@
+//! The paper's headline conclusions, checked end-to-end against the
+//! regenerated experiments (the "Conclusion" section's claims).
+
+use moe_bench::experiments::{fig03, fig10, fig13, fig15, fig17, sweep59};
+use moe_tensor::Precision;
+
+#[test]
+fn conclusion_fp8_gives_20_to_30_percent() {
+    // "the Nvidia H100 delivers superior performance with FP8 quantization,
+    //  providing 20-30% throughput improvements over FP16"
+    let series = fig10::batch_series(true);
+    let (_, f16, f8) = series.last().copied().expect("non-empty");
+    let gain = f8 / f16 - 1.0;
+    assert!((0.15..0.55).contains(&gain), "fp8 gain {gain}");
+}
+
+#[test]
+fn conclusion_active_experts_primary_lever() {
+    // "active expert count represents the primary optimization lever with
+    //  single-expert configurations achieving 50-80% higher throughput"
+    let grid = sweep59::run_grid(false);
+    let k1 = sweep59::at(&grid, 3584, 32, 1).expect("fits");
+    let k8 = sweep59::at(&grid, 3584, 32, 8).expect("fits");
+    assert!(k1 / k8 > 1.3, "single-expert advantage {}", k1 / k8);
+}
+
+#[test]
+fn conclusion_vlms_slower_than_llms() {
+    // "vision-language models exhibit substantially larger latencies
+    //  compared to text-only models" — compare the VL2 language twins:
+    // DeepSeek-VL2-Small shares DeepSeek-V2-Lite's language model.
+    use moe_bench::experiments::fig04;
+    let llms = fig03::measure(true);
+    let vlms = fig04::measure(true);
+    let lite = &llms.iter().find(|r| r.0 == "DeepSeek-V2-Lite").expect("present").2;
+    let small = &vlms.iter().find(|r| r.0 == "DeepSeek-VL2-Small").expect("present").1;
+    // The two figures use different batch/length workloads; normalize the
+    // prefill cost per *batched prompt token* (counting the 576 image
+    // tokens each VLM sample carries).
+    let lite_tokens = (fig03::BATCH * fig03::IN_LEN) as f64;
+    let small_tokens = (fig04::BATCH * (fig04::IN_LEN + 576)) as f64;
+    let lite_ttft_per_tok = lite.ttft_s / lite_tokens;
+    let small_ttft_per_tok = small.ttft_s / small_tokens;
+    assert!(
+        small_ttft_per_tok > lite_ttft_per_tok,
+        "VLM {small_ttft_per_tok} vs LLM {lite_ttft_per_tok} per prompt token"
+    );
+}
+
+#[test]
+fn conclusion_tp_preferred_over_pp_and_ep() {
+    let s = fig13::sweep(&moe_model::registry::olmoe_1b_7b(), Precision::F16);
+    let tp4 = fig13::at(&s, "TP", false, 4).expect("measured");
+    let tp4ep = fig13::at(&s, "TP", true, 4).expect("measured");
+    let pp4 = fig13::at(&s, "PP", false, 4).expect("measured");
+    assert!(tp4 > tp4ep && tp4ep > pp4);
+}
+
+#[test]
+fn conclusion_balanced_models_route_uniformly() {
+    let rs = fig15::measure(true);
+    let molmoe = rs.iter().find(|r| r.model == "MolmoE-1B").expect("present");
+    let dsvl = rs.iter().find(|r| r.model == "DeepSeek-VL2").expect("present");
+    assert!(molmoe.mean_imbalance > dsvl.mean_imbalance);
+}
+
+#[test]
+fn conclusion_frontier_shape() {
+    // Small models excel in throughput/latency; large MoEs dominate
+    // accuracy at the cost of runtime efficiency.
+    let ps = fig17::measure(true);
+    let by_acc = ps
+        .iter()
+        .max_by(|a, b| a.avg_accuracy.partial_cmp(&b.avg_accuracy).expect("finite"))
+        .expect("non-empty");
+    let by_tput = ps
+        .iter()
+        .max_by(|a, b| a.throughput_tok_s.partial_cmp(&b.throughput_tok_s).expect("finite"))
+        .expect("non-empty");
+    assert_ne!(by_acc.model, by_tput.model, "no free lunch on the frontier");
+    assert!(by_acc.e2e_s > by_tput.e2e_s);
+}
