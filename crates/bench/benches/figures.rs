@@ -1,45 +1,41 @@
-//! Figure-regeneration benchmarks: one criterion benchmark per paper
-//! table/figure, timing a full (fast-grid) regeneration of each report.
-//! These double as a `cargo bench` entry point that exercises every
-//! experiment path, and as a performance budget for the harness itself.
+//! Figure-regeneration benchmarks: one entry per paper table/figure,
+//! timing a full (fast-grid) regeneration of each report. These double as
+//! a `cargo bench` entry point that exercises every experiment path, and
+//! as a performance budget for the harness itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moe_bench::timing::Runner;
 use std::hint::black_box;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+fn main() {
+    let r = Runner::from_args();
+
     for id in moe_bench::all_experiment_ids() {
         // fig15 routes real tokens through the executor for tens of
         // seconds; it is exercised (once) but not iterated.
         if id == "fig15" {
             continue;
         }
-        group.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, id| {
-            b.iter(|| black_box(moe_bench::run_experiment(id, true).expect("known id")));
+        r.bench(&format!("figures/{id}"), || {
+            black_box(moe_bench::run_experiment(id, true).expect("known id"))
         });
     }
-    group.finish();
-}
 
-fn bench_speculative_cycle(c: &mut Criterion) {
-    use moe_engine::model::MoeTransformer;
-    use moe_engine::spec::speculative_generate;
-    use moe_model::registry::tiny_test_model;
-
-    let mut group = c.benchmark_group("speculative_decode_functional");
-    group.sample_size(10);
-    for &gamma in &[1usize, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(gamma), &gamma, |b, &gamma| {
-            b.iter(|| {
+    {
+        use moe_engine::model::MoeTransformer;
+        use moe_engine::spec::speculative_generate;
+        use moe_model::registry::tiny_test_model;
+        for &gamma in &[1usize, 4] {
+            r.bench(&format!("speculative_decode_functional/{gamma}"), || {
                 let mut target = MoeTransformer::new(tiny_test_model(8, 2), 7);
                 let mut draft = MoeTransformer::new(tiny_test_model(4, 1), 9);
-                black_box(speculative_generate(&mut target, &mut draft, &[1, 2, 3], 16, gamma))
-            })
-        });
+                black_box(speculative_generate(
+                    &mut target,
+                    &mut draft,
+                    &[1, 2, 3],
+                    16,
+                    gamma,
+                ))
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_figures, bench_speculative_cycle);
-criterion_main!(benches);

@@ -1,68 +1,49 @@
 //! Kernel microbenchmarks: GEMM, quantized GEMV, softmax, top-k routing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moe_bench::timing::Runner;
 use moe_tensor::matrix::gemv;
 use moe_tensor::ops::softmax_inplace;
 use moe_tensor::topk::top_k_softmax;
 use moe_tensor::{Matrix, Precision, QuantizedMatrix};
 use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn main() {
+    let r = Runner::from_args();
+
     for &n in &[64usize, 128, 256] {
         let a = Matrix::random(n, n, 1, 1.0);
         let b = Matrix::random(n, n, 2, 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| black_box(a.matmul(&b)));
-        });
+        r.bench(&format!("matmul/{n}"), || black_box(a.matmul(&b)));
     }
-    group.finish();
-}
 
-fn bench_quantized_gemv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemv_precision");
     let w = Matrix::random(1024, 1024, 3, 1.0);
     let x: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.01).sin()).collect();
-    group.bench_function("f32", |b| b.iter(|| black_box(gemv(&w, &x))));
-    for p in [Precision::F16, Precision::Fp8E4M3, Precision::Int8, Precision::Int4] {
+    r.bench("gemv_precision/f32", || black_box(gemv(&w, &x)));
+    for p in [
+        Precision::F16,
+        Precision::Fp8E4M3,
+        Precision::Int8,
+        Precision::Int4,
+    ] {
         let q = QuantizedMatrix::quantize(&w, p);
-        group.bench_function(p.label(), |b| b.iter(|| black_box(q.gemv(&x))));
-    }
-    group.finish();
-}
-
-fn bench_softmax(c: &mut Criterion) {
-    let mut group = c.benchmark_group("softmax");
-    for &n in &[64usize, 4096] {
-        let row: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter_batched(
-                || row.clone(),
-                |mut r| {
-                    softmax_inplace(&mut r);
-                    black_box(r)
-                },
-                criterion::BatchSize::SmallInput,
-            );
+        r.bench(&format!("gemv_precision/{}", p.label()), || {
+            black_box(q.gemv(&x))
         });
     }
-    group.finish();
-}
 
-fn bench_router_topk(c: &mut Criterion) {
-    let mut group = c.benchmark_group("router_topk");
+    for &n in &[64usize, 4096] {
+        let row: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        r.bench(&format!("softmax/{n}"), || {
+            let mut v = row.clone();
+            softmax_inplace(&mut v);
+            black_box(v)
+        });
+    }
+
     for &(e, k) in &[(8usize, 2usize), (64, 8), (128, 8)] {
         let logits: Vec<f32> = (0..e).map(|i| (i as f32 * 0.7).sin()).collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{e}experts_top{k}")),
-            &k,
-            |bench, &k| {
-                bench.iter(|| black_box(top_k_softmax(&logits, k)));
-            },
-        );
+        r.bench(&format!("router_topk/{e}experts_top{k}"), || {
+            black_box(top_k_softmax(&logits, k))
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_matmul, bench_quantized_gemv, bench_softmax, bench_router_topk);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Paged vs contiguous KV-cache storage: append and full-sweep read.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moe_bench::timing::Runner;
 use moe_engine::kvcache::{ContiguousKv, KvStore, PagedKv};
 use std::hint::black_box;
 
@@ -17,32 +17,24 @@ fn fill<S: KvStore>(store: &mut S) {
     }
 }
 
-fn bench_append(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kv_append");
-    group.bench_function("contiguous", |b| {
-        b.iter(|| {
-            let mut s = ContiguousKv::new(LAYERS, KV_DIM);
-            fill(&mut s);
-            black_box(s.len())
-        })
-    });
-    group.bench_function("paged", |b| {
-        b.iter(|| {
-            let mut s = PagedKv::new(LAYERS, KV_DIM);
-            fill(&mut s);
-            black_box(s.len())
-        })
-    });
-    group.finish();
-}
+fn main() {
+    let r = Runner::from_args();
 
-fn bench_read(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kv_read_sweep");
+    r.bench("kv_append/contiguous", || {
+        let mut s = ContiguousKv::new(LAYERS, KV_DIM);
+        fill(&mut s);
+        black_box(s.len())
+    });
+    r.bench("kv_append/paged", || {
+        let mut s = PagedKv::new(LAYERS, KV_DIM);
+        fill(&mut s);
+        black_box(s.len())
+    });
+
     let mut cont = ContiguousKv::new(LAYERS, KV_DIM);
     fill(&mut cont);
     let mut paged = PagedKv::new(LAYERS, KV_DIM);
     fill(&mut paged);
-
     let sum_all = |s: &dyn KvStore| -> f32 {
         let mut acc = 0.0;
         for l in 0..LAYERS {
@@ -52,14 +44,6 @@ fn bench_read(c: &mut Criterion) {
         }
         acc
     };
-    group.bench_with_input(BenchmarkId::from_parameter("contiguous"), &0, |b, _| {
-        b.iter(|| black_box(sum_all(&cont)))
-    });
-    group.bench_with_input(BenchmarkId::from_parameter("paged"), &0, |b, _| {
-        b.iter(|| black_box(sum_all(&paged)))
-    });
-    group.finish();
+    r.bench("kv_read_sweep/contiguous", || black_box(sum_all(&cont)));
+    r.bench("kv_read_sweep/paged", || black_box(sum_all(&paged)));
 }
-
-criterion_group!(benches, bench_append, bench_read);
-criterion_main!(benches);

@@ -1,16 +1,15 @@
 //! Fused vs unfused MoE dispatch on the real executor — the functional
 //! counterpart of Figure 14 at CPU scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moe_bench::timing::Runner;
 use moe_engine::moe::{moe_forward_fused, moe_forward_unfused};
 use moe_engine::weights::ModelWeights;
 use moe_model::registry::tiny_test_model;
 use moe_tensor::Matrix;
 use std::hint::black_box;
 
-fn bench_dispatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("moe_dispatch");
-    group.sample_size(20);
+fn main() {
+    let r = Runner::from_args();
     for &(experts, top_k) in &[(8usize, 2usize), (64, 8)] {
         let cfg = tiny_test_model(experts, top_k);
         let weights = ModelWeights::init(&cfg, 42);
@@ -18,20 +17,14 @@ fn bench_dispatch(c: &mut Criterion) {
         let moe = cfg.moe.clone().expect("MoE config");
         for &tokens in &[4usize, 64] {
             let x = Matrix::random(tokens, cfg.hidden_size, 7, 0.5);
-            group.bench_with_input(
-                BenchmarkId::new("fused", format!("e{experts}k{top_k}t{tokens}")),
-                &tokens,
-                |b, _| b.iter(|| black_box(moe_forward_fused(layer, &moe, &x, None, 0))),
+            r.bench(
+                &format!("moe_dispatch/fused/e{experts}k{top_k}t{tokens}"),
+                || black_box(moe_forward_fused(layer, &moe, &x, None, 0)),
             );
-            group.bench_with_input(
-                BenchmarkId::new("unfused", format!("e{experts}k{top_k}t{tokens}")),
-                &tokens,
-                |b, _| b.iter(|| black_box(moe_forward_unfused(layer, &moe, &x, None, 0))),
+            r.bench(
+                &format!("moe_dispatch/unfused/e{experts}k{top_k}t{tokens}"),
+                || black_box(moe_forward_unfused(layer, &moe, &x, None, 0)),
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dispatch);
-criterion_main!(benches);

@@ -28,14 +28,27 @@ pub fn auto_place(
     for gpus in [1usize, 2, 4, 8] {
         let plan = ParallelPlan::tensor(gpus);
         let cluster = Cluster::h100_node(gpus);
-        let opts = EngineOptions::default().with_precision(precision).with_plan(plan);
-        if check_fits(config, precision, opts.kv_precision, &plan, &cluster, batch, max_seq)
-            .is_ok()
+        let opts = EngineOptions::default()
+            .with_precision(precision)
+            .with_plan(plan);
+        if check_fits(
+            config,
+            precision,
+            opts.kv_precision,
+            &plan,
+            &cluster,
+            batch,
+            max_seq,
+        )
+        .is_ok()
         {
             return PerfModel::new(config.clone(), cluster, opts);
         }
     }
-    Err(format!("{} does not fit on 8 H100s at batch {batch}, seq {max_seq}", config.name))
+    Err(format!(
+        "{} does not fit on 8 H100s at batch {batch}, seq {max_seq}",
+        config.name
+    ))
 }
 
 /// Place with an explicit plan on a matching H100 cluster.
@@ -54,7 +67,12 @@ pub fn place_with_plan(
 }
 
 /// Run and return `None` on OOM (the missing points in Figures 7-9).
-pub fn run_or_oom(model: &PerfModel, batch: usize, input: usize, output: usize) -> Option<RunMetrics> {
+pub fn run_or_oom(
+    model: &PerfModel,
+    batch: usize,
+    input: usize,
+    output: usize,
+) -> Option<RunMetrics> {
     model.run(batch, input, output).ok()
 }
 

@@ -58,7 +58,10 @@ pub fn overhead() -> Vec<(f64, f64, f64)> {
 /// `(label, kv_gb_batch64_ctx4k, tok/s_batch64)`.
 pub fn mla() -> Vec<(String, f64, f64)> {
     let mut rows = Vec::new();
-    for (label, latent) in [("full KV (paper's stack)", None), ("MLA latent 576", Some(576))] {
+    for (label, latent) in [
+        ("full KV (paper's stack)", None),
+        ("MLA latent 576", Some(576)),
+    ] {
         let mut cfg = deepseek_v2_lite();
         cfg.kv_latent_dim = latent;
         let kv_gb = cfg.kv_bytes_per_token(2.0) * 64.0 * 4096.0 / 1e9;
@@ -68,7 +71,10 @@ pub fn mla() -> Vec<(String, f64, f64)> {
             EngineOptions::default().with_plan(ParallelPlan::tensor(2)),
         )
         .expect("valid plan");
-        let tput = model.run(64, 1024, 1024).expect("fits TP2").throughput_tok_s;
+        let tput = model
+            .run(64, 1024, 1024)
+            .expect("fits TP2")
+            .throughput_tok_s;
         rows.push((label.to_string(), kv_gb, tput));
     }
     rows
@@ -84,10 +90,15 @@ pub fn kv_precision() -> Vec<(String, f64, f64)> {
         let model = PerfModel::new(
             cfg,
             Cluster::h100_node(2),
-            EngineOptions::default().with_plan(ParallelPlan::tensor(2)).with_kv_precision(p),
+            EngineOptions::default()
+                .with_plan(ParallelPlan::tensor(2))
+                .with_kv_precision(p),
         )
         .expect("valid plan");
-        let tput = model.run(64, 1024, 1024).expect("fits TP2").throughput_tok_s;
+        let tput = model
+            .run(64, 1024, 1024)
+            .expect("fits TP2")
+            .throughput_tok_s;
         rows.push((label.to_string(), kv_gb, tput));
     }
     rows
@@ -113,7 +124,12 @@ pub fn spec_surface(fast: bool) -> Vec<(f64, usize, f64, f64)> {
         for &gamma in gammas {
             let r = spec_run(&target, &draft, SpecParams { gamma, alpha }, 16, 1024, 256)
                 .expect("fits");
-            rows.push((alpha, gamma, expected_tokens_per_cycle(alpha, gamma), r.throughput_tok_s));
+            rows.push((
+                alpha,
+                gamma,
+                expected_tokens_per_cycle(alpha, gamma),
+                r.throughput_tok_s,
+            ));
         }
     }
     rows
@@ -202,7 +218,11 @@ pub fn run(fast: bool) -> ExperimentReport {
         &["Configuration", "Forward tokens", "Saved"],
     );
     t.row(vec!["no cache".into(), without.to_string(), "-".into()]);
-    t.row(vec!["prefix cache".into(), with.to_string(), saved.to_string()]);
+    t.row(vec![
+        "prefix cache".into(),
+        with.to_string(),
+        saved.to_string(),
+    ]);
     report.table(t);
     report.note(
         "Prefix caching is measured on real forward passes; outputs are bit-identical \
@@ -226,7 +246,12 @@ mod tests {
         // The batch-1 vs batch-64 sensitivity gap closes: from >2x apart
         // at 0 ms to near-parity at vLLM-like overheads.
         assert!(first.1 / first.2 > 1.8);
-        assert!(last.1 / last.2 < 1.15, "b1 {} vs b64 {} at 16ms", last.1, last.2);
+        assert!(
+            last.1 / last.2 < 1.15,
+            "b1 {} vs b64 {} at 16ms",
+            last.1,
+            last.2
+        );
     }
 
     #[test]

@@ -20,7 +20,6 @@ use moe_model::variants::mixtral_variant;
 use moe_runtime::request::Request;
 use moe_runtime::simserver::SimServer;
 use moe_tensor::rng::rng_from_seed;
-use rand::Rng;
 
 use crate::report::{num, secs, tput_cell, ExperimentReport, Table};
 
@@ -37,8 +36,10 @@ pub fn placement_rows(fast: bool) -> Vec<(String, usize, PlacementComparison)> {
         }
         for layer in 0..rep.num_layers {
             // Reconstruct integer loads from the normalized heat map.
-            let loads: Vec<u64> =
-                rep.heatmap[layer].iter().map(|f| (f * 1e6) as u64).collect();
+            let loads: Vec<u64> = rep.heatmap[layer]
+                .iter()
+                .map(|f| (f * 1e6) as u64)
+                .collect();
             rows.push((rep.model.clone(), layer, compare_placements(&loads, 4)));
         }
     }
@@ -54,15 +55,19 @@ pub fn run_placement(fast: bool) -> ExperimentReport {
     let rows = placement_rows(fast);
     let mut t = Table::new(
         "contiguous vs LPT placement (per-model means over layers)",
-        &["Model", "Contiguous max/mean", "LPT max/mean", "EP-layer speedup"],
+        &[
+            "Model",
+            "Contiguous max/mean",
+            "LPT max/mean",
+            "EP-layer speedup",
+        ],
     );
     for model in ["DeepSeek-VL2-Tiny", "MolmoE-1B"] {
         let per_model: Vec<&PlacementComparison> =
             rows.iter().filter(|r| r.0 == model).map(|r| &r.2).collect();
         let n = per_model.len().max(1) as f64;
-        let mean = |f: fn(&PlacementComparison) -> f64| {
-            per_model.iter().map(|c| f(c)).sum::<f64>() / n
-        };
+        let mean =
+            |f: fn(&PlacementComparison) -> f64| per_model.iter().map(|c| f(c)).sum::<f64>() / n;
         t.row(vec![
             model.to_string(),
             num(mean(|c| c.contiguous_imbalance)),
@@ -86,15 +91,27 @@ pub fn multinode_rows() -> Vec<(String, usize, Option<f64>)> {
     let mut rows = Vec::new();
     let mut add = |label: String, cluster: Cluster, plan: ParallelPlan| {
         let devices = cluster.num_devices;
-        let result = PerfModel::new(cfg.clone(), cluster, EngineOptions::default().with_plan(plan))
-            .ok()
-            .and_then(|m| m.run(16, 1024, 1024).ok())
-            .map(|r| r.throughput_tok_s);
+        let result = PerfModel::new(
+            cfg.clone(),
+            cluster,
+            EngineOptions::default().with_plan(plan),
+        )
+        .ok()
+        .and_then(|m| m.run(16, 1024, 1024).ok())
+        .map(|r| r.throughput_tok_s);
         rows.push((label, devices, result));
     };
 
-    add("TP4, 1 node (paper's setup)".into(), Cluster::h100_node(4), ParallelPlan::tensor(4));
-    add("TP8, 1 node".into(), Cluster::h100_node(8), ParallelPlan::tensor(8));
+    add(
+        "TP4, 1 node (paper's setup)".into(),
+        Cluster::h100_node(4),
+        ParallelPlan::tensor(4),
+    );
+    add(
+        "TP8, 1 node".into(),
+        Cluster::h100_node(8),
+        ParallelPlan::tensor(8),
+    );
     add(
         "TP16, 2 nodes (NVLink+IB)".into(),
         Cluster::h100_multinode(2, 8),
@@ -134,7 +151,11 @@ pub fn run_multinode(_fast: bool) -> ExperimentReport {
 /// QPS study: Poisson arrivals at several offered loads; returns
 /// `(qps, mean_ttft_s, p95_ttft_s, mean_itl_s, makespan_s)`.
 pub fn qps_rows(fast: bool) -> Vec<(f64, f64, f64, f64, f64)> {
-    let rates: &[f64] = if fast { &[1.0, 8.0] } else { &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0] };
+    let rates: &[f64] = if fast {
+        &[1.0, 8.0]
+    } else {
+        &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+    };
     let requests = if fast { 40 } else { 120 };
     let mut rows = Vec::new();
     for &qps in rates {
@@ -144,7 +165,7 @@ pub fn qps_rows(fast: bool) -> Vec<(f64, f64, f64, f64, f64)> {
         let mut t = 0.0f64;
         for _ in 0..requests {
             // Exponential inter-arrivals at rate `qps`.
-            let u: f64 = rng.random::<f64>().max(1e-12);
+            let u: f64 = rng.next_f64().max(1e-12);
             t += -u.ln() / qps;
             server.submit(Request::new(512, 128).at(t));
         }
@@ -168,10 +189,22 @@ pub fn run_qps(fast: bool) -> ExperimentReport {
     );
     let mut t = Table::new(
         "latency vs offered load (512 in / 128 out per request)",
-        &["Offered QPS", "Mean TTFT", "p95 TTFT", "Mean ITL", "Makespan"],
+        &[
+            "Offered QPS",
+            "Mean TTFT",
+            "p95 TTFT",
+            "Mean ITL",
+            "Makespan",
+        ],
     );
     for (qps, ttft, p95, itl, makespan) in qps_rows(fast) {
-        t.row(vec![num(qps), secs(ttft), secs(p95), secs(itl), secs(makespan)]);
+        t.row(vec![
+            num(qps),
+            secs(ttft),
+            secs(p95),
+            secs(itl),
+            secs(makespan),
+        ]);
     }
     report.table(t);
     report.note(
@@ -190,21 +223,30 @@ mod tests {
     fn placement_gain_tracks_router_skew() {
         let rows = placement_rows(true);
         let mean_speedup = |model: &str| {
-            let per: Vec<f64> =
-                rows.iter().filter(|r| r.0 == model).map(|r| r.2.speedup).collect();
+            let per: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.0 == model)
+                .map(|r| r.2.speedup)
+                .collect();
             per.iter().sum::<f64>() / per.len() as f64
         };
         let molmoe = mean_speedup("MolmoE-1B");
         let balanced = mean_speedup("DeepSeek-VL2-Tiny");
         assert!(molmoe > balanced, "molmoe {molmoe} vs balanced {balanced}");
-        assert!(molmoe > 1.2, "skewed loads should reward re-placement: {molmoe}");
+        assert!(
+            molmoe > 1.2,
+            "skewed loads should reward re-placement: {molmoe}"
+        );
     }
 
     #[test]
     fn extreme_variant_needs_multi_node() {
         let rows = multinode_rows();
         let get = |label: &str| {
-            rows.iter().find(|r| r.0.starts_with(label)).expect("row present").2
+            rows.iter()
+                .find(|r| r.0.starts_with(label))
+                .expect("row present")
+                .2
         };
         assert!(get("TP4").is_none(), "must OOM on 4 GPUs (the Fig.7 gap)");
         assert!(get("TP8").is_none(), "90 GB/device still exceeds 80 GB");

@@ -33,12 +33,8 @@ pub fn measure(fast: bool) -> Vec<(String, RunMetrics)> {
 
 /// Build the report.
 pub fn run(fast: bool) -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("fig4", "Figure 4: TTFT, ITL and E2E Latency of VLMs");
-    let mut t = Table::new(
-        "latency",
-        &["Model", "TTFT", "ITL", "E2E", "Samples/s"],
-    );
+    let mut report = ExperimentReport::new("fig4", "Figure 4: TTFT, ITL and E2E Latency of VLMs");
+    let mut t = Table::new("latency", &["Model", "TTFT", "ITL", "E2E", "Samples/s"]);
     let results = measure(fast);
     for (name, r) in &results {
         t.row(vec![

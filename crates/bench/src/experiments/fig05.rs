@@ -39,7 +39,14 @@ pub fn sweep(base: &ModelConfig, fast: bool) -> Vec<(usize, usize, Option<f64>)>
                 placed.options().clone(),
             )
             .expect("same placement");
-            out.push((batch, k, model.run(batch, input, output).ok().map(|r| r.throughput_tok_s)));
+            out.push((
+                batch,
+                k,
+                model
+                    .run(batch, input, output)
+                    .ok()
+                    .map(|r| r.throughput_tok_s),
+            ));
         }
     }
     out
@@ -62,10 +69,7 @@ fn grid_table(name: &str, grid: &[(usize, usize, Option<f64>)]) -> Table {
     for &b in &batches {
         let mut row = vec![b.to_string()];
         for &k in &topks {
-            let v = grid
-                .iter()
-                .find(|g| g.0 == b && g.1 == k)
-                .and_then(|g| g.2);
+            let v = grid.iter().find(|g| g.0 == b && g.1 == k).and_then(|g| g.2);
             row.push(tput_cell(v));
         }
         t.row(row);
@@ -117,7 +121,11 @@ mod tests {
     fn throughput_increases_with_batch() {
         let grid = sweep(&deepseek_v2_lite(), true);
         let at = |b: usize, k: usize| {
-            grid.iter().find(|g| g.0 == b && g.1 == k).unwrap().2.unwrap()
+            grid.iter()
+                .find(|g| g.0 == b && g.1 == k)
+                .unwrap()
+                .2
+                .unwrap()
         };
         assert!(at(64, 1) > at(1, 1));
         assert!(at(64, 32) > at(1, 32));
@@ -133,7 +141,11 @@ mod tests {
         for base in [deepseek_v2_lite(), qwen15_moe_a27b()] {
             let grid = sweep(&base, true);
             let at = |b: usize, k: usize| {
-                grid.iter().find(|g| g.0 == b && g.1 == k).unwrap().2.unwrap()
+                grid.iter()
+                    .find(|g| g.0 == b && g.1 == k)
+                    .unwrap()
+                    .2
+                    .unwrap()
             };
             let loss_small = at(1, 1) - at(1, 32);
             let loss_large = at(64, 1) - at(64, 32);
@@ -145,7 +157,11 @@ mod tests {
             // And the relative drop at large batch is in the paper's
             // double-digit ballpark.
             let drop_large = 1.0 - at(64, 32) / at(64, 1);
-            assert!((0.10..0.60).contains(&drop_large), "{}: {drop_large}", base.name);
+            assert!(
+                (0.10..0.60).contains(&drop_large),
+                "{}: {drop_large}",
+                base.name
+            );
         }
     }
 }

@@ -14,8 +14,13 @@ pub fn sweep(base: &ModelConfig, fast: bool) -> Vec<(usize, usize, Option<f64>)>
     let lengths: &[usize] = if fast { &[128, 2048] } else { &PAPER_LENGTHS };
     // Fixed placement at the heaviest point for comparability.
     let max_len = *lengths.last().expect("non-empty");
-    let placed = auto_place(base, Precision::F16, *batches.last().expect("non-empty"), 2 * max_len)
-        .expect("sweep models fit");
+    let placed = auto_place(
+        base,
+        Precision::F16,
+        *batches.last().expect("non-empty"),
+        2 * max_len,
+    )
+    .expect("sweep models fit");
     let mut out = Vec::new();
     for &batch in batches {
         for &len in lengths {
@@ -46,7 +51,9 @@ fn grid_table(name: &str, grid: &[(usize, usize, Option<f64>)]) -> Table {
     for &b in &batches {
         let mut row = vec![b.to_string()];
         for &l in &lens {
-            row.push(tput_cell(grid.iter().find(|g| g.0 == b && g.1 == l).and_then(|g| g.2)));
+            row.push(tput_cell(
+                grid.iter().find(|g| g.0 == b && g.1 == l).and_then(|g| g.2),
+            ));
         }
         t.row(row);
     }
@@ -55,10 +62,7 @@ fn grid_table(name: &str, grid: &[(usize, usize, Option<f64>)]) -> Table {
 
 /// Build the report.
 pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig6",
-        "Figure 6: Batch Size vs Input & Output Length",
-    );
+    let mut report = ExperimentReport::new("fig6", "Figure 6: Batch Size vs Input & Output Length");
     for base in [deepseek_v2_lite(), qwen15_moe_a27b()] {
         report.table(grid_table(&base.name, &sweep(&base, fast)));
     }
@@ -78,7 +82,11 @@ mod tests {
         for base in [deepseek_v2_lite(), qwen15_moe_a27b()] {
             let grid = sweep(&base, true);
             let at = |b: usize, l: usize| {
-                grid.iter().find(|g| g.0 == b && g.1 == l).unwrap().2.unwrap()
+                grid.iter()
+                    .find(|g| g.0 == b && g.1 == l)
+                    .unwrap()
+                    .2
+                    .unwrap()
             };
             for &b in &[1usize, 64] {
                 assert!(at(b, 128) > at(b, 2048), "{} batch {b}", base.name);
@@ -91,7 +99,11 @@ mod tests {
         // Paper: increases exceeding 8x from batch 1 to 128.
         let grid = sweep(&deepseek_v2_lite(), true);
         let at = |b: usize, l: usize| {
-            grid.iter().find(|g| g.0 == b && g.1 == l).unwrap().2.unwrap()
+            grid.iter()
+                .find(|g| g.0 == b && g.1 == l)
+                .unwrap()
+                .2
+                .unwrap()
         };
         assert!(at(64, 128) / at(1, 128) > 8.0);
     }

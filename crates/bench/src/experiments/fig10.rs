@@ -43,8 +43,14 @@ fn series(points: Vec<(usize, usize, usize, usize)>) -> Vec<(usize, f64, f64)> {
     points
         .into_iter()
         .map(|(x, batch, input, output)| {
-            let a = f16.run(batch, input, output).expect("fits TP2").throughput_tok_s;
-            let b = f8.run(batch, input, output).expect("fits TP2").throughput_tok_s;
+            let a = f16
+                .run(batch, input, output)
+                .expect("fits TP2")
+                .throughput_tok_s;
+            let b = f8
+                .run(batch, input, output)
+                .expect("fits TP2")
+                .throughput_tok_s;
             (x, a, b)
         })
         .collect()
@@ -65,12 +71,18 @@ fn table(name: &str, x_label: &str, s: &[(usize, f64, f64)]) -> Table {
 
 /// Build the report.
 pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig10",
-        "Figure 10: Mixtral-8x7B FP16 vs FP8 on H100 (TP2)",
-    );
-    report.table(table("batch sweep (in/out 1024)", "Batch", &batch_series(fast)));
-    report.table(table("length sweep (batch 16)", "In/out length", &length_series(fast)));
+    let mut report =
+        ExperimentReport::new("fig10", "Figure 10: Mixtral-8x7B FP16 vs FP8 on H100 (TP2)");
+    report.table(table(
+        "batch sweep (in/out 1024)",
+        "Batch",
+        &batch_series(fast),
+    ));
+    report.table(table(
+        "length sweep (batch 16)",
+        "In/out length",
+        &length_series(fast),
+    ));
     report.note(
         "FP8 outperforms FP16 across the board, with the gap widening at larger batch \
          sizes and staying stable across sequence lengths (paper: up to 25-30% at the \

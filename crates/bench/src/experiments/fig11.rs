@@ -35,7 +35,11 @@ fn label(spec: &Option<PruneSpec>) -> String {
 /// All pruning configurations of the figure: baseline plus
 /// {inter, intra} x {12.5, 25, 50}%.
 pub fn prune_specs(fast: bool) -> Vec<Option<PruneSpec>> {
-    let ratios: &[f64] = if fast { &[0.125, 0.50] } else { &PAPER_PRUNE_RATIOS };
+    let ratios: &[f64] = if fast {
+        &[0.125, 0.50]
+    } else {
+        &PAPER_PRUNE_RATIOS
+    };
     let mut v = vec![None];
     for &kind in &[PruneKind::InterExpert, PruneKind::IntraExpert] {
         for &r in ratios {
@@ -75,7 +79,10 @@ pub fn sweep(base: &ModelConfig, fast: bool) -> Vec<PruneResult> {
                 model: base.name.clone(),
                 spec,
                 top_k: k.min(cfg.moe.as_ref().expect("MoE").num_experts),
-                throughput: model.run(BATCH, IN_LEN, OUT_LEN).ok().map(|r| r.throughput_tok_s),
+                throughput: model
+                    .run(BATCH, IN_LEN, OUT_LEN)
+                    .ok()
+                    .map(|r| r.throughput_tok_s),
             });
         }
     }
@@ -136,9 +143,12 @@ mod tests {
             let k = base.moe.as_ref().unwrap().top_k;
             let baseline = at(&rs, &None, k).unwrap();
             for kind in [PruneKind::InterExpert, PruneKind::IntraExpert] {
-                let pruned =
-                    at(&rs, &Some(PruneSpec::new(kind, 0.50)), k).unwrap();
-                assert!(pruned > baseline, "{} {kind:?}: {baseline} vs {pruned}", base.name);
+                let pruned = at(&rs, &Some(PruneSpec::new(kind, 0.50)), k).unwrap();
+                assert!(
+                    pruned > baseline,
+                    "{} {kind:?}: {baseline} vs {pruned}",
+                    base.name
+                );
             }
         }
     }

@@ -39,9 +39,8 @@ pub fn drafts() -> Vec<(String, PerfModel, f64)> {
         .into_iter()
         .map(|d| {
             let alpha = acceptance_rate(&d, &tgt);
-            let placed =
-                place_with_plan(&d, Precision::F16, ParallelPlan::tensor(2), true)
-                    .expect("drafts fit");
+            let placed = place_with_plan(&d, Precision::F16, ParallelPlan::tensor(2), true)
+                .expect("drafts fit");
             (d.name.clone(), placed, alpha)
         })
         .collect()
@@ -60,7 +59,10 @@ pub fn by_input_length(fast: bool) -> Vec<(usize, Vec<(String, f64)>)> {
                     let r = spec_run(
                         &target,
                         draft,
-                        SpecParams { gamma: DEFAULT_GAMMA, alpha: *alpha },
+                        SpecParams {
+                            gamma: DEFAULT_GAMMA,
+                            alpha: *alpha,
+                        },
                         BATCH,
                         len,
                         OUT_LEN,
@@ -88,7 +90,10 @@ pub fn by_gamma(fast: bool) -> Vec<(usize, Vec<(String, f64)>)> {
                     let r = spec_run(
                         &target,
                         draft,
-                        SpecParams { gamma, alpha: *alpha },
+                        SpecParams {
+                            gamma,
+                            alpha: *alpha,
+                        },
                         BATCH,
                         1024,
                         OUT_LEN,
@@ -125,8 +130,15 @@ pub fn run(fast: bool) -> ExperimentReport {
         "Input len",
         &by_input_length(fast),
     ));
-    report.table(panel("throughput vs draft tokens (input 1024, tok/s)", "Gamma", &by_gamma(fast)));
-    let vanilla = target().run(BATCH, 1024, OUT_LEN).expect("fits").throughput_tok_s;
+    report.table(panel(
+        "throughput vs draft tokens (input 1024, tok/s)",
+        "Gamma",
+        &by_gamma(fast),
+    ));
+    let vanilla = target()
+        .run(BATCH, 1024, OUT_LEN)
+        .expect("fits")
+        .throughput_tok_s;
     report.note(format!(
         "Vanilla (no speculation) throughput at input 1024: {} tok/s.",
         num(vanilla)
@@ -170,10 +182,22 @@ mod tests {
     #[test]
     fn throughput_declines_with_input_length() {
         let rows = by_input_length(true);
-        let first: f64 = rows.first().expect("rows")
-            .1.iter().find(|r| r.0 == "Qwen3-1.7B").expect("present").1;
-        let last: f64 = rows.last().expect("rows")
-            .1.iter().find(|r| r.0 == "Qwen3-1.7B").expect("present").1;
+        let first: f64 = rows
+            .first()
+            .expect("rows")
+            .1
+            .iter()
+            .find(|r| r.0 == "Qwen3-1.7B")
+            .expect("present")
+            .1;
+        let last: f64 = rows
+            .last()
+            .expect("rows")
+            .1
+            .iter()
+            .find(|r| r.0 == "Qwen3-1.7B")
+            .expect("present")
+            .1;
         // Eq.2 counts input tokens, so raw throughput can rise with input;
         // decode speed must fall. Compare against per-output rate instead:
         // e2e grows superlinearly => tok/s per (in+out) falls.
@@ -186,8 +210,14 @@ mod tests {
     fn throughput_declines_with_gamma_past_sweet_spot() {
         let rows = by_gamma(true);
         let at = |g: usize| -> f64 {
-            rows.iter().find(|r| r.0 == g).expect("gamma present")
-                .1.iter().find(|r| r.0 == "Qwen3-1.7B").expect("present").1
+            rows.iter()
+                .find(|r| r.0 == g)
+                .expect("gamma present")
+                .1
+                .iter()
+                .find(|r| r.0 == "Qwen3-1.7B")
+                .expect("present")
+                .1
         };
         assert!(at(9) < at(3), "gamma 3: {}, gamma 9: {}", at(3), at(9));
     }
@@ -196,8 +226,15 @@ mod tests {
     fn good_draft_beats_vanilla() {
         let vanilla = target().run(BATCH, 1024, OUT_LEN).unwrap().throughput_tok_s;
         let rows = by_gamma(true);
-        let spec = rows.iter().find(|r| r.0 == 3).unwrap()
-            .1.iter().find(|r| r.0 == "Qwen3-1.7B").unwrap().1;
+        let spec = rows
+            .iter()
+            .find(|r| r.0 == 3)
+            .unwrap()
+            .1
+            .iter()
+            .find(|r| r.0 == "Qwen3-1.7B")
+            .unwrap()
+            .1;
         assert!(spec > vanilla, "spec {spec} vs vanilla {vanilla}");
     }
 }

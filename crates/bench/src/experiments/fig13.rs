@@ -2,8 +2,8 @@
 //! OLMoE-1B-7B on 1-4 H100s.
 
 use moe_gpusim::parallel::ParallelPlan;
-use moe_model::ModelConfig;
 use moe_model::registry::{mixtral_8x7b, olmoe_1b_7b};
+use moe_model::ModelConfig;
 use moe_tensor::Precision;
 
 use crate::common::place_with_plan;
@@ -38,7 +38,12 @@ pub fn sweep(base: &ModelConfig, precision: Precision) -> Vec<(String, usize, Op
 }
 
 /// Lookup helper (by plan prefix "TP"/"TP+EP"/"PP"/"PP+EP" and gpu count).
-pub fn at(sweep: &[(String, usize, Option<f64>)], mode: &str, ep: bool, gpus: usize) -> Option<f64> {
+pub fn at(
+    sweep: &[(String, usize, Option<f64>)],
+    mode: &str,
+    ep: bool,
+    gpus: usize,
+) -> Option<f64> {
     let want = if gpus == 1 {
         "TP1".to_string()
     } else if ep {
@@ -46,7 +51,10 @@ pub fn at(sweep: &[(String, usize, Option<f64>)], mode: &str, ep: bool, gpus: us
     } else {
         format!("{mode}{gpus}")
     };
-    sweep.iter().find(|s| s.0 == want && s.1 == gpus).and_then(|s| s.2)
+    sweep
+        .iter()
+        .find(|s| s.0 == want && s.1 == gpus)
+        .and_then(|s| s.2)
 }
 
 /// Build the report.
@@ -57,9 +65,10 @@ pub fn run(_fast: bool) -> ExperimentReport {
     );
     // Mixtral at fp16 cannot exist on one GPU; the 1-GPU baseline (and all
     // its points, for a fair curve) uses fp8 weights. OLMoE runs fp16.
-    for (base, precision) in
-        [(mixtral_8x7b(), Precision::Fp8E4M3), (olmoe_1b_7b(), Precision::F16)]
-    {
+    for (base, precision) in [
+        (mixtral_8x7b(), Precision::Fp8E4M3),
+        (olmoe_1b_7b(), Precision::F16),
+    ] {
         let s = sweep(&base, precision);
         let mut t = Table::new(
             format!("{} ({}) — throughput (tok/s)", base.name, precision.label()),
@@ -71,7 +80,12 @@ pub fn run(_fast: bool) -> ExperimentReport {
                 (Some(v), Some(s1)) => num(v / s1),
                 _ => "-".into(),
             };
-            t.row(vec![label.clone(), gpus.to_string(), tput_cell(*v), speedup]);
+            t.row(vec![
+                label.clone(),
+                gpus.to_string(),
+                tput_cell(*v),
+                speedup,
+            ]);
         }
         report.table(t);
     }
@@ -104,8 +118,10 @@ mod tests {
 
     #[test]
     fn tp_beats_tp_ep_beats_pp() {
-        for (base, p) in [(mixtral_8x7b(), Precision::Fp8E4M3), (olmoe_1b_7b(), Precision::F16)]
-        {
+        for (base, p) in [
+            (mixtral_8x7b(), Precision::Fp8E4M3),
+            (olmoe_1b_7b(), Precision::F16),
+        ] {
             let s = sweep(&base, p);
             let tp4 = at(&s, "TP", false, 4).unwrap();
             let tp4ep = at(&s, "TP", true, 4).unwrap();
@@ -113,7 +129,11 @@ mod tests {
             let pp4 = at(&s, "PP", false, 4).unwrap();
             assert!(tp4 > tp4ep, "{}: TP4 {tp4} vs TP4+EP {tp4ep}", base.name);
             assert!(tp4ep > pp4, "{}: TP4+EP {tp4ep} vs PP4 {pp4}", base.name);
-            assert!(pp4ep >= pp4 * 0.95, "{}: PP4+EP {pp4ep} vs PP4 {pp4}", base.name);
+            assert!(
+                pp4ep >= pp4 * 0.95,
+                "{}: PP4+EP {pp4ep} vs PP4 {pp4}",
+                base.name
+            );
         }
     }
 

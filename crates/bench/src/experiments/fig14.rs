@@ -21,23 +21,41 @@ pub fn length_series(fast: bool) -> Vec<(usize, f64, f64)> {
 }
 
 fn series(points: Vec<(usize, usize, usize, usize)>) -> Vec<(usize, f64, f64)> {
-    let fused = place_with_plan(&mixtral_8x7b(), Precision::F16, ParallelPlan::tensor(4), true)
-        .expect("valid plan");
-    let unfused =
-        place_with_plan(&mixtral_8x7b(), Precision::F16, ParallelPlan::tensor(4), false)
-            .expect("valid plan");
+    let fused = place_with_plan(
+        &mixtral_8x7b(),
+        Precision::F16,
+        ParallelPlan::tensor(4),
+        true,
+    )
+    .expect("valid plan");
+    let unfused = place_with_plan(
+        &mixtral_8x7b(),
+        Precision::F16,
+        ParallelPlan::tensor(4),
+        false,
+    )
+    .expect("valid plan");
     points
         .into_iter()
         .map(|(x, batch, input, output)| {
-            let a = fused.run(batch, input, output).expect("fits TP4").throughput_tok_s;
-            let b = unfused.run(batch, input, output).expect("fits TP4").throughput_tok_s;
+            let a = fused
+                .run(batch, input, output)
+                .expect("fits TP4")
+                .throughput_tok_s;
+            let b = unfused
+                .run(batch, input, output)
+                .expect("fits TP4")
+                .throughput_tok_s;
             (x, a, b)
         })
         .collect()
 }
 
 fn table(name: &str, x_label: &str, s: &[(usize, f64, f64)]) -> Table {
-    let mut t = Table::new(name, &[x_label, "Fused tok/s", "Unfused tok/s", "Fused gain"]);
+    let mut t = Table::new(
+        name,
+        &[x_label, "Fused tok/s", "Unfused tok/s", "Fused gain"],
+    );
     for &(x, a, b) in s {
         t.row(vec![
             x.to_string(),
@@ -55,8 +73,16 @@ pub fn run(fast: bool) -> ExperimentReport {
         "fig14",
         "Figure 14: Fused vs Non-Fused MoE, Mixtral-8x7B on 4 H100s",
     );
-    report.table(table("batch sweep (in/out 1024)", "Batch", &batch_series(fast)));
-    report.table(table("length sweep (batch 16)", "In/out length", &length_series(fast)));
+    report.table(table(
+        "batch sweep (in/out 1024)",
+        "Batch",
+        &batch_series(fast),
+    ));
+    report.table(table(
+        "length sweep (batch 16)",
+        "In/out length",
+        &length_series(fast),
+    ));
     report.note(
         "Fused MoE wins everywhere (paper: ~15-20% over batch, ~12-18% over lengths): the \
          unfused path pays per-expert kernel launches plus gather/scatter round trips of \

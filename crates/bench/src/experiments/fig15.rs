@@ -18,10 +18,15 @@ pub fn measure(fast: bool) -> Vec<ActivationReport> {
     let _ = fast; // sample size must stay large enough for stable statistics
     CACHE
         .get_or_init(|| {
-            [deepseek_vl2_tiny(), deepseek_vl2_small(), deepseek_vl2(), molmoe_1b()]
-                .iter()
-                .map(|m| activation_study(m, SAMPLE_TOKENS, 7))
-                .collect()
+            [
+                deepseek_vl2_tiny(),
+                deepseek_vl2_small(),
+                deepseek_vl2(),
+                molmoe_1b(),
+            ]
+            .iter()
+            .map(|m| activation_study(m, SAMPLE_TOKENS, 7))
+            .collect()
         })
         .clone()
 }
@@ -34,7 +39,13 @@ pub fn run(fast: bool) -> ExperimentReport {
     );
     let mut t = Table::new(
         "activation statistics",
-        &["Model", "Experts", "Peak count", "Max/mean imbalance", "Norm. entropy"],
+        &[
+            "Model",
+            "Experts",
+            "Peak count",
+            "Max/mean imbalance",
+            "Norm. entropy",
+        ],
     );
     let reports = measure(fast);
     for r in &reports {
@@ -97,7 +108,10 @@ mod tests {
     fn peak_count_magnitudes() {
         let rs = measure(true);
         let molmoe = rs.iter().find(|r| r.model == "MolmoE-1B").expect("present");
-        let tiny = rs.iter().find(|r| r.model == "DeepSeek-VL2-Tiny").expect("present");
+        let tiny = rs
+            .iter()
+            .find(|r| r.model == "DeepSeek-VL2-Tiny")
+            .expect("present");
         assert!(molmoe.peak_count > 2 * tiny.peak_count);
     }
 

@@ -45,7 +45,13 @@ pub fn measure(fast: bool) -> Vec<(usize, f64, f64, f64, f64)> {
         .map(|&len| {
             let a = h100.run(BATCH, len, len).expect("fits 8xH100");
             let b = cs3.run(BATCH, len, len).expect("fits CS-3");
-            (len, a.e2e_s, b.e2e_s, a.throughput_tok_s, b.throughput_tok_s)
+            (
+                len,
+                a.e2e_s,
+                b.e2e_s,
+                a.throughput_tok_s,
+                b.throughput_tok_s,
+            )
         })
         .collect()
 }
@@ -58,7 +64,13 @@ pub fn run(fast: bool) -> ExperimentReport {
     );
     let mut t = Table::new(
         format!("latency / throughput vs in/out length (batch {BATCH})"),
-        &["In/out len", "H100 E2E", "CS-3 E2E", "H100 tok/s", "CS-3 tok/s"],
+        &[
+            "In/out len",
+            "H100 E2E",
+            "CS-3 E2E",
+            "H100 tok/s",
+            "CS-3 tok/s",
+        ],
     );
     let rows = measure(fast);
     for &(len, ah, ac, th, tc) in &rows {
@@ -108,6 +120,10 @@ mod tests {
         let rows = measure(true);
         let (_, _, _, h100_tp, cs3_tp) = rows[0];
         assert!(h100_tp < cs3_tp);
-        assert!(cs3_tp / h100_tp > 1.5, "CS-3 advantage {}", cs3_tp / h100_tp);
+        assert!(
+            cs3_tp / h100_tp > 1.5,
+            "CS-3 advantage {}",
+            cs3_tp / h100_tp
+        );
     }
 }

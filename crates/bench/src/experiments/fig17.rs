@@ -73,7 +73,11 @@ mod tests {
     }
 
     fn get(points: &[FrontierPoint], n: &str) -> FrontierPoint {
-        points.iter().find(|p| p.model == n).expect("model present").clone()
+        points
+            .iter()
+            .find(|p| p.model == n)
+            .expect("model present")
+            .clone()
     }
 
     #[test]
@@ -109,7 +113,12 @@ mod tests {
     #[test]
     fn accuracies_in_sane_band() {
         for p in points() {
-            assert!((0.35..0.95).contains(&p.avg_accuracy), "{}: {}", p.model, p.avg_accuracy);
+            assert!(
+                (0.35..0.95).contains(&p.avg_accuracy),
+                "{}: {}",
+                p.model,
+                p.avg_accuracy
+            );
         }
     }
 }

@@ -39,12 +39,18 @@ pub fn run_grid(fast: bool) -> Vec<GridResult> {
         for &e in experts {
             for &k in actives {
                 let cfg = mixtral_variant(ffn, e, k);
-                let model =
-                    place_with_plan(&cfg, Precision::F16, ParallelPlan::tensor(4), true)
-                        .expect("plan is structurally valid");
-                let throughput =
-                    model.run(BATCH, input, output).ok().map(|r| r.throughput_tok_s);
-                out.push(GridResult { ffn_dim: ffn, num_experts: e, top_k: k, throughput });
+                let model = place_with_plan(&cfg, Precision::F16, ParallelPlan::tensor(4), true)
+                    .expect("plan is structurally valid");
+                let throughput = model
+                    .run(BATCH, input, output)
+                    .ok()
+                    .map(|r| r.throughput_tok_s);
+                out.push(GridResult {
+                    ffn_dim: ffn,
+                    num_experts: e,
+                    top_k: k,
+                    throughput,
+                });
             }
         }
     }
@@ -93,8 +99,7 @@ mod tests {
         // Fig. 9: TopK 1 -> 8 costs heavily, more so at large FFN.
         let g = grid();
         let drop_small_ffn = 1.0 - at(&g, 1792, 8, 8).unwrap() / at(&g, 1792, 8, 1).unwrap();
-        let drop_large_ffn =
-            1.0 - at(&g, 14_336, 8, 8).unwrap() / at(&g, 14_336, 8, 1).unwrap();
+        let drop_large_ffn = 1.0 - at(&g, 14_336, 8, 8).unwrap() / at(&g, 14_336, 8, 1).unwrap();
         assert!(drop_small_ffn > 0.0);
         assert!(
             drop_large_ffn > drop_small_ffn,

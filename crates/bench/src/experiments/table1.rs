@@ -49,8 +49,12 @@ pub fn run(_fast: bool) -> ExperimentReport {
             moe.top_k.to_string(),
             human_params(b.total()),
             human_params(b.active()),
-            m.reported_total_params.map(human_params).unwrap_or_default(),
-            m.reported_active_params.map(human_params).unwrap_or_default(),
+            m.reported_total_params
+                .map(human_params)
+                .unwrap_or_default(),
+            m.reported_active_params
+                .map(human_params)
+                .unwrap_or_default(),
         ]);
     }
     report.table(t);

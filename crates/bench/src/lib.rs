@@ -8,15 +8,41 @@
 //! Run `moe-bench list` for the experiment roster, `moe-bench <id>` to
 //! regenerate one, `moe-bench all` for everything.
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod experiments;
 pub mod report;
+pub mod timing;
 
 pub use report::{ExperimentReport, Table};
 
 /// All registered experiments, in paper order.
 pub fn all_experiment_ids() -> Vec<&'static str> {
-    vec!["table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablations", "ext-placement", "ext-multinode", "ext-qps"]
+    vec![
+        "table1",
+        "fig1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "ablations",
+        "ext-placement",
+        "ext-multinode",
+        "ext-qps",
+    ]
 }
 
 /// Run one experiment by id.

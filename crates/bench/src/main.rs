@@ -8,6 +8,8 @@
 //! moe-bench all [--fast]         # everything (--fast shrinks grids)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn print_report(report: &moe_bench::ExperimentReport, csv: bool) {
@@ -26,8 +28,7 @@ fn main() -> ExitCode {
     let json = args.iter().any(|a| a == "--json");
     let csv = args.iter().any(|a| a == "--csv");
     let fast = args.iter().any(|a| a == "--fast");
-    let targets: Vec<&String> =
-        args.iter().filter(|a| !a.starts_with("--")).collect();
+    let targets: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
     let Some(&target) = targets.first() else {
         eprintln!("usage: moe-bench <experiment-id|all|list> [--json] [--fast]");
@@ -47,25 +48,21 @@ fn main() -> ExitCode {
             let mut reports = Vec::new();
             for id in moe_bench::all_experiment_ids() {
                 eprintln!("running {id} ...");
-                let report = moe_bench::run_experiment(id, fast)
-                    .expect("registered experiment id");
+                let report = moe_bench::run_experiment(id, fast).expect("registered experiment id");
                 if !json {
                     print_report(&report, csv);
                 }
                 reports.push(report);
             }
             if json {
-                println!("{}", serde_json::to_string_pretty(&reports).expect("serializable"));
+                println!("{}", moe_json::to_string_pretty(&reports));
             }
             ExitCode::SUCCESS
         }
         id => match moe_bench::run_experiment(id, fast) {
             Some(report) => {
                 if json {
-                    println!(
-                        "{}",
-                        serde_json::to_string_pretty(&report).expect("serializable")
-                    );
+                    println!("{}", moe_json::to_string_pretty(&report));
                 } else {
                     print_report(&report, csv);
                 }

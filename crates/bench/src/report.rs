@@ -2,11 +2,11 @@
 //! [`ExperimentReport`] (tables of rows + notes) that renders as aligned
 //! text for the terminal or serializes to JSON for downstream plotting.
 
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 use std::fmt::Write as _;
 
 /// One table of results (one per panel of a figure, typically).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct Table {
     pub name: String,
     pub columns: Vec<String>,
@@ -79,18 +79,25 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
-            let _ =
-                writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
 }
 
 /// A complete experiment result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct ExperimentReport {
     /// Experiment id ("table1", "fig5", ...).
     pub id: String,
@@ -103,7 +110,12 @@ pub struct ExperimentReport {
 
 impl ExperimentReport {
     pub fn new(id: &str, title: &str) -> Self {
-        Self { id: id.into(), title: title.into(), tables: Vec::new(), notes: Vec::new() }
+        Self {
+            id: id.into(),
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     pub fn table(&mut self, table: Table) -> &mut Self {
@@ -135,7 +147,9 @@ impl ExperimentReport {
 
 /// Format a float with engineering-friendly precision.
 pub fn num(v: f64) -> String {
-    if v == 0.0 {
+    // Bit-pattern test for exact +/-0.0 (no-float-eq: a tolerance would
+    // misprint small-but-real values as "0").
+    if v.to_bits() & !(1u64 << 63) == 0 {
         "0".to_string()
     } else if v.abs() >= 100.0 {
         format!("{v:.0}")
@@ -203,8 +217,8 @@ mod tests {
         t.row(vec!["1".into(), "2".into()]);
         r.table(t);
         r.note("demo note");
-        let json = serde_json::to_string(&r).unwrap();
-        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        let json = moe_json::to_string(&r);
+        let back: ExperimentReport = moe_json::from_str(&json).unwrap();
         assert_eq!(r, back);
     }
 

@@ -202,8 +202,10 @@ mod tests {
         let x1 = Matrix::random(1, 64, 4, 0.5);
         let mut x3 = Matrix::zeros(3, 64);
         x3.row_mut(0).copy_from_slice(x1.row(0));
-        x3.row_mut(1).copy_from_slice(Matrix::random(1, 64, 5, 0.5).row(0));
-        x3.row_mut(2).copy_from_slice(Matrix::random(1, 64, 6, 0.5).row(0));
+        x3.row_mut(1)
+            .copy_from_slice(Matrix::random(1, 64, 5, 0.5).row(0));
+        x3.row_mut(2)
+            .copy_from_slice(Matrix::random(1, 64, 6, 0.5).row(0));
 
         let mut kv_a = ContiguousKv::new(2, p.kv_dim());
         let solo = attention_forward(&p, &w.layers[0], &x1, &[0], &mut kv_a, 0);
@@ -239,8 +241,10 @@ mod tests {
         let mut exact_kv = ContiguousKv::new(2, p.kv_dim());
         let exact = attention_forward(&p, &w.layers[0], &x, &positions, &mut exact_kv, 0);
 
-        let mut q_kv =
-            QuantizedKv::new(ContiguousKv::new(2, p.kv_dim()), moe_tensor::Precision::Fp8E4M3);
+        let mut q_kv = QuantizedKv::new(
+            ContiguousKv::new(2, p.kv_dim()),
+            moe_tensor::Precision::Fp8E4M3,
+        );
         let approx = attention_forward(&p, &w.layers[0], &x, &positions, &mut q_kv, 0);
 
         let diff = exact.max_abs_diff(&approx);
@@ -250,7 +254,12 @@ mod tests {
 
     #[test]
     fn gqa_group_size() {
-        let p = AttentionParams { num_heads: 8, num_kv_heads: 2, head_dim: 16, rope_theta: 1e4 };
+        let p = AttentionParams {
+            num_heads: 8,
+            num_kv_heads: 2,
+            head_dim: 16,
+            rope_theta: 1e4,
+        };
         assert_eq!(p.group_size(), 4);
         assert_eq!(p.q_dim(), 128);
         assert_eq!(p.kv_dim(), 32);

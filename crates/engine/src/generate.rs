@@ -1,14 +1,14 @@
 //! Autoregressive generation: greedy and temperature sampling over the
 //! executor, with KV-cache reuse across steps.
 
+use moe_json::{FromJson, ToJson};
 use moe_tensor::ops::{argmax, softmax_inplace};
 use moe_tensor::rng::{rng_from_seed, sample_categorical};
-use serde::{Deserialize, Serialize};
 
 use crate::model::MoeTransformer;
 
 /// Sampling parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
 pub struct GenerateParams {
     pub max_new_tokens: usize,
     /// 0.0 selects greedy decoding.
@@ -24,12 +24,24 @@ pub struct GenerateParams {
 
 impl GenerateParams {
     pub fn greedy(max_new_tokens: usize) -> Self {
-        Self { max_new_tokens, temperature: 0.0, top_k: None, top_p: None, seed: 0 }
+        Self {
+            max_new_tokens,
+            temperature: 0.0,
+            top_k: None,
+            top_p: None,
+            seed: 0,
+        }
     }
 
     pub fn sampled(max_new_tokens: usize, temperature: f32, seed: u64) -> Self {
         assert!(temperature > 0.0, "use greedy() for temperature 0");
-        Self { max_new_tokens, temperature, top_k: None, top_p: None, seed }
+        Self {
+            max_new_tokens,
+            temperature,
+            top_k: None,
+            top_p: None,
+            seed,
+        }
     }
 
     /// Restrict sampling to the `k` most likely tokens.
@@ -41,7 +53,10 @@ impl GenerateParams {
 
     /// Nucleus sampling with cumulative probability `p`.
     pub fn with_top_p(mut self, p: f32) -> Self {
-        assert!((0.0..=1.0).contains(&p) && p > 0.0, "top_p must be in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p) && p > 0.0,
+            "top_p must be in (0, 1]"
+        );
         self.top_p = Some(p);
         self
     }
@@ -51,7 +66,7 @@ impl GenerateParams {
 /// already-softmaxed distribution).
 pub fn apply_top_k_top_p(probs: &mut [f32], top_k: Option<usize>, top_p: Option<f32>) {
     let mut order: Vec<usize> = (0..probs.len()).collect();
-    order.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).expect("finite probs"));
+    order.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]));
 
     let mut keep = probs.len();
     if let Some(k) = top_k {
@@ -75,7 +90,7 @@ pub fn apply_top_k_top_p(probs: &mut [f32], top_k: Option<usize>, top_p: Option<
 }
 
 /// Output of one generation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct Generated {
     /// Newly generated tokens (prompt excluded).
     pub tokens: Vec<usize>,
@@ -114,7 +129,10 @@ pub fn generate(model: &mut MoeTransformer, prompt: &[usize], params: GeneratePa
         last_row.copy_from_slice(logits.row(0));
     }
 
-    Generated { steps: tokens.len(), tokens }
+    Generated {
+        steps: tokens.len(),
+        tokens,
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +199,11 @@ mod tests {
 
     #[test]
     fn tokens_stay_in_vocab() {
-        let g = generate(&mut tiny(6), &[1, 2, 3], GenerateParams::sampled(32, 2.0, 9));
+        let g = generate(
+            &mut tiny(6),
+            &[1, 2, 3],
+            GenerateParams::sampled(32, 2.0, 9),
+        );
         assert!(g.tokens.iter().all(|&t| t < 256));
     }
 
@@ -264,8 +286,16 @@ mod tests {
         // likely at its step; verify indirectly: outputs differ from pure
         // sampling but remain deterministic per seed.
         let prompt = [1usize, 3, 5];
-        let a = generate(&mut tiny(4), &prompt, GenerateParams::sampled(20, 2.0, 9).with_top_k(2));
-        let b = generate(&mut tiny(4), &prompt, GenerateParams::sampled(20, 2.0, 9).with_top_k(2));
+        let a = generate(
+            &mut tiny(4),
+            &prompt,
+            GenerateParams::sampled(20, 2.0, 9).with_top_k(2),
+        );
+        let b = generate(
+            &mut tiny(4),
+            &prompt,
+            GenerateParams::sampled(20, 2.0, 9).with_top_k(2),
+        );
         assert_eq!(a, b);
         assert!(a.tokens.iter().all(|&t| t < 256));
     }

@@ -26,7 +26,10 @@ pub trait KvStore {
     fn layer_len(&self, layer: usize) -> usize;
     /// Tokens fully stored across all layers.
     fn len(&self) -> usize {
-        (0..self.num_layers()).map(|l| self.layer_len(l)).min().unwrap_or(0)
+        (0..self.num_layers())
+            .map(|l| self.layer_len(l))
+            .min()
+            .unwrap_or(0)
     }
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -77,7 +80,11 @@ impl KvStore for ContiguousKv {
     fn write(&mut self, layer: usize, t: usize, k: &[f32], v: &[f32]) {
         assert_eq!(k.len(), self.kv_dim);
         assert_eq!(v.len(), self.kv_dim);
-        assert_eq!(t, self.layer_len(layer), "non-append write at layer {layer}");
+        assert_eq!(
+            t,
+            self.layer_len(layer),
+            "non-append write at layer {layer}"
+        );
         self.keys[layer].extend_from_slice(k);
         self.values[layer].extend_from_slice(v);
     }
@@ -209,8 +216,11 @@ impl KvStore for PagedKv {
             if new_len < self.lens[layer] {
                 self.lens[layer] = new_len;
             }
-            while self.tables[layer].len() > needed_blocks {
-                let idx = self.tables[layer].pop().expect("table length checked");
+            while let Some(idx) = self.tables[layer].pop() {
+                if self.tables[layer].len() < needed_blocks {
+                    self.tables[layer].push(idx);
+                    break;
+                }
                 self.free.push(idx);
             }
         }
@@ -278,13 +288,14 @@ impl<S: KvStore> KvStore for QuantizedKv<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     /// Write `tokens` tokens into every layer, layer-major like a prefill.
     fn fill<S: KvStore>(store: &mut S, from: usize, to: usize, layers: usize, kv_dim: usize) {
         for l in 0..layers {
             for t in from..to {
-                let k: Vec<f32> = (0..kv_dim).map(|i| (t * 1000 + l * 100 + i) as f32).collect();
+                let k: Vec<f32> = (0..kv_dim)
+                    .map(|i| (t * 1000 + l * 100 + i) as f32)
+                    .collect();
                 let v: Vec<f32> = k.iter().map(|x| -x).collect();
                 store.write(l, t, &k, &v);
             }
@@ -394,7 +405,10 @@ mod tests {
 
     #[test]
     fn quantized_kv_supports_truncate() {
-        let mut q = QuantizedKv::new(PagedKv::with_block_size(1, 4, 4), moe_tensor::Precision::F16);
+        let mut q = QuantizedKv::new(
+            PagedKv::with_block_size(1, 4, 4),
+            moe_tensor::Precision::F16,
+        );
         fill(&mut q, 0, 10, 1, 4);
         q.truncate(4);
         assert_eq!(q.len(), 4);
@@ -402,49 +416,55 @@ mod tests {
         assert_eq!(q.len(), 8);
     }
 
-    proptest! {
-        #[test]
-        fn prop_paged_equals_contiguous(
-            tokens in 1usize..60,
-            block in 1usize..20,
-            kv_dim in 1usize..12,
-        ) {
+    // Deterministic randomized sweeps (replacing the former proptest versions).
+
+    #[test]
+    fn randomized_paged_equals_contiguous() {
+        let mut rng = moe_tensor::rng::rng_from_seed(0x4b_c1);
+        for _ in 0..32 {
+            let tokens = 1 + rng.next_below(59);
+            let block = 1 + rng.next_below(19);
+            let kv_dim = 1 + rng.next_below(11);
             let mut a = ContiguousKv::new(2, kv_dim);
             let mut b = PagedKv::with_block_size(2, kv_dim, block);
             fill(&mut a, 0, tokens, 2, kv_dim);
             fill(&mut b, 0, tokens, 2, kv_dim);
             for t in 0..tokens {
-                prop_assert_eq!(a.key(0, t), b.key(0, t));
-                prop_assert_eq!(a.value(1, t), b.value(1, t));
+                assert_eq!(a.key(0, t), b.key(0, t));
+                assert_eq!(a.value(1, t), b.value(1, t));
             }
         }
+    }
 
-        #[test]
-        fn prop_truncate_then_refill_consistent(
-            first in 1usize..40,
-            keep_frac in 0.0f64..1.0,
-            extra in 0usize..20,
-        ) {
-            let keep = ((first as f64) * keep_frac) as usize;
+    #[test]
+    fn randomized_truncate_then_refill_consistent() {
+        let mut rng = moe_tensor::rng::rng_from_seed(0x4b_c2);
+        for _ in 0..64 {
+            let first = 1 + rng.next_below(39);
+            let keep = rng.next_below(first + 1);
+            let extra = rng.next_below(20);
             let mut s = PagedKv::with_block_size(1, 4, 8);
             fill(&mut s, 0, first, 1, 4);
             s.truncate(keep);
             fill(&mut s, keep, keep + extra, 1, 4);
-            prop_assert_eq!(s.len(), keep + extra);
+            assert_eq!(s.len(), keep + extra);
             for t in 0..keep + extra {
-                prop_assert_eq!(s.key(0, t)[0], (t * 1000) as f32);
+                assert_eq!(s.key(0, t)[0], (t * 1000) as f32);
             }
         }
+    }
 
-        #[test]
-        fn prop_blocks_never_leak(
-            ops in proptest::collection::vec(0usize..30, 1..20),
-        ) {
+    #[test]
+    fn randomized_blocks_never_leak() {
+        let mut rng = moe_tensor::rng::rng_from_seed(0x4b_c3);
+        for _ in 0..48 {
             // Alternate extends and truncates; allocated blocks always
             // match ceil(len/block).
+            let n_ops = 1 + rng.next_below(19);
             let mut s = PagedKv::with_block_size(1, 2, 4);
             let mut len = 0usize;
-            for (i, target) in ops.into_iter().enumerate() {
+            for i in 0..n_ops {
+                let target = rng.next_below(30);
                 if i % 2 == 0 && target >= len {
                     fill(&mut s, len, target, 1, 2);
                     len = target;
@@ -453,7 +473,7 @@ mod tests {
                     s.truncate(t);
                     len = t;
                 }
-                prop_assert_eq!(s.allocated_blocks(), len.div_ceil(4));
+                assert_eq!(s.allocated_blocks(), len.div_ceil(4));
             }
         }
     }

@@ -25,6 +25,8 @@
 //! `moe_model::registry::tiny_test_model`) so the suite runs in
 //! milliseconds.
 
+#![forbid(unsafe_code)]
+
 pub mod attention;
 pub mod balance;
 pub mod generate;

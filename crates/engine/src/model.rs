@@ -8,7 +8,7 @@ use moe_tensor::Matrix;
 
 use crate::attention::{attention_forward, attention_forward_multi, AttentionParams};
 use crate::kvcache::{KvStore, PagedKv};
-use crate::moe::{moe_forward_fused, moe_forward_unfused, expert_forward_row};
+use crate::moe::{expert_forward_row, moe_forward_fused, moe_forward_unfused};
 use crate::stats::ActivationStats;
 use crate::weights::ModelWeights;
 
@@ -36,12 +36,24 @@ impl MoeTransformer {
         let problems = config.validate();
         assert!(problems.is_empty(), "invalid config: {problems:?}");
         let weights = ModelWeights::init(&config, seed);
-        Self { config, weights, fused_moe: true, stats: None, tokens_processed: 0 }
+        Self {
+            config,
+            weights,
+            fused_moe: true,
+            stats: None,
+            tokens_processed: 0,
+        }
     }
 
     /// Build from pre-made weights (pruned / quantized variants).
     pub fn with_weights(config: ModelConfig, weights: ModelWeights) -> Self {
-        Self { config, weights, fused_moe: true, stats: None, tokens_processed: 0 }
+        Self {
+            config,
+            weights,
+            fused_moe: true,
+            stats: None,
+            tokens_processed: 0,
+        }
     }
 
     /// Total tokens this model has run forward passes over — the compute
@@ -142,8 +154,7 @@ impl MoeTransformer {
         let mut normed = Matrix::zeros(x.rows(), h);
 
         for layer_idx in 0..self.config.num_layers {
-            let is_moe =
-                self.config.moe.is_some() && layer_idx >= self.config.first_k_dense_layers;
+            let is_moe = self.config.moe.is_some() && layer_idx >= self.config.first_k_dense_layers;
 
             // Attention block.
             rmsnorm_rows(
@@ -182,7 +193,7 @@ impl MoeTransformer {
                 &mut normed,
             );
             let ffn = if is_moe {
-                let moe = self.config.moe.as_ref().expect("is_moe checked").clone();
+                let moe = self.config.moe.as_ref().expect("is_moe checked").clone(); // lint:allow(no-panic-in-lib) -- guarded by the is_moe branch above
                 let w = &self.weights.layers[layer_idx];
                 if self.fused_moe {
                     moe_forward_fused(w, &moe, &normed, self.stats.as_mut(), layer_idx)
@@ -193,7 +204,7 @@ impl MoeTransformer {
                 let w = self.weights.layers[layer_idx]
                     .dense_ffn
                     .as_ref()
-                    .expect("dense layer has a dense FFN");
+                    .expect("dense layer has a dense FFN"); // lint:allow(no-panic-in-lib) -- layer kind checked by the surrounding match
                 let mut out = Matrix::zeros(normed.rows(), h);
                 for r in 0..normed.rows() {
                     let y = expert_forward_row(w, normed.row(r));
@@ -206,7 +217,12 @@ impl MoeTransformer {
             }
         }
 
-        rmsnorm_rows(&x, &self.weights.final_norm, self.config.norm_eps, &mut normed);
+        rmsnorm_rows(
+            &x,
+            &self.weights.final_norm,
+            self.config.norm_eps,
+            &mut normed,
+        );
         normed.matmul_transposed(&self.weights.lm_head)
     }
 }
@@ -296,7 +312,11 @@ mod tests {
         let mut kv = m.new_kv();
         let _ = m.forward(&[1, 2], &[0, 1], &mut kv);
         let stats = m.take_stats().unwrap();
-        assert_eq!(stats.layer(0).iter().sum::<u64>(), 0, "dense layer must not route");
+        assert_eq!(
+            stats.layer(0).iter().sum::<u64>(),
+            0,
+            "dense layer must not route"
+        );
         assert!(stats.layer(1).iter().sum::<u64>() > 0);
     }
 

@@ -17,9 +17,9 @@
 use moe_model::{MoeConfig, RouterKind};
 use moe_tensor::matrix::gemv;
 use moe_tensor::ops::swiglu_inplace;
+use moe_tensor::par;
 use moe_tensor::topk::{softmax_then_top_k, top_k_softmax, TopK};
 use moe_tensor::Matrix;
-use rayon::prelude::*;
 
 use crate::stats::ActivationStats;
 use crate::weights::{ExpertWeights, LayerWeights};
@@ -81,20 +81,17 @@ pub fn moe_forward_unfused(
     let routing = route(w, moe, x);
     record(stats, layer, &routing);
     let mut out = Matrix::zeros(x.rows(), x.cols());
-    let rows: Vec<Vec<f32>> = (0..x.rows())
-        .into_par_iter()
-        .map(|r| {
-            let mut acc = vec![0.0f32; x.cols()];
-            for (i, &e) in routing[r].experts.indices.iter().enumerate() {
-                let weight = routing[r].experts.values[i];
-                let y = expert_forward_row(&w.experts[e], x.row(r));
-                for (a, v) in acc.iter_mut().zip(&y) {
-                    *a += weight * v;
-                }
+    let rows: Vec<Vec<f32>> = par::map_indexed(x.rows(), |r| {
+        let mut acc = vec![0.0f32; x.cols()];
+        for (i, &e) in routing[r].experts.indices.iter().enumerate() {
+            let weight = routing[r].experts.values[i];
+            let y = expert_forward_row(&w.experts[e], x.row(r));
+            for (a, v) in acc.iter_mut().zip(&y) {
+                *a += weight * v;
             }
-            acc
-        })
-        .collect();
+        }
+        acc
+    });
     for (r, row) in rows.into_iter().enumerate() {
         out.row_mut(r).copy_from_slice(&row);
     }
@@ -124,16 +121,18 @@ pub fn moe_forward_fused(
 
     // Each active expert processes its group as one batch (in parallel
     // across experts — the grouped-GEMM analogue).
-    let results: Vec<(usize, Matrix)> = groups
-        .par_iter()
-        .enumerate()
-        .filter(|(_, g)| !g.is_empty())
-        .map(|(e, g)| {
-            let idx: Vec<usize> = g.iter().map(|(r, _)| *r).collect();
-            let gathered = x.gather_rows(&idx);
-            (e, expert_forward_batch(&w.experts[e], &gathered))
-        })
-        .collect();
+    let results: Vec<(usize, Matrix)> = par::map_indexed(groups.len(), |e| {
+        let g = &groups[e];
+        if g.is_empty() {
+            return None;
+        }
+        let idx: Vec<usize> = g.iter().map(|(r, _)| *r).collect();
+        let gathered = x.gather_rows(&idx);
+        Some((e, expert_forward_batch(&w.experts[e], &gathered)))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     let mut out = Matrix::zeros(x.rows(), x.cols());
     for (e, y) in results {
@@ -167,7 +166,6 @@ mod tests {
     use super::*;
     use crate::weights::ModelWeights;
     use moe_model::registry::tiny_test_model;
-    use proptest::prelude::*;
 
     fn setup(experts: usize, k: usize) -> (MoeConfig, LayerWeights) {
         let cfg = tiny_test_model(experts, k);
@@ -206,7 +204,11 @@ mod tests {
             let x = Matrix::random(13, 64, 3, 0.5);
             let a = moe_forward_unfused(&w, &moe, &x, None, 0);
             let b = moe_forward_fused(&w, &moe, &x, None, 0);
-            assert!(a.max_abs_diff(&b) < 1e-4, "e={e} k={k}: {}", a.max_abs_diff(&b));
+            assert!(
+                a.max_abs_diff(&b) < 1e-4,
+                "e={e} k={k}: {}",
+                a.max_abs_diff(&b)
+            );
         }
     }
 
@@ -258,15 +260,23 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-        #[test]
-        fn prop_fused_equals_unfused(seed in 0u64..1000, rows in 1usize..20) {
+    #[test]
+    fn randomized_fused_equals_unfused() {
+        // Deterministic randomized sweep (replacing the former proptest
+        // version): 16 seeded cases over varying seeds and row counts.
+        let mut rng = moe_tensor::rng::rng_from_seed(0xF05ED);
+        for case in 0..16u64 {
+            let seed = rng.next_below(1000) as u64;
+            let rows = 1 + rng.next_below(19);
             let (moe, w) = setup(8, 2);
             let x = Matrix::random(rows, 64, seed, 0.5);
             let a = moe_forward_unfused(&w, &moe, &x, None, 0);
             let b = moe_forward_fused(&w, &moe, &x, None, 0);
-            prop_assert!(a.max_abs_diff(&b) < 1e-4);
+            assert!(
+                a.max_abs_diff(&b) < 1e-4,
+                "case {case}: seed {seed}, rows {rows}, diff {}",
+                a.max_abs_diff(&b)
+            );
         }
     }
 }

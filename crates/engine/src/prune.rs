@@ -19,14 +19,17 @@ fn row_norm(m: &Matrix, r: usize) -> f32 {
 }
 
 fn col_norm(m: &Matrix, c: usize) -> f32 {
-    (0..m.rows()).map(|r| m.get(r, c) * m.get(r, c)).sum::<f32>().sqrt()
+    (0..m.rows())
+        .map(|r| m.get(r, c) * m.get(r, c))
+        .sum::<f32>()
+        .sqrt()
 }
 
 /// Indices of the `keep` highest-scoring entries, in ascending index order
 /// (preserves relative structure).
 fn keep_indices(scores: &[f32], keep: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     let mut kept: Vec<usize> = order.into_iter().take(keep).collect();
     kept.sort_unstable();
     kept
@@ -34,8 +37,9 @@ fn keep_indices(scores: &[f32], keep: usize) -> Vec<usize> {
 
 fn prune_expert_intra(e: &ExpertWeights, keep: usize) -> ExpertWeights {
     let ffn = e.ffn_dim();
-    let scores: Vec<f32> =
-        (0..ffn).map(|i| row_norm(&e.gate, i) * col_norm(&e.down, i)).collect();
+    let scores: Vec<f32> = (0..ffn)
+        .map(|i| row_norm(&e.gate, i) * col_norm(&e.down, i))
+        .collect();
     let kept = keep_indices(&scores, keep);
 
     let hidden = e.gate.cols();
@@ -54,7 +58,7 @@ fn prune_expert_intra(e: &ExpertWeights, keep: usize) -> ExpertWeights {
 
 /// Apply a pruning spec to (config, weights) in place.
 pub fn prune_weights(config: &mut ModelConfig, weights: &mut ModelWeights, spec: PruneSpec) {
-    let moe = config.moe.as_mut().expect("pruning a dense model");
+    let moe = config.moe.as_mut().expect("pruning a dense model"); // lint:allow(no-panic-in-lib) -- caller contract: pruning applies only to MoE configs, fail fast on misuse
     match spec.kind {
         PruneKind::InterExpert => {
             let removed = (moe.num_experts as f64 * spec.ratio).round() as usize;
@@ -72,11 +76,12 @@ pub fn prune_weights(config: &mut ModelConfig, weights: &mut ModelWeights, spec:
                     })
                     .collect();
                 let kept = keep_indices(&scores, keep);
-                layer.experts =
-                    kept.iter().map(|&e| layer.experts[e].clone()).collect();
+                layer.experts = kept.iter().map(|&e| layer.experts[e].clone()).collect();
                 let mut router = Matrix::zeros(keep, layer.router.cols());
                 for (new_e, &old_e) in kept.iter().enumerate() {
-                    router.row_mut(new_e).copy_from_slice(layer.router.row(old_e));
+                    router
+                        .row_mut(new_e)
+                        .copy_from_slice(layer.router.row(old_e));
                 }
                 layer.router = router;
             }
@@ -84,8 +89,7 @@ pub fn prune_weights(config: &mut ModelConfig, weights: &mut ModelWeights, spec:
             moe.top_k = moe.top_k.min(keep);
         }
         PruneKind::IntraExpert => {
-            let keep =
-                (((moe.expert_ffn_dim as f64) * (1.0 - spec.ratio)).round() as usize).max(1);
+            let keep = (((moe.expert_ffn_dim as f64) * (1.0 - spec.ratio)).round() as usize).max(1);
             for layer in &mut weights.layers {
                 for e in &mut layer.experts {
                     *e = prune_expert_intra(e, keep);
@@ -165,7 +169,10 @@ mod tests {
         let mut m = tiny();
         prune_transformer(&mut m, PruneSpec::new(PruneKind::IntraExpert, 0.5));
         // The weight store and the analytic accounting must agree exactly.
-        assert_eq!(m.weights().param_count(), ParamBreakdown::of(m.config()).total());
+        assert_eq!(
+            m.weights().param_count(),
+            ParamBreakdown::of(m.config()).total()
+        );
     }
 
     #[test]

@@ -8,14 +8,14 @@
 //! output — the invariant the test-suite pins down. This mirrors the
 //! lossless guarantee of production speculative decoding.
 
+use moe_json::{FromJson, ToJson};
 use moe_tensor::ops::argmax;
-use serde::{Deserialize, Serialize};
 
 use crate::kvcache::KvStore;
 use crate::model::MoeTransformer;
 
 /// Outcome of a speculative generation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct SpecResult {
     /// Newly generated tokens (prompt excluded).
     pub tokens: Vec<usize>,
@@ -84,8 +84,12 @@ pub fn speculative_generate(
     // covers a prefix of `seq` (everything except at least the last
     // committed token).
     let mut seq: Vec<usize> = prompt.to_vec();
-    let mut result =
-        SpecResult { tokens: Vec::new(), cycles: 0, proposed: 0, accepted: 0 };
+    let mut result = SpecResult {
+        tokens: Vec::new(),
+        cycles: 0,
+        proposed: 0,
+        accepted: 0,
+    };
 
     if max_new_tokens == 0 {
         return result;
@@ -93,8 +97,9 @@ pub fn speculative_generate(
 
     // Target prefill commits the first token.
     let first_logits = catch_up(target, &seq, &mut target_kv);
-    seq.push(argmax(&first_logits));
-    result.tokens.push(*seq.last().expect("just pushed"));
+    let first = argmax(&first_logits);
+    seq.push(first);
+    result.tokens.push(first);
 
     while result.tokens.len() < max_new_tokens {
         // --- Draft phase: catch up, then propose gamma tokens. ---
@@ -173,8 +178,7 @@ mod tests {
         let prompt = vec![3usize, 14, 15];
         let vanilla = generate(&mut target(), &prompt, GenerateParams::greedy(20));
         for gamma in [1usize, 2, 4, 7] {
-            let spec =
-                speculative_generate(&mut target(), &mut draft(123), &prompt, 20, gamma);
+            let spec = speculative_generate(&mut target(), &mut draft(123), &prompt, 20, gamma);
             assert_eq!(spec.tokens, vanilla.tokens, "gamma={gamma}");
         }
     }
@@ -186,7 +190,11 @@ mod tests {
         let prompt = vec![5usize, 6, 7];
         let spec = speculative_generate(&mut target(), &mut target(), &prompt, 16, 4);
         assert_eq!(spec.accepted, spec.proposed);
-        assert!(spec.tokens_per_cycle() >= 4.9, "{}", spec.tokens_per_cycle());
+        assert!(
+            spec.tokens_per_cycle() >= 4.9,
+            "{}",
+            spec.tokens_per_cycle()
+        );
         let vanilla = generate(&mut target(), &prompt, GenerateParams::greedy(16));
         assert_eq!(spec.tokens, vanilla.tokens);
     }

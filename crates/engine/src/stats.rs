@@ -1,10 +1,10 @@
 //! Expert-activation statistics (the Fig. 15 study): per-(layer, expert)
 //! selection counts, plus the imbalance metrics the analysis uses.
 
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 
 /// Counts of how often each expert was selected, per layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct ActivationStats {
     num_layers: usize,
     num_experts: usize,
@@ -65,7 +65,7 @@ impl ActivationStats {
             return 1.0;
         }
         let mean = total as f64 / row.len() as f64;
-        let max = *row.iter().max().expect("non-empty layer") as f64;
+        let max = row.iter().max().copied().unwrap_or(0) as f64;
         max / mean
     }
 

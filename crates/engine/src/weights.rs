@@ -6,13 +6,13 @@
 //! low-precision format can represent) while accumulation stays in f32 —
 //! the same numerics as weight-only-quantized GPU kernels.
 
+use moe_json::{FromJson, ToJson};
 use moe_model::ModelConfig;
 use moe_tensor::rng::derive_seed;
 use moe_tensor::{Matrix, Precision, QuantizedMatrix};
-use serde::{Deserialize, Serialize};
 
 /// One expert's SwiGLU FFN.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct ExpertWeights {
     /// `[ffn_dim x hidden]` gate projection (applied as `x @ W^T`).
     pub gate: Matrix,
@@ -45,7 +45,7 @@ impl ExpertWeights {
 }
 
 /// One decoder layer's weights.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct LayerWeights {
     /// `[q_dim x hidden]`.
     pub wq: Matrix,
@@ -80,7 +80,7 @@ impl LayerWeights {
 }
 
 /// All weights of a model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct ModelWeights {
     /// `[vocab x hidden]` token embedding.
     pub embedding: Matrix,
@@ -125,7 +125,7 @@ impl ModelWeights {
             let ls = derive_seed(seed, 100 + l as u64);
             let is_moe = config.moe.is_some() && l >= config.first_k_dense_layers;
             let (router, experts) = if is_moe {
-                let moe = config.moe.as_ref().expect("is_moe checked");
+                let moe = config.moe.as_ref().expect("is_moe checked"); // lint:allow(no-panic-in-lib) -- guarded by the is_moe branch above
                 let mut router =
                     Matrix::random_normal(moe.num_experts, h, derive_seed(ls, 10), std);
                 // Aux-loss-trained routers select experts near-uniformly;
@@ -135,8 +135,13 @@ impl ModelWeights {
                 // systematically win top-k (Fig. 15's spiky pattern).
                 let bias = Matrix::random_normal(moe.num_experts, 1, derive_seed(ls, 11), 1.0);
                 for e in 0..moe.num_experts {
-                    let norm: f32 =
-                        router.row(e).iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+                    let norm: f32 = router
+                        .row(e)
+                        .iter()
+                        .map(|v| v * v)
+                        .sum::<f32>()
+                        .sqrt()
+                        .max(1e-12);
                     let scale = (router_skew * bias.get(e, 0)).exp() / norm;
                     for v in router.row_mut(e) {
                         *v *= scale;
@@ -153,7 +158,7 @@ impl ModelWeights {
             };
 
             let shared_experts = if is_moe {
-                let moe = config.moe.as_ref().expect("is_moe checked");
+                let moe = config.moe.as_ref().expect("is_moe checked"); // lint:allow(no-panic-in-lib) -- guarded by the is_moe branch above
                 (0..moe.num_shared_experts)
                     .map(|e| {
                         ExpertWeights::init(
@@ -170,7 +175,11 @@ impl ModelWeights {
             let dense_ffn = if is_moe {
                 None
             } else {
-                Some(ExpertWeights::init(h, config.dense_ffn_dim, derive_seed(ls, 600)))
+                Some(ExpertWeights::init(
+                    h,
+                    config.dense_ffn_dim,
+                    derive_seed(ls, 600),
+                ))
             };
 
             let router_bias = vec![0.0; router.rows()];

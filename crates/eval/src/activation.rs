@@ -14,13 +14,12 @@
 use moe_engine::model::MoeTransformer;
 use moe_engine::stats::ActivationStats;
 use moe_engine::weights::{default_router_skew, ModelWeights};
+use moe_json::{FromJson, ToJson};
 use moe_model::{ModelConfig, MoeConfig};
 use moe_tensor::rng::{derive_seed, rng_from_seed};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Result of one activation study.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct ActivationReport {
     pub model: String,
     pub num_layers: usize,
@@ -38,18 +37,21 @@ pub struct ActivationReport {
 /// Synthetic MME token stream: bursts of "image" tokens (drawn from a
 /// narrow vocabulary band, as projected patches cluster) interleaved with
 /// diverse text tokens.
-pub fn mme_token(rng: &mut rand_chacha::ChaCha8Rng, global_index: usize, vocab: usize) -> usize {
+pub fn mme_token(rng: &mut moe_tensor::rng::DetRng, global_index: usize, vocab: usize) -> usize {
     if (global_index / 16).is_multiple_of(2) {
-        rng.random_range(0..vocab / 8)
+        rng.next_below(vocab / 8)
     } else {
-        rng.random_range(0..vocab)
+        rng.next_below(vocab)
     }
 }
 
 /// Build the down-scaled analogue: the real model's expert count, top-k,
 /// router kind and balance flag on the tiny executor geometry.
 pub fn analogue_config(full: &ModelConfig) -> ModelConfig {
-    let moe = full.moe.as_ref().expect("activation study needs an MoE model");
+    let moe = full
+        .moe
+        .as_ref()
+        .expect("activation study needs an MoE model"); // lint:allow(no-panic-in-lib) -- caller contract: the activation study requires an MoE config
     let mut tiny = moe_model::registry::tiny_test_model(moe.num_experts, moe.top_k);
     tiny.name = format!("{}-analogue", full.name);
     tiny.num_layers = full.num_layers.min(8);
@@ -68,8 +70,11 @@ pub fn analogue_config(full: &ModelConfig) -> ModelConfig {
 /// Total MoE routing decisions in a full MME pass for scaling counts:
 /// items x (image tokens + text tokens) x top_k per layer.
 pub fn mme_assignments_per_layer(full: &ModelConfig) -> u64 {
-    let image_tokens =
-        full.vision.as_ref().map(|v| v.tokens_per_image).unwrap_or(0) as u64;
+    let image_tokens = full
+        .vision
+        .as_ref()
+        .map(|v| v.tokens_per_image)
+        .unwrap_or(0) as u64;
     let text_tokens = 64u64;
     let items = 2374u64; // MME item count
     let top_k = full.moe.as_ref().map(|m| m.top_k).unwrap_or(0) as u64;
@@ -94,8 +99,9 @@ fn run_mme_stream(model: &mut MoeTransformer, sample_tokens: usize, seed: u64) -
     const DOC_LEN: usize = 64;
     while processed < sample_tokens {
         let n = chunk.min(sample_tokens - processed).min(DOC_LEN - doc_pos);
-        let tokens: Vec<usize> =
-            (0..n).map(|i| mme_token(&mut rng, processed + i, vocab)).collect();
+        let tokens: Vec<usize> = (0..n)
+            .map(|i| mme_token(&mut rng, processed + i, vocab))
+            .collect();
         let positions: Vec<usize> = (doc_pos..doc_pos + n).collect();
         let _ = model.forward(&tokens, &positions, &mut kv);
         processed += n;
@@ -105,7 +111,7 @@ fn run_mme_stream(model: &mut MoeTransformer, sample_tokens: usize, seed: u64) -
             doc_pos = 0;
         }
     }
-    model.take_stats().expect("stats enabled")
+    model.take_stats().expect("stats enabled") // lint:allow(no-panic-in-lib) -- stats collection was enabled when the model was built above
 }
 
 /// Run the study for one model: `sample_tokens` synthetic multimodal
@@ -128,8 +134,7 @@ pub fn activation_study(full: &ModelConfig, sample_tokens: usize, seed: u64) -> 
         // (the DeepSeek-V3 mechanism), calibrated on the exact stream the
         // study measures.
         for round in 0..12 {
-            let stats =
-                run_mme_stream(&mut model, sample_tokens, derive_seed(seed, 0xBA7 + round));
+            let stats = run_mme_stream(&mut model, sample_tokens, derive_seed(seed, 0xBA7 + round));
             let lr = 1.2 / (1.0 + round as f32 * 0.5);
             moe_engine::balance::apply_bias_update(&mut model, &stats, lr);
         }

@@ -14,15 +14,14 @@
 //! and *monotone*: a strictly more capable model never scores worse in
 //! expectation.
 
+use moe_json::ToJson;
 use moe_tensor::rng::{derive_seed, rng_from_seed};
-use rand::Rng;
-use serde::Serialize;
 
 use crate::profiles::CapabilityProfile;
 use crate::tasks::{item_difficulty, Task, TaskKind};
 
 /// Accuracy on one task. (Serialize-only: task names are static.)
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, ToJson)]
 pub struct TaskResult {
     pub task: &'static str,
     pub kind: TaskKind,
@@ -41,7 +40,7 @@ impl TaskResult {
 }
 
 /// A full evaluation report for one model.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, ToJson)]
 pub struct EvalReport {
     pub model: String,
     pub results: Vec<TaskResult>,
@@ -90,20 +89,30 @@ pub fn evaluate(model_name: &str, profile: CapabilityProfile, suite: &[Task]) ->
         };
         let task_seed = derive_seed(
             model_seed,
-            task.name.bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64)),
+            task.name
+                .bytes()
+                .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64)),
         );
         let mut rng = rng_from_seed(task_seed);
         let mut correct = 0usize;
         for i in 0..task.num_items {
             let d = item_difficulty(task, i);
             let p = expected_item_accuracy(c, d, task.chance);
-            if rng.random::<f64>() < p {
+            if rng.next_f64() < p {
                 correct += 1;
             }
         }
-        results.push(TaskResult { task: task.name, kind: task.kind, items: task.num_items, correct });
+        results.push(TaskResult {
+            task: task.name,
+            kind: task.kind,
+            items: task.num_items,
+            correct,
+        });
     }
-    EvalReport { model: model_name.to_string(), results }
+    EvalReport {
+        model: model_name.to_string(),
+        results,
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +133,11 @@ mod tests {
     fn stronger_model_scores_higher() {
         let suite = lm_task_suite();
         let weak = evaluate("OLMoE-1B-7B", capability("OLMoE-1B-7B").unwrap(), &suite);
-        let strong = evaluate("Qwen3-30B-A3B", capability("Qwen3-30B-A3B").unwrap(), &suite);
+        let strong = evaluate(
+            "Qwen3-30B-A3B",
+            capability("Qwen3-30B-A3B").unwrap(),
+            &suite,
+        );
         assert!(strong.average_accuracy() > weak.average_accuracy());
     }
 
@@ -134,7 +147,12 @@ mod tests {
         let r = evaluate("Mixtral-8x7B", capability("Mixtral-8x7B").unwrap(), &suite);
         for tr in &r.results {
             let task = suite.iter().find(|t| t.name == tr.task).unwrap();
-            assert!(tr.accuracy() > task.chance - 0.05, "{}: {}", tr.task, tr.accuracy());
+            assert!(
+                tr.accuracy() > task.chance - 0.05,
+                "{}: {}",
+                tr.task,
+                tr.accuracy()
+            );
             assert!(tr.accuracy() < 1.0);
         }
     }
@@ -151,9 +169,7 @@ mod tests {
         assert!(expected_item_accuracy(0.9, 0.3, 0.25) < 1.0 - SLIP + 1e-9);
         assert!(expected_item_accuracy(0.1, 0.8, 0.25) < 0.30);
         // Monotone in capability.
-        assert!(
-            expected_item_accuracy(0.6, 0.5, 0.25) > expected_item_accuracy(0.4, 0.5, 0.25)
-        );
+        assert!(expected_item_accuracy(0.6, 0.5, 0.25) > expected_item_accuracy(0.4, 0.5, 0.25));
     }
 
     #[test]
@@ -165,7 +181,12 @@ mod tests {
         let suite = vlm_task_suite();
         for tr in &r.results {
             let task = suite.iter().find(|t| t.name == tr.task).unwrap();
-            assert!(tr.accuracy() < task.chance + 0.15, "{}: {}", tr.task, tr.accuracy());
+            assert!(
+                tr.accuracy() < task.chance + 0.15,
+                "{}: {}",
+                tr.task,
+                tr.accuracy()
+            );
         }
     }
 

@@ -19,6 +19,8 @@
 //! router weights, and reports the same heat-map/imbalance statistics the
 //! paper plots.
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod harness;
 pub mod profiles;

@@ -8,10 +8,10 @@
 //! and Qwen1.5-MoE sit in the middle, Phi-3.5-MoE is competitive; for the
 //! VLMs Tiny < Small < Base.
 
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 
 /// A model's quality profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
 pub struct CapabilityProfile {
     /// Language capability (0–1): drives language-task accuracy.
     pub language: f64,
@@ -21,26 +21,119 @@ pub struct CapabilityProfile {
 }
 
 const PROFILES: [(&str, CapabilityProfile); 15] = [
-    ("Mixtral-8x7B", CapabilityProfile { language: 0.70, vision: 0.0 }),
-    ("Qwen1.5-MoE-A2.7B", CapabilityProfile { language: 0.60, vision: 0.0 }),
-    ("Qwen3-30B-A3B", CapabilityProfile { language: 0.74, vision: 0.0 }),
-    ("DeepSeek-V2-Lite", CapabilityProfile { language: 0.62, vision: 0.0 }),
-    ("Phi-3.5-MoE", CapabilityProfile { language: 0.69, vision: 0.0 }),
-    ("OLMoE-1B-7B", CapabilityProfile { language: 0.55, vision: 0.0 }),
-    ("DeepSeek-VL2-Tiny", CapabilityProfile { language: 0.50, vision: 0.52 }),
-    ("DeepSeek-VL2-Small", CapabilityProfile { language: 0.58, vision: 0.60 }),
-    ("DeepSeek-VL2", CapabilityProfile { language: 0.63, vision: 0.66 }),
-    ("MolmoE-1B", CapabilityProfile { language: 0.52, vision: 0.50 }),
-    ("Llama-4-Scout-17B-16E", CapabilityProfile { language: 0.73, vision: 0.62 }),
-    ("Qwen3-0.6B", CapabilityProfile { language: 0.40, vision: 0.0 }),
-    ("Qwen3-1.7B", CapabilityProfile { language: 0.50, vision: 0.0 }),
-    ("Qwen3-4B", CapabilityProfile { language: 0.58, vision: 0.0 }),
-    ("Qwen3-8B", CapabilityProfile { language: 0.64, vision: 0.0 }),
+    (
+        "Mixtral-8x7B",
+        CapabilityProfile {
+            language: 0.70,
+            vision: 0.0,
+        },
+    ),
+    (
+        "Qwen1.5-MoE-A2.7B",
+        CapabilityProfile {
+            language: 0.60,
+            vision: 0.0,
+        },
+    ),
+    (
+        "Qwen3-30B-A3B",
+        CapabilityProfile {
+            language: 0.74,
+            vision: 0.0,
+        },
+    ),
+    (
+        "DeepSeek-V2-Lite",
+        CapabilityProfile {
+            language: 0.62,
+            vision: 0.0,
+        },
+    ),
+    (
+        "Phi-3.5-MoE",
+        CapabilityProfile {
+            language: 0.69,
+            vision: 0.0,
+        },
+    ),
+    (
+        "OLMoE-1B-7B",
+        CapabilityProfile {
+            language: 0.55,
+            vision: 0.0,
+        },
+    ),
+    (
+        "DeepSeek-VL2-Tiny",
+        CapabilityProfile {
+            language: 0.50,
+            vision: 0.52,
+        },
+    ),
+    (
+        "DeepSeek-VL2-Small",
+        CapabilityProfile {
+            language: 0.58,
+            vision: 0.60,
+        },
+    ),
+    (
+        "DeepSeek-VL2",
+        CapabilityProfile {
+            language: 0.63,
+            vision: 0.66,
+        },
+    ),
+    (
+        "MolmoE-1B",
+        CapabilityProfile {
+            language: 0.52,
+            vision: 0.50,
+        },
+    ),
+    (
+        "Llama-4-Scout-17B-16E",
+        CapabilityProfile {
+            language: 0.73,
+            vision: 0.62,
+        },
+    ),
+    (
+        "Qwen3-0.6B",
+        CapabilityProfile {
+            language: 0.40,
+            vision: 0.0,
+        },
+    ),
+    (
+        "Qwen3-1.7B",
+        CapabilityProfile {
+            language: 0.50,
+            vision: 0.0,
+        },
+    ),
+    (
+        "Qwen3-4B",
+        CapabilityProfile {
+            language: 0.58,
+            vision: 0.0,
+        },
+    ),
+    (
+        "Qwen3-8B",
+        CapabilityProfile {
+            language: 0.64,
+            vision: 0.0,
+        },
+    ),
 ];
 
 /// Look up a model's capability profile by name.
 pub fn capability(model_name: &str) -> Option<CapabilityProfile> {
-    PROFILES.iter().find(|(n, _)| *n == model_name).map(|(_, p)| *p)
+    PROFILES
+        .iter()
+        .find(|(n, _)| *n == model_name)
+        .map(|(_, p)| *p)
 }
 
 /// Heuristic fallback for custom/variant configs: capability grows
@@ -49,7 +142,10 @@ pub fn capability(model_name: &str) -> Option<CapabilityProfile> {
 pub fn capability_from_active_params(active_params: u64) -> CapabilityProfile {
     let b = (active_params as f64 / 1e9).max(0.05);
     let language = (0.42 + 0.09 * b.ln()).clamp(0.2, 0.8);
-    CapabilityProfile { language, vision: 0.0 }
+    CapabilityProfile {
+        language,
+        vision: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -59,7 +155,11 @@ mod tests {
     #[test]
     fn all_paper_models_have_profiles() {
         for m in moe_model::registry::all_models() {
-            assert!(capability(&m.name).is_some(), "missing profile for {}", m.name);
+            assert!(
+                capability(&m.name).is_some(),
+                "missing profile for {}",
+                m.name
+            );
         }
     }
 

@@ -7,17 +7,17 @@
 //! multiple-choice). Synthetic items are generated deterministically per
 //! (task, index).
 
-use serde::Serialize;
+use moe_json::ToJson;
 
 /// Modality of a task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, ToJson)]
 pub enum TaskKind {
     Language,
     VisionLanguage,
 }
 
 /// One benchmark task. (Serialize-only: names are static literals.)
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, ToJson)]
 pub struct Task {
     pub name: &'static str,
     pub kind: TaskKind,
@@ -34,14 +34,62 @@ pub struct Task {
 pub fn lm_task_suite() -> Vec<Task> {
     use TaskKind::Language as L;
     vec![
-        Task { name: "ARC-c", kind: L, difficulty: 0.62, chance: 0.25, num_items: 1172 },
-        Task { name: "ARC-e", kind: L, difficulty: 0.38, chance: 0.25, num_items: 2376 },
-        Task { name: "BoolQ", kind: L, difficulty: 0.45, chance: 0.50, num_items: 3270 },
-        Task { name: "HellaSwag", kind: L, difficulty: 0.50, chance: 0.25, num_items: 10_042 },
-        Task { name: "MMLU", kind: L, difficulty: 0.66, chance: 0.25, num_items: 14_042 },
-        Task { name: "OpenBookQA", kind: L, difficulty: 0.55, chance: 0.25, num_items: 500 },
-        Task { name: "RTE", kind: L, difficulty: 0.48, chance: 0.50, num_items: 277 },
-        Task { name: "WinoGrande", kind: L, difficulty: 0.52, chance: 0.50, num_items: 1267 },
+        Task {
+            name: "ARC-c",
+            kind: L,
+            difficulty: 0.62,
+            chance: 0.25,
+            num_items: 1172,
+        },
+        Task {
+            name: "ARC-e",
+            kind: L,
+            difficulty: 0.38,
+            chance: 0.25,
+            num_items: 2376,
+        },
+        Task {
+            name: "BoolQ",
+            kind: L,
+            difficulty: 0.45,
+            chance: 0.50,
+            num_items: 3270,
+        },
+        Task {
+            name: "HellaSwag",
+            kind: L,
+            difficulty: 0.50,
+            chance: 0.25,
+            num_items: 10_042,
+        },
+        Task {
+            name: "MMLU",
+            kind: L,
+            difficulty: 0.66,
+            chance: 0.25,
+            num_items: 14_042,
+        },
+        Task {
+            name: "OpenBookQA",
+            kind: L,
+            difficulty: 0.55,
+            chance: 0.25,
+            num_items: 500,
+        },
+        Task {
+            name: "RTE",
+            kind: L,
+            difficulty: 0.48,
+            chance: 0.50,
+            num_items: 277,
+        },
+        Task {
+            name: "WinoGrande",
+            kind: L,
+            difficulty: 0.52,
+            chance: 0.50,
+            num_items: 1267,
+        },
     ]
 }
 
@@ -49,14 +97,62 @@ pub fn lm_task_suite() -> Vec<Task> {
 pub fn vlm_task_suite() -> Vec<Task> {
     use TaskKind::VisionLanguage as V;
     vec![
-        Task { name: "MME", kind: V, difficulty: 0.50, chance: 0.50, num_items: 2374 },
-        Task { name: "TextVQA", kind: V, difficulty: 0.55, chance: 0.05, num_items: 5000 },
-        Task { name: "AI2D", kind: V, difficulty: 0.58, chance: 0.25, num_items: 3088 },
-        Task { name: "DocVQA", kind: V, difficulty: 0.60, chance: 0.05, num_items: 5349 },
-        Task { name: "MMMU", kind: V, difficulty: 0.75, chance: 0.25, num_items: 900 },
-        Task { name: "InfoVQA", kind: V, difficulty: 0.68, chance: 0.05, num_items: 2801 },
-        Task { name: "RealWorldQA", kind: V, difficulty: 0.62, chance: 0.25, num_items: 765 },
-        Task { name: "ScienceQA", kind: V, difficulty: 0.52, chance: 0.25, num_items: 4241 },
+        Task {
+            name: "MME",
+            kind: V,
+            difficulty: 0.50,
+            chance: 0.50,
+            num_items: 2374,
+        },
+        Task {
+            name: "TextVQA",
+            kind: V,
+            difficulty: 0.55,
+            chance: 0.05,
+            num_items: 5000,
+        },
+        Task {
+            name: "AI2D",
+            kind: V,
+            difficulty: 0.58,
+            chance: 0.25,
+            num_items: 3088,
+        },
+        Task {
+            name: "DocVQA",
+            kind: V,
+            difficulty: 0.60,
+            chance: 0.05,
+            num_items: 5349,
+        },
+        Task {
+            name: "MMMU",
+            kind: V,
+            difficulty: 0.75,
+            chance: 0.25,
+            num_items: 900,
+        },
+        Task {
+            name: "InfoVQA",
+            kind: V,
+            difficulty: 0.68,
+            chance: 0.05,
+            num_items: 2801,
+        },
+        Task {
+            name: "RealWorldQA",
+            kind: V,
+            difficulty: 0.62,
+            chance: 0.25,
+            num_items: 765,
+        },
+        Task {
+            name: "ScienceQA",
+            kind: V,
+            difficulty: 0.52,
+            chance: 0.25,
+            num_items: 4241,
+        },
     ]
 }
 
@@ -65,7 +161,9 @@ pub fn vlm_task_suite() -> Vec<Task> {
 /// variation.
 pub fn item_difficulty(task: &Task, index: usize) -> f64 {
     let seed = moe_tensor::rng::derive_seed(
-        task.name.bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64)),
+        task.name
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64)),
         index as u64,
     );
     let unit = (seed % 10_000) as f64 / 10_000.0; // [0,1)
@@ -79,15 +177,29 @@ mod tests {
     #[test]
     fn suites_have_paper_task_lists() {
         let lm: Vec<&str> = lm_task_suite().iter().map(|t| t.name).collect();
-        for name in
-            ["ARC-c", "ARC-e", "BoolQ", "HellaSwag", "MMLU", "OpenBookQA", "RTE", "WinoGrande"]
-        {
+        for name in [
+            "ARC-c",
+            "ARC-e",
+            "BoolQ",
+            "HellaSwag",
+            "MMLU",
+            "OpenBookQA",
+            "RTE",
+            "WinoGrande",
+        ] {
             assert!(lm.contains(&name), "missing {name}");
         }
         let vlm: Vec<&str> = vlm_task_suite().iter().map(|t| t.name).collect();
-        for name in
-            ["MME", "TextVQA", "AI2D", "DocVQA", "MMMU", "InfoVQA", "RealWorldQA", "ScienceQA"]
-        {
+        for name in [
+            "MME",
+            "TextVQA",
+            "AI2D",
+            "DocVQA",
+            "MMMU",
+            "InfoVQA",
+            "RealWorldQA",
+            "ScienceQA",
+        ] {
             assert!(vlm.contains(&name), "missing {name}");
         }
     }
@@ -95,7 +207,9 @@ mod tests {
     #[test]
     fn kinds_are_consistent() {
         assert!(lm_task_suite().iter().all(|t| t.kind == TaskKind::Language));
-        assert!(vlm_task_suite().iter().all(|t| t.kind == TaskKind::VisionLanguage));
+        assert!(vlm_task_suite()
+            .iter()
+            .all(|t| t.kind == TaskKind::VisionLanguage));
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Checked float-to-count conversion: the single audited path for turning
+//! a float-valued expression into an element count inside the cost model.
+//!
+//! `expr as usize` on a float truncates toward zero and saturates silently
+//! (NaN becomes 0), which has bitten analytical cost models before — the
+//! `no-lossy-float-cast` lint bans the raw cast in this crate and funnels
+//! every conversion through here, where the domain is checked.
+
+/// Convert a float to an element count, flooring.
+///
+/// Counts in the cost model are small non-negative quantities (rows,
+/// experts, devices, blocks); a NaN, negative, or astronomically large
+/// value can only come from a bug upstream, so this asserts the domain in
+/// debug builds and clamps in release rather than wrapping or silently
+/// producing 0 from NaN.
+pub fn f64_to_count(v: f64) -> usize {
+    debug_assert!(v.is_finite(), "count conversion on non-finite value {v}");
+    debug_assert!(v >= 0.0, "count conversion on negative value {v}");
+    // 2^53: above this an f64 cannot represent adjacent integers, so a
+    // "count" this large is meaningless.
+    const MAX_COUNT: f64 = 9_007_199_254_740_992.0;
+    let clamped = if v.is_finite() {
+        v.clamp(0.0, MAX_COUNT)
+    } else {
+        0.0
+    };
+    // lint:allow(no-lossy-float-cast) -- the one audited cast: domain checked above
+    clamped as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floors_and_passes_integers() {
+        assert_eq!(f64_to_count(0.0), 0);
+        assert_eq!(f64_to_count(1.0), 1);
+        assert_eq!(f64_to_count(7.9), 7);
+        assert_eq!(f64_to_count(4096.0), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn debug_asserts_on_nan() {
+        let _ = f64_to_count(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn debug_asserts_on_negative() {
+        let _ = f64_to_count(-1.0);
+    }
+}

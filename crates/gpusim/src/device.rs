@@ -8,11 +8,11 @@
 //! streaming), very high on-chip bandwidth, and a modest fixed per-launch
 //! overhead.
 
+use moe_json::{FromJson, ToJson};
 use moe_tensor::Precision;
-use serde::{Deserialize, Serialize};
 
 /// Performance-relevant description of one accelerator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct DeviceProfile {
     pub name: String,
     /// Dense tensor-core peak at 16-bit precision (FLOP/s).
@@ -104,7 +104,7 @@ impl DeviceProfile {
 }
 
 /// One point-to-point / collective fabric between devices.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
 pub struct Interconnect {
     /// Per-device injection bandwidth (B/s) usable by collectives.
     pub bandwidth: f64,
@@ -115,23 +115,32 @@ pub struct Interconnect {
 impl Interconnect {
     /// 4th-generation NVLink within an HGX H100 node.
     pub fn nvlink4() -> Self {
-        Self { bandwidth: 450e9, latency: 3e-6 }
+        Self {
+            bandwidth: 450e9,
+            latency: 3e-6,
+        }
     }
 
     /// PCIe Gen5 x16 fallback fabric.
     pub fn pcie_gen5() -> Self {
-        Self { bandwidth: 55e9, latency: 8e-6 }
+        Self {
+            bandwidth: 55e9,
+            latency: 8e-6,
+        }
     }
 
     /// InfiniBand NDR (400 Gb/s per port) inter-node fabric.
     pub fn infiniband_ndr() -> Self {
-        Self { bandwidth: 50e9, latency: 12e-6 }
+        Self {
+            bandwidth: 50e9,
+            latency: 12e-6,
+        }
     }
 }
 
 /// A set of identical devices joined by an intra-node fabric, optionally
 /// spanning multiple nodes over a slower inter-node fabric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct Cluster {
     pub device: DeviceProfile,
     pub num_devices: usize,
@@ -170,7 +179,10 @@ impl Cluster {
 
     /// A single CS-3.
     pub fn cs3() -> Self {
-        let link = Interconnect { bandwidth: 1.2e12, latency: 1e-6 };
+        let link = Interconnect {
+            bandwidth: 1.2e12,
+            latency: 1e-6,
+        };
         Self {
             device: DeviceProfile::cs3(),
             num_devices: 1,

@@ -27,6 +27,9 @@
 //! *relative* results (who wins, by what factor, where the crossovers and
 //! OOM walls are) all fall out of these mechanisms.
 
+#![forbid(unsafe_code)]
+
+pub mod convert;
 pub mod des;
 pub mod device;
 pub mod memory;

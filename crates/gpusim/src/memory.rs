@@ -13,9 +13,9 @@
 
 use std::fmt;
 
+use moe_json::{FromJson, ToJson};
 use moe_model::{ModelConfig, ParamBreakdown};
 use moe_tensor::Precision;
-use serde::{Deserialize, Serialize};
 
 use crate::device::Cluster;
 use crate::parallel::ParallelPlan;
@@ -33,7 +33,7 @@ pub const MAX_BATCHED_TOKENS: usize = 32_768;
 const ACT_HIDDEN_MULTIPLIER: f64 = 10.0;
 
 /// Per-device memory breakdown (bytes).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
 pub struct MemoryFootprint {
     pub weight_bytes: f64,
     pub kv_bytes: f64,
@@ -59,7 +59,7 @@ impl MemoryFootprint {
 }
 
 /// Out-of-memory failure: the configuration cannot be placed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct OomError {
     pub required_bytes: f64,
     pub capacity_bytes: f64,
@@ -132,7 +132,15 @@ pub fn check_fits(
     batch: usize,
     max_seq: usize,
 ) -> Result<MemoryFootprint, OomError> {
-    let fp = footprint(config, precision, kv_precision, plan, cluster, batch, max_seq);
+    let fp = footprint(
+        config,
+        precision,
+        kv_precision,
+        plan,
+        cluster,
+        batch,
+        max_seq,
+    );
     if fp.fits() {
         Ok(fp)
     } else {
@@ -166,9 +174,25 @@ mod tests {
     fn mixtral_fp16_fits_on_two_not_one() {
         // 94 GB of fp16 weights cannot fit a single 80 GB H100.
         let m = mixtral_8x7b();
-        let one = check_fits(&m, Precision::F16, Precision::F16, &tp(1), &Cluster::h100_node(1), 1, 4096);
+        let one = check_fits(
+            &m,
+            Precision::F16,
+            Precision::F16,
+            &tp(1),
+            &Cluster::h100_node(1),
+            1,
+            4096,
+        );
         assert!(one.is_err());
-        let two = check_fits(&m, Precision::F16, Precision::F16, &tp(2), &Cluster::h100_node(2), 1, 4096);
+        let two = check_fits(
+            &m,
+            Precision::F16,
+            Precision::F16,
+            &tp(2),
+            &Cluster::h100_node(2),
+            1,
+            4096,
+        );
         assert!(two.is_ok(), "{two:?}");
     }
 
@@ -223,8 +247,24 @@ mod tests {
     #[test]
     fn sharding_divides_weights_and_kv() {
         let m = mixtral_8x7b();
-        let f1 = footprint(&m, Precision::F16, Precision::F16, &tp(1), &Cluster::h100_node(1), 8, 2048);
-        let f4 = footprint(&m, Precision::F16, Precision::F16, &tp(4), &Cluster::h100_node(4), 8, 2048);
+        let f1 = footprint(
+            &m,
+            Precision::F16,
+            Precision::F16,
+            &tp(1),
+            &Cluster::h100_node(1),
+            8,
+            2048,
+        );
+        let f4 = footprint(
+            &m,
+            Precision::F16,
+            Precision::F16,
+            &tp(4),
+            &Cluster::h100_node(4),
+            8,
+            2048,
+        );
         assert!((f1.weight_bytes / f4.weight_bytes - 4.0).abs() < 1e-9);
         assert!((f1.kv_bytes / f4.kv_bytes - 4.0).abs() < 1e-9);
     }
@@ -232,8 +272,16 @@ mod tests {
     #[test]
     fn oom_error_is_descriptive() {
         let m = mixtral_8x7b();
-        let err = check_fits(&m, Precision::F16, Precision::F16, &tp(1), &Cluster::h100_node(1), 1, 2048)
-            .unwrap_err();
+        let err = check_fits(
+            &m,
+            Precision::F16,
+            Precision::F16,
+            &tp(1),
+            &Cluster::h100_node(1),
+            1,
+            2048,
+        )
+        .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("OOM"));
         assert!(msg.contains("Mixtral-8x7B"));

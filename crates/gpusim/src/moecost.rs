@@ -89,7 +89,7 @@ pub fn moe_layer_cost(
     let weight_bytes = distinct * 3.0 * h as f64 * ffn as f64 * precision.bytes_per_param();
 
     // Compute efficiency: per-expert GEMMs see only their share of rows.
-    let per_expert_rows = (assignments / e as f64).max(1.0) as usize;
+    let per_expert_rows = crate::convert::f64_to_count((assignments / e as f64).max(1.0));
     let tuned = tuning_efficiency(ffn, h);
     let eff = fill_efficiency(per_expert_rows) * tuned
         / imbalance_factor(e, assignments, router_skew(moe));
@@ -197,8 +197,8 @@ mod tests {
         let d = h100();
         let t16 =
             moe_layer_cost(&d, Precision::F16, 64, 4096, &moe(8, 2, 14_336), true).time_on(&d);
-        let t8 = moe_layer_cost(&d, Precision::Fp8E4M3, 64, 4096, &moe(8, 2, 14_336), true)
-            .time_on(&d);
+        let t8 =
+            moe_layer_cost(&d, Precision::Fp8E4M3, 64, 4096, &moe(8, 2, 14_336), true).time_on(&d);
         assert!(t8 < t16 * 0.7);
     }
 

@@ -10,13 +10,13 @@
 //! Collectives use standard ring-algorithm cost models over the cluster
 //! fabric.
 
+use moe_json::{FromJson, ToJson};
 use moe_model::ModelConfig;
-use serde::{Deserialize, Serialize};
 
 use crate::device::Interconnect;
 
 /// Base sharding dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub enum ParallelMode {
     /// Megatron-style intra-layer sharding: every GEMM split across the
     /// group, two all-reduces per transformer layer.
@@ -27,7 +27,7 @@ pub enum ParallelMode {
 }
 
 /// A complete placement description.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub struct ParallelPlan {
     pub mode: ParallelMode,
     /// Number of devices in the group.
@@ -40,19 +40,31 @@ pub struct ParallelPlan {
 impl ParallelPlan {
     /// Single device, no parallelism.
     pub fn single() -> Self {
-        Self { mode: ParallelMode::Tensor, degree: 1, expert_parallel: false }
+        Self {
+            mode: ParallelMode::Tensor,
+            degree: 1,
+            expert_parallel: false,
+        }
     }
 
     /// Tensor parallelism of the given degree.
     pub fn tensor(degree: usize) -> Self {
         assert!(degree >= 1);
-        Self { mode: ParallelMode::Tensor, degree, expert_parallel: false }
+        Self {
+            mode: ParallelMode::Tensor,
+            degree,
+            expert_parallel: false,
+        }
     }
 
     /// Pipeline parallelism of the given degree.
     pub fn pipeline(degree: usize) -> Self {
         assert!(degree >= 1);
-        Self { mode: ParallelMode::Pipeline, degree, expert_parallel: false }
+        Self {
+            mode: ParallelMode::Pipeline,
+            degree,
+            expert_parallel: false,
+        }
     }
 
     /// Enable expert parallelism on top of the base mode.
@@ -154,9 +166,15 @@ mod tests {
     #[test]
     fn labels_match_fig13() {
         assert_eq!(ParallelPlan::tensor(4).label(), "TP4");
-        assert_eq!(ParallelPlan::tensor(2).with_expert_parallel().label(), "TP2+EP");
+        assert_eq!(
+            ParallelPlan::tensor(2).with_expert_parallel().label(),
+            "TP2+EP"
+        );
         assert_eq!(ParallelPlan::pipeline(4).label(), "PP4");
-        assert_eq!(ParallelPlan::pipeline(4).with_expert_parallel().label(), "PP4+EP");
+        assert_eq!(
+            ParallelPlan::pipeline(4).with_expert_parallel().label(),
+            "PP4+EP"
+        );
     }
 
     #[test]
@@ -186,7 +204,9 @@ mod tests {
     fn pipeline_needs_enough_layers() {
         let plan = ParallelPlan::pipeline(64);
         assert!(!plan.validate(&mixtral_8x7b()).is_empty());
-        assert!(ParallelPlan::pipeline(4).validate(&mixtral_8x7b()).is_empty());
+        assert!(ParallelPlan::pipeline(4)
+            .validate(&mixtral_8x7b())
+            .is_empty());
     }
 
     #[test]

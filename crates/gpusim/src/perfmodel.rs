@@ -2,9 +2,9 @@
 //! and per phase into the serving metrics the paper reports (Section 3.4):
 //! TTFT, ITL, end-to-end latency, throughput, and samples/s for VLMs.
 
+use moe_json::{FromJson, ToJson};
 use moe_model::{ModelConfig, MoeConfig};
 use moe_tensor::Precision;
-use serde::{Deserialize, Serialize};
 
 use crate::des::simulate_pipeline;
 use crate::device::Cluster;
@@ -29,7 +29,7 @@ pub enum Phase {
 }
 
 /// Inference-engine configuration knobs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct EngineOptions {
     /// Weight precision.
     pub precision: Precision,
@@ -87,7 +87,7 @@ impl EngineOptions {
 
 /// Serving metrics for one (batch, input, output) run, following the
 /// paper's definitions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
 pub struct RunMetrics {
     pub batch: usize,
     pub input_tokens: usize,
@@ -110,7 +110,11 @@ pub struct RunMetrics {
 impl RunMetrics {
     fn from_times(batch: usize, input: usize, output: usize, ttft: f64, e2e: f64) -> Self {
         let decode_time = (e2e - ttft).max(0.0);
-        let itl = if output > 1 { decode_time / (output - 1) as f64 } else { 0.0 };
+        let itl = if output > 1 {
+            decode_time / (output - 1) as f64
+        } else {
+            0.0
+        };
         Self {
             batch,
             input_tokens: input,
@@ -147,13 +151,17 @@ impl PerfModel {
         if !problems.is_empty() {
             return Err(problems.join("; "));
         }
-        Ok(Self { config, cluster, opts })
+        Ok(Self {
+            config,
+            cluster,
+            opts,
+        })
     }
 
     /// Convenience: single H100, default options.
     pub fn h100(config: ModelConfig) -> Self {
         Self::new(config, Cluster::h100_node(1), EngineOptions::default())
-            .expect("single-device plan always valid")
+            .expect("single-device plan always valid") // lint:allow(no-panic-in-lib) -- a one-device H100 plan validates for every config by construction
     }
 
     pub fn config(&self) -> &ModelConfig {
@@ -203,12 +211,19 @@ impl PerfModel {
 
         let mut cost = OpCost::zero();
         // Fused QKV projection.
-        cost.add(&gemm_cost(d, self.opts.precision, tokens, q_dim + 2 * kv_dim, h));
+        cost.add(&gemm_cost(
+            d,
+            self.opts.precision,
+            tokens,
+            q_dim + 2 * kv_dim,
+            h,
+        ));
         // Attention core.
-        let kv_layer_bytes_per_token =
-            self.config.kv_bytes_per_token(self.opts.kv_precision.bytes_per_param())
-                / self.config.num_layers as f64
-                / tp as f64;
+        let kv_layer_bytes_per_token = self
+            .config
+            .kv_bytes_per_token(self.opts.kv_precision.bytes_per_param())
+            / self.config.num_layers as f64
+            / tp as f64;
         let core = match phase {
             Phase::Prefill => {
                 let seq = tokens / batch.max(1);
@@ -262,7 +277,7 @@ impl PerfModel {
             cost.add(&gemm_cost(d, self.opts.precision, tokens, h, ffn));
             return (cost, 0.0);
         }
-        let moe = self.config.moe.as_ref().expect("moe layer on dense model");
+        let moe = self.config.moe.as_ref().expect("moe layer on dense model"); // lint:allow(no-panic-in-lib) -- guarded by the MoE-layer check in the caller
         let group = self.opts.plan.degree;
         if self.opts.plan.expert_parallel && group > 1 {
             // Whole experts distributed across the group; tokens shuffled
@@ -272,8 +287,14 @@ impl PerfModel {
                 ..moe.clone()
             };
             let local_tokens = tokens.div_ceil(group);
-            let mut cost =
-                moe_layer_cost(d, self.opts.precision, local_tokens, h, &local, self.opts.fused_moe);
+            let mut cost = moe_layer_cost(
+                d,
+                self.opts.precision,
+                local_tokens,
+                h,
+                &local,
+                self.opts.fused_moe,
+            );
             // Device-level load imbalance gates the group.
             let assignments = (tokens * moe.top_k) as f64;
             let dev_imbalance = imbalance_factor(group, assignments, router_skew(moe));
@@ -290,14 +311,27 @@ impl PerfModel {
                 shared_expert_ffn_dim: moe.shared_expert_ffn_dim.div_ceil(tp),
                 ..moe.clone()
             };
-            let cost =
-                moe_layer_cost(d, self.opts.precision, tokens, h, &sharded, self.opts.fused_moe);
+            let cost = moe_layer_cost(
+                d,
+                self.opts.precision,
+                tokens,
+                h,
+                &sharded,
+                self.opts.fused_moe,
+            );
             (cost, 0.0)
         }
     }
 
     /// Time for one transformer layer on one device, including collectives.
-    fn layer_time(&self, tokens: usize, batch: usize, ctx: usize, phase: Phase, moe_layer: bool) -> f64 {
+    fn layer_time(
+        &self,
+        tokens: usize,
+        batch: usize,
+        ctx: usize,
+        phase: Phase,
+        moe_layer: bool,
+    ) -> f64 {
         let d = &self.cluster.device;
         let mut t = self.attn_layer_cost(tokens, batch, ctx, phase).time_on(d);
         let (ffn_cost, ep_comm) = self.ffn_layer_cost(tokens, moe_layer);
@@ -419,15 +453,37 @@ impl PerfModel {
         }
         let mut cost = OpCost::zero();
         for _ in 0..v.num_layers {
-            cost.add(&gemm_cost(d, self.opts.precision, tokens, 3 * v.hidden_size, v.hidden_size));
-            cost.add(&gemm_cost(d, self.opts.precision, tokens, v.hidden_size, v.hidden_size));
-            cost.add(&gemm_cost(d, self.opts.precision, tokens, v.ffn_dim, v.hidden_size));
-            cost.add(&gemm_cost(d, self.opts.precision, tokens, v.hidden_size, v.ffn_dim));
+            cost.add(&gemm_cost(
+                d,
+                self.opts.precision,
+                tokens,
+                3 * v.hidden_size,
+                v.hidden_size,
+            ));
+            cost.add(&gemm_cost(
+                d,
+                self.opts.precision,
+                tokens,
+                v.hidden_size,
+                v.hidden_size,
+            ));
+            cost.add(&gemm_cost(
+                d,
+                self.opts.precision,
+                tokens,
+                v.ffn_dim,
+                v.hidden_size,
+            ));
+            cost.add(&gemm_cost(
+                d,
+                self.opts.precision,
+                tokens,
+                v.hidden_size,
+                v.ffn_dim,
+            ));
             // Attention core within each image's token window.
             cost.add(&OpCost {
-                flops: 4.0 * tokens as f64
-                    * v.tokens_per_image as f64
-                    * v.hidden_size as f64,
+                flops: 4.0 * tokens as f64 * v.tokens_per_image as f64 * v.hidden_size as f64,
                 compute_eff: 0.6,
                 mem_eff: 1.0,
                 weight_bytes: 0.0,
@@ -463,7 +519,13 @@ impl PerfModel {
         } else {
             0.0
         };
-        Ok(RunMetrics::from_times(batch, input, output, ttft, ttft + decode))
+        Ok(RunMetrics::from_times(
+            batch,
+            input,
+            output,
+            ttft,
+            ttft + decode,
+        ))
     }
 
     /// Full generation run for a VLM: each sample carries `images` images
@@ -495,7 +557,13 @@ impl PerfModel {
         };
         // Metrics are reported against the *text* input size (the image is
         // the sample, not tokens the user typed).
-        Ok(RunMetrics::from_times(batch, input, output, ttft, ttft + decode))
+        Ok(RunMetrics::from_times(
+            batch,
+            input,
+            output,
+            ttft,
+            ttft + decode,
+        ))
     }
 }
 
@@ -507,8 +575,12 @@ mod tests {
     };
 
     fn model_on(config: ModelConfig, gpus: usize, plan: ParallelPlan) -> PerfModel {
-        PerfModel::new(config, Cluster::h100_node(gpus), EngineOptions::default().with_plan(plan))
-            .unwrap()
+        PerfModel::new(
+            config,
+            Cluster::h100_node(gpus),
+            EngineOptions::default().with_plan(plan),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -593,7 +665,9 @@ mod tests {
             PerfModel::new(
                 mixtral_8x7b(),
                 Cluster::h100_node(2),
-                EngineOptions::default().with_plan(ParallelPlan::tensor(2)).with_precision(p),
+                EngineOptions::default()
+                    .with_plan(ParallelPlan::tensor(2))
+                    .with_precision(p),
             )
             .unwrap()
             .run(64, 1024, 1024)
@@ -656,10 +730,14 @@ mod tests {
             .run(16, 1024, 1024)
             .unwrap()
             .throughput_tok_s;
-        let tp4ep = model_on(qwen15_moe_a27b(), 4, ParallelPlan::tensor(4).with_expert_parallel())
-            .run(16, 1024, 1024)
-            .unwrap()
-            .throughput_tok_s;
+        let tp4ep = model_on(
+            qwen15_moe_a27b(),
+            4,
+            ParallelPlan::tensor(4).with_expert_parallel(),
+        )
+        .run(16, 1024, 1024)
+        .unwrap()
+        .throughput_tok_s;
         assert!(tp4ep < tp4, "TP4+EP {tp4ep} vs TP4 {tp4}");
     }
 

@@ -8,7 +8,7 @@
 //! least-loaded device — the classic 4/3-approximation for makespan — and
 //! is what load-aware serving systems implement.
 
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 
 /// An assignment of experts to devices: `placement[d]` lists the expert
 /// indices on device `d`.
@@ -36,7 +36,7 @@ pub fn lpt_placement(loads: &[u64], devices: usize) -> Placement {
             .enumerate()
             .min_by_key(|(_, &l)| l)
             .map(|(d, _)| d)
-            .expect("at least one device");
+            .unwrap_or(0);
         placement[d].push(e);
         device_load[d] += loads[e];
     }
@@ -60,12 +60,12 @@ pub fn placement_imbalance(placement: &Placement, loads: &[u64]) -> f64 {
         return 1.0;
     }
     let mean = total as f64 / per_device.len() as f64;
-    let max = *per_device.iter().max().expect("non-empty") as f64;
+    let max = per_device.iter().max().copied().unwrap_or(0) as f64;
     max / mean
 }
 
 /// Summary of a placement comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
 pub struct PlacementComparison {
     pub contiguous_imbalance: f64,
     pub lpt_imbalance: f64,
@@ -87,7 +87,6 @@ pub fn compare_placements(loads: &[u64], devices: usize) -> PlacementComparison 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn contiguous_covers_all_experts() {
@@ -127,15 +126,21 @@ mod tests {
     #[test]
     fn zero_loads_are_neutral() {
         let loads = [0u64; 8];
-        assert_eq!(placement_imbalance(&contiguous_placement(8, 4), &loads), 1.0);
+        assert_eq!(
+            placement_imbalance(&contiguous_placement(8, 4), &loads),
+            1.0
+        );
     }
 
-    proptest! {
-        #[test]
-        fn prop_lpt_within_classical_bound(
-            loads in proptest::collection::vec(0u64..1000, 4..64),
-            devices in 2usize..8,
-        ) {
+    // Deterministic randomized sweeps (replacing the former proptest versions).
+
+    #[test]
+    fn randomized_lpt_within_classical_bound() {
+        let mut rng = moe_tensor::rng::rng_from_seed(0x17_ac_ed);
+        for _ in 0..64 {
+            let n = 4 + rng.next_below(60);
+            let loads: Vec<u64> = (0..n).map(|_| rng.next_below(1000) as u64).collect();
+            let devices = 2 + rng.next_below(6);
             // Graham's bound: LPT makespan <= (4/3 - 1/3m) * OPT, and
             // OPT >= max(mean load, largest single load).
             let p = lpt_placement(&loads, devices);
@@ -156,20 +161,28 @@ mod tests {
             };
             let opt_lower = mean.max(largest).max(pair);
             let bound = (4.0 / 3.0 - 1.0 / (3.0 * devices as f64)) * opt_lower;
-            prop_assert!(makespan <= bound + 1e-9, "makespan {makespan} bound {bound}");
-            prop_assert!(placement_imbalance(&p, &loads) >= 1.0 - 1e-12);
+            assert!(
+                makespan <= bound + 1e-9,
+                "makespan {makespan} bound {bound}"
+            );
+            assert!(placement_imbalance(&p, &loads) >= 1.0 - 1e-12);
         }
+    }
 
-        #[test]
-        fn prop_every_expert_placed_exactly_once(
-            n in 1usize..64,
-            devices in 1usize..8,
-        ) {
+    #[test]
+    fn randomized_every_expert_placed_exactly_once() {
+        let mut rng = moe_tensor::rng::rng_from_seed(0x17_ac_ee);
+        for _ in 0..64 {
+            let n = 1 + rng.next_below(63);
+            let devices = 1 + rng.next_below(7);
             let loads: Vec<u64> = (0..n as u64).collect();
-            for p in [contiguous_placement(n, devices), lpt_placement(&loads, devices)] {
+            for p in [
+                contiguous_placement(n, devices),
+                lpt_placement(&loads, devices),
+            ] {
                 let mut all: Vec<usize> = p.into_iter().flatten().collect();
                 all.sort_unstable();
-                prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+                assert_eq!(all, (0..n).collect::<Vec<_>>());
             }
         }
     }

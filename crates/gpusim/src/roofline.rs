@@ -22,8 +22,8 @@
 //!   mechanism behind the paper's observation that 12.5 %/25 % pruning can
 //!   *reduce* throughput while 50 % improves it.
 
+use moe_json::{FromJson, ToJson};
 use moe_tensor::Precision;
-use serde::{Deserialize, Serialize};
 
 use crate::device::DeviceProfile;
 
@@ -38,7 +38,7 @@ pub const TUNE_QUANTUM: usize = 256;
 pub const UNTUNED_PENALTY: f64 = 0.82;
 
 /// Abstract cost of one kernel (or a fused group of kernels).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, ToJson, FromJson)]
 pub struct OpCost {
     /// Floating-point operations.
     pub flops: f64,
@@ -61,7 +61,12 @@ pub struct OpCost {
 impl OpCost {
     /// An empty cost.
     pub fn zero() -> Self {
-        Self { compute_eff: 1.0, mem_eff: 1.0, precision: Precision::F16, ..Default::default() }
+        Self {
+            compute_eff: 1.0,
+            mem_eff: 1.0,
+            precision: Precision::F16,
+            ..Default::default()
+        }
     }
 
     /// Accumulate another op (sequential composition). Efficiency is
@@ -107,7 +112,11 @@ impl OpCost {
         } else {
             0.0
         };
-        let weight_traffic = if device.weights_stationary { 0.0 } else { self.weight_bytes };
+        let weight_traffic = if device.weights_stationary {
+            0.0
+        } else {
+            self.weight_bytes
+        };
         let mem = (weight_traffic + self.act_bytes)
             / (device.sustained_bandwidth() * self.mem_eff.max(1e-9));
         compute.max(mem) + self.launches * device.kernel_launch_s
@@ -148,7 +157,13 @@ pub fn tuning_efficiency(n: usize, k: usize) -> f64 {
 
 /// Cost of one dense GEMM `[m x k] @ [k x n]` with weights stored at
 /// `precision` and activations at 16-bit.
-pub fn gemm_cost(device: &DeviceProfile, precision: Precision, m: usize, n: usize, k: usize) -> OpCost {
+pub fn gemm_cost(
+    device: &DeviceProfile,
+    precision: Precision,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> OpCost {
     let flops = 2.0 * m as f64 * n as f64 * k as f64;
     let tuned = tuning_efficiency(n, k);
     let eff = fill_efficiency(m) * wave_efficiency(m, n, device.num_sms) * tuned;

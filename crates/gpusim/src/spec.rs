@@ -11,8 +11,8 @@
 //! constants (they are properties of the *models*, not of the serving
 //! system); any other pair falls back to a monotone size-ratio heuristic.
 
+use moe_json::{FromJson, ToJson};
 use moe_model::ModelConfig;
-use serde::{Deserialize, Serialize};
 
 use crate::memory::OomError;
 use crate::perfmodel::{PerfModel, RunMetrics};
@@ -56,7 +56,7 @@ pub fn expected_tokens_per_cycle(alpha: f64, gamma: usize) -> f64 {
 }
 
 /// Configuration of one speculative run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
 pub struct SpecParams {
     /// Draft tokens proposed per cycle.
     pub gamma: usize,
@@ -100,13 +100,21 @@ pub fn spec_run(
         input_tokens: input,
         output_tokens: output,
         ttft_s: ttft,
-        itl_s: if steps > 0.0 { (e2e - ttft) / steps } else { 0.0 },
+        itl_s: if steps > 0.0 {
+            (e2e - ttft) / steps
+        } else {
+            0.0
+        },
         e2e_s: e2e,
         throughput_tok_s: batch as f64 * (input + output) as f64 / e2e,
         decode_tok_s: 0.0,
         samples_per_s: batch as f64 / e2e,
     };
-    m.decode_tok_s = if m.itl_s > 0.0 { batch as f64 / m.itl_s } else { 0.0 };
+    m.decode_tok_s = if m.itl_s > 0.0 {
+        batch as f64 / m.itl_s
+    } else {
+        0.0
+    };
     Ok(m)
 }
 
@@ -174,8 +182,15 @@ mod tests {
         for d in [qwen3_0_6b(), qwen3_1_7b(), qwen3_4b(), qwen3_8b()] {
             let alpha = acceptance_rate(&d, target.config());
             let draft = placed(d.clone());
-            let r = spec_run(&target, &draft, SpecParams { gamma: 3, alpha }, 16, 1024, 1024)
-                .unwrap();
+            let r = spec_run(
+                &target,
+                &draft,
+                SpecParams { gamma: 3, alpha },
+                16,
+                1024,
+                1024,
+            )
+            .unwrap();
             results.push((d.name.clone(), r.throughput_tok_s));
         }
         let best = results
@@ -185,7 +200,10 @@ mod tests {
             .clone();
         assert_eq!(best.0, "Qwen3-1.7B", "{results:?}");
         let t06 = results.iter().find(|r| r.0 == "Qwen3-0.6B").unwrap().1;
-        assert!(t06 < best.1 * 0.85, "0.6B should lag the leader: {results:?}");
+        assert!(
+            t06 < best.1 * 0.85,
+            "0.6B should lag the leader: {results:?}"
+        );
     }
 
     #[test]
@@ -197,8 +215,7 @@ mod tests {
         let alpha = acceptance_rate(&qwen3_1_7b(), target.config());
         let mut last = f64::INFINITY;
         for gamma in [3usize, 5, 7, 9] {
-            let r = spec_run(&target, &draft, SpecParams { gamma, alpha }, 16, 1024, 1024)
-                .unwrap();
+            let r = spec_run(&target, &draft, SpecParams { gamma, alpha }, 16, 1024, 1024).unwrap();
             assert!(r.throughput_tok_s < last, "gamma={gamma}");
             last = r.throughput_tok_s;
         }
@@ -209,12 +226,26 @@ mod tests {
         let target = placed(qwen3_30b_a3b());
         let draft = placed(qwen3_1_7b());
         let alpha = acceptance_rate(&qwen3_1_7b(), target.config());
-        let short = spec_run(&target, &draft, SpecParams { gamma: 3, alpha }, 16, 128, 512)
-            .unwrap()
-            .decode_tok_s;
-        let long = spec_run(&target, &draft, SpecParams { gamma: 3, alpha }, 16, 4096, 512)
-            .unwrap()
-            .decode_tok_s;
+        let short = spec_run(
+            &target,
+            &draft,
+            SpecParams { gamma: 3, alpha },
+            16,
+            128,
+            512,
+        )
+        .unwrap()
+        .decode_tok_s;
+        let long = spec_run(
+            &target,
+            &draft,
+            SpecParams { gamma: 3, alpha },
+            16,
+            4096,
+            512,
+        )
+        .unwrap()
+        .decode_tok_s;
         assert!(long < short);
     }
 
@@ -223,8 +254,15 @@ mod tests {
         let target = placed(qwen3_30b_a3b());
         let draft = placed(qwen3_1_7b());
         let alpha = acceptance_rate(&qwen3_1_7b(), target.config());
-        let spec = spec_run(&target, &draft, SpecParams { gamma: 3, alpha }, 16, 512, 1024)
-            .unwrap();
+        let spec = spec_run(
+            &target,
+            &draft,
+            SpecParams { gamma: 3, alpha },
+            16,
+            512,
+            1024,
+        )
+        .unwrap();
         let vanilla = target.run(16, 512, 1024).unwrap();
         assert!(
             spec.itl_s < vanilla.itl_s,

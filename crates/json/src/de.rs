@@ -1,0 +1,194 @@
+//! The [`FromJson`] trait and implementations for std types.
+
+use crate::{Error, Json};
+use std::collections::{BTreeMap, HashMap};
+
+/// Conversion out of a [`Json`] value.
+pub trait FromJson: Sized {
+    fn from_json(v: &Json) -> Result<Self, Error>;
+}
+
+/// Look up `name` in an object and convert it; a missing key behaves like
+/// `null` (so `Option` fields tolerate omission, everything else reports a
+/// missing field). Used by the `FromJson` derive.
+pub fn field<T: FromJson>(v: &Json, name: &str) -> Result<T, Error> {
+    match v {
+        Json::Obj(_) => match v.get(name) {
+            Some(inner) => {
+                T::from_json(inner).map_err(|e| Error::new(format!("field '{name}': {e}")))
+            }
+            None => {
+                T::from_json(&Json::Null).map_err(|_| Error::new(format!("missing field '{name}'")))
+            }
+        },
+        other => Err(Error::new(format!("expected object, got {}", other.kind()))),
+    }
+}
+
+fn type_err(expected: &str, got: &Json) -> Error {
+    Error::new(format!("expected {expected}, got {}", got.kind()))
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(type_err("bool", other)),
+        }
+    }
+}
+
+macro_rules! int_from_json {
+    ($($t:ty),*) => {$(
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, Error> {
+                match v {
+                    Json::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::new(format!("{} out of range for {}", i, stringify!($t)))),
+                    other => Err(type_err("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+int_from_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromJson for i128 {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Int(i) => Ok(*i),
+            other => Err(type_err("integer", other)),
+        }
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Float(f) => Ok(*f),
+            Json::Int(i) => Ok(*i as f64),
+            // Non-finite floats serialize as null; accept the round-trip.
+            Json::Null => Ok(f64::NAN),
+            other => Err(type_err("number", other)),
+        }
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        f64::from_json(v).map(|f| f as f32)
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(type_err("string", other)),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(type_err("array", other)),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Box<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Arr(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            other => Err(type_err("2-element array", other)),
+        }
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Arr(items) if items.len() == 3 => Ok((
+                A::from_json(&items[0])?,
+                B::from_json(&items[1])?,
+                C::from_json(&items[2])?,
+            )),
+            other => Err(type_err("3-element array", other)),
+        }
+    }
+}
+
+impl<V: FromJson> FromJson for BTreeMap<String, V> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_json(val)?)))
+                .collect(),
+            other => Err(type_err("object", other)),
+        }
+    }
+}
+
+impl<V: FromJson> FromJson for HashMap<String, V> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_json(val)?)))
+                .collect(),
+            other => Err(type_err("object", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_missing_vs_null() {
+        let obj = crate::parse(r#"{"a": 1}"#).unwrap();
+        assert_eq!(field::<u8>(&obj, "a"), Ok(1));
+        assert!(field::<u8>(&obj, "b").is_err());
+        assert_eq!(field::<Option<u8>>(&obj, "b"), Ok(None));
+    }
+
+    #[test]
+    fn int_accepted_as_float() {
+        assert_eq!(f64::from_json(&Json::Int(3)), Ok(3.0));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![1u8, 2]);
+        let s = crate::to_string(&m);
+        assert_eq!(crate::from_str::<BTreeMap<String, Vec<u8>>>(&s), Ok(m));
+    }
+}

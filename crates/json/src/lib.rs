@@ -1,0 +1,146 @@
+//! Zero-dependency JSON for the benchmark suite.
+//!
+//! The crate provides a [`Json`] value model, a strict parser, compact and
+//! pretty printers, and the [`ToJson`] / [`FromJson`] traits together with
+//! `#[derive(ToJson, FromJson)]` macros (re-exported from
+//! `moe-json-derive`). It replaces the external `serde`/`serde_json`
+//! dependency so the workspace builds fully offline and every byte of the
+//! serialization path is auditable by `moe-lint`.
+//!
+//! Determinism notes (these matter — reports are compared byte-for-byte):
+//!
+//! * Struct fields serialize in declaration order; map keys sort.
+//! * Floats print via Rust's shortest-round-trip `Display`, which is
+//!   deterministic across runs and platforms.
+//! * Non-finite floats serialize as `null` (JSON has no NaN/Inf); parsing
+//!   `null` as a float yields `NaN`.
+
+#![forbid(unsafe_code)]
+
+mod de;
+mod parse;
+mod ser;
+mod value;
+
+pub use de::{field, FromJson};
+pub use moe_json_derive::{FromJson, ToJson};
+pub use parse::parse;
+pub use ser::ToJson;
+pub use value::Json;
+
+/// Error produced by parsing or by [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: ToJson + ?Sized>(v: &T) -> String {
+    v.to_json().render_compact()
+}
+
+/// Serialize a value to human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: ToJson + ?Sized>(v: &T) -> String {
+    v.to_json().render_pretty()
+}
+
+/// Parse a JSON document and convert it into `T`.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T, Error> {
+    let v = parse(s)?;
+    T::from_json(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&42u32), "42");
+        assert_eq!(to_string(&-7i64), "-7");
+        assert_eq!(to_string(&1.5f64), "1.5");
+        assert_eq!(to_string("hi"), "\"hi\"");
+        assert_eq!(from_str::<bool>("true"), Ok(true));
+        assert_eq!(from_str::<u32>("42"), Ok(42));
+        assert_eq!(from_str::<f64>("1.5"), Ok(1.5));
+        assert_eq!(from_str::<String>("\"hi\""), Ok("hi".to_string()));
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        let v: Vec<Option<u8>> = vec![Some(1), None, Some(3)];
+        let s = to_string(&v);
+        assert_eq!(s, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<u8>>>(&s), Ok(v));
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN), "null");
+        assert_eq!(to_string(&f64::INFINITY), "null");
+        assert!(from_str::<f64>("null").map(|x| x.is_nan()).unwrap_or(false));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "a\"b\\c\nd\te\u{1}f";
+        let j = to_string(&s.to_string());
+        assert_eq!(from_str::<String>(&j), Ok(s.to_string()));
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v: Vec<u8> = vec![1, 2];
+        assert_eq!(to_string_pretty(&v), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<f64>("{").is_err());
+        assert!(from_str::<f64>("1 2").is_err());
+        assert!(from_str::<Vec<u8>>("[1,]").is_err());
+    }
+
+    #[test]
+    fn unicode_escape_parses() {
+        assert_eq!(
+            from_str::<String>("\"\\u0041\\u00e9\""),
+            Ok("Aé".to_string())
+        );
+        // Surrogate pair.
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\""),
+            Ok("😀".to_string())
+        );
+    }
+
+    #[test]
+    fn int_bounds_checked() {
+        assert!(from_str::<u8>("256").is_err());
+        assert!(from_str::<u8>("-1").is_err());
+        assert_eq!(from_str::<i8>("-128"), Ok(-128));
+    }
+
+    #[test]
+    fn float_display_is_shortest_roundtrip() {
+        for &x in &[0.1f64, 1.0 / 3.0, 123456.789, 2.0f64.powi(-40)] {
+            let s = to_string(&x);
+            assert_eq!(from_str::<f64>(&s), Ok(x), "{s}");
+        }
+    }
+}

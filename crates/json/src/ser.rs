@@ -1,0 +1,151 @@
+//! The [`ToJson`] trait and implementations for std types.
+
+use crate::Json;
+use std::collections::{BTreeMap, HashMap};
+
+/// Conversion into a [`Json`] value. Infallible by design: every value the
+/// workspace serializes has a JSON image (non-finite floats map to `null`).
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i128)
+            }
+        }
+    )*};
+}
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+/// HashMap keys sort before serialization so output is deterministic
+/// regardless of hasher seed — required for byte-identical reports.
+impl<V: ToJson> ToJson for HashMap<String, V> {
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashmap_output_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u8);
+        m.insert("a".to_string(), 1u8);
+        assert_eq!(crate::to_string(&m), "{\"a\":1,\"b\":2}");
+    }
+
+    #[test]
+    fn tuples_as_arrays() {
+        assert_eq!(crate::to_string(&(1u8, 2.5f64)), "[1,2.5]");
+        assert_eq!(crate::to_string(&(1u8, "x", true)), "[1,\"x\",true]");
+    }
+
+    #[test]
+    fn slices_and_arrays() {
+        let a = [1u8, 2, 3];
+        assert_eq!(crate::to_string(&a), "[1,2,3]");
+        assert_eq!(crate::to_string(&a[..2]), "[1,2]");
+    }
+}

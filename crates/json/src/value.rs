@@ -1,0 +1,222 @@
+//! The JSON value model and the two printers.
+
+/// A parsed or constructed JSON value.
+///
+/// Integers and floats are kept distinct so that `u64` counters larger than
+/// 2^53 survive a round-trip without going through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// An integer literal (no decimal point or exponent in the source).
+    Int(i128),
+    /// A number with a decimal point or exponent.
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key/value pairs in serialization order (struct declaration order).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Index into an array.
+    pub fn at(&self, idx: usize) -> Option<&Json> {
+        match self {
+            Json::Arr(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) => "int",
+            Json::Float(_) => "float",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Render with no whitespace.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Render with 2-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => write_float(*f, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    v.write_pretty(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Floats print via `Display`, which emits the shortest string that parses
+/// back to the same value. Non-finite values have no JSON representation
+/// and become `null`.
+fn write_float(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `Display` never uses scientific notation, so extreme magnitudes
+    // would print hundreds of digits; switch to `LowerExp` there. Both
+    // formatters emit the shortest digits that round-trip exactly.
+    let a = f.abs();
+    // `to_bits` test for zero keeps this free of exact float comparison.
+    let s = if a.to_bits() != 0 && !(1e-5..1e17).contains(&a) {
+        format!("{f:e}")
+    } else {
+        format!("{f}")
+    };
+    out.push_str(&s);
+    // Keep a syntactic marker that this is a float so a round-trip
+    // re-parses into Json::Float rather than Json::Int.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_at() {
+        let v = Json::Obj(vec![(
+            "a".into(),
+            Json::Arr(vec![Json::Int(1), Json::Int(2)]),
+        )]);
+        assert_eq!(v.get("a").and_then(|a| a.at(1)), Some(&Json::Int(2)));
+        assert_eq!(v.get("b"), None);
+        assert_eq!(Json::Null.get("a"), None);
+    }
+
+    #[test]
+    fn float_marker_kept() {
+        assert_eq!(Json::Float(2.0).render_compact(), "2.0");
+        assert_eq!(Json::Float(0.5).render_compact(), "0.5");
+        assert_eq!(Json::Float(1e300).render_compact(), "1e300");
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        let mut s = String::new();
+        write_escaped("\u{1}", &mut s);
+        assert_eq!(s, "\"\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_empty_collections_inline() {
+        assert_eq!(Json::Arr(vec![]).render_pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).render_pretty(), "{}");
+    }
+}

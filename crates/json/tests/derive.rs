@@ -1,0 +1,133 @@
+//! End-to-end tests of the `#[derive(ToJson, FromJson)]` macros, covering
+//! every shape the workspace's report types use.
+
+use moe_json::{from_str, to_string, to_string_pretty, FromJson, ToJson};
+
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
+pub struct Flat {
+    pub name: String,
+    pub count: usize,
+    pub ratio: f64,
+    pub flag: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, ToJson, FromJson)]
+pub enum Kind {
+    Alpha,
+    #[allow(dead_code)]
+    Beta,
+    GammaDelta,
+}
+
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
+pub enum Store {
+    Raw(Vec<f32>),
+    Packed {
+        bits: Vec<u8>,
+        scales: Vec<f32>,
+        len: usize,
+    },
+    Pair(u32, u32),
+    Empty,
+}
+
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
+pub struct Nested {
+    pub kind: Kind,
+    pub store: Store,
+    pub tables: Vec<Vec<String>>,
+    pub maybe: Option<f64>,
+    pub children: Vec<Flat>,
+}
+
+fn sample() -> Nested {
+    Nested {
+        kind: Kind::GammaDelta,
+        store: Store::Packed {
+            bits: vec![1, 2, 3],
+            scales: vec![0.5, 0.25],
+            len: 6,
+        },
+        tables: vec![vec!["a".into(), "b".into()], vec![]],
+        maybe: None,
+        children: vec![Flat {
+            name: "x".into(),
+            count: 3,
+            ratio: 0.125,
+            flag: true,
+        }],
+    }
+}
+
+#[test]
+fn struct_fields_serialize_in_declaration_order() {
+    let f = Flat {
+        name: "n".into(),
+        count: 1,
+        ratio: 2.5,
+        flag: false,
+    };
+    assert_eq!(
+        to_string(&f),
+        r#"{"name":"n","count":1,"ratio":2.5,"flag":false}"#
+    );
+}
+
+#[test]
+fn unit_enum_is_string() {
+    assert_eq!(to_string(&Kind::Alpha), "\"Alpha\"");
+    assert_eq!(from_str::<Kind>("\"GammaDelta\""), Ok(Kind::GammaDelta));
+    assert!(from_str::<Kind>("\"Nope\"").is_err());
+}
+
+#[test]
+fn data_enum_externally_tagged() {
+    assert_eq!(to_string(&Store::Raw(vec![1.0])), r#"{"Raw":[1.0]}"#);
+    assert_eq!(to_string(&Store::Pair(1, 2)), r#"{"Pair":[1,2]}"#);
+    assert_eq!(to_string(&Store::Empty), "\"Empty\"");
+    let s = to_string(&Store::Packed {
+        bits: vec![7],
+        scales: vec![1.5],
+        len: 2,
+    });
+    assert_eq!(s, r#"{"Packed":{"bits":[7],"scales":[1.5],"len":2}}"#);
+}
+
+#[test]
+fn nested_roundtrip() {
+    let v = sample();
+    let compact = to_string(&v);
+    let pretty = to_string_pretty(&v);
+    assert_eq!(from_str::<Nested>(&compact), Ok(v.clone()));
+    assert_eq!(from_str::<Nested>(&pretty), Ok(v));
+}
+
+#[test]
+fn missing_field_reports_name() {
+    let err = from_str::<Flat>(r#"{"name":"n"}"#).unwrap_err();
+    assert!(err.to_string().contains("count"), "{err}");
+}
+
+#[test]
+fn option_field_tolerates_omission() {
+    #[derive(Debug, PartialEq, ToJson, FromJson)]
+    struct WithOpt {
+        a: u8,
+        b: Option<u8>,
+    }
+    assert_eq!(
+        from_str::<WithOpt>(r#"{"a":1}"#),
+        Ok(WithOpt { a: 1, b: None })
+    );
+    assert_eq!(
+        from_str::<WithOpt>(r#"{"a":1,"b":2}"#),
+        Ok(WithOpt { a: 1, b: Some(2) })
+    );
+}
+
+#[test]
+fn serialization_is_deterministic() {
+    let a = to_string_pretty(&sample());
+    let b = to_string_pretty(&sample());
+    assert_eq!(a, b);
+}

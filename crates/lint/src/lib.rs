@@ -1,0 +1,70 @@
+//! # moe-lint
+//!
+//! A from-scratch static-analysis pass over this workspace's Rust sources,
+//! enforcing the determinism and safety invariants the simulator depends
+//! on. No external parser: sources are preprocessed by a small lexer that
+//! masks comments and string literals while preserving line structure, and
+//! rules run as line-oriented pattern checks over the masked text.
+//!
+//! ## Rules
+//!
+//! | rule | scope | bans |
+//! |------|-------|------|
+//! | `no-unseeded-rng` | everywhere, incl. tests | `thread_rng`, `from_entropy`, `rand::random`, `from_os_rng`, `OsRng` |
+//! | `no-wall-clock` | gpusim / engine / runtime | `Instant::now`, `SystemTime::now` |
+//! | `no-panic-in-lib` | non-test library code (bench harness exempt) | `.unwrap()`, `.expect(`, `panic!(` |
+//! | `no-float-eq` | non-test code | `==` / `!=` against a float literal |
+//! | `no-lossy-float-cast` | gpusim non-test code | `as <int>` on a float-valued expression |
+//! | `forbid-unsafe-header` | crate roots | missing `#![forbid(unsafe_code)]` |
+//!
+//! ## Suppressions
+//!
+//! A violation is silenced with an inline comment on the same line or the
+//! line directly above:
+//!
+//! ```text
+//! // lint:allow(no-panic-in-lib) -- mutex poisoning is unrecoverable here
+//! ```
+//!
+//! The ` -- justification` part is mandatory; a bare `lint:allow` marker
+//! is itself reported (rule `unjustified-allow`).
+
+#![forbid(unsafe_code)]
+
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+pub use rules::{default_rules, Diagnostic, Rule};
+pub use source::SourceFile;
+pub use walk::lint_workspace;
+
+use moe_json::Json;
+
+/// Render diagnostics in `file:line: rule: message` form, one per line.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!(
+            "{}:{}: {}: {}\n",
+            d.path, d.line, d.rule, d.message
+        ));
+    }
+    out
+}
+
+/// Render diagnostics as a JSON array of objects.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let arr: Vec<Json> = diags
+        .iter()
+        .map(|d| {
+            Json::Obj(vec![
+                ("path".to_string(), Json::Str(d.path.clone())),
+                ("line".to_string(), Json::Int(d.line as i128)),
+                ("rule".to_string(), Json::Str(d.rule.to_string())),
+                ("message".to_string(), Json::Str(d.message.clone())),
+            ])
+        })
+        .collect();
+    moe_json::to_string_pretty(&Json::Arr(arr))
+}

@@ -1,0 +1,60 @@
+//! `moe-lint` CLI: lint the workspace, print diagnostics, exit nonzero on
+//! violations.
+//!
+//! ```text
+//! moe-lint [--json] [ROOT]
+//! ```
+//!
+//! `ROOT` defaults to the current directory (the workspace root when run
+//! via `cargo run -p moe-lint`).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: moe-lint [--json] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && root.is_none() => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("moe-lint: unrecognized argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    let diags = match moe_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("moe-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", moe_lint::render_json(&diags));
+    } else {
+        print!("{}", moe_lint::render_human(&diags));
+        if diags.is_empty() {
+            println!("moe-lint: clean");
+        } else {
+            println!("moe-lint: {} violation(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

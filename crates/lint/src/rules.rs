@@ -1,0 +1,643 @@
+//! The rule registry: each rule is a line-oriented check over a
+//! preprocessed [`SourceFile`].
+
+use crate::source::SourceFile;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A lint rule. `applies` scopes the rule to crates/files; `check` emits
+/// diagnostics (suppressions are applied by the driver, not the rule).
+pub trait Rule {
+    fn name(&self) -> &'static str;
+    fn applies(&self, file: &SourceFile) -> bool;
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// All rules, in report order.
+pub fn default_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoUnseededRng),
+        Box::new(NoWallClock),
+        Box::new(NoPanicInLib),
+        Box::new(NoFloatEq),
+        Box::new(NoLossyFloatCast),
+        Box::new(ForbidUnsafeHeader),
+    ]
+}
+
+/// Run every applicable rule over one file, honoring suppressions and
+/// reporting unjustified `lint:allow` markers.
+pub fn check_file(file: &SourceFile, rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    for rule in rules {
+        if rule.applies(file) {
+            rule.check(file, &mut raw);
+        }
+    }
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| !file.is_suppressed(d.rule, d.line))
+        .collect();
+    for sups in file.suppressions.values() {
+        for s in sups {
+            if !s.justified {
+                out.push(Diagnostic {
+                    path: file.rel.clone(),
+                    line: s.line,
+                    rule: "unjustified-allow",
+                    message: format!(
+                        "lint:allow({}) without a ` -- justification`; every suppression must say why",
+                        s.rule
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    out
+}
+
+fn diag(file: &SourceFile, line_idx: usize, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        path: file.rel.clone(),
+        line: line_idx + 1,
+        rule,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-unseeded-rng
+// ---------------------------------------------------------------------------
+
+/// Bans every entropy-seeded RNG constructor, everywhere — tests included.
+/// Reproducibility is the whole point of the simulator: all randomness must
+/// flow from an explicit seed through `moe_tensor::rng::DetRng`.
+pub struct NoUnseededRng;
+
+const RNG_PATTERNS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+    "from_os_rng",
+    "OsRng",
+];
+
+impl Rule for NoUnseededRng {
+    fn name(&self) -> &'static str {
+        "no-unseeded-rng"
+    }
+
+    fn applies(&self, _file: &SourceFile) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (i, line) in file.masked.iter().enumerate() {
+            for pat in RNG_PATTERNS {
+                if line.contains(pat) {
+                    out.push(diag(
+                        file,
+                        i,
+                        self.name(),
+                        format!("`{pat}` is entropy-seeded; use moe_tensor::rng::rng_from_seed"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-wall-clock
+// ---------------------------------------------------------------------------
+
+/// Bans wall-clock reads inside the simulation crates. Simulated time must
+/// come from the event queue / cost model; a wall-clock read makes results
+/// depend on host speed. The bench harness (its own crate) is the one place
+/// timing the host is the point.
+pub struct NoWallClock;
+
+const CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime::now"];
+const CLOCK_CRATES: &[&str] = &["gpusim", "engine", "runtime"];
+
+impl Rule for NoWallClock {
+    fn name(&self) -> &'static str {
+        "no-wall-clock"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        CLOCK_CRATES.contains(&file.crate_name.as_str())
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (i, line) in file.masked.iter().enumerate() {
+            for pat in CLOCK_PATTERNS {
+                if line.contains(pat) {
+                    out.push(diag(
+                        file,
+                        i,
+                        self.name(),
+                        format!("`{pat}` reads the wall clock inside a simulation crate; simulated time must come from the DES/cost model"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-panic-in-lib
+// ---------------------------------------------------------------------------
+
+/// Bans `.unwrap()` / `.expect(` / `panic!(` in non-test library code. The
+/// bench harness crate and the `examples/` directory are exempt: fail-fast
+/// top-level drivers are the right design there, and neither is linked
+/// into the simulator.
+pub struct NoPanicInLib;
+
+const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!("];
+
+impl Rule for NoPanicInLib {
+    fn name(&self) -> &'static str {
+        "no-panic-in-lib"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.crate_name != "bench"
+            && !file.is_test_file
+            && !file.rel.split('/').any(|seg| seg == "examples")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (i, line) in file.masked.iter().enumerate() {
+            if file.line_in_test(i + 1) {
+                continue;
+            }
+            for pat in PANIC_PATTERNS {
+                if line.contains(pat) {
+                    out.push(diag(
+                        file,
+                        i,
+                        self.name(),
+                        format!(
+                            "`{pat}` can panic in library code; return an error or handle the case"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-float-eq
+// ---------------------------------------------------------------------------
+
+/// Bans `==` / `!=` where either operand is a float literal or carries an
+/// `f32`/`f64` suffix. Exact float comparison is almost always a rounding
+/// bug; compare with a tolerance or on bit patterns.
+pub struct NoFloatEq;
+
+impl Rule for NoFloatEq {
+    fn name(&self) -> &'static str {
+        "no-float-eq"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        !file.is_test_file
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (i, line) in file.masked.iter().enumerate() {
+            if file.line_in_test(i + 1) {
+                continue;
+            }
+            for pos in find_eq_ops(line) {
+                let lhs = token_before(line, pos);
+                let rhs = token_after(line, pos + 2);
+                if is_float_token(lhs) || is_float_token(rhs) {
+                    out.push(diag(
+                        file,
+                        i,
+                        self.name(),
+                        format!(
+                            "exact float comparison `{} {} {}`; use a tolerance or compare bit patterns",
+                            lhs,
+                            &line[pos..pos + 2],
+                            rhs
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Byte offsets of standalone `==` / `!=` operators in a line.
+fn find_eq_ops(line: &str) -> Vec<usize> {
+    let b = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        let two = &b[i..i + 2];
+        if two == b"==" {
+            let prev = if i > 0 { b[i - 1] } else { b' ' };
+            let next = if i + 2 < b.len() { b[i + 2] } else { b' ' };
+            if !matches!(prev, b'<' | b'>' | b'!' | b'=') && next != b'=' {
+                out.push(i);
+            }
+            i += 2;
+        } else if two == b"!=" {
+            out.push(i);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The expression token ending just before byte `pos` (identifier/number
+/// path, greedily).
+fn token_before(line: &str, pos: usize) -> &str {
+    let b = line.as_bytes();
+    let mut end = pos;
+    while end > 0 && b[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 {
+        let c = b[start - 1] as char;
+        if c.is_alphanumeric() || matches!(c, '_' | '.' | ':') {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    &line[start..end]
+}
+
+/// The expression token starting at byte `pos` (after the operator).
+fn token_after(line: &str, pos: usize) -> &str {
+    let b = line.as_bytes();
+    let mut start = pos;
+    while start < b.len() && b[start] == b' ' {
+        start += 1;
+    }
+    let mut end = start;
+    if end < b.len() && (b[end] == b'-' || b[end] == b'+') {
+        end += 1;
+    }
+    while end < b.len() {
+        let c = b[end] as char;
+        if c.is_alphanumeric() || matches!(c, '_' | '.' | ':') {
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    &line[start..end]
+}
+
+/// Is this token a float literal (`1.0`, `-3.5e2`, `0f32`, `1.5f64`)?
+fn is_float_token(tok: &str) -> bool {
+    let t = tok.trim_start_matches(['-', '+']);
+    if t.is_empty() || !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    if t.ends_with("f32") || t.ends_with("f64") {
+        return true;
+    }
+    // A digit-led token containing a '.' (but not a method call like
+    // `1.max(x)` — the token scanner stops at '(' so `1.max` would need
+    // an alphabetic segment after the dot).
+    if let Some(dot) = t.find('.') {
+        let frac = &t[dot + 1..];
+        return frac.is_empty() || frac.starts_with(|c: char| c.is_ascii_digit());
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// no-lossy-float-cast
+// ---------------------------------------------------------------------------
+
+/// Bans `as usize` / `as u64` / ... where the source expression is visibly
+/// float-valued (float literal, float-only method, or a parenthesized
+/// group mentioning floats) inside the gpusim cost model. `f64 -> usize`
+/// truncates and saturates silently; counts must go through a checked
+/// helper that asserts the value is a small non-negative integer.
+pub struct NoLossyFloatCast;
+
+const INT_TARGETS: &[&str] = &["usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32"];
+const FLOAT_METHODS: &[&str] = &[
+    "ceil", "floor", "round", "trunc", "sqrt", "powf", "powi", "ln", "log2", "log10", "exp",
+];
+
+impl Rule for NoLossyFloatCast {
+    fn name(&self) -> &'static str {
+        "no-lossy-float-cast"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.crate_name == "gpusim" && !file.is_test_file
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (i, line) in file.masked.iter().enumerate() {
+            if file.line_in_test(i + 1) {
+                continue;
+            }
+            let mut search = 0;
+            while let Some(rel_pos) = line[search..].find(" as ") {
+                let pos = search + rel_pos;
+                search = pos + 4;
+                let target = token_after(line, pos + 4);
+                if !INT_TARGETS.contains(&target) {
+                    continue;
+                }
+                if float_valued_before(line, pos) {
+                    out.push(diag(
+                        file,
+                        i,
+                        self.name(),
+                        format!(
+                            "float expression cast with `as {target}` truncates/saturates silently; use a checked conversion helper"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Does the expression ending at byte `pos` look float-valued?
+fn float_valued_before(line: &str, pos: usize) -> bool {
+    let head = line[..pos].trim_end();
+    if head.ends_with(')') {
+        // Find the matching open paren.
+        let b = head.as_bytes();
+        let mut depth = 0i64;
+        let mut open = None;
+        for j in (0..b.len()).rev() {
+            match b[j] {
+                b')' => depth += 1,
+                b'(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(open) = open else { return false };
+        let inside = &head[open + 1..head.len() - 1];
+        if inside.contains("f64") || inside.contains("f32") || contains_float_literal(inside) {
+            return true;
+        }
+        // Method call: the identifier before the open paren.
+        let callee = token_before(head, open);
+        let method = callee.rsplit('.').next().unwrap_or("");
+        return FLOAT_METHODS.contains(&method);
+    }
+    let tok = token_before(line, pos);
+    is_float_token(tok)
+}
+
+/// Any float literal (digits '.' digit) in a snippet?
+fn contains_float_literal(s: &str) -> bool {
+    let b = s.as_bytes();
+    for (j, &c) in b.iter().enumerate() {
+        if c == b'.'
+            && j > 0
+            && b[j - 1].is_ascii_digit()
+            && b.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+        {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// forbid-unsafe-header
+// ---------------------------------------------------------------------------
+
+/// Every crate root must carry `#![forbid(unsafe_code)]` so the whole
+/// workspace is statically known to be safe Rust.
+pub struct ForbidUnsafeHeader;
+
+impl Rule for ForbidUnsafeHeader {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe-header"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.is_crate_root
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !file.raw.contains("#![forbid(unsafe_code)]") {
+            out.push(Diagnostic {
+                path: file.rel.clone(),
+                line: 1,
+                rule: self.name(),
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_source(rel, src);
+        check_file(&f, &default_rules())
+    }
+
+    fn rules_hit(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    // --- planted violations, one per rule ---
+
+    #[test]
+    fn detects_unseeded_rng() {
+        let d = run_on("crates/x/src/a.rs", "let mut r = rand::thread_rng();\n");
+        assert!(rules_hit(&d).contains(&"no-unseeded-rng"), "{d:?}");
+    }
+
+    #[test]
+    fn unseeded_rng_applies_even_in_tests() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let r = SmallRng::from_entropy(); }\n}\n";
+        let d = run_on("crates/x/src/a.rs", src);
+        assert!(rules_hit(&d).contains(&"no-unseeded-rng"), "{d:?}");
+    }
+
+    #[test]
+    fn detects_wall_clock_in_sim_crates() {
+        let src = "let t0 = std::time::Instant::now();\n";
+        let d = run_on("crates/gpusim/src/a.rs", src);
+        assert!(rules_hit(&d).contains(&"no-wall-clock"), "{d:?}");
+        // ... but not in the tensor crate.
+        let d = run_on("crates/tensor/src/a.rs", src);
+        assert!(!rules_hit(&d).contains(&"no-wall-clock"), "{d:?}");
+    }
+
+    #[test]
+    fn detects_panics_in_lib_code() {
+        for src in [
+            "x.unwrap();\n",
+            "x.expect(\"oops\");\n",
+            "panic!(\"boom\");\n",
+        ] {
+            let d = run_on("crates/x/src/a.rs", src);
+            assert!(
+                rules_hit(&d).contains(&"no-panic-in-lib"),
+                "{src:?} -> {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn panics_allowed_in_test_scope_and_bench_crate() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(run_on("crates/x/src/a.rs", src).is_empty());
+        assert!(run_on("crates/bench/src/a.rs", "x.unwrap();\n").is_empty());
+        assert!(run_on("crates/x/tests/it.rs", "x.unwrap();\n").is_empty());
+        assert!(run_on("examples/demo.rs", "x.unwrap();\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_a_panic() {
+        assert!(run_on("crates/x/src/a.rs", "let y = x.unwrap_or(0);\n").is_empty());
+    }
+
+    #[test]
+    fn detects_float_eq() {
+        for src in [
+            "if v == 0.0 { }\n",
+            "if 1.5 != x { }\n",
+            "let b = m == 7.0;\n",
+        ] {
+            let d = run_on("crates/x/src/a.rs", src);
+            assert!(rules_hit(&d).contains(&"no-float-eq"), "{src:?} -> {d:?}");
+        }
+    }
+
+    #[test]
+    fn int_eq_is_fine() {
+        for src in [
+            "if v == 0 { }\n",
+            "if e == 0x0f { }\n",
+            "let b = a <= 1.0;\n",
+        ] {
+            let d = run_on("crates/x/src/a.rs", src);
+            assert!(!rules_hit(&d).contains(&"no-float-eq"), "{src:?} -> {d:?}");
+        }
+    }
+
+    #[test]
+    fn detects_lossy_float_cast_in_gpusim() {
+        for src in [
+            "let n = (x / y as f64).max(1.0) as usize;\n",
+            "let n = x.ceil() as u64;\n",
+            "let n = 2.5 as usize;\n",
+        ] {
+            let d = run_on("crates/gpusim/src/a.rs", src);
+            assert!(
+                rules_hit(&d).contains(&"no-lossy-float-cast"),
+                "{src:?} -> {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_casts_are_fine() {
+        for src in [
+            "let n = len as u64;\n",
+            "let n = (a + b) as usize;\n",
+            "let x = n as f64;\n",
+        ] {
+            let d = run_on("crates/gpusim/src/a.rs", src);
+            assert!(
+                !rules_hit(&d).contains(&"no-lossy-float-cast"),
+                "{src:?} -> {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_cast_rule_scoped_to_gpusim() {
+        let d = run_on("crates/tensor/src/a.rs", "let n = x.ceil() as u64;\n");
+        assert!(!rules_hit(&d).contains(&"no-lossy-float-cast"), "{d:?}");
+    }
+
+    #[test]
+    fn detects_missing_unsafe_header() {
+        let d = run_on("crates/x/src/lib.rs", "//! docs\npub fn f() {}\n");
+        assert!(rules_hit(&d).contains(&"forbid-unsafe-header"), "{d:?}");
+        let ok = run_on(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        // Non-root files are not required to carry the header.
+        assert!(run_on("crates/x/src/other.rs", "pub fn f() {}\n").is_empty());
+    }
+
+    // --- suppression machinery ---
+
+    #[test]
+    fn justified_suppression_silences() {
+        let src =
+            "// lint:allow(no-panic-in-lib) -- startup config, fail fast is correct\nx.unwrap();\n";
+        assert!(run_on("crates/x/src/a.rs", src).is_empty());
+        let same_line = "x.unwrap(); // lint:allow(no-panic-in-lib) -- fail fast\n";
+        assert!(run_on("crates/x/src/a.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn unjustified_suppression_is_reported() {
+        let src = "x.unwrap(); // lint:allow(no-panic-in-lib)\n";
+        let d = run_on("crates/x/src/a.rs", src);
+        let hits = rules_hit(&d);
+        assert!(hits.contains(&"unjustified-allow"), "{d:?}");
+        // And the underlying violation still fires.
+        assert!(hits.contains(&"no-panic-in-lib"), "{d:?}");
+    }
+
+    #[test]
+    fn suppression_for_wrong_rule_does_not_silence() {
+        let src = "// lint:allow(no-float-eq) -- wrong rule\nx.unwrap();\n";
+        let d = run_on("crates/x/src/a.rs", src);
+        assert!(rules_hit(&d).contains(&"no-panic-in-lib"), "{d:?}");
+    }
+
+    // --- masking soundness ---
+
+    #[test]
+    fn patterns_in_strings_and_comments_do_not_fire() {
+        let src =
+            "// calls thread_rng somewhere\nlet s = \"Instant::now panic!( .unwrap() == 0.0\";\n";
+        let d = run_on("crates/gpusim/src/a.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

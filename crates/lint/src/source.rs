@@ -1,0 +1,477 @@
+//! Source preprocessing: comment/string masking, test-scope tracking, and
+//! suppression parsing.
+//!
+//! Rules never see raw source. They see [`SourceFile::masked`], where every
+//! character inside a comment or a string/char literal is replaced by a
+//! space. That keeps column positions and line counts identical to the raw
+//! text while making naive substring checks sound: `"thread_rng"` inside a
+//! doc comment or an error message can no longer trip a rule.
+
+use std::collections::HashMap;
+
+/// One parsed `lint:allow` marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule name inside the parentheses.
+    pub rule: String,
+    /// 1-based line the marker appears on.
+    pub line: usize,
+    /// Whether a ` -- justification` followed the marker.
+    pub justified: bool,
+}
+
+/// A preprocessed source file ready for rule checks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (stable across hosts).
+    pub rel: String,
+    /// Owning crate: the directory name under `crates/`, or `root` for the
+    /// top-level package.
+    pub crate_name: String,
+    /// True for sources under a `tests/` or `benches/` directory: every
+    /// line counts as test scope.
+    pub is_test_file: bool,
+    /// True for `lib.rs`/`main.rs` directly under a crate's `src/`.
+    pub is_crate_root: bool,
+    /// Original text, used only by whole-file checks (the unsafe header).
+    pub raw: String,
+    /// Per-line masked text: comments and string/char literal contents
+    /// blanked with spaces.
+    pub masked: Vec<String>,
+    /// Per-line flag: inside a `#[cfg(test)]` module (or a `tests/` file).
+    pub in_test: Vec<bool>,
+    /// Suppressions keyed by the 1-based line they appear on.
+    pub suppressions: HashMap<usize, Vec<Suppression>>,
+}
+
+impl SourceFile {
+    /// Preprocess `text` as the file at workspace-relative `rel`.
+    pub fn from_source(rel: &str, text: &str) -> Self {
+        let rel = rel.replace('\\', "/");
+        let crate_name = crate_of(&rel);
+        let is_test_file = rel.split('/').any(|seg| seg == "tests" || seg == "benches");
+        let is_crate_root = is_crate_root(&rel);
+        let (masked_text, comments) = mask(text);
+        let masked: Vec<String> = masked_text.lines().map(str::to_string).collect();
+        let mut in_test = vec![is_test_file; masked.len()];
+        if !is_test_file {
+            mark_test_scopes(&masked, &mut in_test);
+        }
+        let mut suppressions: HashMap<usize, Vec<Suppression>> = HashMap::new();
+        for (line, text) in &comments {
+            for s in parse_suppressions(*line, text) {
+                suppressions.entry(*line).or_default().push(s);
+            }
+        }
+        Self {
+            rel,
+            crate_name,
+            is_test_file,
+            is_crate_root,
+            raw: text.to_string(),
+            masked,
+            in_test,
+            suppressions,
+        }
+    }
+
+    /// Is a diagnostic for `rule` at 1-based `line` suppressed? A marker on
+    /// the same line or on the line directly above covers it.
+    pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.suppressions
+                .get(l)
+                .is_some_and(|v| v.iter().any(|s| s.rule == rule && s.justified))
+        })
+    }
+
+    /// Is 1-based `line` inside test scope?
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.in_test
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+fn crate_of(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.len() >= 2 && parts[0] == "crates" {
+        parts[1].to_string()
+    } else {
+        "root".to_string()
+    }
+}
+
+fn is_crate_root(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["src", f] => *f == "lib.rs" || *f == "main.rs",
+        ["crates", _, "src", f] => *f == "lib.rs" || *f == "main.rs",
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Masking lexer
+// ---------------------------------------------------------------------------
+
+/// Replace the contents of comments and string/char literals with spaces.
+/// Returns the masked text plus the comment bodies as `(1-based line, text)`
+/// pairs (suppression markers live in comments, which rules cannot see).
+fn mask(text: &str) -> (String, Vec<(usize, String)>) {
+    let b: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Push either the source char or a blank, tracking line numbers.
+    macro_rules! emit {
+        ($c:expr, $blank:expr) => {{
+            let c = $c;
+            if c == '\n' {
+                out.push('\n');
+                line += 1;
+            } else if $blank {
+                out.push(' ');
+            } else {
+                out.push(c);
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            let start_line = line;
+            let mut body = String::new();
+            while i < b.len() && b[i] != '\n' {
+                body.push(b[i]);
+                emit!(b[i], true);
+                i += 1;
+            }
+            comments.push((start_line, body));
+            continue;
+        }
+        // Block comment (nests, like Rust's).
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let mut depth = 0usize;
+            let mut body = String::new();
+            let mut body_line = line;
+            while i < b.len() {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    emit!('/', true);
+                    emit!('*', true);
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    emit!('*', true);
+                    emit!('/', true);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if b[i] == '\n' {
+                        comments.push((body_line, std::mem::take(&mut body)));
+                        body_line = line + 1;
+                    } else {
+                        body.push(b[i]);
+                    }
+                    emit!(b[i], true);
+                    i += 1;
+                }
+            }
+            comments.push((body_line, body));
+            continue;
+        }
+        // Raw string: r"..." / r#"..."# / br#"..."# etc.
+        if c == 'r' || c == 'b' {
+            if let Some((hashes, quote_at)) = raw_string_start(&b, i) {
+                // Emit the prefix (r / br and hashes) unmasked.
+                while i <= quote_at {
+                    emit!(b[i], false);
+                    i += 1;
+                }
+                // Mask until `"` followed by `hashes` #'s.
+                while i < b.len() {
+                    if b[i] == '"' && count_hashes(&b, i + 1) >= hashes {
+                        emit!('"', false);
+                        i += 1;
+                        for _ in 0..hashes {
+                            emit!('#', false);
+                            i += 1;
+                        }
+                        break;
+                    }
+                    emit!(b[i], true);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary string (covers b"...").
+        if c == '"' {
+            emit!('"', false);
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    emit!(b[i], true);
+                    emit!(b[i + 1], true);
+                    i += 2;
+                } else if b[i] == '"' {
+                    emit!('"', false);
+                    i += 1;
+                    break;
+                } else {
+                    emit!(b[i], true);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' or '\n' is a literal; 'a in `<'a>`
+        // is not (no closing quote in range).
+        if c == '\'' {
+            let lit_len = char_literal_len(&b, i);
+            if let Some(n) = lit_len {
+                emit!('\'', false);
+                for k in 1..n - 1 {
+                    emit!(b[i + k], true);
+                }
+                emit!('\'', false);
+                i += n;
+                continue;
+            }
+        }
+        emit!(c, false);
+        i += 1;
+    }
+    (out, comments)
+}
+
+/// If `b[i..]` starts a raw string literal, return `(hash_count, index of
+/// the opening quote)`.
+fn raw_string_start(b: &[char], i: usize) -> Option<(usize, usize)> {
+    // Reject identifier contexts like `for r in ..` by requiring the char
+    // before `r`/`br` not be alphanumeric or `_`.
+    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
+        return None;
+    }
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let hashes = count_hashes(b, j);
+    let q = j + hashes;
+    if q < b.len() && b[q] == '"' {
+        Some((hashes, q))
+    } else {
+        None
+    }
+}
+
+fn count_hashes(b: &[char], mut i: usize) -> usize {
+    let mut n = 0;
+    while i < b.len() && b[i] == '#' {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+/// Length (in chars, including both quotes) of a char literal starting at
+/// `i`, or `None` if this `'` is a lifetime.
+fn char_literal_len(b: &[char], i: usize) -> Option<usize> {
+    // Lifetime heuristic: '' followed by ident char and no close quote.
+    if i + 2 < b.len() && b[i + 1] == '\\' {
+        // Escaped: find the closing quote within a small window
+        // (\n, \', \u{1F600} ...).
+        for k in 3..12.min(b.len() - i) {
+            if b[i + k] == '\'' {
+                return Some(k + 1);
+            }
+        }
+        return None;
+    }
+    if i + 2 < b.len() && b[i + 2] == '\'' && b[i + 1] != '\'' {
+        return Some(3);
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Test-scope tracking
+// ---------------------------------------------------------------------------
+
+/// Mark lines inside `#[cfg(test)]`-gated items (typically `mod tests`) by
+/// brace-depth tracking over the masked text.
+fn mark_test_scopes(masked: &[String], in_test: &mut [bool]) {
+    let mut idx = 0usize;
+    while idx < masked.len() {
+        let line = masked[idx].trim_start();
+        if line.starts_with("#[cfg(test)]") {
+            // Find the opening brace of the gated item, then its match.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = idx;
+            'outer: while j < masked.len() {
+                in_test[j] = true;
+                for ch in masked[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if opened && depth == 0 {
+                                in_test[j] = true;
+                                break 'outer;
+                            }
+                        }
+                        // An attribute gating a braceless item (e.g. a
+                        // `mod tests;` declaration) ends at the semicolon.
+                        ';' if !opened => break 'outer,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            idx = j + 1;
+        } else {
+            idx += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Suppression parsing
+// ---------------------------------------------------------------------------
+
+/// Parse every `lint:allow` marker in one comment body.
+fn parse_suppressions(line: usize, comment: &str) -> Vec<Suppression> {
+    const MARKER: &str = "lint:allow(";
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(MARKER) {
+        let after = &rest[pos + MARKER.len()..];
+        if let Some(close) = after.find(')') {
+            let rule = after[..close].trim().to_string();
+            let tail = &after[close + 1..];
+            let justified = tail.trim_start().starts_with("--")
+                && tail.trim_start().trim_start_matches('-').trim() != "";
+            out.push(Suppression {
+                rule,
+                line,
+                justified,
+            });
+            rest = tail;
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_comments_but_keeps_code() {
+        let f = SourceFile::from_source("src/x.rs", "let x = 1; // thread_rng\n");
+        assert!(f.masked[0].contains("let x = 1;"));
+        assert!(!f.masked[0].contains("thread_rng"));
+        assert_eq!(f.masked[0].len(), "let x = 1; // thread_rng".len());
+    }
+
+    #[test]
+    fn masks_string_contents() {
+        let f = SourceFile::from_source("src/x.rs", "let s = \"Instant::now()\";\n");
+        assert!(!f.masked[0].contains("Instant::now"));
+        assert!(f.masked[0].contains('"')); // delimiters survive
+    }
+
+    #[test]
+    fn masks_raw_strings_and_escapes() {
+        let src = "let a = r#\"panic!(\"x\")\"#; let b = \"\\\"panic!\";\n";
+        let f = SourceFile::from_source("src/x.rs", src);
+        assert!(!f.masked[0].contains("panic!"));
+    }
+
+    #[test]
+    fn masks_block_comments_across_lines() {
+        let src = "a /* thread_rng\n still thread_rng */ b\n";
+        let f = SourceFile::from_source("src/x.rs", src);
+        assert!(!f.masked[0].contains("thread_rng"));
+        assert!(!f.masked[1].contains("thread_rng"));
+        assert!(f.masked[1].ends_with(" b"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { '\"' }\n";
+        let f = SourceFile::from_source("src/x.rs", src);
+        // The quote char literal is masked; the lifetimes survive.
+        assert!(f.masked[0].contains("<'a>"));
+        assert!(!f.masked[0].contains("'\"'"));
+    }
+
+    #[test]
+    fn test_scope_marked_by_cfg_test() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = SourceFile::from_source("crates/x/src/y.rs", src);
+        assert_eq!(
+            f.in_test,
+            vec![false, true, true, true, true, false],
+            "{:?}",
+            f.in_test
+        );
+    }
+
+    #[test]
+    fn tests_dir_is_all_test_scope() {
+        let f = SourceFile::from_source("tests/it.rs", "fn x() {}\n");
+        assert!(f.is_test_file);
+        assert!(f.line_in_test(1));
+        assert_eq!(f.crate_name, "root");
+    }
+
+    #[test]
+    fn crate_name_and_root_detection() {
+        let f = SourceFile::from_source("crates/gpusim/src/lib.rs", "");
+        assert_eq!(f.crate_name, "gpusim");
+        assert!(f.is_crate_root);
+        let g = SourceFile::from_source("crates/gpusim/src/des.rs", "");
+        assert!(!g.is_crate_root);
+        let h = SourceFile::from_source("src/lib.rs", "");
+        assert_eq!(h.crate_name, "root");
+        assert!(h.is_crate_root);
+    }
+
+    #[test]
+    fn suppression_with_justification() {
+        let src = "// lint:allow(no-panic-in-lib) -- poisoned mutex is fatal\nx.unwrap();\n";
+        let f = SourceFile::from_source("src/x.rs", src);
+        assert!(f.is_suppressed("no-panic-in-lib", 2));
+        assert!(f.is_suppressed("no-panic-in-lib", 1));
+        assert!(!f.is_suppressed("no-float-eq", 2));
+    }
+
+    #[test]
+    fn bare_suppression_is_recorded_unjustified() {
+        let src = "let y = x.unwrap(); // lint:allow(no-panic-in-lib)\n";
+        let f = SourceFile::from_source("src/x.rs", src);
+        let s = &f.suppressions[&1][0];
+        assert!(!s.justified);
+        assert!(!f.is_suppressed("no-panic-in-lib", 1));
+    }
+}

@@ -2,12 +2,12 @@
 //! parameters exactly, to drive the functional executor, and to feed the
 //! performance model — no more.
 
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 
 /// Model family, used for grouping in reports and for family-compatibility
 /// checks (speculative decoding requires draft and target from the same
 /// family so vocabularies match).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub enum Family {
     Mixtral,
     Qwen,
@@ -20,14 +20,14 @@ pub enum Family {
 }
 
 /// Input modality (Table 1 column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub enum Modality {
     Text,
     TextImage,
 }
 
 /// Router scoring variant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub enum RouterKind {
     /// Mixtral-style: select top-k logits, softmax over the selected set.
     TopKSoftmax,
@@ -37,7 +37,7 @@ pub enum RouterKind {
 }
 
 /// MoE block hyperparameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct MoeConfig {
     /// Routed experts per MoE layer.
     pub num_experts: usize,
@@ -73,7 +73,7 @@ impl MoeConfig {
 /// Vision tower description for VLMs. Modeled after the SigLIP-style
 /// encoders used by DeepSeek-VL2 / MolmoE: a dense ViT whose output is
 /// projected into `tokens_per_image` language-model tokens.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct VisionConfig {
     pub num_layers: usize,
     pub hidden_size: usize,
@@ -98,7 +98,7 @@ impl VisionConfig {
 }
 
 /// Complete architecture description of one evaluated model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct ModelConfig {
     pub name: String,
     pub family: Family,
@@ -214,7 +214,7 @@ impl ModelConfig {
     /// sweeps). Panics on dense models.
     pub fn with_expert_ffn_dim(&self, ffn_dim: usize) -> Self {
         let mut c = self.clone();
-        let moe = c.moe.as_mut().expect("with_expert_ffn_dim on dense model");
+        let moe = c.moe.as_mut().expect("with_expert_ffn_dim on dense model"); // lint:allow(no-panic-in-lib) -- builder misuse on a dense config is a programmer error, fail fast
         moe.expert_ffn_dim = ffn_dim;
         c.display_ffn_dim = None;
         c.reported_total_params = None;
@@ -226,7 +226,7 @@ impl ModelConfig {
     /// Clone with a different routed-expert count.
     pub fn with_num_experts(&self, num_experts: usize) -> Self {
         let mut c = self.clone();
-        let moe = c.moe.as_mut().expect("with_num_experts on dense model");
+        let moe = c.moe.as_mut().expect("with_num_experts on dense model"); // lint:allow(no-panic-in-lib) -- builder misuse on a dense config is a programmer error, fail fast
         moe.num_experts = num_experts;
         moe.top_k = moe.top_k.min(num_experts);
         c.reported_total_params = None;
@@ -239,7 +239,7 @@ impl ModelConfig {
     /// expert count.
     pub fn with_top_k(&self, top_k: usize) -> Self {
         let mut c = self.clone();
-        let moe = c.moe.as_mut().expect("with_top_k on dense model");
+        let moe = c.moe.as_mut().expect("with_top_k on dense model"); // lint:allow(no-panic-in-lib) -- builder misuse on a dense config is a programmer error, fail fast
         moe.top_k = top_k.min(moe.num_experts).max(1);
         c.reported_active_params = None;
         c.name = format!("{}-k{}", base_name(&self.name), top_k);
@@ -292,14 +292,12 @@ impl ModelConfig {
 fn base_name(name: &str) -> &str {
     match name.find("-ffn").or_else(|| {
         // Only strip `-e<digits>` / `-k<digits>` suffixes, not e.g. `-A2.7B`.
-        name.match_indices(['-'])
-            .map(|(i, _)| i)
-            .find(|&i| {
-                let rest = &name[i + 1..];
-                (rest.starts_with('e') || rest.starts_with('k'))
-                    && rest.len() > 1
-                    && rest[1..].chars().all(|c| c.is_ascii_digit())
-            })
+        name.match_indices(['-']).map(|(i, _)| i).find(|&i| {
+            let rest = &name[i + 1..];
+            (rest.starts_with('e') || rest.starts_with('k'))
+                && rest.len() > 1
+                && rest[1..].chars().all(|c| c.is_ascii_digit())
+        })
     }) {
         Some(i) => &name[..i],
         None => name,

@@ -25,6 +25,8 @@
 //! also records the paper-reported total/active parameter counts, which the
 //! test-suite checks our accounting against.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod params;
 pub mod prune;

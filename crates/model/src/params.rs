@@ -11,12 +11,12 @@
 //!   all dense components — but not the non-selected experts.
 //! * Biases and norm vectors are counted (they are negligible but free).
 
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 
 use crate::config::ModelConfig;
 
 /// Parameter counts of one decoder layer, split by component.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, ToJson, FromJson)]
 pub struct LayerParams {
     pub attention: u64,
     pub router: u64,
@@ -32,14 +32,20 @@ pub struct LayerParams {
 impl LayerParams {
     /// All parameters stored for this layer.
     pub fn total(&self) -> u64 {
-        self.attention + self.router + self.experts_total + self.shared_experts
+        self.attention
+            + self.router
+            + self.experts_total
+            + self.shared_experts
             + self.dense_ffn
             + self.norms
     }
 
     /// Parameters active for a single token.
     pub fn active(&self) -> u64 {
-        self.attention + self.router + self.experts_active + self.shared_experts
+        self.attention
+            + self.router
+            + self.experts_active
+            + self.shared_experts
             + self.dense_ffn
             + self.norms
     }
@@ -57,7 +63,7 @@ impl LayerParams {
 }
 
 /// Whole-model component totals.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, ToJson, FromJson)]
 pub struct ComponentParams {
     pub embedding: u64,
     pub lm_head: u64,
@@ -72,7 +78,7 @@ pub struct ComponentParams {
 }
 
 /// Full parameter breakdown of a model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct ParamBreakdown {
     pub model: String,
     pub components: ComponentParams,
@@ -91,23 +97,20 @@ impl ParamBreakdown {
 
         let mut layers = Vec::with_capacity(config.num_layers);
         for layer_idx in 0..config.num_layers {
-            let is_moe_layer =
-                config.moe.is_some() && layer_idx >= config.first_k_dense_layers;
+            let is_moe_layer = config.moe.is_some() && layer_idx >= config.first_k_dense_layers;
             let mut lp = LayerParams {
                 attention,
                 norms: norms_per_layer,
                 ..Default::default()
             };
             if is_moe_layer {
-                let moe = config.moe.as_ref().expect("checked above");
+                let moe = config.moe.as_ref().expect("checked above"); // lint:allow(no-panic-in-lib) -- guarded by the is_moe check above
                 let per_expert = 3 * h * moe.expert_ffn_dim as u64;
                 lp.router = h * moe.num_experts as u64;
                 lp.experts_total = moe.num_experts as u64 * per_expert;
                 lp.experts_active = moe.top_k as u64 * per_expert;
-                lp.shared_experts = moe.num_shared_experts as u64
-                    * 3
-                    * h
-                    * moe.shared_expert_ffn_dim as u64;
+                lp.shared_experts =
+                    moe.num_shared_experts as u64 * 3 * h * moe.shared_expert_ffn_dim as u64;
             } else {
                 lp.dense_ffn = 3 * h * config.dense_ffn_dim as u64;
             }

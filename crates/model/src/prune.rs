@@ -10,12 +10,12 @@
 //! The transforms operate on [`ModelConfig`]; the functional weight-level
 //! counterpart lives in `moe-engine::prune`.
 
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 
 use crate::config::ModelConfig;
 
 /// Which structure the pruning removes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub enum PruneKind {
     /// Remove whole experts and their router columns.
     InterExpert,
@@ -33,7 +33,7 @@ impl PruneKind {
 }
 
 /// A pruning configuration: kind plus fraction removed (0.0–1.0 exclusive).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
 pub struct PruneSpec {
     pub kind: PruneKind,
     pub ratio: f64,
@@ -59,7 +59,7 @@ impl PruneSpec {
     /// the paper, which evaluates TopK from 1 up to the pretrained value).
     pub fn apply(&self, config: &ModelConfig) -> ModelConfig {
         let mut c = config.clone();
-        let moe = c.moe.as_mut().expect("pruning a dense model");
+        let moe = c.moe.as_mut().expect("pruning a dense model"); // lint:allow(no-panic-in-lib) -- caller contract: pruning applies only to MoE configs, fail fast on misuse
         match self.kind {
             PruneKind::InterExpert => {
                 let removed = (moe.num_experts as f64 * self.ratio).round() as usize;

@@ -296,7 +296,15 @@ pub fn llama4_scout_17b_16e() -> ModelConfig {
     c
 }
 
-fn qwen3_dense(name: &str, layers: usize, hidden: usize, heads: usize, ffn: usize, tie: bool, reported: u64) -> ModelConfig {
+fn qwen3_dense(
+    name: &str,
+    layers: usize,
+    hidden: usize,
+    heads: usize,
+    ffn: usize,
+    tie: bool,
+    reported: u64,
+) -> ModelConfig {
     let mut c = ModelConfig::dense(name, Family::Qwen, layers, hidden, heads, 8, ffn, 151_936);
     c.head_dim = 128;
     c.tie_embeddings = tie;

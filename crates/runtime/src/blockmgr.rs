@@ -84,7 +84,10 @@ impl BlockManager {
     /// Allocate blocks to hold `tokens` for a new sequence. Returns false
     /// (allocating nothing) if the pool cannot satisfy it.
     pub fn allocate(&mut self, id: RequestId, tokens: usize) -> bool {
-        assert!(!self.owned.contains_key(&id), "sequence {id} already allocated");
+        assert!(
+            !self.owned.contains_key(&id),
+            "sequence {id} already allocated"
+        );
         let needed = self.blocks_for(tokens);
         if needed > self.free_blocks {
             return false;
@@ -139,7 +142,6 @@ impl BlockManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn blocks_for_rounds_up() {
@@ -195,7 +197,7 @@ mod tests {
         let mut m = BlockManager::new(10, 16).with_watermark(0.3);
         assert!(m.can_admit(96)); // 6 blocks + 3 reserve <= 10
         assert!(!m.can_admit(128)); // 8 + 3 > 10
-        // Growth may dip into the reserve.
+                                    // Growth may dip into the reserve.
         assert!(m.allocate(1, 112)); // 7 blocks
         assert!(m.grow(1, 112, 160)); // 10 blocks total
         assert_eq!(m.free_blocks(), 0);
@@ -209,15 +211,18 @@ mod tests {
         m.allocate(1, 16);
     }
 
-    proptest! {
-        #[test]
-        fn prop_no_leaks_under_random_ops(
-            ops in proptest::collection::vec((0u64..8, 1usize..200, 0usize..3), 1..60),
-        ) {
+    // Deterministic randomized sweep (replacing the former proptest version).
+    #[test]
+    fn randomized_no_leaks_under_random_ops() {
+        let mut rng = moe_tensor::rng::rng_from_seed(0xb10c);
+        for _ in 0..48 {
+            let n_ops = 1 + rng.next_below(59);
             let mut m = BlockManager::new(64, 16);
             let mut live: std::collections::HashMap<u64, usize> = Default::default();
-            for (id, tokens, op) in ops {
-                match op {
+            for _ in 0..n_ops {
+                let id = rng.next_below(8) as u64;
+                let tokens = 1 + rng.next_below(199);
+                match rng.next_below(3) {
                     0 => {
                         if !live.contains_key(&id) && m.allocate(id, tokens) {
                             live.insert(id, tokens);
@@ -238,7 +243,7 @@ mod tests {
                 }
                 m.check_invariants();
                 // Never over-allocated.
-                prop_assert!(m.used_blocks() <= m.total_blocks());
+                assert!(m.used_blocks() <= m.total_blocks());
             }
         }
     }

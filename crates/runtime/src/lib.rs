@@ -18,6 +18,8 @@
 //! * the paper's metric definitions (Section 3.4) and simple aggregation
 //!   helpers ([`metrics`]).
 
+#![forbid(unsafe_code)]
+
 pub mod blockmgr;
 pub mod liveserver;
 pub mod metrics;

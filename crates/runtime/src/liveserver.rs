@@ -32,7 +32,12 @@ pub struct LiveServer {
 
 impl LiveServer {
     pub fn new(model: MoeTransformer, cfg: SchedulerConfig) -> Self {
-        Self { model, scheduler: Scheduler::new(cfg), seqs: HashMap::new(), prefix_cache: None }
+        Self {
+            model,
+            scheduler: Scheduler::new(cfg),
+            seqs: HashMap::new(),
+            prefix_cache: None,
+        }
     }
 
     /// Enable automatic prefix caching: block-aligned prompt prefixes of
@@ -44,7 +49,9 @@ impl LiveServer {
 
     /// Prefix-cache statistics `(hits, misses, tokens_saved)`, if enabled.
     pub fn prefix_stats(&self) -> Option<(u64, u64, u64)> {
-        self.prefix_cache.as_ref().map(|c| (c.hits, c.misses, c.tokens_saved))
+        self.prefix_cache
+            .as_ref()
+            .map(|c| (c.hits, c.misses, c.tokens_saved))
     }
 
     /// Total prompt/generated tokens the underlying model has actually run
@@ -56,7 +63,14 @@ impl LiveServer {
     /// Submit a prompt; greedy decoding of `max_new` tokens.
     pub fn submit(&mut self, prompt: Vec<usize>, max_new: usize) -> RequestId {
         let id = self.scheduler.submit(Request::new(prompt.len(), max_new));
-        self.seqs.insert(id, LiveSeq { prompt, generated: Vec::new(), kv: None });
+        self.seqs.insert(
+            id,
+            LiveSeq {
+                prompt,
+                generated: Vec::new(),
+                kv: None,
+            },
+        );
         id
     }
 
@@ -69,7 +83,7 @@ impl LiveServer {
     fn reap_preempted(&mut self) {
         for (id, live) in self.seqs.iter_mut() {
             if live.kv.is_some() {
-                let state = self.scheduler.seq(*id).expect("known seq").state;
+                let state = self.scheduler.seq(*id).expect("known seq").state; // lint:allow(no-panic-in-lib) -- seqs map invariant: every scheduled id was inserted at submit
                 if state == SeqState::Waiting {
                     live.kv = None; // recompute-style preemption
                 }
@@ -86,8 +100,8 @@ impl LiveServer {
             StepPlan::Prefill { ids, .. } => {
                 self.reap_preempted();
                 for &id in &ids {
-                    let live = self.seqs.get_mut(&id).expect("submitted seq");
-                    // (Re-)prefill over prompt + already-generated prefix.
+                    let live = self.seqs.get_mut(&id).expect("submitted seq"); // lint:allow(no-panic-in-lib) -- seqs map invariant: every scheduled id was inserted at submit
+                                                                               // (Re-)prefill over prompt + already-generated prefix.
                     let mut prefix = live.prompt.clone();
                     prefix.extend_from_slice(&live.generated);
                     let mut kv = self.model.new_kv();
@@ -111,10 +125,10 @@ impl LiveServer {
                     let next = argmax(logits.row(tokens.len() - 1));
 
                     if let Some(cache) = &mut self.prefix_cache {
-                        let live = self.seqs.get(&id).expect("submitted seq");
+                        let live = self.seqs.get(&id).expect("submitted seq"); // lint:allow(no-panic-in-lib) -- seqs map invariant: every scheduled id was inserted at submit
                         cache.insert(&live.prompt, &kv);
                     }
-                    let live = self.seqs.get_mut(&id).expect("submitted seq");
+                    let live = self.seqs.get_mut(&id).expect("submitted seq"); // lint:allow(no-panic-in-lib) -- seqs map invariant: every scheduled id was inserted at submit
                     live.generated.push(next);
                     live.kv = Some(kv);
                 }
@@ -127,6 +141,7 @@ impl LiveServer {
                 let active: Vec<RequestId> = ids
                     .into_iter()
                     .filter(|id| {
+                        // lint:allow(no-panic-in-lib) -- scheduler invariant: ids in the step plan are known
                         self.scheduler.seq(*id).expect("known seq").state == SeqState::Running
                     })
                     .collect();
@@ -141,9 +156,9 @@ impl LiveServer {
                 let mut positions = Vec::with_capacity(active.len());
                 let mut kvs: Vec<PagedKv> = Vec::with_capacity(active.len());
                 for id in &active {
-                    let live = self.seqs.get_mut(id).expect("running seq");
-                    let kv = live.kv.take().expect("running seq has KV");
-                    tokens.push(*live.generated.last().expect("prefill emitted a token"));
+                    let live = self.seqs.get_mut(id).expect("running seq"); // lint:allow(no-panic-in-lib) -- seqs map invariant: running ids were inserted at submit
+                    let kv = live.kv.take().expect("running seq has KV"); // lint:allow(no-panic-in-lib) -- running seqs hold their KV store between steps by construction
+                    tokens.push(*live.generated.last().expect("prefill emitted a token")); // lint:allow(no-panic-in-lib) -- prefill always emits one token before a seq can be running
                     positions.push(kv.len());
                     kvs.push(kv);
                 }
@@ -153,7 +168,7 @@ impl LiveServer {
 
                 for (row, (id, kv)) in active.iter().zip(kvs).enumerate() {
                     let next = argmax(logits.row(row));
-                    let live = self.seqs.get_mut(id).expect("running seq");
+                    let live = self.seqs.get_mut(id).expect("running seq"); // lint:allow(no-panic-in-lib) -- seqs map invariant: running ids were inserted at submit
                     live.generated.push(next);
                     live.kv = Some(kv);
                     if self.scheduler.commit_decode(*id) {
@@ -173,7 +188,10 @@ impl LiveServer {
             guard += 1;
             assert!(guard < 1_000_000, "live server livelock");
         }
-        self.seqs.into_iter().map(|(id, s)| (id, s.generated)).collect()
+        self.seqs
+            .into_iter()
+            .map(|(id, s)| (id, s.generated))
+            .collect()
     }
 
     /// Reference output: what plain greedy generation produces for one
@@ -203,13 +221,14 @@ mod tests {
 
     #[test]
     fn serving_matches_standalone_generation() {
-        let prompts: Vec<Vec<usize>> =
-            vec![vec![1, 2, 3], vec![100, 101], vec![7, 8, 9, 10, 11]];
+        let prompts: Vec<Vec<usize>> = vec![vec![1, 2, 3], vec![100, 101], vec![7, 8, 9, 10, 11]];
         let max_new = 9;
 
         let mut server = LiveServer::new(tiny(), roomy_cfg());
-        let ids: Vec<_> =
-            prompts.iter().map(|p| server.submit(p.clone(), max_new)).collect();
+        let ids: Vec<_> = prompts
+            .iter()
+            .map(|p| server.submit(p.clone(), max_new))
+            .collect();
         let outputs = server.run();
 
         for (prompt, id) in prompts.iter().zip(&ids) {
@@ -231,8 +250,10 @@ mod tests {
         let max_new = 14;
 
         let mut server = LiveServer::new(tiny(), cfg);
-        let ids: Vec<_> =
-            prompts.iter().map(|p| server.submit(p.clone(), max_new)).collect();
+        let ids: Vec<_> = prompts
+            .iter()
+            .map(|p| server.submit(p.clone(), max_new))
+            .collect();
         // Verify that pressure actually occurs.
         let outputs = server.run();
 
@@ -272,8 +293,8 @@ mod tests {
         let plain_tokens = plain.tokens_processed();
 
         // With caching.
-        let mut cached = LiveServer::new(tiny(), roomy_cfg())
-            .with_prefix_cache(PrefixCache::new(16, 10_000));
+        let mut cached =
+            LiveServer::new(tiny(), roomy_cfg()).with_prefix_cache(PrefixCache::new(16, 10_000));
         let a = cached.submit(long_prompt.clone(), max_new);
         let b = cached.submit(long_prompt.clone(), max_new);
         let mut steps = 0;
@@ -286,8 +307,11 @@ mod tests {
 
         // Same outputs as the uncached reference.
         let expect = LiveServer::reference(&mut tiny(), &long_prompt, max_new);
-        let outputs: HashMap<_, _> =
-            cached.seqs.iter().map(|(id, s)| (*id, s.generated.clone())).collect();
+        let outputs: HashMap<_, _> = cached
+            .seqs
+            .iter()
+            .map(|(id, s)| (*id, s.generated.clone()))
+            .collect();
         assert_eq!(outputs[&a], expect);
         assert_eq!(outputs[&b], expect);
 
@@ -300,8 +324,8 @@ mod tests {
 
     #[test]
     fn prefix_cache_hits_across_diverging_suffixes() {
-        let mut server = LiveServer::new(tiny(), roomy_cfg())
-            .with_prefix_cache(PrefixCache::new(8, 10_000));
+        let mut server =
+            LiveServer::new(tiny(), roomy_cfg()).with_prefix_cache(PrefixCache::new(8, 10_000));
         let shared: Vec<usize> = (1..17).collect(); // two 8-token blocks
         let mut p1 = shared.clone();
         p1.extend([100, 101]);
@@ -319,7 +343,11 @@ mod tests {
                 steps += 1;
                 assert!(steps < 1000);
             }
-            server.seqs.iter().map(|(id, s)| (*id, s.generated.clone())).collect::<HashMap<_, _>>()
+            server
+                .seqs
+                .iter()
+                .map(|(id, s)| (*id, s.generated.clone()))
+                .collect::<HashMap<_, _>>()
         };
         assert_eq!(outputs[&a], LiveServer::reference(&mut tiny(), &p1, 4));
         assert_eq!(outputs[&b], LiveServer::reference(&mut tiny(), &p2, 4));

@@ -1,7 +1,7 @@
 //! The paper's performance metrics (Section 3.4) and small aggregation
 //! helpers.
 
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 
 /// Equation 2: `throughput = batch * (input + output) / e2e` (tokens/s).
 pub fn throughput_eq2(batch: usize, input_tokens: usize, output_tokens: usize, e2e_s: f64) -> f64 {
@@ -36,13 +36,13 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
     sorted[rank]
 }
 
 /// Aggregate latency statistics over a set of requests.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
 pub struct LatencySummary {
     pub mean_s: f64,
     pub p50_s: f64,

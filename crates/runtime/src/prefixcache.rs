@@ -43,7 +43,12 @@ impl KvSnapshot {
             keys.push(ks);
             values.push(vs);
         }
-        Self { len, kv_dim, keys, values }
+        Self {
+            len,
+            kv_dim,
+            keys,
+            values,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -62,7 +67,12 @@ impl KvSnapshot {
         for l in 0..self.keys.len() {
             for t in 0..self.len {
                 let s = t * self.kv_dim;
-                kv.write(l, t, &self.keys[l][s..s + self.kv_dim], &self.values[l][s..s + self.kv_dim]);
+                kv.write(
+                    l,
+                    t,
+                    &self.keys[l][s..s + self.kv_dim],
+                    &self.values[l][s..s + self.kv_dim],
+                );
             }
         }
     }
@@ -255,7 +265,10 @@ mod tests {
         assert!(cache.lookup(&[1, 2, 3, 4]).is_some());
         cache.insert(&[9, 10, 11, 12], &filled_kv(4));
         assert_eq!(cache.stored_tokens(), 8);
-        assert!(cache.lookup(&[1, 2, 3, 4]).is_some(), "recently used survives");
+        assert!(
+            cache.lookup(&[1, 2, 3, 4]).is_some(),
+            "recently used survives"
+        );
         assert!(cache.lookup(&[5, 6, 7, 8]).is_none(), "LRU entry evicted");
         assert!(cache.lookup(&[9, 10, 11, 12]).is_some());
     }

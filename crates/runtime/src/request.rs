@@ -1,12 +1,12 @@
 //! Request and sequence bookkeeping types shared by the schedulers.
 
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 
 /// Identifier assigned by the scheduler at submission.
 pub type RequestId = u64;
 
 /// A generation request as submitted by a client.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct Request {
     /// Prompt length in tokens (the simulated server doesn't need values).
     pub prompt_len: usize,
@@ -18,7 +18,11 @@ pub struct Request {
 
 impl Request {
     pub fn new(prompt_len: usize, max_new_tokens: usize) -> Self {
-        Self { prompt_len, max_new_tokens, arrival_s: 0.0 }
+        Self {
+            prompt_len,
+            max_new_tokens,
+            arrival_s: 0.0,
+        }
     }
 
     pub fn at(mut self, arrival_s: f64) -> Self {
@@ -28,7 +32,7 @@ impl Request {
 }
 
 /// Lifecycle state of a sequence in the scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, ToJson, FromJson)]
 pub enum SeqState {
     /// Queued, no KV allocated.
     Waiting,
@@ -42,7 +46,7 @@ pub enum SeqState {
 }
 
 /// Completion record with the per-request serving metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct RequestOutput {
     pub id: RequestId,
     pub prompt_len: usize,

@@ -15,13 +15,13 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 
 use crate::blockmgr::BlockManager;
 use crate::request::{Request, RequestId, SeqState};
 
 /// Scheduler limits.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
 pub struct SchedulerConfig {
     /// Maximum sequences decoding concurrently.
     pub max_running: usize,
@@ -199,9 +199,10 @@ impl Scheduler {
             for id in &admit {
                 let stamp = self.admission_stamp;
                 self.admission_stamp += 1;
-                let seq = self.seqs.get_mut(id).expect("admitted seq exists");
-                seq.state = SeqState::Running;
-                seq.admitted_at = stamp;
+                if let Some(seq) = self.seqs.get_mut(id) {
+                    seq.state = SeqState::Running;
+                    seq.admitted_at = stamp;
+                }
             }
             self.running.extend(&admit);
             return StepPlan::Prefill { ids: admit, tokens };
@@ -223,7 +224,9 @@ impl Scheduler {
         if self.running.is_empty() {
             return StepPlan::Idle;
         }
-        StepPlan::Decode { ids: self.running.clone() }
+        StepPlan::Decode {
+            ids: self.running.clone(),
+        }
     }
 
     /// Reserve one more token of KV for every running sequence. Already
@@ -254,20 +257,24 @@ impl Scheduler {
         };
         self.running.remove(pos);
         self.blocks.release(id);
-        let seq = self.seqs.get_mut(&id).expect("running seq exists");
-        seq.state = SeqState::Preempted;
-        seq.preemptions += 1;
+        if let Some(seq) = self.seqs.get_mut(&id) {
+            seq.state = SeqState::Preempted;
+            seq.preemptions += 1;
+        }
         // Recompute-style: back to the head of the waiting queue.
         self.waiting.insert(0, id);
-        let seq = self.seqs.get_mut(&id).expect("running seq exists");
-        seq.state = SeqState::Waiting;
+        if let Some(seq) = self.seqs.get_mut(&id) {
+            seq.state = SeqState::Waiting;
+        }
         true
     }
 
     /// Commit one decoded token for a sequence (KV block already reserved
     /// by `plan_step`). Returns true when the sequence just finished.
     pub fn commit_decode(&mut self, id: RequestId) -> bool {
-        let seq = self.seqs.get_mut(&id).expect("unknown sequence");
+        let Some(seq) = self.seqs.get_mut(&id) else {
+            return false;
+        };
         assert_eq!(seq.state, SeqState::Running, "decode on non-running seq");
         seq.generated += 1;
         if seq.done() {
@@ -333,7 +340,9 @@ mod tests {
     fn decode_follows_prefill() {
         let mut s = Scheduler::new(small_cfg());
         let a = s.submit(Request::new(10, 3));
-        let StepPlan::Prefill { ids, .. } = s.plan_step() else { panic!() };
+        let StepPlan::Prefill { ids, .. } = s.plan_step() else {
+            panic!()
+        };
         s.commit_prefill(&ids);
         // Two decode steps remain (first token came from prefill).
         for step in 0..2 {
@@ -378,7 +387,9 @@ mod tests {
         });
         let a = s.submit(Request::new(48, 64)); // 3 blocks
         let b = s.submit(Request::new(48, 64)); // 3 blocks
-        let StepPlan::Prefill { ids, .. } = s.plan_step() else { panic!() };
+        let StepPlan::Prefill { ids, .. } = s.plan_step() else {
+            panic!()
+        };
         assert_eq!(ids.len(), 2);
         s.commit_prefill(&ids);
 
@@ -415,7 +426,10 @@ mod tests {
             block_tokens: 16,
             total_blocks: 7,
         });
-        let ids = [s.submit(Request::new(48, 40)), s.submit(Request::new(48, 40))];
+        let ids = [
+            s.submit(Request::new(48, 40)),
+            s.submit(Request::new(48, 40)),
+        ];
         let mut finished = 0;
         let mut guard = 0;
         while s.has_work() {
@@ -455,7 +469,9 @@ mod tests {
         for _ in 0..5 {
             s.submit(Request::new(8, 10));
         }
-        let StepPlan::Prefill { ids, .. } = s.plan_step() else { panic!() };
+        let StepPlan::Prefill { ids, .. } = s.plan_step() else {
+            panic!()
+        };
         assert_eq!(ids.len(), 2);
         s.commit_prefill(&ids);
         // Running is full: next plan must be decode, not admission.

@@ -6,14 +6,14 @@ use std::collections::HashMap;
 
 use moe_gpusim::memory::footprint;
 use moe_gpusim::perfmodel::PerfModel;
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 
 use crate::metrics::{mean, LatencySummary};
 use crate::request::{Request, RequestId, RequestOutput};
 use crate::scheduler::{Scheduler, SchedulerConfig, StepPlan};
 
 /// Aggregate results of one simulated serving run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct SimReport {
     pub outputs: Vec<RequestOutput>,
     /// Wall-clock makespan of the run (s).
@@ -78,8 +78,7 @@ pub fn scheduler_config_for(model: &PerfModel, max_seq: usize) -> SchedulerConfi
         1,
         max_seq,
     );
-    let kv_budget = (fp.capacity_bytes - fp.weight_bytes - fp.reserve_bytes
-        - fp.activation_bytes)
+    let kv_budget = (fp.capacity_bytes - fp.weight_bytes - fp.reserve_bytes - fp.activation_bytes)
         .max(0.0)
         * model.cluster().num_devices as f64;
     let block_tokens = 16;
@@ -148,7 +147,7 @@ impl SimServer {
         self.next_external += 1;
         self.pending.push((request, id));
         self.pending
-            .sort_by(|a, b| a.0.arrival_s.partial_cmp(&b.0.arrival_s).expect("finite arrivals"));
+            .sort_by(|a, b| a.0.arrival_s.total_cmp(&b.0.arrival_s));
         id
     }
 
@@ -157,7 +156,10 @@ impl SimServer {
             if req.arrival_s <= self.clock_s + 1e-12 {
                 let (req, ext_id) = self.pending.remove(0);
                 let sched_id = self.scheduler.submit(req.clone());
-                debug_assert_eq!(sched_id, ext_id, "scheduler ids must track submission order");
+                debug_assert_eq!(
+                    sched_id, ext_id,
+                    "scheduler ids must track submission order"
+                );
                 self.arrivals.insert(sched_id, req);
             } else {
                 break;
@@ -199,7 +201,7 @@ impl SimServer {
                 let batch = ids.len();
                 let mean_ctx = (ids
                     .iter()
-                    .map(|id| self.scheduler.seq(*id).expect("running").context_len())
+                    .map(|id| self.scheduler.seq(*id).expect("running").context_len()) // lint:allow(no-panic-in-lib) -- scheduler invariant: ids in the decode plan are running
                     .sum::<usize>()
                     / batch)
                     .max(1);
@@ -224,7 +226,7 @@ impl SimServer {
     }
 
     fn finish(&mut self, id: RequestId) {
-        let seq = self.scheduler.seq(id).expect("finished seq exists");
+        let seq = self.scheduler.seq(id).expect("finished seq exists"); // lint:allow(no-panic-in-lib) -- scheduler invariant: finished ids remain in the table
         let req = &self.arrivals[&id];
         self.outputs.push(RequestOutput {
             id,
@@ -273,7 +275,12 @@ mod tests {
     use moe_model::registry::olmoe_1b_7b;
 
     fn olmoe_server() -> PerfModel {
-        PerfModel::new(olmoe_1b_7b(), Cluster::h100_node(1), EngineOptions::default()).unwrap()
+        PerfModel::new(
+            olmoe_1b_7b(),
+            Cluster::h100_node(1),
+            EngineOptions::default(),
+        )
+        .unwrap()
     }
 
     #[test]

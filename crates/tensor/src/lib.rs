@@ -14,15 +14,19 @@
 //! * **Determinism** — every random initializer takes an explicit seed and
 //!   uses a counter-based ChaCha stream ([`rng`]), so functional experiments
 //!   are bit-reproducible across thread counts.
-//! * **Parallelism** — GEMMs parallelize over output-row blocks with rayon;
-//!   sequential kernels are used below a size threshold to avoid fork/join
-//!   overhead on the tiny matrices the down-scaled models use.
+//! * **Parallelism** — GEMMs parallelize over output-row blocks with the
+//!   scoped-thread helper in [`par`]; sequential kernels are used below a
+//!   size threshold to avoid fork/join overhead on the tiny matrices the
+//!   down-scaled models use.
 //! * **No `unsafe`** — the kernels stay within safe Rust; performance on the
 //!   down-scaled models is more than sufficient and data-race freedom is
 //!   guaranteed by construction.
 
+#![forbid(unsafe_code)]
+
 pub mod matrix;
 pub mod ops;
+pub mod par;
 pub mod quant;
 pub mod rng;
 pub mod topk;

@@ -1,21 +1,22 @@
 //! Row-major 2-D matrix over `f32` and the GEMM/GEMV kernels.
 //!
-//! The matmul kernels parallelize over blocks of output rows with rayon and
-//! use an inner loop ordered for sequential access of both operands
-//! (`C[i,:] += A[i,k] * B[k,:]`), which the compiler auto-vectorizes.
-//! Matrices smaller than [`PAR_THRESHOLD`] multiply sequentially to avoid
-//! fork/join overhead on the down-scaled models used in functional tests.
+//! The matmul kernels parallelize over blocks of output rows with the
+//! scoped-thread helper in [`crate::par`] and use an inner loop ordered for
+//! sequential access of both operands (`C[i,:] += A[i,k] * B[k,:]`), which
+//! the compiler auto-vectorizes. Matrices smaller than [`PAR_THRESHOLD`]
+//! multiply sequentially to avoid fork/join overhead on the down-scaled
+//! models used in functional tests.
 
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 
+use crate::par;
 use crate::rng;
 
 /// Minimum number of output elements before a GEMM goes parallel.
 pub const PAR_THRESHOLD: usize = 64 * 64;
 
 /// A dense row-major matrix of `f32`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -25,13 +26,21 @@ pub struct Matrix {
 impl Matrix {
     /// Create a zero-filled `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix from an existing buffer. Panics if the buffer length
     /// does not equal `rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer does not match {rows}x{cols}");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer does not match {rows}x{cols}"
+        );
         Self { rows, cols, data }
     }
 
@@ -169,7 +178,7 @@ impl Matrix {
         let k = self.cols;
         let mut out = Matrix::zeros(self.rows, n);
         let work = self.rows * n;
-        let body = |(i, out_row): (usize, &mut [f32])| {
+        let body = |i: usize, out_row: &mut [f32]| {
             let a_row = self.row(i);
             for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = other.row(j);
@@ -181,9 +190,12 @@ impl Matrix {
             }
         };
         if work >= PAR_THRESHOLD {
-            out.data.par_chunks_mut(n).enumerate().for_each(body);
+            par::for_each_chunk_mut(&mut out.data, n, body);
         } else {
-            out.data.chunks_mut(n).enumerate().for_each(body);
+            out.data
+                .chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, c)| body(i, c));
         }
         out
     }
@@ -208,14 +220,22 @@ impl Matrix {
 /// buffer to avoid allocation in the decode loop.
 pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols, b.rows, "matmul shape mismatch");
-    assert_eq!((out.rows, out.cols), (a.rows, b.cols), "output shape mismatch");
+    assert_eq!(
+        (out.rows, out.cols),
+        (a.rows, b.cols),
+        "output shape mismatch"
+    );
     let n = b.cols;
     let k = a.cols;
-    let body = |(i, out_row): (usize, &mut [f32])| {
+    let body = |i: usize, out_row: &mut [f32]| {
         out_row.fill(0.0);
         let a_row = a.row(i);
         for (kk, &aik) in a_row.iter().enumerate().take(k) {
-            if aik == 0.0 {
+            // Bit-pattern test for ±0.0: skipping a zero row of A is an
+            // exact sparsity shortcut, not a tolerance decision, so it must
+            // not be widened to an epsilon (and `== 0.0` trips the
+            // no-float-eq lint).
+            if aik.to_bits() & 0x7FFF_FFFF == 0 {
                 continue;
             }
             let b_row = &b.data[kk * n..(kk + 1) * n];
@@ -225,9 +245,12 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
         }
     };
     if a.rows * n >= PAR_THRESHOLD {
-        out.data.par_chunks_mut(n).enumerate().for_each(body);
+        par::for_each_chunk_mut(&mut out.data, n, body);
     } else {
-        out.data.chunks_mut(n).enumerate().for_each(body);
+        out.data
+            .chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, c)| body(i, c));
     }
 }
 
@@ -236,8 +259,8 @@ pub fn gemv(w: &Matrix, x: &[f32]) -> Vec<f32> {
     assert_eq!(w.cols, x.len(), "gemv shape mismatch");
     let mut y = vec![0.0f32; w.rows];
     if w.rows * w.cols >= PAR_THRESHOLD {
-        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
-            *yi = dot(w.row(i), x);
+        par::for_each_chunk_mut(&mut y, 1, |i, yi| {
+            yi[0] = dot(w.row(i), x);
         });
     } else {
         for (i, yi) in y.iter_mut().enumerate() {

@@ -1,0 +1,132 @@
+//! A minimal fork/join helper over `std::thread::scope`, replacing the
+//! former rayon dependency.
+//!
+//! The only parallel shape the kernels need is "split a mutable buffer
+//! into equal-size chunks and process each chunk with its global index".
+//! Work is divided into contiguous runs of chunks, one per worker, so the
+//! result is identical for any worker count — determinism does not depend
+//! on scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count: the machine's available parallelism, overridable for
+/// tests via `MOE_THREADS`. Always at least 1.
+pub fn workers() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("MOE_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+        .unwrap_or(1);
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Apply `body(chunk_index, chunk)` to every `chunk_size`-sized chunk of
+/// `data` (last chunk may be short), in parallel across contiguous runs of
+/// chunks. Equivalent to `data.chunks_mut(chunk_size).enumerate().for_each`
+/// but multi-threaded; the output is identical either way.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_size: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    debug_assert!(chunk_size > 0, "chunk_size must be nonzero");
+    let n_chunks = data.len().div_ceil(chunk_size.max(1));
+    let threads = workers().min(n_chunks);
+    if threads <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_size.max(1)).enumerate() {
+            body(i, chunk);
+        }
+        return;
+    }
+    // Contiguous runs of whole chunks per worker.
+    let chunks_per_worker = n_chunks.div_ceil(threads);
+    let run_len = chunks_per_worker * chunk_size;
+    std::thread::scope(|scope| {
+        for (w, run) in data.chunks_mut(run_len).enumerate() {
+            let body = &body;
+            scope.spawn(move || {
+                let base = w * chunks_per_worker;
+                for (j, chunk) in run.chunks_mut(chunk_size).enumerate() {
+                    body(base + j, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel indexed map: returns `(0..n).map(|i| body(i))` collected in
+/// order. Used for per-token and per-expert fan-out in the MoE layers.
+pub fn map_indexed<R, F>(n: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = workers().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(body).collect();
+    }
+    let per = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for (w, slot_run) in out.chunks_mut(per).enumerate() {
+            let body = &body;
+            scope.spawn(move || {
+                let base = w * per;
+                for (j, slot) in slot_run.iter_mut().enumerate() {
+                    *slot = Some(body(base + j));
+                }
+            });
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_matches_serial() {
+        let mut a: Vec<u64> = (0..1000).collect();
+        let mut b = a.clone();
+        for_each_chunk_mut(&mut a, 7, |i, c| {
+            for v in c.iter_mut() {
+                *v = v.wrapping_mul(31).wrapping_add(i as u64);
+            }
+        });
+        b.chunks_mut(7).enumerate().for_each(|(i, c)| {
+            for v in c.iter_mut() {
+                *v = v.wrapping_mul(31).wrapping_add(i as u64);
+            }
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_indexed_ordered() {
+        let got = map_indexed(100, |i| i * i);
+        let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let mut empty: Vec<u8> = vec![];
+        for_each_chunk_mut(&mut empty, 4, |_, _| {});
+        assert!(map_indexed(0, |i| i).is_empty());
+        assert_eq!(map_indexed(1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn workers_at_least_one() {
+        assert!(workers() >= 1);
+    }
+}

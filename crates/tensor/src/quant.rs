@@ -15,7 +15,7 @@
 //! and exposes `dequantize` plus a fused `gemv` so the executor can run
 //! genuinely quantized forward passes.
 
-use serde::{Deserialize, Serialize};
+use moe_json::{FromJson, ToJson};
 
 use crate::matrix::Matrix;
 
@@ -23,7 +23,7 @@ use crate::matrix::Matrix;
 pub const BLOCK: usize = 32;
 
 /// Numeric formats supported by the executor and the cost model.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, ToJson, FromJson)]
 pub enum Precision {
     F32,
     #[default]
@@ -87,13 +87,21 @@ pub fn f32_to_f16_bits(x: f32) -> u16 {
         let shift = (-14 - unbiased) as u32;
         let mant = (mant | 0x0080_0000) >> (13 + shift);
         let rem = (bits & ((1 << (13 + shift)) - 1)) << (19 - shift);
-        let round = if rem > 0x8000_0000u32 || (rem == 0x8000_0000u32 && mant & 1 == 1) { 1 } else { 0 };
+        let round = if rem > 0x8000_0000u32 || (rem == 0x8000_0000u32 && mant & 1 == 1) {
+            1
+        } else {
+            0
+        };
         return sign | (mant as u16 + round);
     }
     let half_exp = ((unbiased + 15) as u16) << 10;
     let half_mant = (mant >> 13) as u16;
     let rem = mant & 0x1fff;
-    let round = if rem > 0x1000 || (rem == 0x1000 && half_mant & 1 == 1) { 1 } else { 0 };
+    let round = if rem > 0x1000 || (rem == 0x1000 && half_mant & 1 == 1) {
+        1
+    } else {
+        0
+    };
     sign | (half_exp + (half_mant + round))
 }
 
@@ -169,8 +177,9 @@ pub fn f32_to_fp8_e4m3(x: f32) -> u8 {
 pub fn fp8_e4m3_to_f32(b: u8) -> f32 {
     let sign = if b & 0x80 != 0 { -1.0f32 } else { 1.0 };
     let e = ((b >> 3) & 0x0f) as i32;
-    let m = (b & 0x07) as f32;
-    if e == 0x0f && m == 7.0 {
+    let m_bits = b & 0x07;
+    let m = m_bits as f32;
+    if e == 0x0f && m_bits == 7 {
         return f32::NAN;
     }
     if e == 0 {
@@ -185,16 +194,23 @@ pub fn fp8_e4m3_to_f32(b: u8) -> f32 {
 // ---------------------------------------------------------------------------
 
 /// Backing storage of a quantized matrix.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, ToJson, FromJson)]
 enum Store {
     F32(Vec<f32>),
     F16(Vec<u16>),
     Bf16(Vec<f32>),
     Fp8(Vec<u8>),
     /// Symmetric block-wise int8: values plus one scale per BLOCK entries.
-    Int8 { q: Vec<i8>, scales: Vec<f32> },
+    Int8 {
+        q: Vec<i8>,
+        scales: Vec<f32>,
+    },
     /// Symmetric block-wise int4 packed two per byte (low nibble first).
-    Int4 { q: Vec<u8>, scales: Vec<f32>, len: usize },
+    Int4 {
+        q: Vec<u8>,
+        scales: Vec<f32>,
+        len: usize,
+    },
 }
 
 /// A weight matrix stored in a reduced-precision format.
@@ -202,7 +218,7 @@ enum Store {
 /// Rows/cols follow the source [`Matrix`]; the data is quantized row-major
 /// with integer blocks never crossing row boundaries is *not* guaranteed —
 /// blocks run over the flattened buffer, matching common GPTQ layouts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, ToJson, FromJson)]
 pub struct QuantizedMatrix {
     rows: usize,
     cols: usize,
@@ -225,10 +241,19 @@ impl QuantizedMatrix {
             }
             Precision::Int4 => {
                 let (q, scales) = quantize_int4(data);
-                Store::Int4 { q, scales, len: data.len() }
+                Store::Int4 {
+                    q,
+                    scales,
+                    len: data.len(),
+                }
             }
         };
-        Self { rows: m.rows(), cols: m.cols(), precision, store }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            precision,
+            store,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -308,7 +333,11 @@ impl QuantizedMatrix {
             Store::Int8 { q, scales } => q[i] as f32 * scales[i / BLOCK],
             Store::Int4 { q, scales, .. } => {
                 let byte = q[i / 2];
-                let nib = if i.is_multiple_of(2) { byte & 0x0f } else { byte >> 4 };
+                let nib = if i.is_multiple_of(2) {
+                    byte & 0x0f
+                } else {
+                    byte >> 4
+                };
                 (nib as i32 - 8) as f32 * scales[i / BLOCK]
             }
         }
@@ -412,7 +441,6 @@ fn quantize_int4(data: &[f32]) -> (Vec<u8>, Vec<f32>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn f16_roundtrip_exact_values() {
@@ -435,7 +463,7 @@ mod tests {
 
     #[test]
     fn bf16_truncation_error_bounded() {
-        let v = 3.14159f32;
+        let v = std::f32::consts::PI;
         let rt = f32_round_bf16(v);
         assert!((rt - v).abs() / v < 1.0 / 256.0);
     }
@@ -509,7 +537,12 @@ mod tests {
         let m = Matrix::random(24, 48, 46, 0.5);
         let x: Vec<f32> = (0..48).map(|i| (i as f32 * 0.1).sin()).collect();
         let exact = crate::matrix::gemv(&m, &x);
-        for p in [Precision::F16, Precision::Fp8E4M3, Precision::Int8, Precision::Int4] {
+        for p in [
+            Precision::F16,
+            Precision::Fp8E4M3,
+            Precision::Int8,
+            Precision::Int4,
+        ] {
             let q = QuantizedMatrix::quantize(&m, p);
             let approx = q.gemv(&x);
             let tol = QuantizedMatrix::nominal_relative_error(p) * 48.0 * 0.5 + 1e-4;
@@ -522,7 +555,12 @@ mod tests {
     #[test]
     fn fake_quant_slice_matches_matrix_quantization() {
         let m = Matrix::random(2, 64, 77, 1.0);
-        for p in [Precision::F16, Precision::Fp8E4M3, Precision::Int8, Precision::Int4] {
+        for p in [
+            Precision::F16,
+            Precision::Fp8E4M3,
+            Precision::Int8,
+            Precision::Int4,
+        ] {
             let expect = QuantizedMatrix::quantize(&m, p).dequantize();
             let mut got = m.as_slice().to_vec();
             fake_quant_slice(&mut got, p);
@@ -540,25 +578,36 @@ mod tests {
         assert_eq!(x, orig);
     }
 
-    proptest! {
-        #[test]
-        fn prop_f16_roundtrip_error(v in -60000f32..60000.0) {
+    // Deterministic randomized sweeps (replacing the former proptest versions).
+
+    #[test]
+    fn randomized_f16_roundtrip_error() {
+        let mut rng = crate::rng::rng_from_seed(0x9a_71);
+        for _ in 0..256 {
+            let v = -60000.0 + rng.next_f32() * 120000.0;
             let rt = f16_bits_to_f32(f32_to_f16_bits(v));
             let tol = v.abs().max(6.1e-5) / 1024.0;
-            prop_assert!((rt - v).abs() <= tol, "{} -> {}", v, rt);
+            assert!((rt - v).abs() <= tol, "{} -> {}", v, rt);
         }
+    }
 
-        #[test]
-        fn prop_fp8_roundtrip_error(v in -440f32..440.0) {
+    #[test]
+    fn randomized_fp8_roundtrip_error() {
+        let mut rng = crate::rng::rng_from_seed(0x9a_72);
+        for _ in 0..256 {
+            let v = -440.0 + rng.next_f32() * 880.0;
             let rt = fp8_e4m3_to_f32(f32_to_fp8_e4m3(v));
             let tol = v.abs().max(0.002) / 8.0;
-            prop_assert!((rt - v).abs() <= tol, "{} -> {}", v, rt);
+            assert!((rt - v).abs() <= tol, "{} -> {}", v, rt);
         }
+    }
 
-        #[test]
-        fn prop_int8_block_quant_bound(
-            data in proptest::collection::vec(-10f32..10.0, 1..200),
-        ) {
+    #[test]
+    fn randomized_int8_block_quant_bound() {
+        let mut rng = crate::rng::rng_from_seed(0x9a_73);
+        for _ in 0..32 {
+            let len = 1 + rng.next_below(199);
+            let data: Vec<f32> = (0..len).map(|_| -10.0 + rng.next_f32() * 20.0).collect();
             let m = Matrix::from_vec(1, data.len(), data.clone());
             let q = QuantizedMatrix::quantize(&m, Precision::Int8);
             let d = q.dequantize();
@@ -567,7 +616,7 @@ mod tests {
                 let tol = amax / 127.0 + 1e-6;
                 for (i, v) in block.iter().enumerate() {
                     let got = d.as_slice()[block_idx * BLOCK + i];
-                    prop_assert!((got - v).abs() <= tol);
+                    assert!((got - v).abs() <= tol);
                 }
             }
         }

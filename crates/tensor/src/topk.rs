@@ -65,7 +65,6 @@ pub fn softmax_then_top_k(logits: &[f32], k: usize) -> TopK {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn top1_is_argmax() {
@@ -123,39 +122,58 @@ mod tests {
         assert!(sum > 0.9); // the winning expert holds almost all mass
     }
 
-    proptest! {
-        #[test]
-        fn prop_topk_matches_sorted_reference(
-            xs in proptest::collection::vec(-1e3f32..1e3, 1..64),
-            kf in 0.0f64..1.0,
-        ) {
-            let k = 1 + ((xs.len() - 1) as f64 * kf) as usize;
-            let t = top_k(&xs, k);
-            let mut pairs: Vec<(f32, usize)> =
-                xs.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
-            pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-            let expect: Vec<usize> = pairs[..k].iter().map(|p| p.1).collect();
-            prop_assert_eq!(t.indices, expect);
-        }
+    /// Deterministic randomized vector in `lo..hi` with `1..=max_len` entries.
+    fn rand_vec(rng: &mut crate::rng::DetRng, max_len: usize, lo: f32, hi: f32) -> Vec<f32> {
+        let len = 1 + rng.next_below(max_len);
+        (0..len).map(|_| lo + rng.next_f32() * (hi - lo)).collect()
+    }
 
-        #[test]
-        fn prop_routing_weights_simplex(
-            xs in proptest::collection::vec(-50f32..50.0, 2..32),
-        ) {
+    // Deterministic randomized sweeps (replacing the former proptest versions).
+
+    #[test]
+    fn randomized_topk_matches_sorted_reference() {
+        let mut rng = crate::rng::rng_from_seed(0x70_9c_01);
+        for _ in 0..64 {
+            let xs = rand_vec(&mut rng, 63, -1e3, 1e3);
+            let k = 1 + rng.next_below(xs.len());
+            let t = top_k(&xs, k);
+            let mut pairs: Vec<(f32, usize)> = xs
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, v)| (v, i))
+                .collect();
+            pairs.sort_by(|a, b| {
+                // lint:allow(no-panic-in-lib) -- test scope; finite floats always compare
+                b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1))
+            });
+            let expect: Vec<usize> = pairs[..k].iter().map(|p| p.1).collect();
+            assert_eq!(t.indices, expect);
+        }
+    }
+
+    #[test]
+    fn randomized_routing_weights_simplex() {
+        let mut rng = crate::rng::rng_from_seed(0x70_9c_02);
+        for _ in 0..64 {
+            let xs = rand_vec(&mut rng, 31, -50.0, 50.0);
             let k = 2.min(xs.len());
             let t = top_k_softmax(&xs, k);
             let sum: f32 = t.values.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(t.values.iter().all(|v| (0.0..=1.0 + 1e-6).contains(v)));
+            assert!((sum - 1.0).abs() < 1e-4);
+            assert!(t.values.iter().all(|v| (0.0..=1.0 + 1e-6).contains(v)));
         }
+    }
 
-        #[test]
-        fn prop_topk_values_are_maxima(
-            xs in proptest::collection::vec(-1e3f32..1e3, 2..64),
-        ) {
+    #[test]
+    fn randomized_topk_values_are_maxima() {
+        let mut rng = crate::rng::rng_from_seed(0x70_9c_03);
+        for _ in 0..64 {
+            let mut xs = rand_vec(&mut rng, 62, -1e3, 1e3);
+            xs.push(rng.next_f32());
             let t = top_k(&xs, 1);
             let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            prop_assert_eq!(t.values[0], max);
+            assert_eq!(t.values[0], max);
         }
     }
 }

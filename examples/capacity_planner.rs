@@ -14,15 +14,15 @@ use moe_inference_bench::model::registry;
 use moe_inference_bench::tensor::Precision;
 
 fn main() {
-    let args: Vec<usize> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     let batch = args.first().copied().unwrap_or(32);
     let input = args.get(1).copied().unwrap_or(1024);
     let output = args.get(2).copied().unwrap_or(1024);
 
-    println!(
-        "capacity plan for batch {batch}, {input} in / {output} out tokens:\n"
-    );
+    println!("capacity plan for batch {batch}, {input} in / {output} out tokens:\n");
     println!(
         "{:<22} {:>5} {:>5} | {:>10} {:>9} {:>9} | {:>11}",
         "model", "prec", "GPUs", "tok/s", "TTFT ms", "ITL ms", "KV headroom"
@@ -36,7 +36,9 @@ fn main() {
                 let Ok(perf) = PerfModel::new(
                     model.clone(),
                     Cluster::h100_node(gpus),
-                    EngineOptions::default().with_plan(plan).with_precision(precision),
+                    EngineOptions::default()
+                        .with_plan(plan)
+                        .with_precision(precision),
                 ) else {
                     continue;
                 };
@@ -60,7 +62,10 @@ fn main() {
                 run.itl_s * 1e3,
                 headroom / 1e9,
             ),
-            None => println!("{:<22} does not fit on 8 H100s at this workload", model.name),
+            None => println!(
+                "{:<22} does not fit on 8 H100s at this workload",
+                model.name
+            ),
         }
     }
 

@@ -28,7 +28,10 @@ fn main() {
     }
     let report = server.run();
     println!("simulated serving of 48 bursty requests (OLMoE-1B-7B, 1xH100):");
-    println!("  makespan        {:>8.2} s over {} engine steps", report.makespan_s, report.steps);
+    println!(
+        "  makespan        {:>8.2} s over {} engine steps",
+        report.makespan_s, report.steps
+    );
     println!("  throughput      {:>8.0} tok/s", report.throughput_tok_s);
     println!("  requests/s      {:>8.2}", report.requests_per_s);
     println!(

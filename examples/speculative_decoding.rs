@@ -12,8 +12,8 @@
 use moe_inference_bench::engine::generate::{generate, GenerateParams};
 use moe_inference_bench::engine::model::MoeTransformer;
 use moe_inference_bench::engine::spec::speculative_generate;
-use moe_inference_bench::gpusim::parallel::ParallelPlan;
 use moe_inference_bench::gpusim::device::Cluster;
+use moe_inference_bench::gpusim::parallel::ParallelPlan;
 use moe_inference_bench::gpusim::perfmodel::{EngineOptions, PerfModel};
 use moe_inference_bench::gpusim::spec::{acceptance_rate, spec_run, SpecParams};
 use moe_inference_bench::model::registry;
@@ -50,13 +50,22 @@ fn main() {
     };
     let target = placed(registry::qwen3_30b_a3b());
     let vanilla_tput = target.run(16, 1024, 256).expect("fits").throughput_tok_s;
-    println!("\nQwen3-30B-A3B on 2xH100 — vanilla: {vanilla_tput:.0} tok/s; with drafts (gamma=3):");
+    println!(
+        "\nQwen3-30B-A3B on 2xH100 — vanilla: {vanilla_tput:.0} tok/s; with drafts (gamma=3):"
+    );
 
     for draft_cfg in registry::draft_models() {
         let alpha = acceptance_rate(&draft_cfg, target.config());
         let draft = placed(draft_cfg.clone());
-        let r = spec_run(&target, &draft, SpecParams { gamma: 3, alpha }, 16, 1024, 256)
-            .expect("fits");
+        let r = spec_run(
+            &target,
+            &draft,
+            SpecParams { gamma: 3, alpha },
+            16,
+            1024,
+            256,
+        )
+        .expect("fits");
         println!(
             "  {:<11} alpha={alpha:.2}: {:>6.0} tok/s ({:+.1}% vs vanilla)",
             draft_cfg.name,

@@ -15,6 +15,8 @@
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and the per-experiment index.
 
+#![forbid(unsafe_code)]
+
 pub use moe_bench as bench;
 pub use moe_engine as engine;
 pub use moe_eval as eval;

@@ -1,0 +1,33 @@
+//! Tier-1 determinism gate: the same experiment run twice in one process
+//! must produce byte-identical JSON reports.
+//!
+//! This is the end-to-end check behind the `no-unseeded-rng` and
+//! `no-wall-clock` lint rules: if any entropy or host-timing leaked into
+//! the pipeline (model init, placement, cost model, report rendering),
+//! the second run would differ somewhere in the rendered bytes.
+
+/// Reduced-scale Fig. 5 sweep (batch x top-k throughput grid), twice.
+#[test]
+fn fig5_fast_is_byte_identical_across_runs() {
+    let render = || {
+        let report = moe_bench::run_experiment("fig5", true).expect("fig5 is registered");
+        moe_json::to_string_pretty(&report)
+    };
+    let first = render();
+    let second = render();
+    assert!(!first.is_empty());
+    assert_eq!(
+        first, second,
+        "fig5 fast sweep is not deterministic: rendered JSON differs between runs"
+    );
+}
+
+/// The report also survives a parse round-trip unchanged, so the bytes on
+/// disk are a faithful, stable encoding of the measured grid.
+#[test]
+fn fig5_fast_report_roundtrips_exactly() {
+    let report = moe_bench::run_experiment("fig5", true).expect("fig5 is registered");
+    let json = moe_json::to_string_pretty(&report);
+    let back: moe_bench::ExperimentReport = moe_json::from_str(&json).expect("parses back");
+    assert_eq!(moe_json::to_string_pretty(&back), json);
+}

@@ -111,7 +111,11 @@ fn more_gpus_never_slower_under_tp() {
             )
             .expect("valid plan");
             let t = perf.run(16, 512, 512).expect("fits").throughput_tok_s;
-            assert!(t >= last * 0.98, "{} at {gpus} GPUs: {t} < {last}", model.name);
+            assert!(
+                t >= last * 0.98,
+                "{} at {gpus} GPUs: {t} < {last}",
+                model.name
+            );
             last = t;
         }
     }
@@ -130,7 +134,11 @@ fn paper_formulas_hold_across_the_roster() {
         let r = perf.run(8, 256, 128).expect("fits on 4 GPUs");
         // Eq. 2.
         let expect = 8.0 * (256.0 + 128.0) / r.e2e_s;
-        assert!((r.throughput_tok_s - expect).abs() / expect < 1e-9, "{}", model.name);
+        assert!(
+            (r.throughput_tok_s - expect).abs() / expect < 1e-9,
+            "{}",
+            model.name
+        );
         // Eq. 1 (per-sequence ITL definition).
         let expect_itl = (r.e2e_s - r.ttft_s) / 127.0;
         assert!((r.itl_s - expect_itl).abs() < 1e-12, "{}", model.name);

@@ -1,0 +1,18 @@
+//! Tier-1 gate: the workspace must lint clean under `moe-lint`.
+//!
+//! This runs the same pass as the `moe-lint` binary and the CI step, so a
+//! violation fails `cargo test` locally before it ever reaches CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = moe_lint::lint_workspace(root).expect("workspace sources readable");
+    assert!(
+        diags.is_empty(),
+        "moe-lint found {} violation(s):\n{}",
+        diags.len(),
+        moe_lint::render_human(&diags)
+    );
+}

@@ -32,8 +32,16 @@ fn conclusion_vlms_slower_than_llms() {
     use moe_bench::experiments::fig04;
     let llms = fig03::measure(true);
     let vlms = fig04::measure(true);
-    let lite = &llms.iter().find(|r| r.0 == "DeepSeek-V2-Lite").expect("present").2;
-    let small = &vlms.iter().find(|r| r.0 == "DeepSeek-VL2-Small").expect("present").1;
+    let lite = &llms
+        .iter()
+        .find(|r| r.0 == "DeepSeek-V2-Lite")
+        .expect("present")
+        .2;
+    let small = &vlms
+        .iter()
+        .find(|r| r.0 == "DeepSeek-VL2-Small")
+        .expect("present")
+        .1;
     // The two figures use different batch/length workloads; normalize the
     // prefill cost per *batched prompt token* (counting the 576 image
     // tokens each VLM sample carries).
@@ -60,7 +68,10 @@ fn conclusion_tp_preferred_over_pp_and_ep() {
 fn conclusion_balanced_models_route_uniformly() {
     let rs = fig15::measure(true);
     let molmoe = rs.iter().find(|r| r.model == "MolmoE-1B").expect("present");
-    let dsvl = rs.iter().find(|r| r.model == "DeepSeek-VL2").expect("present");
+    let dsvl = rs
+        .iter()
+        .find(|r| r.model == "DeepSeek-VL2")
+        .expect("present");
     assert!(molmoe.mean_imbalance > dsvl.mean_imbalance);
 }
 
@@ -75,7 +86,11 @@ fn conclusion_frontier_shape() {
         .expect("non-empty");
     let by_tput = ps
         .iter()
-        .max_by(|a, b| a.throughput_tok_s.partial_cmp(&b.throughput_tok_s).expect("finite"))
+        .max_by(|a, b| {
+            a.throughput_tok_s
+                .partial_cmp(&b.throughput_tok_s)
+                .expect("finite")
+        })
         .expect("non-empty");
     assert_ne!(by_acc.model, by_tput.model, "no free lunch on the frontier");
     assert!(by_acc.e2e_s > by_tput.e2e_s);
