@@ -20,6 +20,7 @@ use moe_model::variants::mixtral_variant;
 use moe_runtime::request::Request;
 use moe_runtime::simserver::SimServer;
 use moe_tensor::rng::rng_from_seed;
+use moe_trace::{Category, Tracer, BENCH_TRACK};
 
 use crate::report::{num, secs, tput_cell, ExperimentReport, Table};
 
@@ -151,12 +152,21 @@ pub fn run_multinode(_fast: bool) -> ExperimentReport {
 /// QPS study: Poisson arrivals at several offered loads; returns
 /// `(qps, mean_ttft_s, p95_ttft_s, mean_itl_s, makespan_s)`.
 pub fn qps_rows(fast: bool) -> Vec<(f64, f64, f64, f64, f64)> {
+    qps_rows_traced(fast, &mut Tracer::disabled())
+}
+
+/// [`qps_rows`] with tracing: each offered-load point runs through
+/// `SimServer::run_traced` (engine steps, scheduler decisions and
+/// per-request lifecycle spans), gets a grouping span on [`BENCH_TRACK`],
+/// and advances the tracer base by the point's makespan so points tile one
+/// monotone timeline. With a disabled tracer this is exactly [`qps_rows`].
+pub fn qps_rows_traced(fast: bool, tracer: &mut Tracer) -> Vec<(f64, f64, f64, f64, f64)> {
     let rates: &[f64] = if fast {
         &[1.0, 8.0]
     } else {
         &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
     };
-    let requests = if fast { 40 } else { 120 };
+    let requests: usize = if fast { 40 } else { 120 };
     let mut rows = Vec::new();
     for &qps in rates {
         let model = PerfModel::h100(olmoe_1b_7b());
@@ -169,7 +179,18 @@ pub fn qps_rows(fast: bool) -> Vec<(f64, f64, f64, f64, f64)> {
             t += -u.ln() / qps;
             server.submit(Request::new(512, 128).at(t));
         }
-        let report = server.run();
+        let report = server.run_traced(tracer);
+        if tracer.is_enabled() {
+            tracer.span_with(
+                BENCH_TRACK,
+                Category::Bench,
+                &format!("qps {qps}"),
+                0.0,
+                report.makespan_s,
+                vec![("qps", qps.into()), ("requests", requests.into())],
+            );
+            tracer.advance(report.makespan_s);
+        }
         rows.push((
             qps,
             report.ttft.mean_s,
@@ -183,6 +204,12 @@ pub fn qps_rows(fast: bool) -> Vec<(f64, f64, f64, f64, f64)> {
 
 /// Build the QPS report.
 pub fn run_qps(fast: bool) -> ExperimentReport {
+    run_qps_traced(fast, &mut Tracer::disabled())
+}
+
+/// Build the QPS report while recording every offered-load point into
+/// `tracer` (see [`qps_rows_traced`]).
+pub fn run_qps_traced(fast: bool, tracer: &mut Tracer) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "ext-qps",
         "Extension: Serving Capacity under Poisson Load (OLMoE-1B-7B, 1xH100)",
@@ -197,7 +224,7 @@ pub fn run_qps(fast: bool) -> ExperimentReport {
             "Makespan",
         ],
     );
-    for (qps, ttft, p95, itl, makespan) in qps_rows(fast) {
+    for (qps, ttft, p95, itl, makespan) in qps_rows_traced(fast, tracer) {
         t.row(vec![
             num(qps),
             secs(ttft),

@@ -4,6 +4,7 @@
 use moe_model::registry::{deepseek_v2_lite, qwen15_moe_a27b};
 use moe_model::ModelConfig;
 use moe_tensor::Precision;
+use moe_trace::{Category, Tracer, BENCH_TRACK, ENGINE_TRACK};
 
 use crate::common::{auto_place, SWEEP_BATCHES};
 use crate::report::{tput_cell, ExperimentReport, Table};
@@ -19,6 +20,19 @@ pub const OUT_LEN: usize = 1024;
 /// placement is fixed per model at the largest batch so the whole grid is
 /// comparable.
 pub fn sweep(base: &ModelConfig, fast: bool) -> Vec<(usize, usize, Option<f64>)> {
+    sweep_traced(base, fast, &mut Tracer::disabled())
+}
+
+/// [`sweep`] with tracing: every sweep point runs through
+/// `PerfModel::run_traced`, gets a grouping span on [`BENCH_TRACK`]
+/// labelled with the grid coordinates, and advances the tracer base by the
+/// point's end-to-end latency so consecutive points tile one monotone
+/// simulated timeline. With a disabled tracer this is exactly [`sweep`].
+pub fn sweep_traced(
+    base: &ModelConfig,
+    fast: bool,
+    tracer: &mut Tracer,
+) -> Vec<(usize, usize, Option<f64>)> {
     let (input, output) = (IN_LEN, OUT_LEN);
     let batches: &[usize] = if fast { &[1, 64] } else { &SWEEP_BATCHES };
     let topks: &[usize] = if fast { &[1, 8, 32] } else { &TOPKS };
@@ -39,14 +53,32 @@ pub fn sweep(base: &ModelConfig, fast: bool) -> Vec<(usize, usize, Option<f64>)>
                 placed.options().clone(),
             )
             .expect("same placement");
-            out.push((
-                batch,
-                k,
-                model
-                    .run(batch, input, output)
-                    .ok()
-                    .map(|r| r.throughput_tok_s),
-            ));
+            let run = model
+                .run_traced(batch, input, output, tracer, ENGINE_TRACK)
+                .ok();
+            if tracer.is_enabled() {
+                match &run {
+                    Some(r) => {
+                        tracer.span_with(
+                            BENCH_TRACK,
+                            Category::Bench,
+                            &format!("{} b={batch} k={k}", base.name),
+                            0.0,
+                            r.e2e_s,
+                            vec![("batch", batch.into()), ("top_k", k.into())],
+                        );
+                        tracer.advance(r.e2e_s);
+                    }
+                    None => tracer.instant(
+                        BENCH_TRACK,
+                        Category::Bench,
+                        &format!("{} b={batch} k={k} OOM", base.name),
+                        0.0,
+                        vec![("batch", batch.into()), ("top_k", k.into())],
+                    ),
+                }
+            }
+            out.push((batch, k, run.map(|r| r.throughput_tok_s)));
         }
     }
     out
@@ -79,12 +111,20 @@ fn grid_table(name: &str, grid: &[(usize, usize, Option<f64>)]) -> Table {
 
 /// Build the report.
 pub fn run(fast: bool) -> ExperimentReport {
+    run_traced(fast, &mut Tracer::disabled())
+}
+
+/// Build the report while recording the full sweep into `tracer` (engine
+/// step spans on track 0, per-point grouping spans on the bench track).
+pub fn run_traced(fast: bool, tracer: &mut Tracer) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "fig5",
         "Figure 5: Batch Size vs Active Experts (TopK), context 2048",
     );
+    tracer.name_track(ENGINE_TRACK, "engine");
+    tracer.name_track(BENCH_TRACK, "bench");
     for base in [deepseek_v2_lite(), qwen15_moe_a27b()] {
-        let grid = sweep(&base, fast);
+        let grid = sweep_traced(&base, fast, tracer);
         report.table(grid_table(&base.name, &grid));
     }
     report.note(
@@ -98,6 +138,20 @@ pub fn run(fast: bool) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use moe_trace::{timeline_coverage, MemorySink};
+
+    #[test]
+    fn traced_sweep_matches_plain_and_tiles_timeline() {
+        let base = deepseek_v2_lite();
+        let plain = sweep(&base, true);
+        let mut tracer = Tracer::new(Box::new(MemorySink::new()));
+        let traced = sweep_traced(&base, true, &mut tracer);
+        assert_eq!(plain, traced, "tracing must not perturb results");
+        let events = tracer.snapshot();
+        assert!(!events.is_empty());
+        assert!(timeline_coverage(&events, ENGINE_TRACK) > 0.999);
+        assert!(timeline_coverage(&events, BENCH_TRACK) > 0.999);
+    }
 
     #[test]
     fn throughput_decreases_with_topk() {

@@ -45,6 +45,42 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
     ]
 }
 
+/// Run one experiment by id, recording its simulated work into `tracer`.
+///
+/// Experiments with fully traced hot paths (`fig5` through the cost
+/// model, `ext-qps` through the serving loop) emit engine/scheduler/
+/// request spans; every experiment additionally gets one root span on
+/// [`moe_trace::BENCH_TRACK`] covering all simulated time it added, so a
+/// multi-experiment trace reads as a tiled timeline of experiment blocks.
+/// With a disabled tracer this is exactly [`run_experiment`].
+pub fn run_experiment_traced(
+    id: &str,
+    fast: bool,
+    tracer: &mut moe_trace::Tracer,
+) -> Option<ExperimentReport> {
+    let start_global_s = tracer.base_s();
+    let report = match id {
+        "fig5" => experiments::fig05::run_traced(fast, tracer),
+        "ext-qps" => experiments::extensions::run_qps_traced(fast, tracer),
+        other => return run_experiment(other, fast),
+    };
+    if tracer.is_enabled() {
+        tracer.name_track(moe_trace::BENCH_TRACK, "bench");
+        let dur_s = tracer.base_s() - start_global_s;
+        // Emit in local time relative to the *current* base: the root span
+        // reaches back over everything this experiment recorded.
+        tracer.span_with(
+            moe_trace::BENCH_TRACK,
+            moe_trace::Category::Bench,
+            id,
+            start_global_s - tracer.base_s(),
+            dur_s,
+            vec![("fast", i64::from(fast).into())],
+        );
+    }
+    Some(report)
+}
+
 /// Run one experiment by id.
 pub fn run_experiment(id: &str, fast: bool) -> Option<ExperimentReport> {
     Some(match id {

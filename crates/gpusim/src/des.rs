@@ -6,6 +6,21 @@
 //! `(time, sequence, event)` entries popped in order; resources are modeled
 //! as earliest-free times. The simulator is deterministic: ties are broken
 //! by insertion sequence.
+//!
+//! ## The clock
+//!
+//! Time here is **simulated seconds**, stored as `f64` and completely
+//! decoupled from the host wall clock (the `no-wall-clock` lint rule
+//! forbids `Instant::now` in this crate). A queue starts at `t = 0`;
+//! [`EventQueue::now`] advances only when an event is popped, never on
+//! its own, and never backwards — scheduling into the past is a bug and
+//! panics. Durations fed to the queue come from the roofline cost model,
+//! so the whole timeline is a pure function of the inputs: the same
+//! configuration replays to the same event order, which is what makes
+//! trace capture (`moe-trace`) and byte-identical report comparison
+//! possible. When several simulations are composed (the bench harness
+//! runs many sweep points), each keeps its own local clock and the
+//! tracer offsets them onto one global timeline.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

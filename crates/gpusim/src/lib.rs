@@ -39,6 +39,7 @@ pub mod perfmodel;
 pub mod placement;
 pub mod roofline;
 pub mod spec;
+pub mod steptrace;
 
 pub use device::{Cluster, DeviceProfile, Interconnect};
 pub use memory::{MemoryFootprint, OomError};

@@ -6,12 +6,15 @@ use moe_json::{FromJson, ToJson};
 use moe_model::{ModelConfig, MoeConfig};
 use moe_tensor::Precision;
 
+use moe_trace::{Tracer, TrackId};
+
 use crate::des::simulate_pipeline;
 use crate::device::Cluster;
 use crate::memory::{check_fits, MemoryFootprint, OomError};
 use crate::moecost::{imbalance_factor, moe_layer_cost, router_skew};
 use crate::parallel::{all_to_all_time, allreduce_time, p2p_time, ParallelMode, ParallelPlan};
 use crate::roofline::{gemm_cost, stream_cost, OpCost};
+use crate::steptrace::StepParts;
 
 /// Host-side image preprocessing cost per image (decode, resize,
 /// normalize, tile) — a model-independent constant that dominates VLM TTFT
@@ -323,6 +326,34 @@ impl PerfModel {
         }
     }
 
+    /// Per-component times of one transformer layer on one device:
+    /// `(attention, ffn/moe, expert-parallel comm, tensor-parallel comm)`.
+    fn layer_parts(
+        &self,
+        tokens: usize,
+        batch: usize,
+        ctx: usize,
+        phase: Phase,
+        moe_layer: bool,
+    ) -> (f64, f64, f64, f64) {
+        let d = &self.cluster.device;
+        let attn = self.attn_layer_cost(tokens, batch, ctx, phase).time_on(d);
+        let (ffn_cost, ep_comm) = self.ffn_layer_cost(tokens, moe_layer);
+        let ffn = ffn_cost.time_on(d);
+        let tp_comm = if self.opts.plan.mode == ParallelMode::Tensor && self.opts.plan.degree > 1 {
+            // Two all-reduces per layer (post-attention, post-FFN).
+            let bytes = (tokens * self.config.hidden_size) as f64 * 2.0;
+            2.0 * allreduce_time(
+                &self.cluster.effective_link(self.opts.plan.degree),
+                self.opts.plan.degree,
+                bytes,
+            )
+        } else {
+            0.0
+        };
+        (attn, ffn, ep_comm, tp_comm)
+    }
+
     /// Time for one transformer layer on one device, including collectives.
     fn layer_time(
         &self,
@@ -332,21 +363,8 @@ impl PerfModel {
         phase: Phase,
         moe_layer: bool,
     ) -> f64 {
-        let d = &self.cluster.device;
-        let mut t = self.attn_layer_cost(tokens, batch, ctx, phase).time_on(d);
-        let (ffn_cost, ep_comm) = self.ffn_layer_cost(tokens, moe_layer);
-        t += ffn_cost.time_on(d) + ep_comm;
-        if self.opts.plan.mode == ParallelMode::Tensor && self.opts.plan.degree > 1 {
-            // Two all-reduces per layer (post-attention, post-FFN).
-            let bytes = (tokens * self.config.hidden_size) as f64 * 2.0;
-            t += 2.0
-                * allreduce_time(
-                    &self.cluster.effective_link(self.opts.plan.degree),
-                    self.opts.plan.degree,
-                    bytes,
-                );
-        }
-        t
+        let (attn, ffn, ep_comm, tp_comm) = self.layer_parts(tokens, batch, ctx, phase, moe_layer);
+        attn + (ffn + ep_comm) + tp_comm
     }
 
     /// Time for the stack of `layers` starting at `first_layer`, used for
@@ -439,6 +457,158 @@ impl PerfModel {
                 }
             }
         }
+    }
+
+    /// Accumulate per-layer component times over the whole layer stack
+    /// into `parts`, with every term weighted by `mult` (the microbatch
+    /// replication factor in pipeline prefill).
+    fn accum_layer_parts(
+        &self,
+        parts: &mut StepParts,
+        tokens: usize,
+        batch: usize,
+        ctx: usize,
+        phase: Phase,
+        mult: f64,
+    ) {
+        for l in 0..self.config.num_layers {
+            let moe_layer = self.config.moe.is_some() && l >= self.config.first_k_dense_layers;
+            let (attn, ffn, ep_comm, tp_comm) =
+                self.layer_parts(tokens, batch, ctx, phase, moe_layer);
+            parts.attn_s += mult * attn;
+            parts.ffn_s += mult * ffn;
+            parts.moe_comm_s += mult * ep_comm;
+            parts.tp_comm_s += mult * tp_comm;
+        }
+    }
+
+    /// Additive decomposition of one forward pass for tracing.
+    ///
+    /// `total_s` equals [`Self::forward_time`] for the same arguments and
+    /// the component fields tile it exactly: in tensor mode (and pipeline
+    /// decode) the per-layer sums already add up to the total; in
+    /// pipeline prefill the summed device work can exceed the overlapped
+    /// makespan, in which case the work terms are scaled down
+    /// proportionally, and any positive residual is reported as
+    /// `bubble_s`.
+    pub fn forward_parts(
+        &self,
+        tokens: usize,
+        batch: usize,
+        ctx: usize,
+        phase: Phase,
+    ) -> StepParts {
+        let total = self.forward_time(tokens, batch, ctx, phase);
+        let mut parts = StepParts {
+            overhead_s: self.opts.framework_overhead_s,
+            total_s: total,
+            ..StepParts::default()
+        };
+        match self.opts.plan.mode {
+            ParallelMode::Tensor => {
+                self.accum_layer_parts(&mut parts, tokens, batch, ctx, phase, 1.0);
+                parts.head_s = self.head_time(batch);
+            }
+            ParallelMode::Pipeline => {
+                let stages = self.opts.plan.degree;
+                let hop = p2p_time(
+                    &self.cluster.effective_link(stages),
+                    (tokens * self.config.hidden_size) as f64 * 2.0,
+                );
+                match phase {
+                    Phase::Prefill => {
+                        let microbatches = batch.clamp(1, 8);
+                        let mb_tokens = tokens.div_ceil(microbatches);
+                        let mb_batch = batch.div_ceil(microbatches);
+                        self.accum_layer_parts(
+                            &mut parts,
+                            mb_tokens,
+                            mb_batch,
+                            ctx,
+                            phase,
+                            microbatches as f64,
+                        );
+                        let mb_hop = p2p_time(
+                            &self.cluster.effective_link(stages),
+                            (mb_tokens * self.config.hidden_size) as f64 * 2.0,
+                        );
+                        parts.tp_comm_s += ((stages - 1) * microbatches) as f64 * mb_hop;
+                    }
+                    Phase::Decode => {
+                        self.accum_layer_parts(&mut parts, tokens, batch, ctx, phase, 1.0);
+                        parts.tp_comm_s += (stages - 1) as f64 * hop;
+                    }
+                }
+                parts.head_s = self.head_time(batch);
+            }
+        }
+        let work = parts.component_sum_s();
+        if work > total && work > 0.0 {
+            // Pipelined overlap: summed device work exceeds the makespan.
+            // Rescale so the components tile the observed wall time.
+            let scale = total / work;
+            parts.overhead_s *= scale;
+            parts.attn_s *= scale;
+            parts.ffn_s *= scale;
+            parts.moe_comm_s *= scale;
+            parts.tp_comm_s *= scale;
+            parts.head_s *= scale;
+        } else {
+            parts.bubble_s = (total - work).max(0.0);
+        }
+        parts
+    }
+
+    /// [`Self::run`] plus trace emission, with identical metrics.
+    ///
+    /// When the tracer is enabled, emits a `prefill` step span at local
+    /// time 0 and a single aggregated `decode` span (one midpoint step
+    /// scaled by the step count — exact, because the decode total is
+    /// defined as `steps x midpoint step time`) covering `[ttft, e2e]`,
+    /// each tiled by per-component child spans. The caller picks the
+    /// `track` and is responsible for advancing the tracer base between
+    /// runs.
+    pub fn run_traced(
+        &self,
+        batch: usize,
+        input: usize,
+        output: usize,
+        tracer: &mut Tracer,
+        track: TrackId,
+    ) -> Result<RunMetrics, OomError> {
+        if !tracer.is_enabled() {
+            return self.run(batch, input, output);
+        }
+        let metrics = self.run(batch, input, output)?;
+        let prefill = self.forward_parts(batch * input, batch, input, Phase::Prefill);
+        prefill.emit(
+            tracer,
+            track,
+            "prefill",
+            0.0,
+            vec![
+                ("batch", batch.into()),
+                ("prompt_tokens", input.into()),
+                ("tokens", (batch * input).into()),
+            ],
+        );
+        let steps = output.saturating_sub(1);
+        if steps > 0 {
+            let mid_ctx = input + output / 2;
+            let step = self.forward_parts(batch, batch, mid_ctx, Phase::Decode);
+            step.scaled(steps as f64).emit(
+                tracer,
+                track,
+                "decode",
+                metrics.ttft_s,
+                vec![
+                    ("batch", batch.into()),
+                    ("steps", steps.into()),
+                    ("mid_ctx", mid_ctx.into()),
+                ],
+            );
+        }
+        Ok(metrics)
     }
 
     /// Vision-tower encode time for `batch * images` images (dense ViT).
@@ -775,6 +945,75 @@ mod tests {
         let no_img = m.run_vlm(4, 0, 256, 256).unwrap();
         assert!(with_img.ttft_s > no_img.ttft_s);
         assert!(with_img.samples_per_s < no_img.samples_per_s);
+    }
+
+    #[test]
+    fn forward_parts_tile_forward_time() {
+        // Tensor, tensor+EP, and pipeline plans; prefill and decode.
+        let cases: Vec<PerfModel> = vec![
+            PerfModel::h100(olmoe_1b_7b()),
+            model_on(deepseek_v2_lite(), 2, ParallelPlan::tensor(2)),
+            model_on(
+                qwen15_moe_a27b(),
+                4,
+                ParallelPlan::tensor(4).with_expert_parallel(),
+            ),
+            model_on(qwen15_moe_a27b(), 4, ParallelPlan::pipeline(4)),
+        ];
+        for m in &cases {
+            for (tokens, batch, ctx, phase) in [
+                (8 * 512, 8, 512, Phase::Prefill),
+                (8, 8, 768, Phase::Decode),
+            ] {
+                let parts = m.forward_parts(tokens, batch, ctx, phase);
+                let total = m.forward_time(tokens, batch, ctx, phase);
+                assert!(
+                    (parts.total_s - total).abs() < 1e-15,
+                    "total mismatch: {} vs {total}",
+                    parts.total_s
+                );
+                assert!(
+                    (parts.component_sum_s() - total).abs() < 1e-9 * total.max(1.0),
+                    "components {} don't tile total {total}",
+                    parts.component_sum_s()
+                );
+                assert!(parts.attn_s > 0.0 && parts.ffn_s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ep_plan_shows_moe_comm_tp_plan_does_not() {
+        let tp = model_on(qwen15_moe_a27b(), 4, ParallelPlan::tensor(4));
+        let ep = model_on(
+            qwen15_moe_a27b(),
+            4,
+            ParallelPlan::tensor(4).with_expert_parallel(),
+        );
+        let tp_parts = tp.forward_parts(16, 16, 1024, Phase::Decode);
+        let ep_parts = ep.forward_parts(16, 16, 1024, Phase::Decode);
+        assert_eq!(tp_parts.moe_comm_s, 0.0);
+        assert!(ep_parts.moe_comm_s > 0.0);
+        assert!(tp_parts.tp_comm_s > 0.0);
+    }
+
+    #[test]
+    fn run_traced_matches_run_and_covers_e2e() {
+        use moe_trace::{timeline_coverage, MemorySink, Tracer};
+        let m = PerfModel::h100(olmoe_1b_7b());
+        let plain = m.run(8, 512, 256).unwrap();
+        let mut tracer = Tracer::new(Box::new(MemorySink::new()));
+        let traced = m.run_traced(8, 512, 256, &mut tracer, 0).unwrap();
+        assert_eq!(plain, traced);
+        let evs = tracer.snapshot();
+        assert!(!evs.is_empty());
+        let cov = timeline_coverage(&evs, 0);
+        assert!(cov > 0.999, "coverage {cov}");
+        // Disabled tracer takes the plain path and emits nothing.
+        let mut off = Tracer::disabled();
+        let silent = m.run_traced(8, 512, 256, &mut off, 0).unwrap();
+        assert_eq!(plain, silent);
+        assert!(off.snapshot().is_empty());
     }
 
     #[test]

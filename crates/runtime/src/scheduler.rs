@@ -69,6 +69,39 @@ impl SeqRecord {
     }
 }
 
+/// One scheduler decision, recorded when event recording is on.
+///
+/// The scheduler itself is clock-free, so events carry no timestamp;
+/// the serving loop drains them each step ([`Scheduler::drain_events`])
+/// and stamps them with the simulated time of the step boundary they
+/// occurred at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedEvent {
+    /// Sequence (re-)admitted into a prefill batch with this many
+    /// context tokens to (re)compute.
+    Admitted {
+        /// Sequence id.
+        id: RequestId,
+        /// Prompt + regenerated tokens entering the prefill step.
+        context_tokens: usize,
+    },
+    /// Sequence evicted under memory pressure (recompute-style) and
+    /// returned to the head of the waiting queue.
+    Preempted {
+        /// Sequence id.
+        id: RequestId,
+        /// Lifetime preemption count for the sequence, after this one.
+        preemptions: usize,
+    },
+    /// Sequence generated its final token and released its KV blocks.
+    Finished {
+        /// Sequence id.
+        id: RequestId,
+        /// Total tokens generated.
+        generated: usize,
+    },
+}
+
 /// What the engine should execute next.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StepPlan {
@@ -92,6 +125,10 @@ pub struct Scheduler {
     running: Vec<RequestId>,
     next_id: RequestId,
     admission_stamp: u64,
+    /// When true, decisions append to `events` (off by default: the hot
+    /// path must not allocate for runs nobody is tracing).
+    record_events: bool,
+    events: Vec<SchedEvent>,
 }
 
 impl Scheduler {
@@ -104,11 +141,33 @@ impl Scheduler {
             running: Vec::new(),
             next_id: 0,
             admission_stamp: 0,
+            record_events: false,
+            events: Vec::new(),
         }
     }
 
     pub fn config(&self) -> &SchedulerConfig {
         &self.cfg
+    }
+
+    /// Turn decision recording on or off (off by default).
+    pub fn set_record_events(&mut self, on: bool) {
+        self.record_events = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Take the decisions recorded since the last drain (empty when
+    /// recording is off).
+    pub fn drain_events(&mut self) -> Vec<SchedEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn record(&mut self, ev: SchedEvent) {
+        if self.record_events {
+            self.events.push(ev);
+        }
     }
 
     pub fn blocks(&self) -> &BlockManager {
@@ -204,6 +263,12 @@ impl Scheduler {
                     seq.admitted_at = stamp;
                 }
             }
+            if self.record_events {
+                for &id in &admit {
+                    let context_tokens = self.seqs[&id].context_len();
+                    self.record(SchedEvent::Admitted { id, context_tokens });
+                }
+            }
             self.running.extend(&admit);
             return StepPlan::Prefill { ids: admit, tokens };
         }
@@ -266,6 +331,10 @@ impl Scheduler {
         if let Some(seq) = self.seqs.get_mut(&id) {
             seq.state = SeqState::Waiting;
         }
+        if self.record_events {
+            let preemptions = self.seqs[&id].preemptions;
+            self.record(SchedEvent::Preempted { id, preemptions });
+        }
         true
     }
 
@@ -279,8 +348,10 @@ impl Scheduler {
         seq.generated += 1;
         if seq.done() {
             seq.state = SeqState::Finished;
+            let generated = seq.generated;
             self.running.retain(|&r| r != id);
             self.blocks.release(id);
+            self.record(SchedEvent::Finished { id, generated });
             true
         } else {
             false
@@ -483,5 +554,81 @@ mod tests {
     fn empty_prompt_rejected() {
         let mut s = Scheduler::new(small_cfg());
         s.submit(Request::new(0, 1));
+    }
+
+    #[test]
+    fn events_off_by_default_on_when_enabled() {
+        let mut s = Scheduler::new(small_cfg());
+        let a = s.submit(Request::new(10, 1));
+        let StepPlan::Prefill { ids, .. } = s.plan_step() else {
+            panic!()
+        };
+        s.commit_prefill(&ids);
+        assert!(s.drain_events().is_empty(), "recording must default off");
+
+        s.set_record_events(true);
+        let b = s.submit(Request::new(10, 1));
+        let StepPlan::Prefill { ids, .. } = s.plan_step() else {
+            panic!()
+        };
+        s.commit_prefill(&ids);
+        let evs = s.drain_events();
+        assert_eq!(
+            evs,
+            vec![
+                SchedEvent::Admitted {
+                    id: b,
+                    context_tokens: 10
+                },
+                SchedEvent::Finished {
+                    id: b,
+                    generated: 1
+                },
+            ]
+        );
+        assert!(s.drain_events().is_empty(), "drain consumes");
+        let _ = a;
+    }
+
+    #[test]
+    fn preemption_recorded_when_enabled() {
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_running: 4,
+            max_batched_tokens: 256,
+            block_tokens: 16,
+            total_blocks: 7,
+        });
+        s.set_record_events(true);
+        let b;
+        {
+            let _a = s.submit(Request::new(48, 64));
+            b = s.submit(Request::new(48, 64));
+        }
+        let StepPlan::Prefill { ids, .. } = s.plan_step() else {
+            panic!()
+        };
+        s.commit_prefill(&ids);
+        let mut saw_preempt = false;
+        for _ in 0..40 {
+            match s.plan_step() {
+                StepPlan::Decode { ids } => {
+                    for id in ids {
+                        s.commit_decode(id);
+                    }
+                }
+                StepPlan::Prefill { ids, .. } => {
+                    s.commit_prefill(&ids);
+                }
+                StepPlan::Idle => break,
+            }
+            if s.drain_events()
+                .iter()
+                .any(|e| matches!(e, SchedEvent::Preempted { id, .. } if *id == b))
+            {
+                saw_preempt = true;
+                break;
+            }
+        }
+        assert!(saw_preempt, "expected a recorded preemption of {b}");
     }
 }

@@ -7,10 +7,11 @@ use std::collections::HashMap;
 use moe_gpusim::memory::footprint;
 use moe_gpusim::perfmodel::PerfModel;
 use moe_json::{FromJson, ToJson};
+use moe_trace::{Category, Tracer, ENGINE_TRACK, REQUEST_TRACK_BASE, SCHED_TRACK};
 
 use crate::metrics::{mean, LatencySummary};
 use crate::request::{Request, RequestId, RequestOutput};
-use crate::scheduler::{Scheduler, SchedulerConfig, StepPlan};
+use crate::scheduler::{SchedEvent, Scheduler, SchedulerConfig, StepPlan};
 
 /// Aggregate results of one simulated serving run.
 #[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
@@ -114,6 +115,9 @@ pub struct SimServer {
     steps: usize,
     next_external: RequestId,
     outputs: Vec<RequestOutput>,
+    /// Trace collector; disabled (zero-cost) unless [`Self::run_traced`]
+    /// installs an enabled one.
+    tracer: Tracer,
 }
 
 impl SimServer {
@@ -128,6 +132,7 @@ impl SimServer {
             steps: 0,
             next_external: 0,
             outputs: Vec::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -179,7 +184,11 @@ impl SimServer {
             return false;
         }
 
-        match self.scheduler.plan_step() {
+        let plan = self.scheduler.plan_step();
+        let step_start_s = self.clock_s;
+        // Admissions/preemptions happen at the step boundary just planned.
+        self.emit_sched_events(step_start_s);
+        match plan {
             StepPlan::Prefill { ids, tokens } => {
                 let batch = ids.len();
                 let per_seq = tokens.div_ceil(batch);
@@ -189,6 +198,21 @@ impl SimServer {
                     per_seq,
                     moe_gpusim::perfmodel::Phase::Prefill,
                 );
+                if self.tracer.is_enabled() {
+                    let parts = self.model.forward_parts(
+                        tokens,
+                        batch,
+                        per_seq,
+                        moe_gpusim::perfmodel::Phase::Prefill,
+                    );
+                    parts.emit(
+                        &mut self.tracer,
+                        ENGINE_TRACK,
+                        "prefill",
+                        step_start_s,
+                        vec![("batch", batch.into()), ("tokens", tokens.into())],
+                    );
+                }
                 self.clock_s += dt;
                 for id in self.scheduler.commit_prefill(&ids) {
                     self.finish(id);
@@ -206,6 +230,21 @@ impl SimServer {
                     / batch)
                     .max(1);
                 let dt = self.model.decode_step_time(batch, mean_ctx);
+                if self.tracer.is_enabled() {
+                    let parts = self.model.forward_parts(
+                        batch,
+                        batch,
+                        mean_ctx,
+                        moe_gpusim::perfmodel::Phase::Decode,
+                    );
+                    parts.emit(
+                        &mut self.tracer,
+                        ENGINE_TRACK,
+                        "decode",
+                        step_start_s,
+                        vec![("batch", batch.into()), ("mean_ctx", mean_ctx.into())],
+                    );
+                }
                 self.clock_s += dt;
                 for id in ids {
                     if self.scheduler.commit_decode(id) {
@@ -221,14 +260,65 @@ impl SimServer {
                 }
             }
         }
+        // Completions land at the post-step clock.
+        self.emit_sched_events(self.clock_s);
+        self.emit_counters();
         self.steps += 1;
         true
+    }
+
+    /// Drain the scheduler's decision log into trace instants stamped at
+    /// simulated time `t_s`. No-op (and the log stays empty) when tracing
+    /// is disabled.
+    fn emit_sched_events(&mut self, t_s: f64) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        for ev in self.scheduler.drain_events() {
+            match ev {
+                SchedEvent::Admitted { id, context_tokens } => self.tracer.instant(
+                    SCHED_TRACK,
+                    Category::Sched,
+                    "admit",
+                    t_s,
+                    vec![("req", id.into()), ("tokens", context_tokens.into())],
+                ),
+                SchedEvent::Preempted { id, preemptions } => self.tracer.instant(
+                    SCHED_TRACK,
+                    Category::Sched,
+                    "preempt",
+                    t_s,
+                    vec![("req", id.into()), ("preemptions", preemptions.into())],
+                ),
+                SchedEvent::Finished { id, generated } => self.tracer.instant(
+                    SCHED_TRACK,
+                    Category::Sched,
+                    "finish",
+                    t_s,
+                    vec![("req", id.into()), ("generated", generated.into())],
+                ),
+            }
+        }
+    }
+
+    /// Sample the KV-block and queue counters at the current clock.
+    fn emit_counters(&mut self) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let t = self.clock_s;
+        let used = self.scheduler.blocks().used_blocks() as f64;
+        self.tracer.counter("kv-blocks-used", t, used);
+        self.tracer
+            .counter("running-seqs", t, self.scheduler.num_running() as f64);
+        self.tracer
+            .counter("waiting-seqs", t, self.scheduler.num_waiting() as f64);
     }
 
     fn finish(&mut self, id: RequestId) {
         let seq = self.scheduler.seq(id).expect("finished seq exists"); // lint:allow(no-panic-in-lib) -- scheduler invariant: finished ids remain in the table
         let req = &self.arrivals[&id];
-        self.outputs.push(RequestOutput {
+        let output = RequestOutput {
             id,
             prompt_len: req.prompt_len,
             generated: seq.generated,
@@ -236,18 +326,80 @@ impl SimServer {
             first_token_s: *self.first_token.get(&id).unwrap_or(&self.clock_s),
             finish_s: self.clock_s,
             preemptions: seq.preemptions,
-        });
+        };
+        if self.tracer.is_enabled() {
+            // Per-request lifecycle chain on the request's own lane:
+            // parent request span tiled by a time-to-first-token child
+            // and a decode child.
+            let track = REQUEST_TRACK_BASE.saturating_add(u32::try_from(id).unwrap_or(u32::MAX));
+            self.tracer.name_track(track, &format!("req {id}"));
+            self.tracer.span_with(
+                track,
+                Category::Request,
+                "request",
+                output.arrival_s,
+                output.finish_s - output.arrival_s,
+                vec![
+                    ("id", id.into()),
+                    ("prompt", output.prompt_len.into()),
+                    ("generated", output.generated.into()),
+                    ("preemptions", output.preemptions.into()),
+                ],
+            );
+            self.tracer.span(
+                track,
+                Category::Request,
+                "ttft",
+                output.arrival_s,
+                output.first_token_s - output.arrival_s,
+            );
+            self.tracer.span(
+                track,
+                Category::Request,
+                "decode",
+                output.first_token_s,
+                output.finish_s - output.first_token_s,
+            );
+        }
+        self.outputs.push(output);
     }
 
-    /// Run until every submitted request completes.
-    pub fn run(mut self) -> SimReport {
+    /// Run to completion, returning the report and the (possibly
+    /// disabled) tracer that was installed.
+    fn run_consume(mut self) -> (SimReport, Tracer) {
         let mut guard = 0u64;
         while self.step() {
             guard += 1;
             assert!(guard < 50_000_000, "simulation livelock");
         }
         self.outputs.sort_by_key(|o| o.id);
-        SimReport::from_outputs(self.outputs, self.clock_s, self.steps)
+        let tracer = std::mem::take(&mut self.tracer);
+        (
+            SimReport::from_outputs(self.outputs, self.clock_s, self.steps),
+            tracer,
+        )
+    }
+
+    /// Run until every submitted request completes.
+    pub fn run(self) -> SimReport {
+        self.run_consume().0
+    }
+
+    /// Run until completion, recording into `tracer`.
+    ///
+    /// The tracer is borrowed for the duration of the run and handed
+    /// back with all events recorded; its base offset is *not* advanced
+    /// (the caller decides how runs tile the global timeline). With a
+    /// disabled tracer this is exactly [`Self::run`] — same step
+    /// sequence, same report, no recording overhead.
+    pub fn run_traced(mut self, tracer: &mut Tracer) -> SimReport {
+        std::mem::swap(&mut self.tracer, tracer);
+        self.scheduler.set_record_events(self.tracer.is_enabled());
+        self.tracer.name_track(ENGINE_TRACK, "engine");
+        self.tracer.name_track(SCHED_TRACK, "scheduler");
+        let (report, finished) = self.run_consume();
+        *tracer = finished;
+        report
     }
 }
 
@@ -264,6 +416,21 @@ pub fn serve_static_batch(
         server.submit(Request::new(input_tokens, output_tokens));
     }
     server.run()
+}
+
+/// [`serve_static_batch`] recording into `tracer` (identical report).
+pub fn serve_static_batch_traced(
+    model: PerfModel,
+    batch: usize,
+    input_tokens: usize,
+    output_tokens: usize,
+    tracer: &mut Tracer,
+) -> SimReport {
+    let mut server = SimServer::sized_for(model, input_tokens + output_tokens);
+    for _ in 0..batch {
+        server.submit(Request::new(input_tokens, output_tokens));
+    }
+    server.run_traced(tracer)
 }
 
 #[cfg(test)]
@@ -342,6 +509,58 @@ mod tests {
         .unwrap();
         let report = serve_static_batch(model, 4, 128, 32);
         assert_eq!(report.outputs.len(), 4);
+    }
+
+    #[test]
+    fn traced_run_reports_identically_and_records() {
+        use moe_trace::{timeline_coverage, MemorySink, TraceEvent};
+        let plain = serve_static_batch(olmoe_server(), 4, 128, 32);
+        let mut tracer = Tracer::new(Box::new(MemorySink::new()));
+        let traced = serve_static_batch_traced(olmoe_server(), 4, 128, 32, &mut tracer);
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+
+        let evs = tracer.snapshot();
+        assert!(!evs.is_empty());
+        // Engine track: back-to-back steps cover the whole makespan.
+        let cov = timeline_coverage(&evs, ENGINE_TRACK);
+        assert!(cov > 0.999, "engine coverage {cov}");
+        // Scheduler track saw admits and finishes.
+        let sched_names: Vec<&str> = evs
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Instant { name, track, .. } if *track == SCHED_TRACK => {
+                    Some(name.as_str())
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(sched_names.contains(&"admit"));
+        assert!(sched_names.contains(&"finish"));
+        // Every request got a lifecycle span on its own lane.
+        let req_spans = evs
+            .iter()
+            .filter(|e| {
+                matches!(e, TraceEvent::Span { name, track, .. }
+                    if name == "request" && *track >= REQUEST_TRACK_BASE)
+            })
+            .count();
+        assert_eq!(req_spans, 4);
+        // Counters sampled on the sim clock.
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Counter { name, .. } if name == "kv-blocks-used")));
+        // Named tracks registered.
+        assert!(tracer.tracks().iter().any(|(_, n)| n == "engine"));
+    }
+
+    #[test]
+    fn traced_run_with_disabled_tracer_is_plain_run() {
+        let plain = serve_static_batch(olmoe_server(), 2, 64, 16);
+        let mut off = Tracer::disabled();
+        let silent = serve_static_batch_traced(olmoe_server(), 2, 64, 16, &mut off);
+        assert_eq!(plain, silent);
+        assert!(off.snapshot().is_empty());
+        assert!(off.tracks().is_empty());
     }
 
     #[test]

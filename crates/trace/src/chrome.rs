@@ -1,0 +1,232 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) JSON export.
+
+use crate::span::{ArgValue, TraceEvent, TrackId};
+use moe_json::Json;
+
+/// Single simulated process id used for every lane.
+const PID: i128 = 0;
+
+fn arg_json(v: &ArgValue) -> Json {
+    match v {
+        ArgValue::Int(i) => Json::Int(*i as i128),
+        ArgValue::Float(f) => Json::Float(*f),
+        ArgValue::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+fn args_obj(args: &[(&'static str, ArgValue)]) -> Json {
+    Json::Obj(
+        args.iter()
+            .map(|(k, v)| ((*k).to_string(), arg_json(v)))
+            .collect(),
+    )
+}
+
+fn us(t_s: f64) -> Json {
+    Json::Float(t_s * 1e6)
+}
+
+fn base_fields(name: &str, tid: TrackId, ph: &str, t_s: f64) -> Vec<(String, Json)> {
+    vec![
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("ph".to_string(), Json::Str(ph.to_string())),
+        ("ts".to_string(), us(t_s)),
+        ("pid".to_string(), Json::Int(PID)),
+        ("tid".to_string(), Json::Int(tid as i128)),
+    ]
+}
+
+fn thread_name_meta(tid: TrackId, name: &str) -> Json {
+    let mut fields = base_fields("thread_name", tid, "M", 0.0);
+    fields.retain(|(k, _)| k != "ts");
+    fields.push((
+        "args".to_string(),
+        Json::Obj(vec![("name".to_string(), Json::Str(name.to_string()))]),
+    ));
+    Json::Obj(fields)
+}
+
+/// Render events as a Chrome-trace JSON document.
+///
+/// The output is the standard "JSON object format": a `traceEvents`
+/// array of `ph: "X"` complete events (spans), `ph: "i"` instants,
+/// `ph: "C"` counters, plus `ph: "M"` metadata rows naming each track
+/// from `tracks`. Timestamps convert from simulated seconds to the
+/// microseconds Chrome expects. Load the file at `chrome://tracing` or
+/// <https://ui.perfetto.dev>.
+///
+/// Output is byte-deterministic: events render in slice order and all
+/// numbers go through `moe-json`'s shortest-round-trip float printer.
+pub fn chrome_trace_json(events: &[TraceEvent], tracks: &[(TrackId, String)]) -> String {
+    let mut rows: Vec<Json> = Vec::with_capacity(events.len() + tracks.len() + 1);
+    rows.push(Json::Obj(vec![
+        ("name".to_string(), Json::Str("process_name".to_string())),
+        ("ph".to_string(), Json::Str("M".to_string())),
+        ("pid".to_string(), Json::Int(PID)),
+        ("tid".to_string(), Json::Int(0)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![(
+                "name".to_string(),
+                Json::Str("moe-sim (simulated time)".to_string()),
+            )]),
+        ),
+    ]));
+    for (tid, name) in tracks {
+        rows.push(thread_name_meta(*tid, name));
+    }
+    for ev in events {
+        rows.push(match ev {
+            TraceEvent::Span {
+                name,
+                cat,
+                track,
+                start_s,
+                dur_s,
+                args,
+            } => {
+                let mut fields = base_fields(name, *track, "X", *start_s);
+                fields.insert(2, ("cat".to_string(), Json::Str(cat.name().to_string())));
+                fields.push(("dur".to_string(), us(*dur_s)));
+                if !args.is_empty() {
+                    fields.push(("args".to_string(), args_obj(args)));
+                }
+                Json::Obj(fields)
+            }
+            TraceEvent::Instant {
+                name,
+                cat,
+                track,
+                t_s,
+                args,
+            } => {
+                let mut fields = base_fields(name, *track, "i", *t_s);
+                fields.insert(2, ("cat".to_string(), Json::Str(cat.name().to_string())));
+                fields.push(("s".to_string(), Json::Str("t".to_string())));
+                if !args.is_empty() {
+                    fields.push(("args".to_string(), args_obj(args)));
+                }
+                Json::Obj(fields)
+            }
+            TraceEvent::Counter { name, t_s, value } => {
+                let mut fields = base_fields(name, 0, "C", *t_s);
+                fields.push((
+                    "args".to_string(),
+                    Json::Obj(vec![(name.clone(), Json::Float(*value))]),
+                ));
+                Json::Obj(fields)
+            }
+        });
+    }
+    let doc = Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(rows)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+    ]);
+    doc.render_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Category;
+
+    fn span(name: &str, track: TrackId, start_s: f64, dur_s: f64) -> TraceEvent {
+        TraceEvent::Span {
+            name: name.to_string(),
+            cat: Category::Step,
+            track,
+            start_s,
+            dur_s,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_shape() {
+        let events = vec![
+            span("prefill", 0, 0.0, 0.5),
+            TraceEvent::Instant {
+                name: "admit".into(),
+                cat: Category::Sched,
+                track: 1,
+                t_s: 0.25,
+                args: vec![("req", 3usize.into())],
+            },
+            TraceEvent::Counter {
+                name: "kv-blocks-used".into(),
+                t_s: 0.5,
+                value: 12.0,
+            },
+        ];
+        let tracks = vec![(0, "engine".to_string()), (1, "scheduler".to_string())];
+        let out = chrome_trace_json(&events, &tracks);
+        let doc = moe_json::parse(&out).expect("valid json");
+        let evs = match doc.get("traceEvents") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        // process_name + 2 thread_name + 3 events
+        assert_eq!(evs.len(), 6);
+        let span_row = &evs[3];
+        assert_eq!(span_row.get("ph"), Some(&Json::Str("X".into())));
+        assert_eq!(span_row.get("cat"), Some(&Json::Str("step".into())));
+        assert_eq!(span_row.get("ts"), Some(&Json::Float(0.0)));
+        assert_eq!(span_row.get("dur"), Some(&Json::Float(500000.0)));
+        let inst = &evs[4];
+        assert_eq!(inst.get("ph"), Some(&Json::Str("i".into())));
+        assert_eq!(
+            inst.get("args").and_then(|a| a.get("req")),
+            Some(&Json::Int(3))
+        );
+        let ctr = &evs[5];
+        assert_eq!(ctr.get("ph"), Some(&Json::Str("C".into())));
+        assert_eq!(
+            ctr.get("args").and_then(|a| a.get("kv-blocks-used")),
+            Some(&Json::Float(12.0))
+        );
+    }
+
+    #[test]
+    fn track_names_become_thread_metadata() {
+        let out = chrome_trace_json(&[], &[(7, "req 7".to_string())]);
+        let doc = moe_json::parse(&out).expect("valid json");
+        let evs = match doc.get("traceEvents") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        let meta = &evs[1];
+        assert_eq!(meta.get("ph"), Some(&Json::Str("M".into())));
+        assert_eq!(meta.get("tid"), Some(&Json::Int(7)));
+        assert_eq!(
+            meta.get("args").and_then(|a| a.get("name")),
+            Some(&Json::Str("req 7".into()))
+        );
+    }
+
+    #[test]
+    fn names_with_specials_are_escaped() {
+        let events = vec![span("a \"quoted\"\nname\t\\", 0, 0.0, 1.0)];
+        let out = chrome_trace_json(&events, &[]);
+        // Raw control characters must not survive into the output.
+        assert!(!out.contains('\n'));
+        assert!(!out.contains('\t'));
+        let doc = moe_json::parse(&out).expect("escaped output reparses");
+        let evs = match doc.get("traceEvents") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        assert_eq!(
+            evs[1].get("name"),
+            Some(&Json::Str("a \"quoted\"\nname\t\\".into()))
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = vec![span("s", 0, 0.125, 0.25)];
+        let tracks = vec![(0, "engine".to_string())];
+        let a = chrome_trace_json(&events, &tracks);
+        let b = chrome_trace_json(&events, &tracks);
+        assert_eq!(a, b);
+    }
+}

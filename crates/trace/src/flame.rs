@@ -1,0 +1,340 @@
+//! Flamegraph-style text rendering and timeline coverage checks.
+
+use crate::span::{TraceEvent, TrackId};
+
+/// Tolerance when deciding whether one span nests inside another; sums
+/// of per-layer float durations can disagree with the enclosing span by
+/// a few ulps.
+const NEST_EPS_S: f64 = 1e-9;
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    total_s: f64,
+    count: u64,
+    children: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct Arena {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+}
+
+impl Arena {
+    /// Find-or-create a child named `name` under `parent` (`None` = root).
+    fn child(&mut self, parent: Option<usize>, name: &str) -> usize {
+        let list = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        if let Some(&idx) = list.iter().find(|&&idx| self.nodes[idx].name == name) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name: name.to_string(),
+            total_s: 0.0,
+            count: 0,
+            children: Vec::new(),
+        });
+        match parent {
+            Some(p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    start_s: f64,
+    end_s: f64,
+}
+
+fn track_spans(events: &[TraceEvent], track: TrackId) -> Vec<(Interval, &str)> {
+    let mut spans: Vec<(Interval, &str)> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::Span {
+                name,
+                track: t,
+                start_s,
+                dur_s,
+                ..
+            } if *t == track => Some((
+                Interval {
+                    start_s: *start_s,
+                    end_s: *start_s + *dur_s,
+                },
+                name.as_str(),
+            )),
+            _ => None,
+        })
+        .collect();
+    // Start ascending; at equal starts the longer span first so parents
+    // precede the children they contain. Stable sort preserves record
+    // order among exact ties, keeping the output deterministic.
+    spans.sort_by(|a, b| {
+        a.0.start_s
+            .total_cmp(&b.0.start_s)
+            .then(b.0.end_s.total_cmp(&a.0.end_s))
+    });
+    spans
+}
+
+/// Length of the union of a set of intervals.
+fn union_len(mut iv: Vec<Interval>) -> f64 {
+    iv.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+    let mut total = 0.0;
+    let mut cur: Option<Interval> = None;
+    for i in iv {
+        match cur {
+            Some(ref mut c) if i.start_s <= c.end_s => {
+                if i.end_s > c.end_s {
+                    c.end_s = i.end_s;
+                }
+            }
+            Some(c) => {
+                total += (c.end_s - c.start_s).max(0.0);
+                cur = Some(i);
+            }
+            None => cur = Some(i),
+        }
+    }
+    if let Some(c) = cur {
+        total += (c.end_s - c.start_s).max(0.0);
+    }
+    total
+}
+
+/// Fraction of a track's simulated extent covered by its spans.
+///
+/// The extent is `[earliest span start, latest span end]` on `track`;
+/// the return value is the length of the union of all span intervals
+/// divided by that extent, in `[0, 1]`. Returns 0 when the track has no
+/// spans (or zero extent), so it doubles as a "did anything get traced
+/// here" check in tests.
+pub fn timeline_coverage(events: &[TraceEvent], track: TrackId) -> f64 {
+    let spans = track_spans(events, track);
+    if spans.is_empty() {
+        return 0.0;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (iv, _) in &spans {
+        if iv.start_s < lo {
+            lo = iv.start_s;
+        }
+        if iv.end_s > hi {
+            hi = iv.end_s;
+        }
+    }
+    let extent = hi - lo;
+    if !extent.is_finite() || extent <= 0.0 {
+        return 0.0;
+    }
+    (union_len(spans.iter().map(|(iv, _)| *iv).collect()) / extent).clamp(0.0, 1.0)
+}
+
+/// Build the aggregation tree for one track by time containment.
+fn build_tree(spans: &[(Interval, &str)]) -> Arena {
+    let mut arena = Arena::default();
+    // Stack of (end time, node index) for currently-open ancestors.
+    let mut stack: Vec<(f64, usize)> = Vec::new();
+    for (iv, name) in spans {
+        while let Some(&(end_s, _)) = stack.last() {
+            if iv.start_s >= end_s - NEST_EPS_S {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        let parent = stack.last().map(|&(_, idx)| idx);
+        let idx = arena.child(parent, name);
+        arena.nodes[idx].total_s += (iv.end_s - iv.start_s).max(0.0);
+        arena.nodes[idx].count += 1;
+        stack.push((iv.end_s, idx));
+    }
+    arena
+}
+
+fn render_node(arena: &Arena, idx: usize, depth: usize, extent_s: f64, out: &mut String) {
+    let node = &arena.nodes[idx];
+    let indent = "  ".repeat(depth + 1);
+    let label = format!("{indent}{}", node.name);
+    let pct = if extent_s > 0.0 {
+        100.0 * node.total_s / extent_s
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "{label:<40} {:>8}x {:>14.6} s {:>6.1}%\n",
+        node.count, node.total_s, pct
+    ));
+    for &c in &node.children {
+        render_node(arena, c, depth + 1, extent_s, out);
+    }
+}
+
+/// Render a per-track, flamegraph-style text summary of the trace.
+///
+/// Spans on each track are nested by time containment and aggregated by
+/// path (same name under the same parent merges), then printed indented
+/// with call counts, total simulated seconds, and percentage of the
+/// track's extent. `tracks` supplies display names (unnamed tracks print
+/// their numeric id). Instant events are tallied per track.
+pub fn flame_summary(events: &[TraceEvent], tracks: &[(TrackId, String)]) -> String {
+    let mut ids: Vec<TrackId> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::Span { track, .. } | TraceEvent::Instant { track, .. } => Some(*track),
+            TraceEvent::Counter { .. } => None,
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut out = String::new();
+    if ids.is_empty() {
+        out.push_str("(no trace events)\n");
+        return out;
+    }
+    for track in ids {
+        let name = tracks
+            .iter()
+            .find(|(id, _)| *id == track)
+            .map(|(_, n)| n.as_str());
+        match name {
+            Some(n) => out.push_str(&format!("track {track} — {n}\n")),
+            None => out.push_str(&format!("track {track}\n")),
+        }
+        let spans = track_spans(events, track);
+        if spans.is_empty() {
+            out.push_str("  (no spans)\n");
+        } else {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for (iv, _) in &spans {
+                if iv.start_s < lo {
+                    lo = iv.start_s;
+                }
+                if iv.end_s > hi {
+                    hi = iv.end_s;
+                }
+            }
+            let extent = (hi - lo).max(0.0);
+            out.push_str(&format!(
+                "  extent {extent:.6} s, coverage {:.1}%\n",
+                100.0 * timeline_coverage(events, track)
+            ));
+            let arena = build_tree(&spans);
+            for &root in &arena.roots {
+                render_node(&arena, root, 0, extent, &mut out);
+            }
+        }
+        let instants = events
+            .iter()
+            .filter(|ev| matches!(ev, TraceEvent::Instant { track: t, .. } if *t == track))
+            .count();
+        if instants > 0 {
+            out.push_str(&format!("  {instants} instant event(s)\n"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Category;
+
+    fn span(name: &str, track: TrackId, start_s: f64, dur_s: f64) -> TraceEvent {
+        TraceEvent::Span {
+            name: name.to_string(),
+            cat: Category::Step,
+            track,
+            start_s,
+            dur_s,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn coverage_of_disjoint_spans() {
+        let evs = vec![span("a", 0, 0.0, 1.0), span("b", 0, 2.0, 1.0)];
+        let c = timeline_coverage(&evs, 0);
+        assert!((c - 2.0 / 3.0).abs() < 1e-12, "coverage {c}");
+    }
+
+    #[test]
+    fn coverage_counts_overlap_once() {
+        let evs = vec![span("a", 0, 0.0, 2.0), span("b", 0, 1.0, 2.0)];
+        let c = timeline_coverage(&evs, 0);
+        assert!((c - 1.0).abs() < 1e-12, "coverage {c}");
+    }
+
+    #[test]
+    fn coverage_empty_track_is_zero() {
+        let evs = vec![span("a", 0, 0.0, 1.0)];
+        assert_eq!(timeline_coverage(&evs, 5), 0.0);
+    }
+
+    #[test]
+    fn nesting_follows_time_containment() {
+        let evs = vec![
+            span("step", 0, 0.0, 10.0),
+            span("attn", 0, 0.0, 4.0),
+            span("ffn", 0, 4.0, 6.0),
+            span("step", 0, 10.0, 10.0),
+            span("attn", 0, 10.0, 5.0),
+        ];
+        let out = flame_summary(&evs, &[(0, "engine".to_string())]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("engine"));
+        // step aggregated at depth 1, attn/ffn at depth 2.
+        let step = lines.iter().find(|l| l.contains("step")).expect("step row");
+        assert!(step.trim_start().starts_with("step"));
+        assert!(step.contains("2x"));
+        let attn = lines.iter().find(|l| l.contains("attn")).expect("attn row");
+        assert!(attn.starts_with("    attn"));
+        assert!(attn.contains("2x"));
+        let ffn = lines.iter().find(|l| l.contains("ffn")).expect("ffn row");
+        assert!(ffn.starts_with("    ffn"));
+        assert!(ffn.contains("1x"));
+    }
+
+    #[test]
+    fn sibling_after_parent_end_is_a_new_root() {
+        let evs = vec![span("a", 0, 0.0, 1.0), span("b", 0, 1.0, 1.0)];
+        let out = flame_summary(&evs, &[]);
+        let a = out.lines().find(|l| l.contains("a ")).expect("a row");
+        let b = out.lines().find(|l| l.contains("b ")).expect("b row");
+        // Both are top-level (same indent).
+        assert_eq!(
+            a.len() - a.trim_start().len(),
+            b.len() - b.trim_start().len()
+        );
+    }
+
+    #[test]
+    fn instants_are_tallied() {
+        let evs = vec![
+            span("a", 1, 0.0, 1.0),
+            TraceEvent::Instant {
+                name: "admit".into(),
+                cat: Category::Sched,
+                track: 1,
+                t_s: 0.5,
+                args: Vec::new(),
+            },
+        ];
+        let out = flame_summary(&evs, &[]);
+        assert!(out.contains("1 instant event(s)"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert!(flame_summary(&[], &[]).contains("no trace events"));
+    }
+}

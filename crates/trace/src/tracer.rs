@@ -1,0 +1,221 @@
+//! The [`Tracer`] handle threaded through the simulator stack.
+
+use crate::sink::TraceSink;
+use crate::span::{ArgValue, Category, TraceEvent, TrackId};
+
+/// Collects trace events onto a sink, translating local simulated time
+/// into one global monotone timeline.
+///
+/// Every emitting layer (cost model, serving loop, bench harness) works
+/// in its own local clock starting at 0; the tracer adds `base_s` to all
+/// timestamps. The harness calls [`Tracer::advance`] after each
+/// simulation so consecutive runs tile the timeline instead of stacking
+/// at t = 0.
+///
+/// A tracer built with [`Tracer::disabled`] holds no sink; emission is a
+/// no-op and [`Tracer::is_enabled`] lets callers skip building the event
+/// payload entirely, keeping the traced hot paths zero-cost when off.
+pub struct Tracer {
+    sink: Option<Box<dyn TraceSink>>,
+    base_s: f64,
+    tracks: Vec<(TrackId, String)>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.sink.is_some())
+            .field("base_s", &self.base_s)
+            .field("tracks", &self.tracks.len())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing at zero cost.
+    pub fn disabled() -> Self {
+        Self {
+            sink: None,
+            base_s: 0.0,
+            tracks: Vec::new(),
+        }
+    }
+
+    /// A tracer recording into `sink`.
+    pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        Self {
+            sink: Some(sink),
+            base_s: 0.0,
+            tracks: Vec::new(),
+        }
+    }
+
+    /// Is a sink attached? Callers should skip expensive breakdown
+    /// computation when this is false.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Current base offset (global simulated seconds of local t = 0).
+    pub fn base_s(&self) -> f64 {
+        self.base_s
+    }
+
+    /// Shift the base forward by `dur_s` (after finishing a simulation
+    /// that spanned `[0, dur_s]` locally).
+    pub fn advance(&mut self, dur_s: f64) {
+        self.base_s += dur_s.max(0.0);
+    }
+
+    /// Register a display name for a track (idempotent; the last name
+    /// registered for an id wins).
+    pub fn name_track(&mut self, track: TrackId, name: &str) {
+        if self.sink.is_none() {
+            return;
+        }
+        if let Some(slot) = self.tracks.iter_mut().find(|(id, _)| *id == track) {
+            slot.1 = name.to_string();
+        } else {
+            self.tracks.push((track, name.to_string()));
+        }
+    }
+
+    /// Registered `(track, name)` pairs, in registration order.
+    pub fn tracks(&self) -> &[(TrackId, String)] {
+        &self.tracks
+    }
+
+    /// Emit a span at local time `start_s` lasting `dur_s`.
+    pub fn span(&mut self, track: TrackId, cat: Category, name: &str, start_s: f64, dur_s: f64) {
+        self.span_with(track, cat, name, start_s, dur_s, Vec::new());
+    }
+
+    /// Emit a span carrying argument payload.
+    pub fn span_with(
+        &mut self,
+        track: TrackId,
+        cat: Category,
+        name: &str,
+        start_s: f64,
+        dur_s: f64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        let base = self.base_s;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(TraceEvent::Span {
+                name: name.to_string(),
+                cat,
+                track,
+                start_s: base + start_s,
+                dur_s: dur_s.max(0.0),
+                args,
+            });
+        }
+    }
+
+    /// Emit an instant marker at local time `t_s`.
+    pub fn instant(
+        &mut self,
+        track: TrackId,
+        cat: Category,
+        name: &str,
+        t_s: f64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        let base = self.base_s;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(TraceEvent::Instant {
+                name: name.to_string(),
+                cat,
+                track,
+                t_s: base + t_s,
+                args,
+            });
+        }
+    }
+
+    /// Emit a counter sample at local time `t_s`.
+    pub fn counter(&mut self, name: &str, t_s: f64, value: f64) {
+        let base = self.base_s;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(TraceEvent::Counter {
+                name: name.to_string(),
+                t_s: base + t_s,
+                value,
+            });
+        }
+    }
+
+    /// The retained events, oldest first (empty when disabled).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        match &self.sink {
+            Some(sink) => sink.snapshot(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events discarded by a bounded sink.
+    pub fn dropped(&self) -> u64 {
+        match &self.sink {
+            Some(sink) => sink.dropped(),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.span(0, Category::Step, "s", 0.0, 1.0);
+        t.counter("c", 0.0, 1.0);
+        t.name_track(0, "engine");
+        assert!(t.snapshot().is_empty());
+        assert!(t.tracks().is_empty());
+    }
+
+    #[test]
+    fn base_offset_applies_to_all_events() {
+        let mut t = Tracer::new(Box::new(MemorySink::new()));
+        t.span(0, Category::Step, "a", 0.5, 1.0);
+        t.advance(10.0);
+        t.span(0, Category::Step, "b", 0.5, 1.0);
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert!((evs[0].time_s() - 0.5).abs() < 1e-12);
+        assert!((evs[1].time_s() - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_durations_are_clamped() {
+        let mut t = Tracer::new(Box::new(MemorySink::new()));
+        t.span(0, Category::Step, "a", 1.0, -2.0);
+        match &t.snapshot()[0] {
+            TraceEvent::Span { dur_s, .. } => assert!(*dur_s >= 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn track_naming_is_idempotent() {
+        let mut t = Tracer::new(Box::new(MemorySink::new()));
+        t.name_track(3, "first");
+        t.name_track(3, "second");
+        t.name_track(4, "other");
+        assert_eq!(
+            t.tracks(),
+            &[(3, "second".to_string()), (4, "other".to_string())]
+        );
+    }
+}

@@ -10,10 +10,12 @@
 //! * [`engine`] — functional MoE transformer executor ([`moe_engine`])
 //! * [`runtime`] — serving engine with continuous batching ([`moe_runtime`])
 //! * [`eval`] — accuracy-evaluation substrate ([`moe_eval`])
-//! * [`bench`] — experiment harness regenerating every paper table/figure ([`moe_bench`])
+//! * [`mod@bench`] — experiment harness regenerating every paper table/figure ([`moe_bench`])
+//! * [`trace`] — structured tracing on the simulated clock, Chrome-trace export ([`moe_trace`])
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the system
-//! inventory and the per-experiment index.
+//! See `README.md` for a quickstart, `DESIGN.md` for the system
+//! inventory and the per-experiment index, and `docs/ARCHITECTURE.md` /
+//! `docs/OBSERVABILITY.md` for the crate map and tracing story.
 
 #![forbid(unsafe_code)]
 
@@ -24,3 +26,4 @@ pub use moe_gpusim as gpusim;
 pub use moe_model as model;
 pub use moe_runtime as runtime;
 pub use moe_tensor as tensor;
+pub use moe_trace as trace;

@@ -31,3 +31,54 @@ fn fig5_fast_report_roundtrips_exactly() {
     let back: moe_bench::ExperimentReport = moe_json::from_str(&json).expect("parses back");
     assert_eq!(moe_json::to_string_pretty(&back), json);
 }
+
+fn traced_fig5() -> (String, String) {
+    let mut tracer = moe_trace::Tracer::new(Box::new(moe_trace::MemorySink::new()));
+    let report =
+        moe_bench::run_experiment_traced("fig5", true, &mut tracer).expect("fig5 is registered");
+    let trace = moe_trace::chrome_trace_json(&tracer.snapshot(), tracer.tracks());
+    (moe_json::to_string_pretty(&report), trace)
+}
+
+/// Same-seed traced runs must render byte-identical Chrome-trace JSON —
+/// the trace is a pure function of the simulated timeline, with no
+/// wall-clock or entropy leaking into timestamps or ordering.
+#[test]
+fn fig5_fast_trace_is_byte_identical_across_runs() {
+    let (report1, trace1) = traced_fig5();
+    let (report2, trace2) = traced_fig5();
+    assert!(trace1.contains("\"traceEvents\""));
+    assert_eq!(report1, report2);
+    assert_eq!(
+        trace1, trace2,
+        "fig5 Chrome-trace JSON differs between same-seed runs"
+    );
+}
+
+/// Tracing must observe, never perturb: the report rendered from a traced
+/// run equals the untraced report byte for byte (a zero-byte diff), and
+/// the trace itself parses as well-formed JSON.
+#[test]
+fn fig5_fast_tracing_does_not_perturb_report() {
+    let plain = moe_json::to_string_pretty(
+        &moe_bench::run_experiment("fig5", true).expect("fig5 is registered"),
+    );
+    let (traced, trace) = traced_fig5();
+    assert_eq!(plain, traced, "tracing changed the report bytes");
+    let parsed = moe_json::parse(&trace).expect("trace is well-formed JSON");
+    assert!(parsed.get("traceEvents").is_some());
+}
+
+/// The recorded spans must account for (essentially all of, and at least
+/// 95% of) the simulated timeline on both the engine and bench tracks.
+#[test]
+fn fig5_fast_trace_covers_simulated_time() {
+    let mut tracer = moe_trace::Tracer::new(Box::new(moe_trace::MemorySink::new()));
+    moe_bench::run_experiment_traced("fig5", true, &mut tracer).expect("fig5 is registered");
+    let events = tracer.snapshot();
+    assert!(!events.is_empty());
+    for track in [moe_trace::ENGINE_TRACK, moe_trace::BENCH_TRACK] {
+        let coverage = moe_trace::timeline_coverage(&events, track);
+        assert!(coverage >= 0.95, "track {track}: coverage {coverage}");
+    }
+}
