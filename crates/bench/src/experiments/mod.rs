@@ -3,6 +3,7 @@
 //! and smoke runs without changing the mechanisms exercised.
 
 pub mod ablations;
+pub mod cluster;
 pub mod extensions;
 pub mod fig01;
 pub mod fig03;

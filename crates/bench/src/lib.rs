@@ -42,6 +42,7 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "ext-placement",
         "ext-multinode",
         "ext-qps",
+        "ext-cluster",
     ]
 }
 
@@ -62,6 +63,7 @@ pub fn run_experiment_traced(
     let report = match id {
         "fig5" => experiments::fig05::run_traced(fast, tracer),
         "ext-qps" => experiments::extensions::run_qps_traced(fast, tracer),
+        "ext-cluster" => experiments::cluster::run_cluster_traced(fast, tracer),
         other => return run_experiment(other, fast),
     };
     if tracer.is_enabled() {
@@ -106,6 +108,7 @@ pub fn run_experiment(id: &str, fast: bool) -> Option<ExperimentReport> {
         "ext-placement" => experiments::extensions::run_placement(fast),
         "ext-multinode" => experiments::extensions::run_multinode(fast),
         "ext-qps" => experiments::extensions::run_qps(fast),
+        "ext-cluster" => experiments::cluster::run_cluster(fast),
         _ => return None,
     })
 }

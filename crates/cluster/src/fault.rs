@@ -1,0 +1,191 @@
+//! Seeded fault injection: replica crash/recover and slowdown windows.
+//!
+//! A [`FaultPlan`] is an explicit, time-sorted list of [`FaultEvent`]s —
+//! either hand-written (the fault-sweep experiments pin exact crash
+//! times) or drawn from a seed with [`FaultPlan::random_crashes`]. The
+//! plan is data, not behaviour: the cluster simulator applies events as
+//! the clock passes them, so the same plan replays identically.
+
+use moe_json::{FromJson, ToJson};
+use moe_tensor::rng::{derive_seed, rng_from_seed};
+
+/// One scheduled fault transition.
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
+pub enum FaultEvent {
+    /// Replica dies: in-flight and queued requests on it fail back to
+    /// the router, its KV pool and prefix cache are lost.
+    Crash {
+        /// Simulated time (s).
+        t_s: f64,
+        /// Replica index.
+        replica: usize,
+    },
+    /// Replica returns empty (cold caches, fresh scheduler).
+    Recover {
+        /// Simulated time (s).
+        t_s: f64,
+        /// Replica index.
+        replica: usize,
+    },
+    /// Replica keeps serving but every step takes `factor`× as long
+    /// (straggler emulation: thermal throttling, noisy neighbour).
+    SlowdownStart {
+        /// Simulated time (s).
+        t_s: f64,
+        /// Replica index.
+        replica: usize,
+        /// Step-time multiplier, ≥ 1.
+        factor: f64,
+    },
+    /// Replica returns to full speed.
+    SlowdownEnd {
+        /// Simulated time (s).
+        t_s: f64,
+        /// Replica index.
+        replica: usize,
+    },
+}
+
+impl FaultEvent {
+    /// The event's scheduled time.
+    pub fn t_s(&self) -> f64 {
+        match self {
+            FaultEvent::Crash { t_s, .. }
+            | FaultEvent::Recover { t_s, .. }
+            | FaultEvent::SlowdownStart { t_s, .. }
+            | FaultEvent::SlowdownEnd { t_s, .. } => *t_s,
+        }
+    }
+
+    /// The replica the event targets.
+    pub fn replica(&self) -> usize {
+        match self {
+            FaultEvent::Crash { replica, .. }
+            | FaultEvent::Recover { replica, .. }
+            | FaultEvent::SlowdownStart { replica, .. }
+            | FaultEvent::SlowdownEnd { replica, .. } => *replica,
+        }
+    }
+}
+
+/// A time-sorted fault schedule.
+#[derive(Debug, Clone, Default, PartialEq, ToJson, FromJson)]
+pub struct FaultPlan {
+    /// Events in non-decreasing time order (ties keep insertion order).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a healthy cluster.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// One crash/recover pair: `replica` is down over `[t_s, t_s + outage_s)`.
+    pub fn crash_window(replica: usize, t_s: f64, outage_s: f64) -> Self {
+        Self {
+            events: vec![
+                FaultEvent::Crash { t_s, replica },
+                FaultEvent::Recover {
+                    t_s: t_s + outage_s,
+                    replica,
+                },
+            ],
+        }
+    }
+
+    /// One slowdown window on `replica` over `[t_s, t_s + dur_s)`.
+    pub fn slowdown_window(replica: usize, t_s: f64, dur_s: f64, factor: f64) -> Self {
+        Self {
+            events: vec![
+                FaultEvent::SlowdownStart {
+                    t_s,
+                    replica,
+                    factor,
+                },
+                FaultEvent::SlowdownEnd {
+                    t_s: t_s + dur_s,
+                    replica,
+                },
+            ],
+        }
+    }
+
+    /// Seeded random crash windows: `count` outages of `outage_s` each,
+    /// uniformly placed over `[0, horizon_s)` across `replicas` replicas.
+    pub fn random_crashes(
+        seed: u64,
+        replicas: usize,
+        horizon_s: f64,
+        count: usize,
+        outage_s: f64,
+    ) -> Self {
+        let mut rng = rng_from_seed(derive_seed(seed, 0xfau64));
+        let mut plan = Self::none();
+        for _ in 0..count {
+            let replica = rng.next_below(replicas.max(1));
+            let t_s = rng.next_f64() * horizon_s;
+            plan.merge(Self::crash_window(replica, t_s, outage_s));
+        }
+        plan
+    }
+
+    /// Merge another plan, keeping global time order (stable on ties).
+    pub fn merge(&mut self, other: FaultPlan) {
+        self.events.extend(other.events);
+        self.events
+            .sort_by(|a, b| a.t_s().total_cmp(&b.t_s()).then(std::cmp::Ordering::Equal));
+    }
+
+    /// Latest event time (0 for the empty plan).
+    pub fn horizon_s(&self) -> f64 {
+        self.events.iter().map(FaultEvent::t_s).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_window_orders_events() {
+        let plan = FaultPlan::crash_window(1, 5.0, 2.5);
+        assert_eq!(plan.events.len(), 2);
+        assert_eq!(plan.events[0].t_s(), 5.0);
+        assert_eq!(plan.events[1].t_s(), 7.5);
+        assert_eq!(plan.horizon_s(), 7.5);
+    }
+
+    #[test]
+    fn merge_keeps_time_order() {
+        let mut plan = FaultPlan::crash_window(0, 10.0, 1.0);
+        plan.merge(FaultPlan::slowdown_window(1, 2.0, 3.0, 2.0));
+        let times: Vec<f64> = plan.events.iter().map(FaultEvent::t_s).collect();
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn random_crashes_are_seeded_and_bounded() {
+        let a = FaultPlan::random_crashes(9, 4, 100.0, 3, 5.0);
+        let b = FaultPlan::random_crashes(9, 4, 100.0, 3, 5.0);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 6, "crash+recover per outage");
+        for ev in &a.events {
+            assert!(ev.replica() < 4);
+            assert!(ev.t_s() >= 0.0 && ev.t_s() <= 105.0);
+        }
+        let c = FaultPlan::random_crashes(10, 4, 100.0, 3, 5.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let mut plan = FaultPlan::crash_window(2, 1.0, 4.0);
+        plan.merge(FaultPlan::slowdown_window(0, 0.5, 2.0, 3.0));
+        let json = moe_json::to_string(&plan);
+        let back: FaultPlan = moe_json::from_str(&json).expect("fault plan round-trips");
+        assert_eq!(plan, back);
+    }
+}

@@ -1,0 +1,48 @@
+//! moe-cluster: a deterministic multi-replica serving simulator.
+//!
+//! The runtime crate simulates *one* continuous-batching engine; this
+//! crate puts N of them behind a front-end router and drives the whole
+//! cluster on a single discrete-event clock:
+//!
+//! * [`workload`] — seeded open-loop arrival generation (Poisson, bursty
+//!   Markov-modulated, diurnal ramp), per-tenant request shapes and
+//!   shared-prefix groups, materialized into a replayable
+//!   [`workload::RequestTrace`] that round-trips through `moe-json`.
+//! * [`router`] — pluggable replica-selection policies (round-robin,
+//!   least-outstanding, power-of-two-choices, prefix-affinity) plus the
+//!   admission-queue / retry / TTFT-timeout knobs in
+//!   [`router::RouterConfig`].
+//! * [`fault`] — seeded crash/recover and slowdown schedules as plain
+//!   data ([`fault::FaultPlan`]).
+//! * [`sim`] — the event loop tying them together; produces a
+//!   [`sim::ClusterReport`] and, via [`sim::ClusterSim::run_traced`],
+//!   a `moe-trace` timeline with router-decision instants, per-replica
+//!   step spans and queue-depth counters.
+//!
+//! Everything is seeded and tie-broken deterministically: the same
+//! `(trace, config, fault plan)` replays byte-identically, which
+//! `tests/determinism.rs` pins at the workspace level.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub(crate) mod replica;
+pub mod router;
+pub mod sim;
+pub mod workload;
+
+/// Trace track carrying router decisions (dispatch/retry/timeout/reject).
+pub const ROUTER_TRACK: moe_trace::TrackId = 8;
+
+/// First trace track for per-replica step spans; replica `i` uses
+/// `REPLICA_TRACK_BASE + i`. Keep clusters at ≤ 7 replicas when tracing
+/// to stay below `moe_trace::REQUEST_TRACK_BASE`.
+pub const REPLICA_TRACK_BASE: moe_trace::TrackId = 9;
+
+pub use fault::{FaultEvent, FaultPlan};
+pub use router::{RoutePolicy, RouterConfig};
+pub use sim::{ClusterConfig, ClusterOutput, ClusterReport, ClusterSim};
+pub use workload::{
+    generate, ArrivalProcess, ClusterRequest, RequestTrace, TenantSpec, WorkloadSpec,
+};

@@ -1,0 +1,452 @@
+//! One serving replica: a continuous-batching [`Scheduler`] priced by a
+//! [`PerfModel`], stepped asynchronously by the cluster event loop.
+//!
+//! Unlike `moe_runtime::SimServer`, which owns its clock and runs to
+//! completion, a replica exposes *step boundaries*: the simulator starts
+//! a step (planning admissions/preemptions and pricing it), learns its
+//! completion time, and commits it when the cluster clock reaches that
+//! time. Requests dispatched while a step is in flight join the
+//! scheduler's waiting queue and are picked up by the next plan — the
+//! same semantics as a real engine accepting work mid-iteration.
+//!
+//! The replica also models *prefix-cache locality* without token-level
+//! KV: a bounded LRU of shared-prefix group ids. A dispatched request
+//! whose group is resident skips recomputing its shared prefix, so its
+//! prefill submits with `prompt_len - prefix_len` effective tokens (KV
+//! block sharing included, as in vLLM automatic prefix caching). This is
+//! the signal the prefix-affinity routing policies exploit.
+
+use std::collections::BTreeMap;
+
+use moe_gpusim::perfmodel::{PerfModel, Phase};
+use moe_runtime::request::{Request, RequestId};
+use moe_runtime::scheduler::{Scheduler, SchedulerConfig, StepPlan};
+
+use crate::workload::ClusterRequest;
+
+/// Cluster-side bookkeeping for one request resident on a replica.
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveRequest {
+    /// Trace-level id.
+    pub cluster_id: u64,
+    /// Full (undiscounted) prompt length, for reporting.
+    pub prompt_len: usize,
+    /// First-token timestamp once its prefill committed.
+    pub first_token_s: Option<f64>,
+}
+
+/// A request that finished on this replica.
+#[derive(Debug, Clone)]
+pub(crate) struct FinishedRequest {
+    pub cluster_id: u64,
+    pub prompt_len: usize,
+    pub generated: usize,
+    pub first_token_s: f64,
+    pub finish_s: f64,
+}
+
+/// The step currently executing on the replica.
+#[derive(Debug)]
+struct InFlight {
+    plan: StepPlan,
+    end_s: f64,
+    /// Step label + batch size for tracing ("prefill"/"decode").
+    kind: &'static str,
+    batch: usize,
+    start_s: f64,
+}
+
+/// One simulated engine replica.
+#[derive(Debug)]
+pub(crate) struct Replica {
+    pub id: usize,
+    model: PerfModel,
+    cfg: SchedulerConfig,
+    scheduler: Scheduler,
+    in_flight: Option<InFlight>,
+    pub alive: bool,
+    /// Step-time multiplier (1 = nominal; >1 while a slowdown fault is
+    /// active). Applied when a step is *priced*, so an in-flight step
+    /// keeps its original cost.
+    pub slowdown: f64,
+    /// Resident shared-prefix groups, LRU by stamp.
+    prefix_lru: BTreeMap<u64, u64>,
+    lru_clock: u64,
+    prefix_capacity: usize,
+    /// Scheduler-local id -> cluster request bookkeeping.
+    active: BTreeMap<RequestId, ActiveRequest>,
+    pub prefix_hits: u64,
+    pub prefix_misses: u64,
+    pub completed: usize,
+}
+
+impl Replica {
+    pub fn new(id: usize, model: PerfModel, cfg: SchedulerConfig, prefix_capacity: usize) -> Self {
+        Self {
+            id,
+            model,
+            scheduler: Scheduler::new(cfg),
+            cfg,
+            in_flight: None,
+            alive: true,
+            slowdown: 1.0,
+            prefix_lru: BTreeMap::new(),
+            lru_clock: 0,
+            prefix_capacity,
+            active: BTreeMap::new(),
+            prefix_hits: 0,
+            prefix_misses: 0,
+            completed: 0,
+        }
+    }
+
+    /// Queued + running requests (the router's coarse load signal).
+    pub fn outstanding(&self) -> usize {
+        self.scheduler.num_waiting() + self.scheduler.num_running()
+    }
+
+    /// Requests still waiting for their prefill (the router's
+    /// TTFT-predictive load signal).
+    pub fn queued(&self) -> usize {
+        self.scheduler.num_waiting()
+    }
+
+    /// Completion time of the in-flight step, if one is executing.
+    pub fn step_end_s(&self) -> Option<f64> {
+        self.in_flight.as_ref().map(|f| f.end_s)
+    }
+
+    /// Accept a dispatched request. Consults the prefix LRU: a resident
+    /// group discounts the effective prefill length by the shared prefix
+    /// (at least one token always runs). Returns the scheduler-local id.
+    pub fn enqueue(&mut self, req: &ClusterRequest) -> RequestId {
+        let mut effective = req.prompt_len;
+        if req.prefix_len > 0 && self.prefix_capacity > 0 {
+            if self.prefix_lookup(req.prefix_group) {
+                self.prefix_hits += 1;
+                effective = (req.prompt_len - req.prefix_len).max(1);
+            } else {
+                self.prefix_misses += 1;
+            }
+        }
+        let sched_id = self
+            .scheduler
+            .submit(Request::new(effective, req.max_new_tokens));
+        self.active.insert(
+            sched_id,
+            ActiveRequest {
+                cluster_id: req.id,
+                prompt_len: req.prompt_len,
+                first_token_s: None,
+            },
+        );
+        sched_id
+    }
+
+    /// LRU lookup-or-insert for a prefix group; true on hit.
+    fn prefix_lookup(&mut self, group: u64) -> bool {
+        self.lru_clock += 1;
+        let stamp = self.lru_clock;
+        if let Some(s) = self.prefix_lru.get_mut(&group) {
+            *s = stamp;
+            return true;
+        }
+        self.prefix_lru.insert(group, stamp);
+        while self.prefix_lru.len() > self.prefix_capacity {
+            // Evict the least recently used group (min stamp; group id
+            // breaks exact ties deterministically via iteration order of
+            // the BTreeMap).
+            let oldest = self
+                .prefix_lru
+                .iter()
+                .min_by_key(|(g, s)| (**s, **g))
+                .map(|(g, _)| *g);
+            match oldest {
+                Some(g) => self.prefix_lru.remove(&g),
+                None => break,
+            };
+        }
+        false
+    }
+
+    /// Cancel a request (router timeout). True if it was still active.
+    pub fn cancel(&mut self, sched_id: RequestId) -> bool {
+        self.active.remove(&sched_id);
+        self.scheduler.cancel(sched_id)
+    }
+
+    /// If idle, alive and holding work, plan and price the next step;
+    /// returns its completion time. `None` when nothing starts.
+    pub fn try_start_step(&mut self, now_s: f64) -> Option<f64> {
+        if !self.alive || self.in_flight.is_some() || !self.scheduler.has_work() {
+            return None;
+        }
+        let plan = self.scheduler.plan_step();
+        let (dt, kind, batch) = match &plan {
+            StepPlan::Prefill { ids, tokens } => {
+                let batch = ids.len().max(1);
+                let per_seq = tokens.div_ceil(batch);
+                (
+                    self.model
+                        .forward_time(*tokens, batch, per_seq, Phase::Prefill),
+                    "prefill",
+                    batch,
+                )
+            }
+            StepPlan::Decode { ids } => {
+                let batch = ids.len().max(1);
+                let ctx_sum: usize = ids
+                    .iter()
+                    .filter_map(|id| self.scheduler.seq(*id))
+                    .map(|s| s.context_len())
+                    .sum();
+                let mean_ctx = (ctx_sum / batch).max(1);
+                (
+                    self.model.decode_step_time(batch, mean_ctx),
+                    "decode",
+                    batch,
+                )
+            }
+            StepPlan::Idle => {
+                // Work exists but nothing can be admitted with an empty
+                // running set: the request cannot ever fit this replica's
+                // KV pool. A configuration error, not a runtime state.
+                debug_assert!(
+                    self.scheduler.num_running() > 0 || !self.scheduler.has_work(),
+                    "replica {} wedged: waiting work that can never be admitted",
+                    self.id
+                );
+                return None;
+            }
+        };
+        let end_s = now_s + dt * self.slowdown;
+        self.in_flight = Some(InFlight {
+            plan,
+            end_s,
+            kind,
+            batch,
+            start_s: now_s,
+        });
+        Some(end_s)
+    }
+
+    /// Commit the in-flight step at its completion time. Returns the
+    /// requests that finished, plus the step's trace label
+    /// `(kind, batch, start_s)`.
+    pub fn complete_step(&mut self) -> (Vec<FinishedRequest>, Option<(&'static str, usize, f64)>) {
+        let Some(flight) = self.in_flight.take() else {
+            return (Vec::new(), None);
+        };
+        let now_s = flight.end_s;
+        let mut finished = Vec::new();
+        match flight.plan {
+            StepPlan::Prefill { ids, .. } => {
+                let done = self.scheduler.commit_prefill(&ids);
+                for id in &ids {
+                    if let Some(a) = self.active.get_mut(id) {
+                        a.first_token_s.get_or_insert(now_s);
+                    }
+                }
+                for id in done {
+                    self.finish(id, now_s, &mut finished);
+                }
+            }
+            StepPlan::Decode { ids } => {
+                for id in ids {
+                    if self.scheduler.commit_decode(id) {
+                        self.finish(id, now_s, &mut finished);
+                    }
+                }
+            }
+            StepPlan::Idle => {}
+        }
+        (finished, Some((flight.kind, flight.batch, flight.start_s)))
+    }
+
+    fn finish(&mut self, id: RequestId, now_s: f64, out: &mut Vec<FinishedRequest>) {
+        let Some(active) = self.active.remove(&id) else {
+            return; // canceled while the step was in flight
+        };
+        let Some(seq) = self.scheduler.seq(id) else {
+            return;
+        };
+        self.completed += 1;
+        out.push(FinishedRequest {
+            cluster_id: active.cluster_id,
+            prompt_len: active.prompt_len,
+            generated: seq.generated,
+            first_token_s: active.first_token_s.unwrap_or(now_s),
+            finish_s: now_s,
+        });
+    }
+
+    /// Kill the replica: the in-flight step is lost, every resident
+    /// request fails back to the caller for retry, the scheduler and
+    /// prefix cache restart cold.
+    pub fn crash(&mut self) -> Vec<ActiveRequest> {
+        self.alive = false;
+        self.in_flight = None;
+        self.slowdown = 1.0;
+        self.prefix_lru.clear();
+        let failed: Vec<ActiveRequest> = std::mem::take(&mut self.active).into_values().collect();
+        self.scheduler = Scheduler::new(self.cfg);
+        failed
+    }
+
+    /// Bring a crashed replica back, empty and cold.
+    pub fn recover(&mut self) {
+        self.alive = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moe_gpusim::device::Cluster;
+    use moe_gpusim::perfmodel::EngineOptions;
+    use moe_model::registry::olmoe_1b_7b;
+    use moe_runtime::simserver::scheduler_config_for;
+
+    fn test_replica(prefix_capacity: usize) -> Replica {
+        let model = PerfModel::new(
+            olmoe_1b_7b(),
+            Cluster::h100_node(1),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        let cfg = scheduler_config_for(&model, 8192);
+        Replica::new(0, model, cfg, prefix_capacity)
+    }
+
+    fn req(id: u64, prompt: usize, out: usize) -> ClusterRequest {
+        ClusterRequest {
+            id,
+            arrival_s: 0.0,
+            prompt_len: prompt,
+            max_new_tokens: out,
+            tenant: "t".to_string(),
+            prefix_group: 0,
+            prefix_len: 0,
+        }
+    }
+
+    fn run_to_drain(r: &mut Replica, mut now: f64) -> (Vec<FinishedRequest>, f64) {
+        let mut done = Vec::new();
+        let mut guard = 0;
+        while let Some(end) = r.try_start_step(now) {
+            now = end;
+            let (fin, _) = r.complete_step();
+            done.extend(fin);
+            guard += 1;
+            assert!(guard < 100_000);
+        }
+        (done, now)
+    }
+
+    #[test]
+    fn steps_advance_and_finish_requests() {
+        let mut r = test_replica(0);
+        r.enqueue(&req(0, 128, 8));
+        r.enqueue(&req(1, 128, 8));
+        assert_eq!(r.outstanding(), 2);
+        let (done, end) = run_to_drain(&mut r, 0.0);
+        assert_eq!(done.len(), 2);
+        assert!(end > 0.0);
+        assert_eq!(r.outstanding(), 0);
+        for f in &done {
+            assert_eq!(f.generated, 8);
+            assert!(f.first_token_s > 0.0 && f.finish_s >= f.first_token_s);
+        }
+    }
+
+    #[test]
+    fn prefix_hits_discount_prefill_time() {
+        // Two identical-group requests back to back: the second prefill
+        // is shorter, so total makespan shrinks versus two cold ones.
+        // Long prompts matter here: MoE prefill is weight-streaming bound
+        // below ~2k tokens, so only long shared prefixes buy real time.
+        let shared = ClusterRequest {
+            prefix_group: 7,
+            prefix_len: 3584,
+            ..req(0, 4096, 1)
+        };
+        let mut warm = test_replica(8);
+        warm.enqueue(&shared);
+        let (_, t1) = run_to_drain(&mut warm, 0.0);
+        warm.enqueue(&ClusterRequest {
+            id: 1,
+            ..shared.clone()
+        });
+        let (_, t_warm) = run_to_drain(&mut warm, t1);
+        assert_eq!(warm.prefix_hits, 1);
+        assert_eq!(warm.prefix_misses, 1);
+
+        let mut cold = test_replica(0);
+        cold.enqueue(&shared);
+        let (_, c1) = run_to_drain(&mut cold, 0.0);
+        cold.enqueue(&ClusterRequest {
+            id: 1,
+            ..shared.clone()
+        });
+        let (_, t_cold) = run_to_drain(&mut cold, c1);
+        assert!(
+            t_warm - t1 < 0.7 * (t_cold - c1),
+            "warm second request {t_warm} vs cold {t_cold}"
+        );
+    }
+
+    #[test]
+    fn prefix_lru_is_bounded() {
+        let mut r = test_replica(2);
+        for g in 0..5u64 {
+            let mut q = req(g, 256, 1);
+            q.prefix_group = g;
+            q.prefix_len = 128;
+            r.enqueue(&q);
+        }
+        assert!(r.prefix_lru.len() <= 2);
+        assert_eq!(r.prefix_hits, 0, "distinct groups never hit");
+    }
+
+    #[test]
+    fn crash_fails_active_requests_and_clears_state() {
+        let mut r = test_replica(4);
+        r.enqueue(&req(10, 128, 64));
+        r.enqueue(&req(11, 128, 64));
+        let end = r.try_start_step(0.0).expect("step starts");
+        assert!(end > 0.0);
+        let failed = r.crash();
+        assert_eq!(failed.len(), 2);
+        assert!(!r.alive);
+        assert_eq!(r.outstanding(), 0);
+        assert!(r.step_end_s().is_none());
+        assert!(r.try_start_step(1.0).is_none(), "dead replicas don't step");
+        r.recover();
+        r.enqueue(&req(12, 64, 4));
+        let (done, _) = run_to_drain(&mut r, 2.0);
+        assert_eq!(done.len(), 1, "recovered replica serves again");
+    }
+
+    #[test]
+    fn cancel_mid_flight_is_not_reported_finished() {
+        let mut r = test_replica(0);
+        let sid = r.enqueue(&req(0, 64, 1)); // finishes at its prefill
+        r.try_start_step(0.0).expect("step starts");
+        assert!(r.cancel(sid));
+        let (done, _) = r.complete_step();
+        assert!(done.is_empty(), "canceled request must not complete");
+    }
+
+    #[test]
+    fn slowdown_scales_step_cost() {
+        let mut a = test_replica(0);
+        a.enqueue(&req(0, 256, 1));
+        let nominal = a.try_start_step(0.0).expect("step");
+
+        let mut b = test_replica(0);
+        b.slowdown = 3.0;
+        b.enqueue(&req(0, 256, 1));
+        let slowed = b.try_start_step(0.0).expect("step");
+        assert!((slowed - 3.0 * nominal).abs() < 1e-9 * nominal.max(1.0));
+    }
+}

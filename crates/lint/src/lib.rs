@@ -15,6 +15,7 @@
 //! | `no-panic-in-lib` | non-test library code (bench harness exempt) | `.unwrap()`, `.expect(`, `panic!(` |
 //! | `no-float-eq` | non-test code | `==` / `!=` against a float literal |
 //! | `no-lossy-float-cast` | gpusim non-test code | `as <int>` on a float-valued expression |
+//! | `no-hashmap-iter-in-sim` | gpusim / runtime / cluster non-test code | `.iter()` / `.values()` / `.keys()` / `.drain()` / `.retain()` / `for .. in` over a `HashMap` |
 //! | `forbid-unsafe-header` | crate roots | missing `#![forbid(unsafe_code)]` |
 //!
 //! ## Suppressions

@@ -32,6 +32,7 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoPanicInLib),
         Box::new(NoFloatEq),
         Box::new(NoLossyFloatCast),
+        Box::new(NoHashMapIterInSim),
         Box::new(ForbidUnsafeHeader),
     ]
 }
@@ -434,6 +435,179 @@ fn contains_float_literal(s: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// no-hashmap-iter-in-sim
+// ---------------------------------------------------------------------------
+
+/// Bans iterating a `HashMap` inside the simulation crates (`gpusim`,
+/// `runtime`, `cluster`). `HashMap` iteration order is randomized per
+/// process, so any simulator state or report built from it is not
+/// reproducible. Keyed lookups are fine; iteration must go through
+/// `BTreeMap` (or sorted keys). Two passes: collect identifiers bound to a
+/// `HashMap` type (`name: HashMap<..>` fields/params, `let name =
+/// HashMap::new()` locals), then flag order-observing calls on them.
+pub struct NoHashMapIterInSim;
+
+const HASHMAP_SIM_CRATES: &[&str] = &["gpusim", "runtime", "cluster"];
+const ORDER_OBSERVING_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+    ".into_iter()",
+];
+
+impl Rule for NoHashMapIterInSim {
+    fn name(&self) -> &'static str {
+        "no-hashmap-iter-in-sim"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        HASHMAP_SIM_CRATES.contains(&file.crate_name.as_str()) && !file.is_test_file
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        // Pass 1: names bound to a HashMap anywhere in the file.
+        let mut names: Vec<String> = Vec::new();
+        for line in file.masked.iter() {
+            let mut search = 0;
+            while let Some(rel) = line[search..].find("HashMap") {
+                let pos = search + rel;
+                search = pos + "HashMap".len();
+                if let Some(name) = hashmap_binding_name(line, pos) {
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+        if names.is_empty() {
+            return;
+        }
+        // Pass 2: order-observing uses of those names in non-test code.
+        for (i, line) in file.masked.iter().enumerate() {
+            if file.line_in_test(i + 1) {
+                continue;
+            }
+            for name in &names {
+                for method in ORDER_OBSERVING_METHODS {
+                    let needle = format!("{name}{method}");
+                    if find_word_start(line, &needle).is_some() {
+                        out.push(diag(
+                            file,
+                            i,
+                            self.name(),
+                            format!(
+                                "iterating `HashMap` `{name}` (via `{}`) in a simulation crate; \
+                                 iteration order is nondeterministic — use `BTreeMap` or sort the keys",
+                                method.trim_matches(['.', '(', ')'])
+                            ),
+                        ));
+                    }
+                }
+                if for_loop_over(line, name) {
+                    out.push(diag(
+                        file,
+                        i,
+                        self.name(),
+                        format!(
+                            "`for .. in` over `HashMap` `{name}` in a simulation crate; \
+                             iteration order is nondeterministic — use `BTreeMap` or sort the keys"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The identifier a `HashMap` occurrence at byte `pos` is bound to, if the
+/// line declares one: `name: HashMap<..>` (struct field / param / typed
+/// let) or `name = HashMap::new()` / `with_capacity` / `from` (local).
+fn hashmap_binding_name(line: &str, pos: usize) -> Option<String> {
+    let mut head = line[..pos].trim_end();
+    // Strip a path qualifier (`std::collections::HashMap`).
+    while head.ends_with("::") {
+        head = head[..head.len() - 2].trim_end();
+        let start = head
+            .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .map_or(0, |i| i + 1);
+        head = head[..start].trim_end();
+    }
+    // Strip reference sigils so `name: &mut HashMap<..>` params collect too.
+    if let Some(h) = head.strip_suffix("mut") {
+        head = h.trim_end();
+    }
+    if let Some(h) = head.strip_suffix('&') {
+        head = h.trim_end();
+    }
+    let name_end = if let Some(h) = head.strip_suffix(':') {
+        // `name: HashMap<..>` — but not `::` (already stripped).
+        h.trim_end()
+    } else if let Some(h) = head.strip_suffix('=') {
+        // `let [mut] name = HashMap::new()` (also `name: Ty =`, covered
+        // by the colon arm on the type side).
+        h.trim_end()
+    } else {
+        return None;
+    };
+    let start = name_end
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map_or(0, |i| i + 1);
+    let name = &name_end[start..];
+    let ok = name
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_');
+    ok.then(|| name.to_string())
+}
+
+/// Byte offset of `needle` in `line` where the match starts at an
+/// identifier boundary (so `seqs.iter()` does not match `prefix_seqs.iter()`,
+/// while field accesses like `self.seqs.iter()` still do).
+fn find_word_start(line: &str, needle: &str) -> Option<usize> {
+    let mut search = 0;
+    while let Some(rel) = line[search..].find(needle) {
+        let pos = search + rel;
+        search = pos + 1;
+        let boundary = pos == 0
+            || !line[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+/// Does the line loop directly over the named map (`for .. in [&[mut ]]name`)?
+fn for_loop_over(line: &str, name: &str) -> bool {
+    let Some(for_pos) = find_word_start(line, "for ") else {
+        return false;
+    };
+    let Some(in_rel) = line[for_pos..].find(" in ") else {
+        return false;
+    };
+    let mut expr = line[for_pos + in_rel + 4..].trim_start();
+    expr = expr.strip_prefix("&mut ").unwrap_or(expr);
+    expr = expr.strip_prefix('&').unwrap_or(expr);
+    expr = expr.strip_prefix("self.").unwrap_or(expr);
+    let Some(rest) = expr.strip_prefix(name) else {
+        return false;
+    };
+    // The loop expression must *end* at the map (method calls like
+    // `.iter()` are caught by the method pass).
+    !rest
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.')
+}
+
+// ---------------------------------------------------------------------------
 // forbid-unsafe-header
 // ---------------------------------------------------------------------------
 
@@ -588,6 +762,49 @@ mod tests {
     fn lossy_cast_rule_scoped_to_gpusim() {
         let d = run_on("crates/tensor/src/a.rs", "let n = x.ceil() as u64;\n");
         assert!(!rules_hit(&d).contains(&"no-lossy-float-cast"), "{d:?}");
+    }
+
+    #[test]
+    fn detects_hashmap_iteration_in_sim_crates() {
+        // Field declaration + method iteration.
+        let src =
+            "struct S { seqs: HashMap<u64, Seq> }\nfn f(s: &S) { for v in s.seqs.values() { } }\n";
+        let d = run_on("crates/runtime/src/a.rs", src);
+        assert!(rules_hit(&d).contains(&"no-hashmap-iter-in-sim"), "{d:?}");
+
+        // Local binding + bare for-loop (with borrow and path qualifier).
+        let src = "fn f() {\n    let mut live = std::collections::HashMap::new();\n    for (k, v) in &live { }\n}\n";
+        let d = run_on("crates/cluster/src/a.rs", src);
+        assert!(rules_hit(&d).contains(&"no-hashmap-iter-in-sim"), "{d:?}");
+
+        // retain/drain/keys are order-observing too.
+        for method in ["m.retain(|_, _| true);", "m.drain();", "m.keys();"] {
+            let src = format!("fn f(m: &mut HashMap<u64, u64>) {{ {method} }}\n");
+            let d = run_on("crates/gpusim/src/a.rs", &src);
+            assert!(
+                rules_hit(&d).contains(&"no-hashmap-iter-in-sim"),
+                "{method:?} -> {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hashmap_lookups_and_other_crates_are_fine() {
+        // Keyed access never observes iteration order.
+        let src = "struct S { seqs: HashMap<u64, Seq> }\nfn f(s: &S) { s.seqs.get(&1); s.seqs.contains_key(&2); }\n";
+        assert!(run_on("crates/runtime/src/a.rs", src).is_empty());
+
+        // Iterating some *other* collection with a similar name is fine.
+        let src = "struct S { seqs: HashMap<u64, Seq>, ids: Vec<u64> }\nfn f(s: &S) { for v in s.prefix_seqs.iter() { } for i in &s.ids { } }\n";
+        assert!(run_on("crates/runtime/src/a.rs", src).is_empty());
+
+        // Outside the sim crates the rule does not apply.
+        let src = "fn f(m: &HashMap<u64, u64>) { for v in m.values() { } }\n";
+        assert!(run_on("crates/bench/src/a.rs", src).is_empty());
+
+        // Test scope is exempt: tests may sort or assert as they like.
+        let src = "struct S { seqs: HashMap<u64, u64> }\n#[cfg(test)]\nmod tests {\n    fn t(s: &super::S) { for v in s.seqs.values() { } }\n}\n";
+        assert!(run_on("crates/runtime/src/a.rs", src).is_empty());
     }
 
     #[test]

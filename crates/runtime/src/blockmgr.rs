@@ -8,7 +8,7 @@
 //! fraction of blocks free so running sequences can grow without
 //! immediately preempting.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::request::RequestId;
 
@@ -20,7 +20,7 @@ pub struct BlockManager {
     free_blocks: usize,
     /// Fraction of blocks kept free when admitting *new* sequences.
     watermark: f64,
-    owned: HashMap<RequestId, usize>,
+    owned: BTreeMap<RequestId, usize>,
 }
 
 impl BlockManager {
@@ -31,7 +31,7 @@ impl BlockManager {
             total_blocks,
             free_blocks: total_blocks,
             watermark: 0.01,
-            owned: HashMap::new(),
+            owned: BTreeMap::new(),
         }
     }
 
@@ -218,7 +218,7 @@ mod tests {
         for _ in 0..48 {
             let n_ops = 1 + rng.next_below(59);
             let mut m = BlockManager::new(64, 16);
-            let mut live: std::collections::HashMap<u64, usize> = Default::default();
+            let mut live: std::collections::BTreeMap<u64, usize> = Default::default();
             for _ in 0..n_ops {
                 let id = rng.next_below(8) as u64;
                 let tokens = 1 + rng.next_below(199);

@@ -3,7 +3,7 @@
 //! to prove the serving machinery end-to-end: batching, block accounting,
 //! preemption and recompute must never change what the model generates.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use moe_engine::generate::{generate, GenerateParams};
 use moe_engine::kvcache::{KvStore, PagedKv};
@@ -26,7 +26,7 @@ struct LiveSeq {
 pub struct LiveServer {
     model: MoeTransformer,
     scheduler: Scheduler,
-    seqs: HashMap<RequestId, LiveSeq>,
+    seqs: BTreeMap<RequestId, LiveSeq>,
     prefix_cache: Option<PrefixCache>,
 }
 
@@ -35,7 +35,7 @@ impl LiveServer {
         Self {
             model,
             scheduler: Scheduler::new(cfg),
-            seqs: HashMap::new(),
+            seqs: BTreeMap::new(),
             prefix_cache: None,
         }
     }
@@ -182,7 +182,7 @@ impl LiveServer {
     }
 
     /// Run to completion, returning each request's generated tokens.
-    pub fn run(mut self) -> HashMap<RequestId, Vec<usize>> {
+    pub fn run(mut self) -> BTreeMap<RequestId, Vec<usize>> {
         let mut guard = 0;
         while self.step() {
             guard += 1;
@@ -307,7 +307,7 @@ mod tests {
 
         // Same outputs as the uncached reference.
         let expect = LiveServer::reference(&mut tiny(), &long_prompt, max_new);
-        let outputs: HashMap<_, _> = cached
+        let outputs: BTreeMap<_, _> = cached
             .seqs
             .iter()
             .map(|(id, s)| (*id, s.generated.clone()))
@@ -347,7 +347,7 @@ mod tests {
                 .seqs
                 .iter()
                 .map(|(id, s)| (*id, s.generated.clone()))
-                .collect::<HashMap<_, _>>()
+                .collect::<BTreeMap<_, _>>()
         };
         assert_eq!(outputs[&a], LiveServer::reference(&mut tiny(), &p1, 4));
         assert_eq!(outputs[&b], LiveServer::reference(&mut tiny(), &p2, 4));

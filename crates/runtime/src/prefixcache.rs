@@ -11,7 +11,7 @@
 //!
 //! Eviction is LRU over whole snapshots, bounded by a token budget.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use moe_engine::kvcache::KvStore;
 
@@ -86,7 +86,7 @@ pub struct PrefixCache {
     /// Total token budget across snapshots.
     max_tokens: usize,
     stored_tokens: usize,
-    entries: HashMap<Vec<usize>, (KvSnapshot, u64)>,
+    entries: BTreeMap<Vec<usize>, (KvSnapshot, u64)>,
     clock: u64,
     pub hits: u64,
     pub misses: u64,
@@ -101,7 +101,7 @@ impl PrefixCache {
             block_tokens,
             max_tokens,
             stored_tokens: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             clock: 0,
             hits: 0,
             misses: 0,

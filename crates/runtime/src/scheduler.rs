@@ -9,11 +9,24 @@
 //!   (recompute-style: blocks freed, sequence re-queued with its generated
 //!   prefix intact) until the step fits.
 //!
+//! ## The FCFS invariant
+//!
+//! Admission order is a **total order on `RequestId`** within each
+//! priority class: ids are assigned in submission order, fresh arrivals
+//! queue at the tail in id order, and preempted sequences re-queue at the
+//! *head* (they hold generated tokens that must not starve) — also in id
+//! order among themselves, because preemption evicts strictly newest-first
+//! (ties on the admission stamp break toward the higher id) and each
+//! eviction prepends. Every tie anywhere in the scheduler is broken by
+//! `RequestId`, never by map iteration order, so cluster-level replays
+//! that fan requests across schedulers are byte-stable. The
+//! `fcfs_admission_is_ordered_by_request_id` test pins this.
+//!
 //! The scheduler is pure bookkeeping — no clock, no tensors — so both the
 //! simulated and the live server drive it and its behaviour is
 //! deterministic and unit-testable.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use moe_json::{FromJson, ToJson};
 
@@ -119,7 +132,7 @@ pub enum StepPlan {
 pub struct Scheduler {
     cfg: SchedulerConfig,
     blocks: BlockManager,
-    seqs: HashMap<RequestId, SeqRecord>,
+    seqs: BTreeMap<RequestId, SeqRecord>,
     /// FCFS waiting queue (front = next to admit).
     waiting: Vec<RequestId>,
     running: Vec<RequestId>,
@@ -136,7 +149,7 @@ impl Scheduler {
         Self {
             blocks: BlockManager::new(cfg.total_blocks, cfg.block_tokens),
             cfg,
-            seqs: HashMap::new(),
+            seqs: BTreeMap::new(),
             waiting: Vec::new(),
             running: Vec::new(),
             next_id: 0,
@@ -310,13 +323,16 @@ impl Scheduler {
         true
     }
 
-    /// Evict the most recently admitted running sequence.
+    /// Evict the most recently admitted running sequence. Ties on the
+    /// admission stamp (impossible today — stamps are unique — but cheap
+    /// to make explicit) break toward the higher `RequestId`, keeping the
+    /// eviction order a pure function of scheduler state.
     fn preempt_newest(&mut self) -> bool {
         let Some((pos, &id)) = self
             .running
             .iter()
             .enumerate()
-            .max_by_key(|(_, id)| self.seqs[id].admitted_at)
+            .max_by_key(|(_, id)| (self.seqs[id].admitted_at, **id))
         else {
             return false;
         };
@@ -359,12 +375,17 @@ impl Scheduler {
     }
 
     /// Prefill also produces each sequence's first token; commit it.
-    /// Returns sequences that finished at the first token.
+    /// Returns sequences that finished at the first token. Ids canceled
+    /// between planning and commit (a serving front-end timing out a
+    /// request mid-step) are skipped.
     pub fn commit_prefill(&mut self, ids: &[RequestId]) -> Vec<RequestId> {
         let mut finished = Vec::new();
         for &id in ids {
+            let Some(seq) = self.seqs.get(&id) else {
+                continue; // canceled while the step was in flight
+            };
             // The first token occupies KV beyond the prompt.
-            let ctx = self.seqs[&id].context_len();
+            let ctx = seq.context_len();
             // Growth may dip into the watermark reserve; if even that
             // fails the next decode plan will preempt.
             let _ = self.blocks.grow(id, ctx, ctx + 1);
@@ -373,6 +394,26 @@ impl Scheduler {
             }
         }
         finished
+    }
+
+    /// Remove a sequence entirely — its queue slots, KV blocks, and
+    /// record. Used by serving front-ends to enforce per-request timeouts
+    /// and to fail over requests off a crashed replica. Safe to call while
+    /// a planned step is in flight: the commit path skips unknown ids.
+    /// Returns `false` when the id is unknown or already finished (a
+    /// finished sequence keeps its record so completions stay queryable).
+    pub fn cancel(&mut self, id: RequestId) -> bool {
+        match self.seqs.get(&id) {
+            None => false,
+            Some(seq) if seq.state == SeqState::Finished => false,
+            Some(_) => {
+                self.waiting.retain(|&w| w != id);
+                self.running.retain(|&r| r != id);
+                self.blocks.release(id);
+                self.seqs.remove(&id);
+                true
+            }
+        }
     }
 }
 
@@ -554,6 +595,123 @@ mod tests {
     fn empty_prompt_rejected() {
         let mut s = Scheduler::new(small_cfg());
         s.submit(Request::new(0, 1));
+    }
+
+    /// The FCFS invariant (see the module docs): admission order within a
+    /// priority class is ascending `RequestId` — for fresh arrivals because
+    /// ids are assigned in submission order, and for preempted sequences
+    /// because newest-first eviction prepends them back in id order.
+    #[test]
+    fn fcfs_admission_is_ordered_by_request_id() {
+        // Fresh arrivals: admitted strictly in id order.
+        let mut s = Scheduler::new(SchedulerConfig {
+            max_running: 8,
+            max_batched_tokens: 1024,
+            block_tokens: 16,
+            total_blocks: 1024,
+        });
+        let ids: Vec<RequestId> = (0..5).map(|_| s.submit(Request::new(16, 4))).collect();
+        let StepPlan::Prefill { ids: admitted, .. } = s.plan_step() else {
+            panic!("expected prefill");
+        };
+        assert_eq!(admitted, ids, "fresh admission must follow id order");
+        s.commit_prefill(&admitted);
+
+        // Preemption: evict the newest running sequence under block
+        // pressure, then check the waiting queue re-admits it ahead of any
+        // fresh arrival — and that never-admitted requests keep id order.
+        let mut tight = Scheduler::new(SchedulerConfig {
+            max_running: 4,
+            max_batched_tokens: 512,
+            block_tokens: 16,
+            total_blocks: 9,
+        });
+        let a = tight.submit(Request::new(48, 64));
+        let b = tight.submit(Request::new(48, 64));
+        let c = tight.submit(Request::new(48, 64));
+        let StepPlan::Prefill { ids, .. } = tight.plan_step() else {
+            panic!("expected prefill");
+        };
+        assert_eq!(ids, vec![a, b], "only two fit: 4 blocks each, 9 total");
+        tight.commit_prefill(&ids);
+        let late = tight.submit(Request::new(48, 64)); // fresh arrival at the tail
+                                                       // Decode under pressure until the newest running sequence is evicted.
+        let mut guard = 0;
+        while tight.seq(b).is_some_and(|s| s.preemptions == 0) {
+            guard += 1;
+            assert!(guard < 200, "no preemption under pressure");
+            match tight.plan_step() {
+                StepPlan::Decode { ids } => {
+                    for id in ids {
+                        tight.commit_decode(id);
+                    }
+                }
+                StepPlan::Prefill { ids, .. } => {
+                    tight.commit_prefill(&ids);
+                }
+                StepPlan::Idle => break,
+            }
+        }
+        // The evicted sequence goes back to the head, ahead of both the
+        // never-admitted `c` and the fresh arrival, all in ascending id
+        // order: waiting == [b, c, late].
+        assert_eq!(tight.waiting, vec![b, c, late]);
+        assert_eq!(tight.running, vec![a]);
+    }
+
+    #[test]
+    fn cancel_releases_blocks_and_queue_slots() {
+        let mut s = Scheduler::new(small_cfg());
+        let a = s.submit(Request::new(30, 8));
+        let b = s.submit(Request::new(30, 8));
+        let StepPlan::Prefill { ids, .. } = s.plan_step() else {
+            panic!("expected prefill");
+        };
+        s.commit_prefill(&ids);
+        assert!(s.blocks().used_blocks() > 0);
+        assert!(s.cancel(a), "running sequence cancels");
+        assert!(s.cancel(b), "running sequence cancels");
+        assert!(!s.cancel(a), "double cancel is a no-op");
+        assert!(!s.has_work());
+        assert_eq!(s.blocks().used_blocks(), 0);
+        s.blocks().check_invariants();
+
+        // Waiting sequences cancel too.
+        let c = s.submit(Request::new(30, 8));
+        assert!(s.cancel(c));
+        assert!(!s.has_work());
+        assert!(!s.cancel(999), "unknown id");
+    }
+
+    #[test]
+    fn cancel_mid_flight_is_skipped_by_commit() {
+        let mut s = Scheduler::new(small_cfg());
+        let a = s.submit(Request::new(20, 4));
+        let b = s.submit(Request::new(20, 4));
+        let StepPlan::Prefill { ids, .. } = s.plan_step() else {
+            panic!("expected prefill");
+        };
+        // The front-end times `a` out while the planned step is in flight.
+        assert!(s.cancel(a));
+        let finished = s.commit_prefill(&ids);
+        assert!(finished.is_empty());
+        assert!(s.seq(a).is_none());
+        assert_eq!(s.seq(b).map(|r| r.generated), Some(1));
+        // Decode b to completion; the pool drains fully.
+        while s.has_work() {
+            match s.plan_step() {
+                StepPlan::Decode { ids } => {
+                    for id in ids {
+                        s.commit_decode(id);
+                    }
+                }
+                StepPlan::Prefill { ids, .. } => {
+                    s.commit_prefill(&ids);
+                }
+                StepPlan::Idle => break,
+            }
+        }
+        assert_eq!(s.blocks().used_blocks(), 0);
     }
 
     #[test]

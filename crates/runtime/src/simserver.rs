@@ -2,7 +2,7 @@
 //! by a clock that advances by `moe-gpusim` step costs. This is the piece
 //! that stands in for "vLLM on H100" in every timing experiment.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use moe_gpusim::memory::footprint;
 use moe_gpusim::perfmodel::PerfModel;
@@ -109,8 +109,8 @@ pub struct SimServer {
     pending: Vec<(Request, RequestId)>,
     /// External id -> scheduler id mapping is the identity (ids are
     /// assigned here and passed through).
-    arrivals: HashMap<RequestId, Request>,
-    first_token: HashMap<RequestId, f64>,
+    arrivals: BTreeMap<RequestId, Request>,
+    first_token: BTreeMap<RequestId, f64>,
     clock_s: f64,
     steps: usize,
     next_external: RequestId,
@@ -126,8 +126,8 @@ impl SimServer {
             model,
             scheduler: Scheduler::new(cfg),
             pending: Vec::new(),
-            arrivals: HashMap::new(),
-            first_token: HashMap::new(),
+            arrivals: BTreeMap::new(),
+            first_token: BTreeMap::new(),
             clock_s: 0.0,
             steps: 0,
             next_external: 0,
@@ -151,8 +151,10 @@ impl SimServer {
         let id = self.next_external;
         self.next_external += 1;
         self.pending.push((request, id));
+        // Stable tie-break on id: simultaneous arrivals deliver in
+        // submission order (the FCFS invariant, see `scheduler`).
         self.pending
-            .sort_by(|a, b| a.0.arrival_s.total_cmp(&b.0.arrival_s));
+            .sort_by(|a, b| a.0.arrival_s.total_cmp(&b.0.arrival_s).then(a.1.cmp(&b.1)));
         id
     }
 

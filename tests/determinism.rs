@@ -82,3 +82,47 @@ fn fig5_fast_trace_covers_simulated_time() {
         assert!(coverage >= 0.95, "track {track}: coverage {coverage}");
     }
 }
+
+fn traced_cluster() -> (String, String) {
+    let mut tracer = moe_trace::Tracer::new(Box::new(moe_trace::MemorySink::new()));
+    let report = moe_bench::run_experiment_traced("ext-cluster", true, &mut tracer)
+        .expect("ext-cluster is registered");
+    let trace = moe_trace::chrome_trace_json(&tracer.snapshot(), tracer.tracks());
+    (moe_json::to_string_pretty(&report), trace)
+}
+
+/// The multi-replica cluster simulator sits on top of every source of
+/// nondeterminism this gate exists to catch — seeded arrival generation,
+/// router tie-breaking, fault schedules, and event-loop ordering across
+/// replicas. Same seed, twice, must render byte-identical report JSON
+/// *and* byte-identical Chrome-trace JSON.
+#[test]
+fn ext_cluster_fast_report_and_trace_are_byte_identical_across_runs() {
+    let (report1, trace1) = traced_cluster();
+    let (report2, trace2) = traced_cluster();
+    assert!(trace1.contains("\"traceEvents\""));
+    assert_eq!(
+        report1, report2,
+        "ext-cluster report JSON differs between same-seed runs"
+    );
+    assert_eq!(
+        trace1, trace2,
+        "ext-cluster Chrome-trace JSON differs between same-seed runs"
+    );
+}
+
+/// Cluster tracing must observe, never perturb: the traced report equals
+/// the untraced one byte for byte, and the trace carries the router and
+/// replica tracks the cluster claims to emit.
+#[test]
+fn ext_cluster_fast_tracing_does_not_perturb_report() {
+    let plain = moe_json::to_string_pretty(
+        &moe_bench::run_experiment("ext-cluster", true).expect("ext-cluster is registered"),
+    );
+    let (traced, trace) = traced_cluster();
+    assert_eq!(plain, traced, "tracing changed the ext-cluster report");
+    let parsed = moe_json::parse(&trace).expect("trace is well-formed JSON");
+    assert!(parsed.get("traceEvents").is_some());
+    assert!(trace.contains("router"), "router track missing from trace");
+    assert!(trace.contains("replica 0"), "replica tracks missing");
+}

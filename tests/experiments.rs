@@ -30,6 +30,7 @@ fn every_paper_artifact_is_registered() {
         "ext-placement",
         "ext-multinode",
         "ext-qps",
+        "ext-cluster",
     ];
     assert_eq!(ids, expected);
 }
