@@ -173,6 +173,7 @@ pub fn run_cluster_traced(fast: bool, tracer: &mut Tracer) -> ExperimentReport {
             "p99 TTFT",
             "SLO attain",
             "Prefix hits",
+            "Cost dev-ms/tok",
         ],
     );
     for (policy, qps, r) in sweep_rows_traced(fast, tracer) {
@@ -183,6 +184,7 @@ pub fn run_cluster_traced(fast: bool, tracer: &mut Tracer) -> ExperimentReport {
             secs(r.ttft.p99_s),
             num(r.slo_attainment(TTFT_SLO_S)),
             num(r.prefix_hit_rate()),
+            format!("{:.3}", r.cost_per_token_device_s * 1e3),
         ]);
     }
     report.table(sweep);

@@ -22,5 +22,6 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod plan;
 pub mod sweep59;
 pub mod table1;

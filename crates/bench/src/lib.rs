@@ -43,6 +43,7 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "ext-multinode",
         "ext-qps",
         "ext-cluster",
+        "ext-plan",
     ]
 }
 
@@ -64,6 +65,7 @@ pub fn run_experiment_traced(
         "fig5" => experiments::fig05::run_traced(fast, tracer),
         "ext-qps" => experiments::extensions::run_qps_traced(fast, tracer),
         "ext-cluster" => experiments::cluster::run_cluster_traced(fast, tracer),
+        "ext-plan" => experiments::plan::run_plan_traced(fast, tracer),
         other => return run_experiment(other, fast),
     };
     if tracer.is_enabled() {
@@ -109,6 +111,7 @@ pub fn run_experiment(id: &str, fast: bool) -> Option<ExperimentReport> {
         "ext-multinode" => experiments::extensions::run_multinode(fast),
         "ext-qps" => experiments::extensions::run_qps(fast),
         "ext-cluster" => experiments::cluster::run_cluster(fast),
+        "ext-plan" => experiments::plan::run_plan(fast),
         _ => return None,
     })
 }

@@ -151,6 +151,16 @@ pub struct ClusterReport {
     pub throughput_tok_s: f64,
     /// Completions per replica (load-balance signal).
     pub per_replica_completed: Vec<usize>,
+    /// Total devices held for the whole run: replicas x devices per
+    /// replica (the engine's parallel degree).
+    pub devices: usize,
+    /// Cost per completed token in device-seconds — the MoE-CAP cost
+    /// axis: `devices x makespan / completed tokens`. The deployment
+    /// planner quotes exactly this metric when refining candidates.
+    pub cost_per_token_device_s: f64,
+    /// Device-seconds spent per completed request:
+    /// `devices x makespan / completed`.
+    pub device_s_per_request: f64,
 }
 
 impl ClusterReport {
@@ -185,6 +195,9 @@ impl ClusterReport {
 #[derive(Debug)]
 pub struct ClusterSim {
     cfg: ClusterConfig,
+    /// Devices per replica (the engine plan's parallel degree), for the
+    /// report's device-seconds cost accounting.
+    devices_per_replica: usize,
     replicas: Vec<Replica>,
     router: Router,
     trace: RequestTrace,
@@ -244,6 +257,7 @@ impl ClusterSim {
         }
         Self {
             router: Router::new(cfg.policy, cfg.seed),
+            devices_per_replica: model.options().plan.degree,
             replicas,
             cfg,
             trace,
@@ -642,6 +656,8 @@ impl ClusterSim {
         let hits: u64 = self.replicas.iter().map(|r| r.prefix_hits).sum();
         let misses: u64 = self.replicas.iter().map(|r| r.prefix_misses).sum();
         let completed = self.outputs.len();
+        let devices = self.cfg.replicas * self.devices_per_replica;
+        let device_seconds = devices as f64 * self.clock_s;
         let report = ClusterReport {
             policy: self.cfg.policy.label().to_string(),
             makespan_s: self.clock_s,
@@ -658,6 +674,9 @@ impl ClusterSim {
             e2e: LatencySummary::of(&e2es),
             throughput_tok_s: tokens as f64 / self.clock_s.max(1e-12),
             per_replica_completed: per_replica,
+            devices,
+            cost_per_token_device_s: device_seconds / (tokens as f64).max(1.0),
+            device_s_per_request: device_seconds / (completed as f64).max(1.0),
             outputs: self.outputs,
         };
         (report, std::mem::take(&mut self.tracer))
@@ -727,6 +746,36 @@ mod tests {
             // Every replica that completed work is accounted.
             assert_eq!(report.per_replica_completed.iter().sum::<usize>(), 60);
         }
+    }
+
+    #[test]
+    fn cost_metrics_track_devices_and_makespan() {
+        let sim = ClusterSim::sized_for(
+            &olmoe(),
+            2048,
+            base_cfg(RoutePolicy::LeastOutstanding),
+            FaultPlan::none(),
+            small_trace(60, 12.0, 3),
+        );
+        let report = sim.run();
+        // Single-device replicas: devices == replicas.
+        assert_eq!(report.devices, 3);
+        let tokens: usize = report
+            .outputs
+            .iter()
+            .map(|o| o.prompt_len + o.generated)
+            .sum();
+        let device_seconds = report.devices as f64 * report.makespan_s;
+        assert!((report.cost_per_token_device_s - device_seconds / tokens as f64).abs() < 1e-12);
+        assert!(
+            (report.device_s_per_request - device_seconds / report.completed as f64).abs() < 1e-12
+        );
+        // Cost identity: cost/token x throughput == devices.
+        assert!(
+            (report.cost_per_token_device_s * report.throughput_tok_s - report.devices as f64)
+                .abs()
+                < 1e-6
+        );
     }
 
     #[test]

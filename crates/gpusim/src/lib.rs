@@ -43,5 +43,5 @@ pub mod steptrace;
 
 pub use device::{Cluster, DeviceProfile, Interconnect};
 pub use memory::{MemoryFootprint, OomError};
-pub use parallel::{ParallelMode, ParallelPlan};
+pub use parallel::{ParallelMode, ParallelPlan, PlanError};
 pub use perfmodel::{EngineOptions, PerfModel, RunMetrics};

@@ -10,10 +10,61 @@
 //! Collectives use standard ring-algorithm cost models over the cluster
 //! fabric.
 
+use std::error::Error;
+use std::fmt;
+
 use moe_json::{FromJson, ToJson};
 use moe_model::ModelConfig;
 
 use crate::device::Interconnect;
+
+/// A typed violation reported by [`ParallelPlan::validate`].
+///
+/// Non-exhaustive: downstream matchers (the deployment planner buckets
+/// violations by kind) must carry a wildcard arm so new invariants can be
+/// added without breaking them.
+#[derive(Debug, Clone, PartialEq, Eq, ToJson, FromJson)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// `degree == 0`: a placement needs at least one device.
+    ZeroDegree,
+    /// Expert parallelism requested on a model without MoE layers.
+    ExpertParallelOnDense,
+    /// Fewer experts than devices: whole-expert distribution impossible.
+    TooFewExperts {
+        /// Experts per MoE layer in the model.
+        experts: usize,
+        /// Devices in the expert-parallel group.
+        degree: usize,
+    },
+    /// Fewer layers than pipeline stages: at least one stage would be empty.
+    TooFewLayers {
+        /// Transformer layers in the model.
+        layers: usize,
+        /// Requested pipeline stages.
+        degree: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::ZeroDegree => write!(f, "parallel degree must be positive"),
+            PlanError::ExpertParallelOnDense => {
+                write!(f, "expert parallelism on a dense model")
+            }
+            PlanError::TooFewExperts { experts, degree } => {
+                write!(f, "cannot spread {experts} experts across {degree} devices")
+            }
+            PlanError::TooFewLayers { layers, degree } => write!(
+                f,
+                "cannot split {layers} layers into {degree} pipeline stages"
+            ),
+        }
+    }
+}
+
+impl Error for PlanError {}
 
 /// Base sharding dimension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, ToJson, FromJson)]
@@ -86,32 +137,42 @@ impl ParallelPlan {
         }
     }
 
-    /// Validate the plan against a model; returns human-readable problems.
-    pub fn validate(&self, config: &ModelConfig) -> Vec<String> {
+    /// Validate the plan against a model; returns every violated invariant
+    /// as a typed [`PlanError`] (empty = valid).
+    pub fn validate(&self, config: &ModelConfig) -> Vec<PlanError> {
         let mut problems = Vec::new();
         if self.degree == 0 {
-            problems.push("parallel degree must be positive".into());
+            problems.push(PlanError::ZeroDegree);
         }
         if self.expert_parallel {
             match &config.moe {
-                None => problems.push("expert parallelism on a dense model".into()),
+                None => problems.push(PlanError::ExpertParallelOnDense),
                 Some(moe) => {
                     if moe.num_experts < self.degree {
-                        problems.push(format!(
-                            "cannot spread {} experts across {} devices",
-                            moe.num_experts, self.degree
-                        ));
+                        problems.push(PlanError::TooFewExperts {
+                            experts: moe.num_experts,
+                            degree: self.degree,
+                        });
                     }
                 }
             }
         }
         if self.mode == ParallelMode::Pipeline && config.num_layers < self.degree {
-            problems.push(format!(
-                "cannot split {} layers into {} pipeline stages",
-                config.num_layers, self.degree
-            ));
+            problems.push(PlanError::TooFewLayers {
+                layers: config.num_layers,
+                degree: self.degree,
+            });
         }
         problems
+    }
+
+    /// Shim over [`Self::validate`] for callers that want human-readable
+    /// problem strings (the pre-[`PlanError`] return type).
+    pub fn messages(&self, config: &ModelConfig) -> Vec<String> {
+        self.validate(config)
+            .iter()
+            .map(PlanError::to_string)
+            .collect()
     }
 
     /// The four placements evaluated in Figure 13 at a given degree.
@@ -197,7 +258,39 @@ mod tests {
     fn ep_needs_enough_experts() {
         let plan = ParallelPlan::tensor(16).with_expert_parallel();
         // Mixtral has 8 experts; 16-way EP impossible.
-        assert!(!plan.validate(&mixtral_8x7b()).is_empty());
+        assert_eq!(
+            plan.validate(&mixtral_8x7b()),
+            vec![PlanError::TooFewExperts {
+                experts: 8,
+                degree: 16
+            }]
+        );
+    }
+
+    #[test]
+    fn validate_reports_typed_kinds() {
+        let errs = ParallelPlan::pipeline(64)
+            .with_expert_parallel()
+            .validate(&qwen3_1_7b());
+        assert!(errs.contains(&PlanError::ExpertParallelOnDense));
+        assert!(errs.contains(&PlanError::TooFewLayers {
+            layers: qwen3_1_7b().num_layers,
+            degree: 64
+        }));
+        let mut zero = ParallelPlan::single();
+        zero.degree = 0;
+        assert_eq!(zero.validate(&mixtral_8x7b()), vec![PlanError::ZeroDegree]);
+    }
+
+    #[test]
+    fn messages_shim_matches_display() {
+        let plan = ParallelPlan::tensor(16).with_expert_parallel();
+        let msgs = plan.messages(&mixtral_8x7b());
+        assert_eq!(msgs, vec!["cannot spread 8 experts across 16 devices"]);
+        let err = &plan.validate(&mixtral_8x7b())[0];
+        assert_eq!(msgs[0], err.to_string());
+        // PlanError is a real std error.
+        let _: &dyn std::error::Error = err;
     }
 
     #[test]

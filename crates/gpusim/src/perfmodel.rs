@@ -150,7 +150,7 @@ impl PerfModel {
                 opts.plan.degree, cluster.num_devices
             ));
         }
-        let problems = opts.plan.validate(&config);
+        let problems = opts.plan.messages(&config);
         if !problems.is_empty() {
             return Err(problems.join("; "));
         }

@@ -131,7 +131,7 @@ impl Rule for NoUnseededRng {
 pub struct NoWallClock;
 
 const CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime::now"];
-const CLOCK_CRATES: &[&str] = &["gpusim", "engine", "runtime"];
+const CLOCK_CRATES: &[&str] = &["gpusim", "engine", "runtime", "plan"];
 
 impl Rule for NoWallClock {
     fn name(&self) -> &'static str {
@@ -337,9 +337,10 @@ fn is_float_token(tok: &str) -> bool {
 
 /// Bans `as usize` / `as u64` / ... where the source expression is visibly
 /// float-valued (float literal, float-only method, or a parenthesized
-/// group mentioning floats) inside the gpusim cost model. `f64 -> usize`
-/// truncates and saturates silently; counts must go through a checked
-/// helper that asserts the value is a small non-negative integer.
+/// group mentioning floats) inside the gpusim cost model and the planner
+/// built on it. `f64 -> usize` truncates and saturates silently; counts
+/// must go through a checked helper that asserts the value is a small
+/// non-negative integer.
 pub struct NoLossyFloatCast;
 
 const INT_TARGETS: &[&str] = &["usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32"];
@@ -353,7 +354,7 @@ impl Rule for NoLossyFloatCast {
     }
 
     fn applies(&self, file: &SourceFile) -> bool {
-        file.crate_name == "gpusim" && !file.is_test_file
+        ["gpusim", "plan"].contains(&file.crate_name.as_str()) && !file.is_test_file
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
@@ -447,7 +448,7 @@ fn contains_float_literal(s: &str) -> bool {
 /// HashMap::new()` locals), then flag order-observing calls on them.
 pub struct NoHashMapIterInSim;
 
-const HASHMAP_SIM_CRATES: &[&str] = &["gpusim", "runtime", "cluster"];
+const HASHMAP_SIM_CRATES: &[&str] = &["gpusim", "runtime", "cluster", "plan"];
 const ORDER_OBSERVING_METHODS: &[&str] = &[
     ".iter()",
     ".iter_mut()",

@@ -1,0 +1,270 @@
+//! Planner orchestration: materialize the workload, search the grid,
+//! refine the frontier through the cluster simulator, and recommend one
+//! configuration.
+
+use std::error::Error;
+use std::fmt;
+
+use moe_cluster::generate;
+use moe_cluster::workload::RequestTrace;
+use moe_gpusim::convert::f64_to_count;
+use moe_json::{FromJson, ToJson};
+use moe_trace::{Category, Tracer};
+
+use crate::candidate::order_key;
+use crate::refine::{refine_candidate, RefinedScore};
+use crate::score::{CandidateScore, WorkloadSketch};
+use crate::search::{search, SearchCounts};
+use crate::spec::PlannerSpec;
+use crate::PLANNER_TRACK;
+
+/// Why planning failed outright (distinct from per-candidate
+/// infeasibility, which the report only counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlanFailure {
+    /// The spec is malformed; the message names the offending field.
+    InvalidSpec(String),
+    /// Every enumerated candidate was infeasible (plan-invalid or beyond
+    /// the OOM wall) — the fleet cannot host the model at all.
+    NoFeasibleCandidate,
+}
+
+impl fmt::Display for PlanFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanFailure::InvalidSpec(msg) => write!(f, "invalid planner spec: {msg}"),
+            PlanFailure::NoFeasibleCandidate => {
+                write!(
+                    f,
+                    "no feasible candidate: every configuration was plan-invalid or out of memory"
+                )
+            }
+        }
+    }
+}
+
+impl Error for PlanFailure {}
+
+/// The planner's output: the Pareto frontier, the cluster-refined top-K,
+/// and one recommended configuration. Serializes byte-identically across
+/// replays of the same spec and seed.
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
+pub struct PlanReport {
+    /// Target model name.
+    pub model: String,
+    /// Fleet label, e.g. `4x H100-SXM5`.
+    pub fleet: String,
+    /// Total devices in the fleet.
+    pub devices: usize,
+    /// Search-mode label (`exhaustive`, `beam(8)`).
+    pub mode: String,
+    /// Master seed the report replays from.
+    pub seed: u64,
+    /// The SLO the search optimized against.
+    pub slo: crate::spec::SloSpec,
+    /// Workload statistics derived from the materialized trace.
+    pub sketch: WorkloadSketch,
+    /// Enumeration/pruning accounting (the OOM wall shows up here).
+    pub counts: SearchCounts,
+    /// Pareto-optimal analytic scores, cost-ascending.
+    pub frontier: Vec<CandidateScore>,
+    /// Cluster-measured refinements of the top-K frontier picks, in
+    /// refinement order.
+    pub refined: Vec<RefinedScore>,
+    /// The recommended deployment (best refined candidate).
+    pub recommended: RefinedScore,
+}
+
+/// Workload statistics of a materialized trace (means floor to at least
+/// one token; offered rate spans first to last arrival).
+pub fn sketch_of(trace: &RequestTrace) -> WorkloadSketch {
+    let n = trace.requests.len().max(1);
+    let total_in: usize = trace.requests.iter().map(|r| r.prompt_len).sum();
+    let total_out: usize = trace.requests.iter().map(|r| r.max_new_tokens).sum();
+    let max_seq = trace
+        .requests
+        .iter()
+        .map(|r| r.prompt_len + r.max_new_tokens)
+        .max()
+        .unwrap_or(1);
+    let span_s = trace
+        .requests
+        .last()
+        .map(|r| r.arrival_s)
+        .unwrap_or(0.0)
+        .max(1e-9);
+    WorkloadSketch {
+        offered_qps: trace.requests.len() as f64 / span_s,
+        mean_input: f64_to_count(total_in as f64 / n as f64).max(1),
+        mean_output: f64_to_count(total_out as f64 / n as f64).max(1),
+        max_seq,
+    }
+}
+
+/// Frontier ordering for refinement: SLO-meeting candidates first, then
+/// cheapest, most accurate, fastest, enumeration key. Deterministic and
+/// independent of float formatting.
+fn refinement_rank(c: &CandidateScore) -> impl Ord {
+    (
+        u8::from(!c.meets_slo),
+        c.cost_per_token_device_s.to_bits(),
+        (1.0 - c.accuracy).to_bits(),
+        (-c.predicted_tok_s).to_bits(),
+        order_key(&c.config),
+    )
+}
+
+/// Recommendation ordering over refined candidates: measured-SLO winners
+/// first, then highest attainment, cheapest measured cost, lowest tail
+/// TTFT, enumeration key.
+fn recommendation_rank(r: &RefinedScore) -> impl Ord {
+    (
+        u8::from(!r.meets_slo),
+        (1.0 - r.slo_attainment).to_bits(),
+        r.cost_per_token_device_s.to_bits(),
+        r.p99_ttft_s.to_bits(),
+        order_key(&r.config),
+    )
+}
+
+/// Run the full planning pipeline without tracing.
+pub fn plan(spec: &PlannerSpec) -> Result<PlanReport, PlanFailure> {
+    plan_traced(spec, &mut Tracer::disabled())
+}
+
+/// Run the full planning pipeline, emitting planner spans on
+/// [`PLANNER_TRACK`] (plus the cluster's own tracks during refinement)
+/// when the tracer is enabled.
+pub fn plan_traced(spec: &PlannerSpec, tracer: &mut Tracer) -> Result<PlanReport, PlanFailure> {
+    spec.check()?;
+    if tracer.is_enabled() {
+        tracer.name_track(PLANNER_TRACK, "planner");
+    }
+
+    let trace = generate(&spec.workload, spec.seed);
+    let sketch = sketch_of(&trace);
+    let outcome = search(spec, &sketch);
+    if tracer.is_enabled() {
+        tracer.instant(
+            PLANNER_TRACK,
+            Category::Bench,
+            &format!("search {}", spec.mode.label()),
+            0.0,
+            vec![
+                ("enumerated", outcome.counts.enumerated.into()),
+                ("scored", outcome.counts.scored.into()),
+                ("infeasible_oom", outcome.counts.infeasible_oom.into()),
+                ("frontier", outcome.frontier.len().into()),
+            ],
+        );
+    }
+    if outcome.frontier.is_empty() {
+        return Err(PlanFailure::NoFeasibleCandidate);
+    }
+
+    // Pick the top-K frontier candidates for refinement.
+    let mut picks: Vec<&CandidateScore> = outcome.frontier.iter().collect();
+    picks.sort_by_key(|c| refinement_rank(c));
+    picks.truncate(spec.refine_top_k);
+
+    let mut refined: Vec<RefinedScore> = Vec::new();
+    for pick in &picks {
+        match refine_candidate(spec, &sketch, &pick.config, &trace, tracer) {
+            Ok(r) => refined.push(r),
+            // Defensive: frontier members scored feasible, so refinement
+            // cannot reject them; skip rather than abort if it ever does.
+            Err(_) => continue,
+        }
+    }
+    let recommended = refined
+        .iter()
+        .min_by_key(|r| recommendation_rank(r))
+        .cloned()
+        .ok_or(PlanFailure::NoFeasibleCandidate)?;
+
+    Ok(PlanReport {
+        model: spec.model.name.clone(),
+        fleet: spec.fleet.label(),
+        devices: spec.fleet.count,
+        mode: spec.mode.label(),
+        seed: spec.seed,
+        slo: spec.slo,
+        sketch,
+        counts: outcome.counts,
+        frontier: outcome.frontier,
+        refined,
+        recommended,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FleetSpec, SearchMode, SearchSpace, SloSpec};
+    use moe_cluster::{TenantSpec, WorkloadSpec};
+    use moe_model::registry::olmoe_1b_7b;
+
+    fn spec(mode: SearchMode) -> PlannerSpec {
+        PlannerSpec {
+            model: olmoe_1b_7b(),
+            draft: None,
+            fleet: FleetSpec::h100(2),
+            workload: WorkloadSpec::poisson(
+                25.0,
+                30,
+                TenantSpec::uniform("chat", 1.0, (128, 256), (32, 64)),
+            ),
+            slo: SloSpec::latency(0.5, 0.05),
+            space: SearchSpace::minimal(),
+            mode,
+            refine_top_k: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn plan_produces_frontier_and_recommendation() {
+        let report = plan(&spec(SearchMode::Exhaustive)).unwrap();
+        assert!(!report.frontier.is_empty());
+        assert!(!report.refined.is_empty());
+        assert!(report.refined.len() <= 2);
+        assert!(report
+            .refined
+            .iter()
+            .any(|r| r.config == report.recommended.config));
+        assert_eq!(report.devices, 2);
+        // The recommendation must be feasible on its face.
+        assert!(report.recommended.config.devices() <= 2);
+    }
+
+    #[test]
+    fn beam_matches_exhaustive_when_width_covers_shapes() {
+        let exhaustive = plan(&spec(SearchMode::Exhaustive)).unwrap();
+        let beam = plan(&spec(SearchMode::Beam { width: 64 })).unwrap();
+        assert_eq!(beam.counts.pruned_by_width, 0);
+        assert_eq!(exhaustive.frontier, beam.frontier);
+        assert_eq!(exhaustive.recommended, beam.recommended);
+    }
+
+    #[test]
+    fn malformed_specs_fail_typed() {
+        let mut s = spec(SearchMode::Exhaustive);
+        s.refine_top_k = 0;
+        match plan(&s) {
+            Err(PlanFailure::InvalidSpec(msg)) => assert!(msg.contains("refine_top_k")),
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sketch_derives_means_and_rate() {
+        let s = spec(SearchMode::Exhaustive);
+        let trace = generate(&s.workload, s.seed);
+        let sketch = sketch_of(&trace);
+        assert!(sketch.mean_input >= 128 && sketch.mean_input <= 256);
+        assert!(sketch.mean_output >= 32 && sketch.mean_output <= 64);
+        assert!(sketch.max_seq <= 256 + 64);
+        assert!(sketch.offered_qps > 0.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Planner inputs: the fleet, the SLO, the searchable knob space, and the
+//! search mode.
+
+use moe_cluster::{RoutePolicy, WorkloadSpec};
+use moe_gpusim::device::{Cluster, DeviceProfile, Interconnect};
+use moe_json::{FromJson, ToJson};
+use moe_model::ModelConfig;
+use moe_tensor::Precision;
+
+use crate::PlanFailure;
+
+/// A homogeneous device fleet: one accelerator profile, one intra-node
+/// fabric, `count` devices. Replicas carve device groups out of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Accelerator profile shared by every device.
+    pub device: DeviceProfile,
+    /// Fabric inside a replica's device group.
+    pub link: Interconnect,
+    /// Total devices available.
+    pub count: usize,
+}
+
+impl FleetSpec {
+    /// `count` H100 SXM5 devices on NVLink — the paper's testbed scaled out.
+    pub fn h100(count: usize) -> Self {
+        Self {
+            device: DeviceProfile::h100_sxm5(),
+            link: Interconnect::nvlink4(),
+            count,
+        }
+    }
+
+    /// One replica's device group of the given degree.
+    pub fn cluster(&self, degree: usize) -> Cluster {
+        Cluster {
+            device: self.device.clone(),
+            num_devices: degree,
+            link: self.link,
+            devices_per_node: degree,
+            inter_link: Interconnect::infiniband_ndr(),
+        }
+    }
+
+    /// Short label for reports, e.g. `4x H100-SXM5`.
+    pub fn label(&self) -> String {
+        format!("{}x {}", self.count, self.device.name)
+    }
+}
+
+/// Service-level objective plus budgets. A candidate *meets the SLO* when
+/// every bound holds; use `f64::MAX` (or `0.0` for the accuracy floor) to
+/// disable a bound.
+#[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
+pub struct SloSpec {
+    /// p99 time-to-first-token target (s).
+    pub p99_ttft_s: f64,
+    /// p99 inter-token-latency target (s).
+    pub p99_itl_s: f64,
+    /// Cost budget in device-seconds per completed token (the MoE-CAP
+    /// cost axis; `ClusterReport::cost_per_token_device_s` measures the
+    /// same quantity).
+    pub max_cost_per_token_device_s: f64,
+    /// Accuracy-proxy floor (0–1); pruned/quantized variants pay
+    /// penalties against it.
+    pub min_accuracy: f64,
+}
+
+impl SloSpec {
+    /// Latency targets only; cost and accuracy unconstrained.
+    pub fn latency(p99_ttft_s: f64, p99_itl_s: f64) -> Self {
+        Self {
+            p99_ttft_s,
+            p99_itl_s,
+            max_cost_per_token_device_s: f64::MAX,
+            min_accuracy: 0.0,
+        }
+    }
+
+    /// Add a cost budget (device-seconds per token).
+    pub fn with_cost_budget(mut self, budget: f64) -> Self {
+        self.max_cost_per_token_device_s = budget;
+        self
+    }
+
+    /// Add an accuracy-proxy floor.
+    pub fn with_accuracy_floor(mut self, floor: f64) -> Self {
+        self.min_accuracy = floor;
+        self
+    }
+}
+
+/// The searchable knob grid. Parallel plans and replica counts are derived
+/// from the fleet (every power-of-two degree, every replica count that
+/// fits); everything else is enumerated from these lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    /// Weight precisions to consider.
+    pub precisions: Vec<Precision>,
+    /// Inter-expert pruning ratios (0.0 = unpruned). Collapses to
+    /// `[0.0]` for dense models.
+    pub prune_ratios: Vec<f64>,
+    /// Speculative-decode settings. `true` requires a draft model in the
+    /// [`PlannerSpec`]; collapses to `[false]` without one.
+    pub spec_decode: Vec<bool>,
+    /// Max batched tokens per engine step (the chunked-prefill budget).
+    pub max_batch_tokens: Vec<usize>,
+    /// Router policies swept during cluster refinement (the analytic
+    /// model is policy-blind, so policy is a refinement-stage knob).
+    pub policies: Vec<RoutePolicy>,
+}
+
+impl SearchSpace {
+    /// The default paper-shaped grid: fp16 vs fp8, three pruning levels,
+    /// two chunked-prefill budgets, queue-aware routing.
+    pub fn paper() -> Self {
+        Self {
+            precisions: vec![Precision::F16, Precision::Fp8E4M3],
+            prune_ratios: vec![0.0, 0.25, 0.5],
+            spec_decode: vec![false],
+            max_batch_tokens: vec![8_192, 32_768],
+            policies: vec![RoutePolicy::LeastOutstanding],
+        }
+    }
+
+    /// A minimal grid for smoke tests: one knob value per dimension
+    /// except precision.
+    pub fn minimal() -> Self {
+        Self {
+            precisions: vec![Precision::F16, Precision::Fp8E4M3],
+            prune_ratios: vec![0.0],
+            spec_decode: vec![false],
+            max_batch_tokens: vec![32_768],
+            policies: vec![RoutePolicy::LeastOutstanding],
+        }
+    }
+}
+
+/// How to traverse the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Score every enumerated candidate. Ground truth for small grids.
+    Exhaustive,
+    /// Branch-and-bound over deployment *shapes* (plan x replicas x
+    /// precision) with admissible roofline bounds, keeping at most
+    /// `width` shapes. With `width >=` the shape count, the Pareto
+    /// frontier is provably identical to [`SearchMode::Exhaustive`]
+    /// (bound-pruned subtrees are strictly dominated by a scored point).
+    Beam {
+        /// Maximum shapes expanded into full candidates.
+        width: usize,
+    },
+}
+
+impl SearchMode {
+    /// Stable label for reports ("exhaustive", "beam(8)").
+    pub fn label(&self) -> String {
+        match self {
+            SearchMode::Exhaustive => "exhaustive".to_string(),
+            SearchMode::Beam { width } => format!("beam({width})"),
+        }
+    }
+}
+
+/// Everything the planner needs: model, fleet, workload, SLO, grid, mode.
+#[derive(Debug, Clone)]
+pub struct PlannerSpec {
+    /// Target model (from `moe-model::registry` or custom).
+    pub model: ModelConfig,
+    /// Draft model for speculative decoding; `None` disables the
+    /// spec-decode knob.
+    pub draft: Option<ModelConfig>,
+    /// Device fleet.
+    pub fleet: FleetSpec,
+    /// Workload sketch; materialized once with `seed` and shared by
+    /// analytic scoring and cluster refinement.
+    pub workload: WorkloadSpec,
+    /// Service-level objective and budgets.
+    pub slo: SloSpec,
+    /// Knob grid.
+    pub space: SearchSpace,
+    /// Search mode.
+    pub mode: SearchMode,
+    /// Frontier candidates refined through the cluster simulator.
+    pub refine_top_k: usize,
+    /// Master seed: workload materialization and cluster tie-breaking
+    /// derive from it, so the full report replays byte-identically.
+    pub seed: u64,
+}
+
+impl PlannerSpec {
+    /// Validate the inputs; the planner refuses malformed specs instead
+    /// of panicking mid-search.
+    pub fn check(&self) -> Result<(), PlanFailure> {
+        let fail = |msg: String| Err(PlanFailure::InvalidSpec(msg));
+        if self.fleet.count == 0 {
+            return fail("fleet has zero devices".into());
+        }
+        if self.workload.num_requests == 0 {
+            return fail("workload has zero requests".into());
+        }
+        if self.refine_top_k == 0 {
+            return fail("refine_top_k must be at least 1".into());
+        }
+        if let SearchMode::Beam { width: 0 } = self.mode {
+            return fail("beam width must be at least 1".into());
+        }
+        if self.space.precisions.is_empty()
+            || self.space.prune_ratios.is_empty()
+            || self.space.spec_decode.is_empty()
+            || self.space.max_batch_tokens.is_empty()
+            || self.space.policies.is_empty()
+        {
+            return fail("every search-space dimension needs at least one value".into());
+        }
+        for &r in &self.space.prune_ratios {
+            if !(0.0..1.0).contains(&r) {
+                return fail(format!("prune ratio {r} outside [0, 1)"));
+            }
+        }
+        for &m in &self.space.max_batch_tokens {
+            if m == 0 {
+                return fail("max_batch_tokens of zero".into());
+            }
+        }
+        if self.space.spec_decode.contains(&true) && self.draft.is_none() {
+            return fail("spec_decode=true in the space but no draft model given".into());
+        }
+        Ok(())
+    }
+}

@@ -111,6 +111,50 @@ fn ext_cluster_fast_report_and_trace_are_byte_identical_across_runs() {
     );
 }
 
+fn traced_plan() -> (String, String) {
+    let mut tracer = moe_trace::Tracer::new(Box::new(moe_trace::MemorySink::new()));
+    let report = moe_bench::run_experiment_traced("ext-plan", true, &mut tracer)
+        .expect("ext-plan is registered");
+    let trace = moe_trace::chrome_trace_json(&tracer.snapshot(), tracer.tracks());
+    (moe_json::to_string_pretty(&report), trace)
+}
+
+/// The planner composes every layer of the stack — workload generation,
+/// analytic search, and cluster refinement. Same seed, twice, must render
+/// byte-identical report JSON *and* byte-identical Chrome-trace JSON.
+#[test]
+fn ext_plan_fast_report_and_trace_are_byte_identical_across_runs() {
+    let (report1, trace1) = traced_plan();
+    let (report2, trace2) = traced_plan();
+    assert!(trace1.contains("\"traceEvents\""));
+    assert_eq!(
+        report1, report2,
+        "ext-plan report JSON differs between same-seed runs"
+    );
+    assert_eq!(
+        trace1, trace2,
+        "ext-plan Chrome-trace JSON differs between same-seed runs"
+    );
+}
+
+/// Planner tracing must observe, never perturb: the traced report equals
+/// the untraced one byte for byte, and the trace carries the planner
+/// track the planner claims to emit.
+#[test]
+fn ext_plan_fast_tracing_does_not_perturb_report() {
+    let plain = moe_json::to_string_pretty(
+        &moe_bench::run_experiment("ext-plan", true).expect("ext-plan is registered"),
+    );
+    let (traced, trace) = traced_plan();
+    assert_eq!(plain, traced, "tracing changed the ext-plan report");
+    let parsed = moe_json::parse(&trace).expect("trace is well-formed JSON");
+    assert!(parsed.get("traceEvents").is_some());
+    assert!(
+        trace.contains("planner"),
+        "planner track missing from trace"
+    );
+}
+
 /// Cluster tracing must observe, never perturb: the traced report equals
 /// the untraced one byte for byte, and the trace carries the router and
 /// replica tracks the cluster claims to emit.

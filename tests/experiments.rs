@@ -31,6 +31,7 @@ fn every_paper_artifact_is_registered() {
         "ext-multinode",
         "ext-qps",
         "ext-cluster",
+        "ext-plan",
     ];
     assert_eq!(ids, expected);
 }

@@ -1,0 +1,121 @@
+//! Tier-1 planner gate: the planner's outputs are always feasible, and
+//! beam search is provably exhaustive-equivalent when its width covers
+//! the shape grid.
+
+use moe_cluster::{generate, TenantSpec, WorkloadSpec};
+use moe_model::registry::{mixtral_8x7b, olmoe_1b_7b};
+use moe_model::ModelConfig;
+use moe_plan::{
+    plan, score::build_engine, score::operating_batch, sketch_of, FleetSpec, PlannerSpec,
+    SearchMode, SearchSpace, SloSpec,
+};
+
+fn spec_for(model: ModelConfig, devices: usize, seed: u64, mode: SearchMode) -> PlannerSpec {
+    PlannerSpec {
+        model,
+        draft: None,
+        fleet: FleetSpec::h100(devices),
+        workload: WorkloadSpec::poisson(
+            15.0,
+            40,
+            TenantSpec::uniform("chat", 1.0, (128, 512), (32, 128)),
+        ),
+        slo: SloSpec::latency(1.0, 0.05),
+        space: SearchSpace::minimal(),
+        mode,
+        refine_top_k: 3,
+        seed,
+    }
+}
+
+/// Property-style seeded sweep: across models, fleet sizes and seeds,
+/// every configuration the planner returns (frontier, refined, and the
+/// recommendation) validates cleanly against the model and runs at its
+/// operating batch without hitting the OOM wall.
+#[test]
+fn planner_never_returns_an_infeasible_config() {
+    for model in [olmoe_1b_7b, mixtral_8x7b] {
+        for devices in [1usize, 2, 4] {
+            for seed in [3u64, 17, 92] {
+                let spec = spec_for(model(), devices, seed, SearchMode::Exhaustive);
+                let report = match plan(&spec) {
+                    Ok(r) => r,
+                    Err(e) => panic!("{} on {devices} devices failed: {e}", spec.model.name),
+                };
+                let trace = generate(&spec.workload, spec.seed);
+                let sketch = sketch_of(&trace);
+                let configs = report
+                    .frontier
+                    .iter()
+                    .map(|c| c.config)
+                    .chain(report.refined.iter().map(|r| r.config))
+                    .chain(std::iter::once(report.recommended.config));
+                for config in configs {
+                    assert!(
+                        config.devices() <= devices,
+                        "{} overflows fleet",
+                        config.label()
+                    );
+                    let (engine, model_cfg) = build_engine(&spec, &config).unwrap_or_else(|e| {
+                        panic!("planner returned infeasible {}: {e:?}", config.label())
+                    });
+                    assert!(
+                        config.plan.validate(&model_cfg).is_empty(),
+                        "planner returned plan-invalid {}",
+                        config.label()
+                    );
+                    let batch = operating_batch(&engine, &config, &sketch);
+                    engine
+                        .run(batch, sketch.mean_input, sketch.mean_output)
+                        .unwrap_or_else(|e| {
+                            panic!("planner returned OOM config {}: {e}", config.label())
+                        });
+                }
+            }
+        }
+    }
+}
+
+/// Beam search with width >= the shape count must emit a byte-identical
+/// frontier (and the same recommendation) as exhaustive scoring, on the
+/// same seed. The grid here is 24 shapes x 2 completions <= 64 points.
+#[test]
+fn beam_frontier_json_matches_exhaustive_on_small_grid() {
+    for seed in [5u64, 41] {
+        let exhaustive = plan(&spec_for(olmoe_1b_7b(), 4, seed, SearchMode::Exhaustive))
+            .expect("exhaustive plan succeeds");
+        let beam = plan(&spec_for(
+            olmoe_1b_7b(),
+            4,
+            seed,
+            SearchMode::Beam { width: 64 },
+        ))
+        .expect("beam plan succeeds");
+        assert_eq!(
+            beam.counts.pruned_by_width, 0,
+            "width 64 must cover the whole shape grid"
+        );
+        assert_eq!(
+            moe_json::to_string(&exhaustive.frontier),
+            moe_json::to_string(&beam.frontier),
+            "seed {seed}: beam frontier JSON differs from exhaustive"
+        );
+        assert_eq!(exhaustive.recommended, beam.recommended);
+        // Enumeration bookkeeping is mode-independent.
+        assert_eq!(exhaustive.counts.shapes, beam.counts.shapes);
+        assert_eq!(exhaustive.counts.enumerated, beam.counts.enumerated);
+    }
+}
+
+/// The full planner report replays byte-identically from the same spec
+/// and seed (workload materialization, search, and refinement are all
+/// seed-derived).
+#[test]
+fn plan_report_replays_byte_identically() {
+    let run = || {
+        let report =
+            plan(&spec_for(mixtral_8x7b(), 2, 29, SearchMode::Exhaustive)).expect("plan succeeds");
+        moe_json::to_string(&report)
+    };
+    assert_eq!(run(), run());
+}
