@@ -73,7 +73,9 @@ pub fn run_or_oom(
     input: usize,
     output: usize,
 ) -> Option<RunMetrics> {
-    model.run(batch, input, output).ok()
+    model
+        .run(batch, input, output, &mut moe_trace::Tracer::disabled(), 0)
+        .ok()
 }
 
 #[cfg(test)]

@@ -1,0 +1,181 @@
+//! The [`Experiment`] trait and the static registry driving the CLI.
+//!
+//! Every paper table/figure (and extension study) is one unit struct
+//! implementing [`Experiment`]; [`REGISTRY`] lists them in paper order
+//! and is the single source of truth for ids, titles and ordering.
+//! [`run_one`] wraps any experiment run in a root span on
+//! [`moe_trace::BENCH_TRACK`]; [`run_all`] executes the whole registry
+//! concurrently on the `moe-par` work-stealing pool while keeping
+//! reports *and* the composed trace byte-identical for any worker count
+//! (each experiment records into a private child tracer, absorbed into
+//! the caller's tracer in registry order).
+
+use moe_trace::{Category, MemorySink, Tracer, BENCH_TRACK};
+
+use crate::experiments::{
+    ablations, cluster, extensions, fig01, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10,
+    fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, plan, table1,
+};
+use crate::report::ExperimentReport;
+
+/// Context handed to every [`Experiment::run`].
+pub struct ExpCtx<'t> {
+    /// Shrink grids for tests and smoke runs without changing the
+    /// mechanisms exercised.
+    pub fast: bool,
+    /// Records the experiment's simulated work (often disabled).
+    pub tracer: &'t mut Tracer,
+    /// Seed derived from the experiment id via [`moe_par::derive_seed`].
+    /// Experiments whose grids are fully enumerated ignore it; stochastic
+    /// studies may fold it into their workload seeds. Deterministic per
+    /// id, independent of registry position or worker count.
+    pub seed: u64,
+}
+
+/// One registered experiment (a paper table/figure or extension study).
+pub trait Experiment: Sync {
+    /// Stable CLI id (`fig5`, `ext-plan`, ...).
+    fn id(&self) -> &'static str;
+    /// Human-readable report title.
+    fn title(&self) -> &'static str;
+    /// Build the report, recording simulated work into `ctx.tracer`.
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport;
+}
+
+/// Every experiment, in paper order (the `moe-bench list`/`all` order).
+pub static REGISTRY: &[&dyn Experiment] = &[
+    &table1::Table1,
+    &fig01::Fig01,
+    &fig03::Fig03,
+    &fig04::Fig04,
+    &fig05::Fig05,
+    &fig06::Fig06,
+    &fig07::Fig07,
+    &fig08::Fig08,
+    &fig09::Fig09,
+    &fig10::Fig10,
+    &fig11::Fig11,
+    &fig12::Fig12,
+    &fig13::Fig13,
+    &fig14::Fig14,
+    &fig15::Fig15,
+    &fig16::Fig16,
+    &fig17::Fig17,
+    &fig18::Fig18,
+    &ablations::Ablations,
+    &extensions::ExtPlacement,
+    &extensions::ExtMultinode,
+    &extensions::ExtQps,
+    &cluster::ExtCluster,
+    &plan::ExtPlan,
+];
+
+/// Look up a registered experiment by id.
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    REGISTRY.iter().find(|e| e.id() == id).copied()
+}
+
+/// Master seed the per-experiment [`ExpCtx::seed`] values derive from.
+const BENCH_SEED: u64 = 0xB33C;
+
+fn id_seed(id: &str) -> u64 {
+    let label = id
+        .bytes()
+        .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
+    moe_par::derive_seed(BENCH_SEED, label)
+}
+
+/// Run one experiment, wrapping everything it recorded in a root span on
+/// [`BENCH_TRACK`] so a multi-experiment trace reads as a tiled timeline
+/// of experiment blocks. Experiments that record nothing (untraced
+/// tables) add no span. With a disabled tracer this is a plain
+/// [`Experiment::run`] call.
+pub fn run_one(exp: &dyn Experiment, fast: bool, tracer: &mut Tracer) -> ExperimentReport {
+    let start_global_s = tracer.base_s();
+    let seed = id_seed(exp.id());
+    let report = exp.run(&mut ExpCtx { fast, tracer, seed });
+    if tracer.is_enabled() {
+        let dur_s = tracer.base_s() - start_global_s;
+        if dur_s > 0.0 {
+            tracer.name_track(BENCH_TRACK, "bench");
+            // Emit in local time relative to the *current* base: the root
+            // span reaches back over everything the experiment recorded.
+            tracer.span_with(
+                BENCH_TRACK,
+                Category::Bench,
+                exp.id(),
+                start_global_s - tracer.base_s(),
+                dur_s,
+                vec![("fast", i64::from(fast).into())],
+            );
+        }
+    }
+    report
+}
+
+/// Run every registered experiment concurrently on the work-stealing
+/// pool. Each experiment records into its own child tracer; children are
+/// absorbed into `tracer` in registry order, so reports, stdout and the
+/// composed trace are byte-identical for any `MOE_THREADS` value.
+pub fn run_all(fast: bool, tracer: &mut Tracer) -> Vec<ExperimentReport> {
+    let enabled = tracer.is_enabled();
+    let results = moe_par::map_collect(REGISTRY.len(), |i| {
+        let mut child = if enabled {
+            Tracer::new(Box::new(MemorySink::new()))
+        } else {
+            Tracer::disabled()
+        };
+        let report = run_one(REGISTRY[i], fast, &mut child);
+        (report, child)
+    });
+    let mut reports = Vec::with_capacity(results.len());
+    for (report, child) in results {
+        tracer.absorb(child);
+        reports.push(report);
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_match_titles() {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in REGISTRY {
+            assert!(seen.insert(e.id()), "duplicate id {}", e.id());
+            assert!(!e.title().is_empty(), "{} lacks a title", e.id());
+        }
+        assert_eq!(REGISTRY.len(), 24);
+    }
+
+    #[test]
+    fn find_resolves_every_registered_id() {
+        for e in REGISTRY {
+            let found = find(e.id()).expect("registered");
+            assert_eq!(found.id(), e.id());
+        }
+        assert!(find("no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn id_seeds_are_distinct_per_experiment() {
+        let mut seeds = std::collections::BTreeSet::new();
+        for e in REGISTRY {
+            assert!(seeds.insert(id_seed(e.id())), "seed collision {}", e.id());
+        }
+    }
+
+    #[test]
+    fn report_id_matches_registry_id() {
+        // The cheap structural experiments prove the wiring without
+        // running the heavy sweeps.
+        for id in ["table1", "fig1"] {
+            let exp = find(id).expect("registered");
+            let report = run_one(exp, true, &mut Tracer::disabled());
+            assert_eq!(report.id, exp.id());
+            assert_eq!(report.title, exp.title());
+        }
+    }
+}

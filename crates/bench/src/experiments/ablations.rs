@@ -23,6 +23,7 @@ use moe_runtime::prefixcache::PrefixCache;
 use moe_runtime::scheduler::SchedulerConfig;
 use moe_tensor::Precision;
 
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, ExperimentReport, Table};
 
 /// Host-overhead ablation: the TopK 1->32 relative throughput drop of
@@ -42,7 +43,7 @@ pub fn overhead() -> Vec<(f64, f64, f64)> {
                     opts.clone(),
                 )
                 .expect("valid plan")
-                .run(batch, 1024, 1024)
+                .run(batch, 1024, 1024, &mut moe_trace::Tracer::disabled(), 0)
                 .expect("fits TP2")
                 .throughput_tok_s
             };
@@ -72,7 +73,7 @@ pub fn mla() -> Vec<(String, f64, f64)> {
         )
         .expect("valid plan");
         let tput = model
-            .run(64, 1024, 1024)
+            .run(64, 1024, 1024, &mut moe_trace::Tracer::disabled(), 0)
             .expect("fits TP2")
             .throughput_tok_s;
         rows.push((label.to_string(), kv_gb, tput));
@@ -96,7 +97,7 @@ pub fn kv_precision() -> Vec<(String, f64, f64)> {
         )
         .expect("valid plan");
         let tput = model
-            .run(64, 1024, 1024)
+            .run(64, 1024, 1024, &mut moe_trace::Tracer::disabled(), 0)
             .expect("fits TP2")
             .throughput_tok_s;
         rows.push((label.to_string(), kv_gb, tput));
@@ -162,11 +163,23 @@ pub fn prefix_caching(requests: usize) -> (u64, u64, u64) {
 }
 
 /// Build the combined ablation report.
-pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "ablations",
-        "Ablations: host overhead, MLA KV, KV precision, speculation surface, prefix caching",
-    );
+/// Registry handle.
+pub struct Ablations;
+
+impl Experiment for Ablations {
+    fn id(&self) -> &'static str {
+        "ablations"
+    }
+    fn title(&self) -> &'static str {
+        "Ablations: host overhead, MLA KV, KV precision, speculation surface, prefix caching"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Ablations.id(), Ablations.title());
 
     let mut t = Table::new(
         "host-overhead sensitivity of the Fig.5 TopK drop (DeepSeek-V2-Lite)",

@@ -23,7 +23,23 @@ use moe_gpusim::perfmodel::PerfModel;
 use moe_model::registry::olmoe_1b_7b;
 use moe_trace::{Category, Tracer, BENCH_TRACK};
 
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, secs, ExperimentReport, Table};
+
+/// Registry handle.
+pub struct ExtCluster;
+
+impl Experiment for ExtCluster {
+    fn id(&self) -> &'static str {
+        "ext-cluster"
+    }
+    fn title(&self) -> &'static str {
+        "Extension: Multi-Replica Serving (4x OLMoE-1B-7B/H100, prefix-heavy mix)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast, ctx.tracer)
+    }
+}
 
 /// TTFT service-level objective used for attainment curves.
 pub const TTFT_SLO_S: f64 = 0.05;
@@ -55,7 +71,7 @@ fn run_point(
     let mut cfg = cluster_config(policy);
     cfg.router.max_retries = retries;
     let sim = ClusterSim::sized_for(model, 8192, cfg, faults, trace);
-    let report = sim.run_traced(tracer);
+    let report = sim.run(tracer);
     if tracer.is_enabled() {
         tracer.span_with(
             BENCH_TRACK,
@@ -76,7 +92,7 @@ pub fn sweep_rows(fast: bool) -> Vec<(RoutePolicy, f64, ClusterReport)> {
 }
 
 /// [`sweep_rows`] with tracing: every `(policy, qps)` point runs through
-/// `ClusterSim::run_traced` (router decisions, per-replica step spans,
+/// `ClusterSim::run` (router decisions, per-replica step spans,
 /// queue counters), gets a grouping span on [`BENCH_TRACK`], and advances
 /// the tracer base by the point's makespan so points tile one monotone
 /// timeline. With a disabled tracer this is exactly [`sweep_rows`].
@@ -149,17 +165,9 @@ pub fn fault_rows_traced(fast: bool, tracer: &mut Tracer) -> Vec<(&'static str, 
         .collect()
 }
 
-/// Build the cluster report.
-pub fn run_cluster(fast: bool) -> ExperimentReport {
-    run_cluster_traced(fast, &mut Tracer::disabled())
-}
-
 /// Build the cluster report while recording every point into `tracer`.
-pub fn run_cluster_traced(fast: bool, tracer: &mut Tracer) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "ext-cluster",
-        "Extension: Multi-Replica Serving (4x OLMoE-1B-7B/H100, prefix-heavy mix)",
-    );
+fn build(fast: bool, tracer: &mut Tracer) -> ExperimentReport {
+    let mut report = ExperimentReport::new(ExtCluster.id(), ExtCluster.title());
 
     let mut sweep = Table::new(
         format!(
@@ -273,7 +281,7 @@ mod tests {
 
     #[test]
     fn report_renders_with_both_tables() {
-        let rendered = run_cluster(true).render();
+        let rendered = build(true, &mut Tracer::disabled()).render();
         assert!(rendered.contains("routing policy vs offered load"));
         assert!(rendered.contains("fault sweep"));
         assert!(rendered.contains("prefix-affinity"));

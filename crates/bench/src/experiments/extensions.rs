@@ -1,14 +1,14 @@
 //! Extension experiments beyond the paper's figures, following its stated
 //! future directions:
 //!
-//! * [`run_placement`] — load-aware expert placement for EP (the paper's
+//! * [`ExtPlacement`] — load-aware expert placement for EP (the paper's
 //!   Fig. 11/13 insight that EP suffers from load imbalance): contiguous
 //!   vs LPT placement under the *measured* activation loads of Fig. 15.
-//! * [`run_multinode`] — the Section-5 conclusion that extreme MoE
+//! * [`ExtMultinode`] — the Section-5 conclusion that extreme MoE
 //!   configurations "require distributed placement across multi-node
 //!   architectures": the (FFN 14336, 64-expert) variant that OOMs on
 //!   4 H100s, placed on 16 GPUs across 2-4 nodes.
-//! * [`run_qps`] — a serving-capacity curve: latency vs offered load under
+//! * [`ExtQps`] — a serving-capacity curve: latency vs offered load under
 //!   Poisson arrivals through the continuous-batching scheduler.
 
 use moe_gpusim::device::Cluster;
@@ -22,7 +22,53 @@ use moe_runtime::simserver::SimServer;
 use moe_tensor::rng::rng_from_seed;
 use moe_trace::{Category, Tracer, BENCH_TRACK};
 
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, secs, tput_cell, ExperimentReport, Table};
+
+/// Registry handle for the expert-placement study.
+pub struct ExtPlacement;
+
+impl Experiment for ExtPlacement {
+    fn id(&self) -> &'static str {
+        "ext-placement"
+    }
+    fn title(&self) -> &'static str {
+        "Extension: Load-Aware Expert Placement for EP (4 devices, Fig.15 loads)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build_placement(ctx.fast)
+    }
+}
+
+/// Registry handle for the multi-node study.
+pub struct ExtMultinode;
+
+impl Experiment for ExtMultinode {
+    fn id(&self) -> &'static str {
+        "ext-multinode"
+    }
+    fn title(&self) -> &'static str {
+        "Extension: the OOM-Wall Variant (FFN 14336, 64 experts) on Multi-Node H100s"
+    }
+    fn run(&self, _ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build_multinode()
+    }
+}
+
+/// Registry handle for the serving-capacity study.
+pub struct ExtQps;
+
+impl Experiment for ExtQps {
+    fn id(&self) -> &'static str {
+        "ext-qps"
+    }
+    fn title(&self) -> &'static str {
+        "Extension: Serving Capacity under Poisson Load (OLMoE-1B-7B, 1xH100)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build_qps(ctx.fast, ctx.tracer)
+    }
+}
 
 /// Placement study: per-layer contiguous-vs-LPT comparison using the real
 /// routed loads from the Fig. 15 activation study. Returns
@@ -48,11 +94,8 @@ pub fn placement_rows(fast: bool) -> Vec<(String, usize, PlacementComparison)> {
 }
 
 /// Build the placement report.
-pub fn run_placement(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "ext-placement",
-        "Extension: Load-Aware Expert Placement for EP (4 devices, Fig.15 loads)",
-    );
+fn build_placement(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(ExtPlacement.id(), ExtPlacement.title());
     let rows = placement_rows(fast);
     let mut t = Table::new(
         "contiguous vs LPT placement (per-model means over layers)",
@@ -98,7 +141,10 @@ pub fn multinode_rows() -> Vec<(String, usize, Option<f64>)> {
             EngineOptions::default().with_plan(plan),
         )
         .ok()
-        .and_then(|m| m.run(16, 1024, 1024).ok())
+        .and_then(|m| {
+            m.run(16, 1024, 1024, &mut moe_trace::Tracer::disabled(), 0)
+                .ok()
+        })
         .map(|r| r.throughput_tok_s);
         rows.push((label, devices, result));
     };
@@ -127,11 +173,8 @@ pub fn multinode_rows() -> Vec<(String, usize, Option<f64>)> {
 }
 
 /// Build the multi-node report.
-pub fn run_multinode(_fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "ext-multinode",
-        "Extension: the OOM-Wall Variant (FFN 14336, 64 experts) on Multi-Node H100s",
-    );
+fn build_multinode() -> ExperimentReport {
+    let mut report = ExperimentReport::new(ExtMultinode.id(), ExtMultinode.title());
     let mut t = Table::new(
         "throughput of Mixtral-skel-ffn14336-e64-k2 (batch 16, in/out 2048)",
         &["Placement", "GPUs", "tok/s"],
@@ -156,7 +199,7 @@ pub fn qps_rows(fast: bool) -> Vec<(f64, f64, f64, f64, f64)> {
 }
 
 /// [`qps_rows`] with tracing: each offered-load point runs through
-/// `SimServer::run_traced` (engine steps, scheduler decisions and
+/// `SimServer::run` (engine steps, scheduler decisions and
 /// per-request lifecycle spans), gets a grouping span on [`BENCH_TRACK`],
 /// and advances the tracer base by the point's makespan so points tile one
 /// monotone timeline. With a disabled tracer this is exactly [`qps_rows`].
@@ -179,7 +222,7 @@ pub fn qps_rows_traced(fast: bool, tracer: &mut Tracer) -> Vec<(f64, f64, f64, f
             t += -u.ln() / qps;
             server.submit(Request::new(512, 128).at(t));
         }
-        let report = server.run_traced(tracer);
+        let report = server.run(tracer);
         if tracer.is_enabled() {
             tracer.span_with(
                 BENCH_TRACK,
@@ -202,18 +245,10 @@ pub fn qps_rows_traced(fast: bool, tracer: &mut Tracer) -> Vec<(f64, f64, f64, f
     rows
 }
 
-/// Build the QPS report.
-pub fn run_qps(fast: bool) -> ExperimentReport {
-    run_qps_traced(fast, &mut Tracer::disabled())
-}
-
 /// Build the QPS report while recording every offered-load point into
 /// `tracer` (see [`qps_rows_traced`]).
-pub fn run_qps_traced(fast: bool, tracer: &mut Tracer) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "ext-qps",
-        "Extension: Serving Capacity under Poisson Load (OLMoE-1B-7B, 1xH100)",
-    );
+fn build_qps(fast: bool, tracer: &mut Tracer) -> ExperimentReport {
+    let mut report = ExperimentReport::new(ExtQps.id(), ExtQps.title());
     let mut t = Table::new(
         "latency vs offered load (512 in / 128 out per request)",
         &[

@@ -5,7 +5,23 @@ use moe_model::params::{human_params, ParamBreakdown};
 use moe_model::registry::{mixtral_8x7b, olmoe_1b_7b, qwen15_moe_a27b};
 use moe_model::ModelConfig;
 
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, ExperimentReport, Table};
+
+/// Registry handle.
+pub struct Fig01;
+
+impl Experiment for Fig01 {
+    fn id(&self) -> &'static str {
+        "fig1"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 1: Layer-wise Total and Active Parameter Breakdown"
+    }
+    fn run(&self, _ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build()
+    }
+}
 
 /// The three models Figure 1 plots.
 pub fn fig1_models() -> Vec<ModelConfig> {
@@ -13,11 +29,8 @@ pub fn fig1_models() -> Vec<ModelConfig> {
 }
 
 /// Build the report.
-pub fn run(_fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig1",
-        "Figure 1: Layer-wise Total and Active Parameter Breakdown",
-    );
+fn build() -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig01.id(), Fig01.title());
     for m in fig1_models() {
         let b = ParamBreakdown::of(&m);
         let mut t = Table::new(
@@ -66,7 +79,7 @@ mod tests {
 
     #[test]
     fn three_models_two_tables_each() {
-        let r = run(true);
+        let r = build();
         assert_eq!(r.tables.len(), 6);
     }
 

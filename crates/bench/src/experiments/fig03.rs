@@ -8,7 +8,23 @@ use moe_runtime::simserver::serve_static_batch;
 use moe_tensor::Precision;
 
 use crate::common::auto_place;
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{secs, ExperimentReport, Table};
+
+/// Registry handle.
+pub struct Fig03;
+
+impl Experiment for Fig03 {
+    fn id(&self) -> &'static str {
+        "fig3"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 3: TTFT, ITL and E2E Latency of LLMs (batch 64, in/out 2048)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
 
 /// Workload from the figure caption.
 pub const BATCH: usize = 64;
@@ -25,7 +41,9 @@ pub fn measure(fast: bool) -> Vec<(String, usize, RunMetrics)> {
             let placed = auto_place(&m, Precision::F16, BATCH, input + output)
                 .expect("all Fig.3 LLMs fit on <=8 H100s");
             let gpus = placed.cluster().num_devices;
-            let run = placed.run(BATCH, input, output).expect("placement fits");
+            let run = placed
+                .run(BATCH, input, output, &mut moe_trace::Tracer::disabled(), 0)
+                .expect("placement fits");
             (m.name, gpus, run)
         })
         .collect()
@@ -44,18 +62,21 @@ pub fn served_tails(fast: bool) -> Vec<(String, LatencySummary, LatencySummary)>
         .map(|m| {
             let placed = auto_place(&m, Precision::F16, BATCH, IN_LEN + OUT_LEN)
                 .expect("all Fig.3 LLMs fit on <=8 H100s");
-            let report = serve_static_batch(placed, BATCH, IN_LEN, OUT_LEN);
+            let report = serve_static_batch(
+                placed,
+                BATCH,
+                IN_LEN,
+                OUT_LEN,
+                &mut moe_trace::Tracer::disabled(),
+            );
             (m.name, report.ttft, report.e2e)
         })
         .collect()
 }
 
 /// Build the report.
-pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig3",
-        "Figure 3: TTFT, ITL and E2E Latency of LLMs (batch 64, in/out 2048)",
-    );
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig03.id(), Fig03.title());
     let mut t = Table::new(
         "latency",
         &["Model", "GPUs", "TTFT", "ITL", "E2E", "Throughput tok/s"],

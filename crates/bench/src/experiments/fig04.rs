@@ -7,7 +7,23 @@ use moe_runtime::simserver::serve_static_batch;
 use moe_tensor::Precision;
 
 use crate::common::auto_place;
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, secs, ExperimentReport, Table};
+
+/// Registry handle.
+pub struct Fig04;
+
+impl Experiment for Fig04 {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 4: TTFT, ITL and E2E Latency of VLMs"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
 
 /// Workload: one image per sample plus a text prompt (the caption does not
 /// pin lengths; we use batch 16, 1024/1024, one image — recorded in
@@ -46,15 +62,21 @@ pub fn served_tails(fast: bool) -> Vec<(String, LatencySummary, LatencySummary)>
             let prompt = IN_LEN + IMAGES * image_tokens;
             let placed =
                 auto_place(&m, Precision::F16, BATCH, prompt + OUT_LEN).expect("VL2 family fits");
-            let report = serve_static_batch(placed, BATCH, prompt, OUT_LEN);
+            let report = serve_static_batch(
+                placed,
+                BATCH,
+                prompt,
+                OUT_LEN,
+                &mut moe_trace::Tracer::disabled(),
+            );
             (m.name, report.ttft, report.e2e)
         })
         .collect()
 }
 
 /// Build the report.
-pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new("fig4", "Figure 4: TTFT, ITL and E2E Latency of VLMs");
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig04.id(), Fig04.title());
     let mut t = Table::new("latency", &["Model", "TTFT", "ITL", "E2E", "Samples/s"]);
     let results = measure(fast);
     for (name, r) in &results {

@@ -7,7 +7,23 @@ use moe_tensor::Precision;
 use moe_trace::{Category, Tracer, BENCH_TRACK, ENGINE_TRACK};
 
 use crate::common::{auto_place, SWEEP_BATCHES};
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{tput_cell, ExperimentReport, Table};
+
+/// Registry handle.
+pub struct Fig05;
+
+impl Experiment for Fig05 {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 5: Batch Size vs Active Experts (TopK), context 2048"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast, ctx.tracer)
+    }
+}
 
 /// TopK values swept (the paper scales active experts from 1 to 32).
 pub const TOPKS: [usize; 6] = [1, 2, 4, 8, 16, 32];
@@ -23,11 +39,14 @@ pub fn sweep(base: &ModelConfig, fast: bool) -> Vec<(usize, usize, Option<f64>)>
     sweep_traced(base, fast, &mut Tracer::disabled())
 }
 
-/// [`sweep`] with tracing: every sweep point runs through
-/// `PerfModel::run_traced`, gets a grouping span on [`BENCH_TRACK`]
-/// labelled with the grid coordinates, and advances the tracer base by the
+/// [`sweep`] with tracing: every sweep point runs through the unified
+/// `PerfModel::run`, gets a grouping span on [`BENCH_TRACK`] labelled
+/// with the grid coordinates, and advances the tracer base by the
 /// point's end-to-end latency so consecutive points tile one monotone
-/// simulated timeline. With a disabled tracer this is exactly [`sweep`].
+/// simulated timeline. With a disabled tracer the grid is scored
+/// concurrently on the work-stealing pool (the cost model is pure
+/// arithmetic, so points are independent); `map_collect` returns points
+/// in grid order, making both paths produce identical vectors.
 pub fn sweep_traced(
     base: &ModelConfig,
     fast: bool,
@@ -36,50 +55,58 @@ pub fn sweep_traced(
     let (input, output) = (IN_LEN, OUT_LEN);
     let batches: &[usize] = if fast { &[1, 64] } else { &SWEEP_BATCHES };
     let topks: &[usize] = if fast { &[1, 8, 32] } else { &TOPKS };
+    let points: Vec<(usize, usize)> = batches
+        .iter()
+        .flat_map(|&b| topks.iter().map(move |&k| (b, k)))
+        .collect();
+    let score_point = |batch: usize, k: usize, tracer: &mut Tracer| {
+        let cfg = base.with_top_k(k);
+        let placed = auto_place(
+            base,
+            Precision::F16,
+            *SWEEP_BATCHES.last().expect("non-empty"),
+            input + output,
+        )
+        .expect("sweep models fit");
+        let model = moe_gpusim::perfmodel::PerfModel::new(
+            cfg,
+            placed.cluster().clone(),
+            placed.options().clone(),
+        )
+        .expect("same placement");
+        model.run(batch, input, output, tracer, ENGINE_TRACK).ok()
+    };
+    if !tracer.is_enabled() {
+        return moe_par::map_collect(points.len(), |i| {
+            let (batch, k) = points[i];
+            let run = score_point(batch, k, &mut Tracer::disabled());
+            (batch, k, run.map(|r| r.throughput_tok_s))
+        });
+    }
     let mut out = Vec::new();
-    for &batch in batches {
-        for &k in topks {
-            let cfg = base.with_top_k(k);
-            let placed = auto_place(
-                base,
-                Precision::F16,
-                *SWEEP_BATCHES.last().expect("non-empty"),
-                input + output,
-            )
-            .expect("sweep models fit");
-            let model = moe_gpusim::perfmodel::PerfModel::new(
-                cfg,
-                placed.cluster().clone(),
-                placed.options().clone(),
-            )
-            .expect("same placement");
-            let run = model
-                .run_traced(batch, input, output, tracer, ENGINE_TRACK)
-                .ok();
-            if tracer.is_enabled() {
-                match &run {
-                    Some(r) => {
-                        tracer.span_with(
-                            BENCH_TRACK,
-                            Category::Bench,
-                            &format!("{} b={batch} k={k}", base.name),
-                            0.0,
-                            r.e2e_s,
-                            vec![("batch", batch.into()), ("top_k", k.into())],
-                        );
-                        tracer.advance(r.e2e_s);
-                    }
-                    None => tracer.instant(
-                        BENCH_TRACK,
-                        Category::Bench,
-                        &format!("{} b={batch} k={k} OOM", base.name),
-                        0.0,
-                        vec![("batch", batch.into()), ("top_k", k.into())],
-                    ),
-                }
+    for &(batch, k) in &points {
+        let run = score_point(batch, k, tracer);
+        match &run {
+            Some(r) => {
+                tracer.span_with(
+                    BENCH_TRACK,
+                    Category::Bench,
+                    &format!("{} b={batch} k={k}", base.name),
+                    0.0,
+                    r.e2e_s,
+                    vec![("batch", batch.into()), ("top_k", k.into())],
+                );
+                tracer.advance(r.e2e_s);
             }
-            out.push((batch, k, run.map(|r| r.throughput_tok_s)));
+            None => tracer.instant(
+                BENCH_TRACK,
+                Category::Bench,
+                &format!("{} b={batch} k={k} OOM", base.name),
+                0.0,
+                vec![("batch", batch.into()), ("top_k", k.into())],
+            ),
         }
+        out.push((batch, k, run.map(|r| r.throughput_tok_s)));
     }
     out
 }
@@ -109,18 +136,10 @@ fn grid_table(name: &str, grid: &[(usize, usize, Option<f64>)]) -> Table {
     t
 }
 
-/// Build the report.
-pub fn run(fast: bool) -> ExperimentReport {
-    run_traced(fast, &mut Tracer::disabled())
-}
-
 /// Build the report while recording the full sweep into `tracer` (engine
 /// step spans on track 0, per-point grouping spans on the bench track).
-pub fn run_traced(fast: bool, tracer: &mut Tracer) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig5",
-        "Figure 5: Batch Size vs Active Experts (TopK), context 2048",
-    );
+fn build(fast: bool, tracer: &mut Tracer) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig05.id(), Fig05.title());
     tracer.name_track(ENGINE_TRACK, "engine");
     tracer.name_track(BENCH_TRACK, "bench");
     for base in [deepseek_v2_lite(), qwen15_moe_a27b()] {

@@ -6,6 +6,7 @@ use moe_model::ModelConfig;
 use moe_tensor::Precision;
 
 use crate::common::{auto_place, PAPER_LENGTHS, SWEEP_BATCHES};
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{tput_cell, ExperimentReport, Table};
 
 /// Throughput grid `(batch, len) -> Option<tok/s>`; input = output = len.
@@ -27,7 +28,10 @@ pub fn sweep(base: &ModelConfig, fast: bool) -> Vec<(usize, usize, Option<f64>)>
             out.push((
                 batch,
                 len,
-                placed.run(batch, len, len).ok().map(|r| r.throughput_tok_s),
+                placed
+                    .run(batch, len, len, &mut moe_trace::Tracer::disabled(), 0)
+                    .ok()
+                    .map(|r| r.throughput_tok_s),
             ));
         }
     }
@@ -61,8 +65,23 @@ fn grid_table(name: &str, grid: &[(usize, usize, Option<f64>)]) -> Table {
 }
 
 /// Build the report.
-pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new("fig6", "Figure 6: Batch Size vs Input & Output Length");
+/// Registry handle.
+pub struct Fig06;
+
+impl Experiment for Fig06 {
+    fn id(&self) -> &'static str {
+        "fig6"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 6: Batch Size vs Input & Output Length"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig06.id(), Fig06.title());
     for base in [deepseek_v2_lite(), qwen15_moe_a27b()] {
         report.table(grid_table(&base.name, &sweep(&base, fast)));
     }

@@ -4,15 +4,28 @@
 use moe_model::variants::{ACTIVE_COUNTS, EXPERT_COUNTS, FFN_DIMS};
 
 use super::sweep59::{at, run_grid, GridResult};
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{tput_cell, ExperimentReport, Table};
 
 /// Build the report (panels: expert count; rows: FFN dim; columns: TopK).
-pub fn run(fast: bool) -> ExperimentReport {
+/// Registry handle.
+pub struct Fig07;
+
+impl Experiment for Fig07 {
+    fn id(&self) -> &'static str {
+        "fig7"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 7: Throughput vs FFN Dimension (batch 16, in/out 2048, 4xH100)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
     let grid = run_grid(fast);
-    let mut report = ExperimentReport::new(
-        "fig7",
-        "Figure 7: Throughput vs FFN Dimension (batch 16, in/out 2048, 4xH100)",
-    );
+    let mut report = ExperimentReport::new(Fig07.id(), Fig07.title());
     for &e in &EXPERT_COUNTS {
         if !grid.iter().any(|g| g.num_experts == e) {
             continue;
@@ -57,14 +70,14 @@ mod tests {
 
     #[test]
     fn report_has_expert_panels() {
-        let r = run(true);
+        let r = build(true);
         assert_eq!(r.tables.len(), 2); // fast grid: 8 and 64 experts
         assert!(r.tables[0].name.contains("8 experts"));
     }
 
     #[test]
     fn oom_cells_rendered() {
-        let r = run(true);
+        let r = build(true);
         let all: String = r.tables.iter().map(|t| t.render()).collect();
         assert!(all.contains("OOM"), "expected OOM gaps:\n{all}");
     }

@@ -4,15 +4,28 @@
 use moe_model::variants::{ACTIVE_COUNTS, EXPERT_COUNTS, FFN_DIMS};
 
 use super::sweep59::{at, run_grid, GridResult};
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{tput_cell, ExperimentReport, Table};
 
 /// Build the report (panels: FFN dim; rows: expert count; columns: TopK).
-pub fn run(fast: bool) -> ExperimentReport {
+/// Registry handle.
+pub struct Fig08;
+
+impl Experiment for Fig08 {
+    fn id(&self) -> &'static str {
+        "fig8"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 8: Throughput vs #Experts (batch 16, in/out 2048, 4xH100)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
     let grid = run_grid(fast);
-    let mut report = ExperimentReport::new(
-        "fig8",
-        "Figure 8: Throughput vs #Experts (batch 16, in/out 2048, 4xH100)",
-    );
+    let mut report = ExperimentReport::new(Fig08.id(), Fig08.title());
     for &ffn in &FFN_DIMS {
         if !grid.iter().any(|g| g.ffn_dim == ffn) {
             continue;
@@ -58,7 +71,7 @@ mod tests {
 
     #[test]
     fn panels_by_ffn_dim() {
-        let r = run(true);
+        let r = build(true);
         assert_eq!(r.tables.len(), 2);
         assert!(r.tables[0].name.contains("FFN 1792"));
     }

@@ -4,15 +4,28 @@
 use moe_model::variants::{ACTIVE_COUNTS, EXPERT_COUNTS, FFN_DIMS};
 
 use super::sweep59::{at, run_grid, GridResult};
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{tput_cell, ExperimentReport, Table};
 
 /// Build the report (panels: FFN dim; rows: TopK; columns: expert count).
-pub fn run(fast: bool) -> ExperimentReport {
+/// Registry handle.
+pub struct Fig09;
+
+impl Experiment for Fig09 {
+    fn id(&self) -> &'static str {
+        "fig9"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 9: Throughput vs #Active Experts (batch 16, in/out 2048, 4xH100)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
     let grid = run_grid(fast);
-    let mut report = ExperimentReport::new(
-        "fig9",
-        "Figure 9: Throughput vs #Active Experts (batch 16, in/out 2048, 4xH100)",
-    );
+    let mut report = ExperimentReport::new(Fig09.id(), Fig09.title());
     for &ffn in &FFN_DIMS {
         if !grid.iter().any(|g| g.ffn_dim == ffn) {
             continue;
@@ -86,7 +99,7 @@ mod tests {
 
     #[test]
     fn panels_and_rows_render() {
-        let r = run(true);
+        let r = build(true);
         assert_eq!(r.tables.len(), 2);
         for t in &r.tables {
             assert!(!t.rows.is_empty());

@@ -6,6 +6,7 @@ use moe_model::registry::mixtral_8x7b;
 use moe_tensor::Precision;
 
 use crate::common::{place_with_plan, PAPER_BATCHES, PAPER_LENGTHS};
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, ExperimentReport, Table};
 
 /// Fixed placement: both precisions on TP2 so the comparison is apples to
@@ -44,11 +45,11 @@ fn series(points: Vec<(usize, usize, usize, usize)>) -> Vec<(usize, f64, f64)> {
         .into_iter()
         .map(|(x, batch, input, output)| {
             let a = f16
-                .run(batch, input, output)
+                .run(batch, input, output, &mut moe_trace::Tracer::disabled(), 0)
                 .expect("fits TP2")
                 .throughput_tok_s;
             let b = f8
-                .run(batch, input, output)
+                .run(batch, input, output, &mut moe_trace::Tracer::disabled(), 0)
                 .expect("fits TP2")
                 .throughput_tok_s;
             (x, a, b)
@@ -70,9 +71,23 @@ fn table(name: &str, x_label: &str, s: &[(usize, f64, f64)]) -> Table {
 }
 
 /// Build the report.
-pub fn run(fast: bool) -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("fig10", "Figure 10: Mixtral-8x7B FP16 vs FP8 on H100 (TP2)");
+/// Registry handle.
+pub struct Fig10;
+
+impl Experiment for Fig10 {
+    fn id(&self) -> &'static str {
+        "fig10"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 10: Mixtral-8x7B FP16 vs FP8 on H100 (TP2)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig10.id(), Fig10.title());
     report.table(table(
         "batch sweep (in/out 1024)",
         "Batch",

@@ -9,6 +9,7 @@ use moe_model::ModelConfig;
 use moe_tensor::Precision;
 
 use crate::common::place_with_plan;
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{tput_cell, ExperimentReport, Table};
 
 pub const BATCH: usize = 16;
@@ -80,7 +81,13 @@ pub fn sweep(base: &ModelConfig, fast: bool) -> Vec<PruneResult> {
                 spec,
                 top_k: k.min(cfg.moe.as_ref().expect("MoE").num_experts),
                 throughput: model
-                    .run(BATCH, IN_LEN, OUT_LEN)
+                    .run(
+                        BATCH,
+                        IN_LEN,
+                        OUT_LEN,
+                        &mut moe_trace::Tracer::disabled(),
+                        0,
+                    )
                     .ok()
                     .map(|r| r.throughput_tok_s),
             });
@@ -98,11 +105,23 @@ pub fn at(results: &[PruneResult], spec: &Option<PruneSpec>, k: usize) -> Option
 }
 
 /// Build the report.
-pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig11",
-        "Figure 11: Intra vs Inter Expert Pruning (batch 16, in/out 2048, 4xH100)",
-    );
+/// Registry handle.
+pub struct Fig11;
+
+impl Experiment for Fig11 {
+    fn id(&self) -> &'static str {
+        "fig11"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 11: Intra vs Inter Expert Pruning (batch 16, in/out 2048, 4xH100)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig11.id(), Fig11.title());
     for base in [olmoe_1b_7b(), qwen15_moe_a27b()] {
         let results = sweep(&base, fast);
         let mut topks: Vec<usize> = results.iter().map(|r| r.top_k).collect();

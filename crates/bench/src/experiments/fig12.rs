@@ -9,6 +9,7 @@ use moe_model::registry::{qwen3_0_6b, qwen3_1_7b, qwen3_30b_a3b, qwen3_4b, qwen3
 use moe_tensor::Precision;
 
 use crate::common::place_with_plan;
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, ExperimentReport, Table};
 
 pub const BATCH: usize = 16;
@@ -120,11 +121,23 @@ fn panel(name: &str, x_label: &str, rows: &[(usize, Vec<(String, f64)>)]) -> Tab
 }
 
 /// Build the report.
-pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig12",
-        "Figure 12: Speculative Decoding on Qwen3-30B-A3B with Qwen3 Drafts",
-    );
+/// Registry handle.
+pub struct Fig12;
+
+impl Experiment for Fig12 {
+    fn id(&self) -> &'static str {
+        "fig12"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 12: Speculative Decoding on Qwen3-30B-A3B with Qwen3 Drafts"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig12.id(), Fig12.title());
     report.table(panel(
         "throughput vs input length (gamma=3, tok/s)",
         "Input len",
@@ -136,7 +149,7 @@ pub fn run(fast: bool) -> ExperimentReport {
         &by_gamma(fast),
     ));
     let vanilla = target()
-        .run(BATCH, 1024, OUT_LEN)
+        .run(BATCH, 1024, OUT_LEN, &mut moe_trace::Tracer::disabled(), 0)
         .expect("fits")
         .throughput_tok_s;
     report.note(format!(
@@ -224,7 +237,10 @@ mod tests {
 
     #[test]
     fn good_draft_beats_vanilla() {
-        let vanilla = target().run(BATCH, 1024, OUT_LEN).unwrap().throughput_tok_s;
+        let vanilla = target()
+            .run(BATCH, 1024, OUT_LEN, &mut moe_trace::Tracer::disabled(), 0)
+            .unwrap()
+            .throughput_tok_s;
         let rows = by_gamma(true);
         let spec = rows
             .iter()

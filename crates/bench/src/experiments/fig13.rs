@@ -7,6 +7,7 @@ use moe_model::ModelConfig;
 use moe_tensor::Precision;
 
 use crate::common::place_with_plan;
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, tput_cell, ExperimentReport, Table};
 
 pub const BATCH: usize = 16;
@@ -29,7 +30,16 @@ pub fn sweep(base: &ModelConfig, precision: Precision) -> Vec<(String, usize, Op
             let label = plan.label();
             let result = place_with_plan(base, precision, plan, true)
                 .ok()
-                .and_then(|m| m.run(BATCH, IN_LEN, OUT_LEN).ok())
+                .and_then(|m| {
+                    m.run(
+                        BATCH,
+                        IN_LEN,
+                        OUT_LEN,
+                        &mut moe_trace::Tracer::disabled(),
+                        0,
+                    )
+                    .ok()
+                })
                 .map(|r| r.throughput_tok_s);
             out.push((label, gpus, result));
         }
@@ -58,11 +68,23 @@ pub fn at(
 }
 
 /// Build the report.
-pub fn run(_fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig13",
-        "Figure 13: TP / PP / EP Scaling on 1-4 H100s (batch 16, in/out 2048)",
-    );
+/// Registry handle.
+pub struct Fig13;
+
+impl Experiment for Fig13 {
+    fn id(&self) -> &'static str {
+        "fig13"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 13: TP / PP / EP Scaling on 1-4 H100s (batch 16, in/out 2048)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(_fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig13.id(), Fig13.title());
     // Mixtral at fp16 cannot exist on one GPU; the 1-GPU baseline (and all
     // its points, for a fair curve) uses fp8 weights. OLMoE runs fp16.
     for (base, precision) in [

@@ -6,6 +6,7 @@ use moe_model::registry::mixtral_8x7b;
 use moe_tensor::Precision;
 
 use crate::common::{place_with_plan, PAPER_BATCHES, PAPER_LENGTHS};
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, ExperimentReport, Table};
 
 /// `(x, fused tok/s, unfused tok/s)` series.
@@ -39,11 +40,11 @@ fn series(points: Vec<(usize, usize, usize, usize)>) -> Vec<(usize, f64, f64)> {
         .into_iter()
         .map(|(x, batch, input, output)| {
             let a = fused
-                .run(batch, input, output)
+                .run(batch, input, output, &mut moe_trace::Tracer::disabled(), 0)
                 .expect("fits TP4")
                 .throughput_tok_s;
             let b = unfused
-                .run(batch, input, output)
+                .run(batch, input, output, &mut moe_trace::Tracer::disabled(), 0)
                 .expect("fits TP4")
                 .throughput_tok_s;
             (x, a, b)
@@ -68,11 +69,23 @@ fn table(name: &str, x_label: &str, s: &[(usize, f64, f64)]) -> Table {
 }
 
 /// Build the report.
-pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig14",
-        "Figure 14: Fused vs Non-Fused MoE, Mixtral-8x7B on 4 H100s",
-    );
+/// Registry handle.
+pub struct Fig14;
+
+impl Experiment for Fig14 {
+    fn id(&self) -> &'static str {
+        "fig14"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 14: Fused vs Non-Fused MoE, Mixtral-8x7B on 4 H100s"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig14.id(), Fig14.title());
     report.table(table(
         "batch sweep (in/out 1024)",
         "Batch",

@@ -5,6 +5,7 @@
 use moe_eval::activation::{activation_study, ActivationReport};
 use moe_model::registry::{deepseek_vl2, deepseek_vl2_small, deepseek_vl2_tiny, molmoe_1b};
 
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, ExperimentReport, Table};
 
 /// Tokens routed per model (scaled to full-MME counts afterwards).
@@ -32,11 +33,23 @@ pub fn measure(fast: bool) -> Vec<ActivationReport> {
 }
 
 /// Build the report.
-pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig15",
-        "Figure 15: Expert Activation Frequency on MME (DeepSeek-VL2 family vs MolmoE-1B)",
-    );
+/// Registry handle.
+pub struct Fig15;
+
+impl Experiment for Fig15 {
+    fn id(&self) -> &'static str {
+        "fig15"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 15: Expert Activation Frequency on MME (DeepSeek-VL2 family vs MolmoE-1B)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig15.id(), Fig15.title());
     let mut t = Table::new(
         "activation statistics",
         &[

@@ -12,6 +12,7 @@ use moe_model::registry::llama4_scout_17b_16e;
 use moe_tensor::Precision;
 
 use crate::common::PAPER_LENGTHS;
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, secs, ExperimentReport, Table};
 
 // The figure does not pin a batch size; batch 64 is used because the
@@ -43,8 +44,12 @@ pub fn measure(fast: bool) -> Vec<(usize, f64, f64, f64, f64)> {
     lengths
         .iter()
         .map(|&len| {
-            let a = h100.run(BATCH, len, len).expect("fits 8xH100");
-            let b = cs3.run(BATCH, len, len).expect("fits CS-3");
+            let a = h100
+                .run(BATCH, len, len, &mut moe_trace::Tracer::disabled(), 0)
+                .expect("fits 8xH100");
+            let b = cs3
+                .run(BATCH, len, len, &mut moe_trace::Tracer::disabled(), 0)
+                .expect("fits CS-3");
             (
                 len,
                 a.e2e_s,
@@ -57,11 +62,23 @@ pub fn measure(fast: bool) -> Vec<(usize, f64, f64, f64, f64)> {
 }
 
 /// Build the report.
-pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig16",
-        "Figure 16: H100 vs CS-3 — Llama-4-Scout-17B-16E Latency and Throughput",
-    );
+/// Registry handle.
+pub struct Fig16;
+
+impl Experiment for Fig16 {
+    fn id(&self) -> &'static str {
+        "fig16"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 16: H100 vs CS-3 — Llama-4-Scout-17B-16E Latency and Throughput"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig16.id(), Fig16.title());
     let mut t = Table::new(
         format!("latency / throughput vs in/out length (batch {BATCH})"),
         &[

@@ -6,6 +6,7 @@ use moe_eval::profiles::capability;
 use moe_eval::tasks::lm_task_suite;
 
 use super::fig03;
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, secs, ExperimentReport, Table};
 
 /// One frontier point.
@@ -37,11 +38,23 @@ pub fn measure(fast: bool) -> Vec<FrontierPoint> {
 }
 
 /// Build the report.
-pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig17",
-        "Figure 17: Throughput / Latency vs Accuracy for LLMs",
-    );
+/// Registry handle.
+pub struct Fig17;
+
+impl Experiment for Fig17 {
+    fn id(&self) -> &'static str {
+        "fig17"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 17: Throughput / Latency vs Accuracy for LLMs"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig17.id(), Fig17.title());
     let mut t = Table::new(
         "performance-accuracy frontier",
         &["Model", "Throughput tok/s", "E2E latency", "Avg accuracy"],

@@ -6,6 +6,7 @@ use moe_eval::profiles::capability;
 use moe_eval::tasks::vlm_task_suite;
 
 use super::fig04;
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, secs, ExperimentReport, Table};
 
 /// One frontier point (samples/s is the paper's VLM throughput metric).
@@ -36,11 +37,23 @@ pub fn measure(fast: bool) -> Vec<VlmFrontierPoint> {
 }
 
 /// Build the report.
-pub fn run(fast: bool) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "fig18",
-        "Figure 18: Throughput / Latency vs Accuracy for VLMs",
-    );
+/// Registry handle.
+pub struct Fig18;
+
+impl Experiment for Fig18 {
+    fn id(&self) -> &'static str {
+        "fig18"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 18: Throughput / Latency vs Accuracy for VLMs"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(Fig18.id(), Fig18.title());
     let mut t = Table::new(
         "performance-accuracy frontier",
         &["Model", "Samples/s", "E2E latency", "Avg accuracy"],

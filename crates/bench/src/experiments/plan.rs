@@ -30,7 +30,23 @@ use moe_plan::{
 use moe_tensor::Precision;
 use moe_trace::Tracer;
 
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{num, secs, ExperimentReport, Table};
+
+/// Registry handle.
+pub struct ExtPlan;
+
+impl Experiment for ExtPlan {
+    fn id(&self) -> &'static str {
+        "ext-plan"
+    }
+    fn title(&self) -> &'static str {
+        "Extension: Deployment Planning (Mixtral-8x7B / OLMoE-1B-7B on simulated H100 fleets)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast, ctx.tracer)
+    }
+}
 
 /// Master seed every `ext-plan` planner run derives from.
 pub const PLAN_SEED: u64 = 17;
@@ -183,19 +199,11 @@ pub fn fig13_rows(model: &ModelConfig) -> Vec<(String, f64, f64)> {
         .collect()
 }
 
-/// Build the planning report.
-pub fn run_plan(fast: bool) -> ExperimentReport {
-    run_plan_traced(fast, &mut Tracer::disabled())
-}
-
 /// Build the planning report while recording the headline planner run —
 /// its search marker and every refinement cluster simulation — into
 /// `tracer` on the planner track.
-pub fn run_plan_traced(fast: bool, tracer: &mut Tracer) -> ExperimentReport {
-    let mut report = ExperimentReport::new(
-        "ext-plan",
-        "Extension: Deployment Planning (Mixtral-8x7B / OLMoE-1B-7B on simulated H100 fleets)",
-    );
+fn build(fast: bool, tracer: &mut Tracer) -> ExperimentReport {
+    let mut report = ExperimentReport::new(ExtPlan.id(), ExtPlan.title());
 
     // Headline: Mixtral on 4 devices, beam search wide enough to be
     // provably exhaustive (32 shapes on this fleet).
@@ -356,7 +364,7 @@ mod tests {
 
     #[test]
     fn report_renders_with_all_tables() {
-        let rendered = run_plan(true).render();
+        let rendered = build(true, &mut Tracer::disabled()).render();
         assert!(rendered.contains("Pareto frontier"));
         assert!(rendered.contains("cluster-refined top candidates"));
         assert!(rendered.contains("Figure-13 rediscovery"));

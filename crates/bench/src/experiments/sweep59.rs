@@ -42,7 +42,7 @@ pub fn run_grid(fast: bool) -> Vec<GridResult> {
                 let model = place_with_plan(&cfg, Precision::F16, ParallelPlan::tensor(4), true)
                     .expect("plan is structurally valid");
                 let throughput = model
-                    .run(BATCH, input, output)
+                    .run(BATCH, input, output, &mut moe_trace::Tracer::disabled(), 0)
                     .ok()
                     .map(|r| r.throughput_tok_s);
                 out.push(GridResult {

@@ -4,7 +4,23 @@ use moe_model::params::{human_params, ParamBreakdown};
 use moe_model::registry;
 use moe_model::Modality;
 
+use crate::experiment::{ExpCtx, Experiment};
 use crate::report::{ExperimentReport, Table};
+
+/// Registry handle.
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+    fn title(&self) -> &'static str {
+        "Table 1: Comparison of MoE Model Architectures"
+    }
+    fn run(&self, _ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build()
+    }
+}
 
 /// The nine Table-1 models, in paper order.
 pub fn table1_models() -> Vec<moe_model::ModelConfig> {
@@ -14,9 +30,8 @@ pub fn table1_models() -> Vec<moe_model::ModelConfig> {
 }
 
 /// Build the report.
-pub fn run(_fast: bool) -> ExperimentReport {
-    let mut report =
-        ExperimentReport::new("table1", "Table 1: Comparison of MoE Model Architectures");
+fn build() -> ExperimentReport {
+    let mut report = ExperimentReport::new(Table1.id(), Table1.title());
     let mut t = Table::new(
         "architectures",
         &[
@@ -72,7 +87,7 @@ mod tests {
 
     #[test]
     fn has_nine_rows() {
-        let r = run(true);
+        let r = build();
         assert_eq!(r.tables[0].rows.len(), 9);
     }
 
@@ -87,7 +102,7 @@ mod tests {
 
     #[test]
     fn row_order_matches_paper() {
-        let r = run(true);
+        let r = build();
         assert_eq!(r.tables[0].rows[0][0], "Mixtral-8x7B");
         assert_eq!(r.tables[0].rows[8][0], "DeepSeek-VL2");
     }

@@ -6,112 +6,47 @@
 //! records.
 //!
 //! Run `moe-bench list` for the experiment roster, `moe-bench <id>` to
-//! regenerate one, `moe-bench all` for everything.
+//! regenerate one, `moe-bench all` for everything — `all` executes the
+//! registry concurrently on the `moe-par` work-stealing pool and is
+//! byte-identical for any `MOE_THREADS` value (see [`experiment`]).
 
 #![forbid(unsafe_code)]
 
 pub mod common;
+pub mod experiment;
 pub mod experiments;
 pub mod report;
 pub mod timing;
 
+pub use experiment::{run_all, ExpCtx, Experiment, REGISTRY};
 pub use report::{ExperimentReport, Table};
 
-/// All registered experiments, in paper order.
+/// All registered experiment ids, in paper order (thin shim over
+/// [`experiment::REGISTRY`]).
 pub fn all_experiment_ids() -> Vec<&'static str> {
-    vec![
-        "table1",
-        "fig1",
-        "fig3",
-        "fig4",
-        "fig5",
-        "fig6",
-        "fig7",
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig11",
-        "fig12",
-        "fig13",
-        "fig14",
-        "fig15",
-        "fig16",
-        "fig17",
-        "fig18",
-        "ablations",
-        "ext-placement",
-        "ext-multinode",
-        "ext-qps",
-        "ext-cluster",
-        "ext-plan",
-    ]
+    experiment::REGISTRY.iter().map(|e| e.id()).collect()
 }
 
-/// Run one experiment by id, recording its simulated work into `tracer`.
+/// Run one experiment by id (thin shim over [`experiment::run_one`] with
+/// a disabled tracer).
+pub fn run_experiment(id: &str, fast: bool) -> Option<ExperimentReport> {
+    experiment::find(id).map(|e| experiment::run_one(e, fast, &mut moe_trace::Tracer::disabled()))
+}
+
+/// Run one experiment by id, recording its simulated work into `tracer`
+/// (thin shim over [`experiment::run_one`]).
 ///
 /// Experiments with fully traced hot paths (`fig5` through the cost
 /// model, `ext-qps` through the serving loop) emit engine/scheduler/
-/// request spans; every experiment additionally gets one root span on
-/// [`moe_trace::BENCH_TRACK`] covering all simulated time it added, so a
-/// multi-experiment trace reads as a tiled timeline of experiment blocks.
-/// With a disabled tracer this is exactly [`run_experiment`].
+/// request spans; every experiment that records simulated time
+/// additionally gets one root span on [`moe_trace::BENCH_TRACK`]
+/// covering all of it, so a multi-experiment trace reads as a tiled
+/// timeline of experiment blocks. With a disabled tracer this is exactly
+/// [`run_experiment`].
 pub fn run_experiment_traced(
     id: &str,
     fast: bool,
     tracer: &mut moe_trace::Tracer,
 ) -> Option<ExperimentReport> {
-    let start_global_s = tracer.base_s();
-    let report = match id {
-        "fig5" => experiments::fig05::run_traced(fast, tracer),
-        "ext-qps" => experiments::extensions::run_qps_traced(fast, tracer),
-        "ext-cluster" => experiments::cluster::run_cluster_traced(fast, tracer),
-        "ext-plan" => experiments::plan::run_plan_traced(fast, tracer),
-        other => return run_experiment(other, fast),
-    };
-    if tracer.is_enabled() {
-        tracer.name_track(moe_trace::BENCH_TRACK, "bench");
-        let dur_s = tracer.base_s() - start_global_s;
-        // Emit in local time relative to the *current* base: the root span
-        // reaches back over everything this experiment recorded.
-        tracer.span_with(
-            moe_trace::BENCH_TRACK,
-            moe_trace::Category::Bench,
-            id,
-            start_global_s - tracer.base_s(),
-            dur_s,
-            vec![("fast", i64::from(fast).into())],
-        );
-    }
-    Some(report)
-}
-
-/// Run one experiment by id.
-pub fn run_experiment(id: &str, fast: bool) -> Option<ExperimentReport> {
-    Some(match id {
-        "table1" => experiments::table1::run(fast),
-        "fig1" => experiments::fig01::run(fast),
-        "fig3" => experiments::fig03::run(fast),
-        "fig4" => experiments::fig04::run(fast),
-        "fig5" => experiments::fig05::run(fast),
-        "fig6" => experiments::fig06::run(fast),
-        "fig7" => experiments::fig07::run(fast),
-        "fig8" => experiments::fig08::run(fast),
-        "fig9" => experiments::fig09::run(fast),
-        "fig10" => experiments::fig10::run(fast),
-        "fig11" => experiments::fig11::run(fast),
-        "fig12" => experiments::fig12::run(fast),
-        "fig13" => experiments::fig13::run(fast),
-        "fig14" => experiments::fig14::run(fast),
-        "fig15" => experiments::fig15::run(fast),
-        "fig16" => experiments::fig16::run(fast),
-        "fig17" => experiments::fig17::run(fast),
-        "fig18" => experiments::fig18::run(fast),
-        "ablations" => experiments::ablations::run(fast),
-        "ext-placement" => experiments::extensions::run_placement(fast),
-        "ext-multinode" => experiments::extensions::run_multinode(fast),
-        "ext-qps" => experiments::extensions::run_qps(fast),
-        "ext-cluster" => experiments::cluster::run_cluster(fast),
-        "ext-plan" => experiments::plan::run_plan(fast),
-        _ => return None,
-    })
+    experiment::find(id).map(|e| experiment::run_one(e, fast, tracer))
 }

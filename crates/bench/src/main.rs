@@ -101,18 +101,18 @@ fn main() -> ExitCode {
             true
         }
         "all" => {
-            let mut reports = Vec::new();
-            for id in moe_bench::all_experiment_ids() {
-                eprintln!("running {id} ...");
-                let report = moe_bench::run_experiment_traced(id, fast, &mut tracer)
-                    .expect("registered experiment id");
-                if !json {
-                    print_report(&report, csv);
-                }
-                reports.push(report);
-            }
+            eprintln!(
+                "running {} experiments on {} worker(s) ...",
+                moe_bench::REGISTRY.len(),
+                moe_par::workers()
+            );
+            let reports = moe_bench::run_all(fast, &mut tracer);
             if json {
                 println!("{}", moe_json::to_string_pretty(&reports));
+            } else {
+                for report in &reports {
+                    print_report(report, csv);
+                }
             }
             true
         }

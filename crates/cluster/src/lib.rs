@@ -15,7 +15,7 @@
 //! * [`fault`] — seeded crash/recover and slowdown schedules as plain
 //!   data ([`fault::FaultPlan`]).
 //! * [`sim`] — the event loop tying them together; produces a
-//!   [`sim::ClusterReport`] and, via [`sim::ClusterSim::run_traced`],
+//!   [`sim::ClusterReport`] and, via [`sim::ClusterSim::run`],
 //!   a `moe-trace` timeline with router-decision instants, per-replica
 //!   step spans and queue-depth counters.
 //!

@@ -315,15 +315,12 @@ impl ClusterSim {
         next.is_finite().then_some(next)
     }
 
-    /// Run the trace to completion and build the report.
-    pub fn run(self) -> ClusterReport {
-        self.run_consume().0
-    }
-
-    /// Run to completion, recording router decisions, per-replica step
-    /// spans and queue counters into `tracer` (see `docs/CLUSTER.md`).
-    /// With a disabled tracer this is exactly [`Self::run`].
-    pub fn run_traced(mut self, tracer: &mut Tracer) -> ClusterReport {
+    /// Run the trace to completion and build the report, recording
+    /// router decisions, per-replica step spans and queue counters into
+    /// `tracer` (see `docs/CLUSTER.md`). Callers wanting no tracing pass
+    /// [`Tracer::disabled`] — the event sequence and report are
+    /// identical, with no recording overhead.
+    pub fn run(mut self, tracer: &mut Tracer) -> ClusterReport {
         std::mem::swap(&mut self.tracer, tracer);
         if self.tracer.is_enabled() {
             self.tracer.name_track(ROUTER_TRACK, "router");
@@ -737,7 +734,7 @@ mod tests {
                 FaultPlan::none(),
                 small_trace(60, 12.0, 3),
             );
-            let report = sim.run();
+            let report = sim.run(&mut Tracer::disabled());
             assert_accounted(&report);
             assert_eq!(report.completed, 60, "{policy:?}");
             assert_eq!(report.dropped + report.timed_out + report.rejected, 0);
@@ -757,7 +754,7 @@ mod tests {
             FaultPlan::none(),
             small_trace(60, 12.0, 3),
         );
-        let report = sim.run();
+        let report = sim.run(&mut Tracer::disabled());
         // Single-device replicas: devices == replicas.
         assert_eq!(report.devices, 3);
         let tokens: usize = report
@@ -788,7 +785,7 @@ mod tests {
                 FaultPlan::none(),
                 small_trace(50, 10.0, seed),
             );
-            moe_json::to_string(&sim.run())
+            moe_json::to_string(&sim.run(&mut Tracer::disabled()))
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -807,7 +804,7 @@ mod tests {
             FaultPlan::crash_window(0, crash_at, 1e9),
             trace,
         );
-        let report = sim.run();
+        let report = sim.run(&mut Tracer::disabled());
         assert_accounted(&report);
         assert_eq!(report.crashes, 1);
         assert!(report.dropped > 0, "no retries: crash losses drop");
@@ -826,7 +823,7 @@ mod tests {
             FaultPlan::crash_window(0, crash_at, 2.0),
             trace,
         );
-        let report = sim.run();
+        let report = sim.run(&mut Tracer::disabled());
         assert_accounted(&report);
         assert_eq!(report.completed, 80, "retries recover every crash loss");
         assert!(report.retries > 0);
@@ -853,7 +850,7 @@ mod tests {
             ],
         };
         let sim = ClusterSim::sized_for(&olmoe(), 2048, cfg, faults, trace);
-        let report = sim.run();
+        let report = sim.run(&mut Tracer::disabled());
         assert_accounted(&report);
         assert!(report.dropped > 0, "unservable work must drop, not hang");
     }
@@ -866,7 +863,7 @@ mod tests {
         // Overload a single replica: late arrivals cannot make the gate.
         let trace = small_trace(120, 200.0, 13);
         let sim = ClusterSim::sized_for(&olmoe(), 2048, cfg, FaultPlan::none(), trace);
-        let report = sim.run();
+        let report = sim.run(&mut Tracer::disabled());
         assert_accounted(&report);
         assert!(report.timed_out > 0, "overload must trip the TTFT gate");
         for o in &report.outputs {
@@ -883,8 +880,8 @@ mod tests {
     fn slowdown_degrades_but_does_not_lose_requests() {
         let cfg = base_cfg(RoutePolicy::LeastOutstanding);
         let trace = small_trace(60, 15.0, 21);
-        let healthy =
-            ClusterSim::sized_for(&olmoe(), 2048, cfg, FaultPlan::none(), trace.clone()).run();
+        let healthy = ClusterSim::sized_for(&olmoe(), 2048, cfg, FaultPlan::none(), trace.clone())
+            .run(&mut Tracer::disabled());
         let slowed = ClusterSim::sized_for(
             &olmoe(),
             2048,
@@ -892,7 +889,7 @@ mod tests {
             FaultPlan::slowdown_window(0, 0.0, 1e9, 4.0),
             trace,
         )
-        .run();
+        .run(&mut Tracer::disabled());
         assert_accounted(&slowed);
         assert_eq!(slowed.completed, 60);
         assert!(
@@ -911,7 +908,8 @@ mod tests {
             prefix_capacity: 16,
             seed: 1,
         };
-        ClusterSim::sized_for(&olmoe(), 8192, cfg, FaultPlan::none(), trace).run()
+        ClusterSim::sized_for(&olmoe(), 8192, cfg, FaultPlan::none(), trace)
+            .run(&mut Tracer::disabled())
     }
 
     #[test]
@@ -970,9 +968,9 @@ mod tests {
                 small_trace(40, 25.0, 17),
             )
         };
-        let plain = build().run();
+        let plain = build().run(&mut Tracer::disabled());
         let mut tracer = Tracer::new(Box::new(MemorySink::new()));
-        let traced = build().run_traced(&mut tracer);
+        let traced = build().run(&mut tracer);
         assert_eq!(plain, traced, "tracing must not perturb the cluster");
 
         let evs = tracer.snapshot();

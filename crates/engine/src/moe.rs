@@ -15,9 +15,9 @@
 //! top-k-then-softmax or DeepSeek-style softmax-then-top-k.
 
 use moe_model::{MoeConfig, RouterKind};
+use moe_par as par;
 use moe_tensor::matrix::gemv;
 use moe_tensor::ops::swiglu_inplace;
-use moe_tensor::par;
 use moe_tensor::topk::{softmax_then_top_k, top_k_softmax, TopK};
 use moe_tensor::Matrix;
 
@@ -81,7 +81,7 @@ pub fn moe_forward_unfused(
     let routing = route(w, moe, x);
     record(stats, layer, &routing);
     let mut out = Matrix::zeros(x.rows(), x.cols());
-    let rows: Vec<Vec<f32>> = par::map_indexed(x.rows(), |r| {
+    let rows: Vec<Vec<f32>> = par::map_collect(x.rows(), |r| {
         let mut acc = vec![0.0f32; x.cols()];
         for (i, &e) in routing[r].experts.indices.iter().enumerate() {
             let weight = routing[r].experts.values[i];
@@ -121,7 +121,7 @@ pub fn moe_forward_fused(
 
     // Each active expert processes its group as one batch (in parallel
     // across experts — the grouped-GEMM analogue).
-    let results: Vec<(usize, Matrix)> = par::map_indexed(groups.len(), |e| {
+    let results: Vec<(usize, Matrix)> = par::map_collect(groups.len(), |e| {
         let g = &groups[e];
         if g.is_empty() {
             return None;

@@ -81,8 +81,12 @@ pub fn evaluate(model_name: &str, profile: CapabilityProfile, suite: &[Task]) ->
     let model_seed = model_name
         .bytes()
         .fold(0xE7A1u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
-    let mut results = Vec::with_capacity(suite.len());
-    for task in suite {
+    // Tasks are mutually independent (each draws from its own
+    // (model, task)-derived stream), so score them on the work-stealing
+    // pool; `map_collect` returns results in suite order regardless of
+    // the steal schedule, keeping reports byte-identical.
+    let results = moe_par::map_collect(suite.len(), |t| {
+        let task = &suite[t];
         let c = match task.kind {
             TaskKind::Language => profile.language,
             TaskKind::VisionLanguage => profile.vision,
@@ -102,13 +106,13 @@ pub fn evaluate(model_name: &str, profile: CapabilityProfile, suite: &[Task]) ->
                 correct += 1;
             }
         }
-        results.push(TaskResult {
+        TaskResult {
             task: task.name,
             kind: task.kind,
             items: task.num_items,
             correct,
-        });
-    }
+        }
+    });
     EvalReport {
         model: model_name.to_string(),
         results,

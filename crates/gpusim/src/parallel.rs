@@ -166,15 +166,6 @@ impl ParallelPlan {
         problems
     }
 
-    /// Shim over [`Self::validate`] for callers that want human-readable
-    /// problem strings (the pre-[`PlanError`] return type).
-    pub fn messages(&self, config: &ModelConfig) -> Vec<String> {
-        self.validate(config)
-            .iter()
-            .map(PlanError::to_string)
-            .collect()
-    }
-
     /// The four placements evaluated in Figure 13 at a given degree.
     pub fn fig13_plans(degree: usize) -> Vec<ParallelPlan> {
         vec![
@@ -283,14 +274,22 @@ mod tests {
     }
 
     #[test]
-    fn messages_shim_matches_display() {
+    fn plan_errors_render_stable_messages() {
         let plan = ParallelPlan::tensor(16).with_expert_parallel();
-        let msgs = plan.messages(&mixtral_8x7b());
-        assert_eq!(msgs, vec!["cannot spread 8 experts across 16 devices"]);
-        let err = &plan.validate(&mixtral_8x7b())[0];
-        assert_eq!(msgs[0], err.to_string());
+        let errs = plan.validate(&mixtral_8x7b());
+        assert_eq!(
+            errs,
+            vec![PlanError::TooFewExperts {
+                experts: 8,
+                degree: 16
+            }]
+        );
+        assert_eq!(
+            errs[0].to_string(),
+            "cannot spread 8 experts across 16 devices"
+        );
         // PlanError is a real std error.
-        let _: &dyn std::error::Error = err;
+        let _: &dyn std::error::Error = &errs[0];
     }
 
     #[test]

@@ -150,9 +150,10 @@ impl PerfModel {
                 opts.plan.degree, cluster.num_devices
             ));
         }
-        let problems = opts.plan.messages(&config);
+        let problems = opts.plan.validate(&config);
         if !problems.is_empty() {
-            return Err(problems.join("; "));
+            let rendered: Vec<String> = problems.iter().map(ToString::to_string).collect();
+            return Err(rendered.join("; "));
         }
         Ok(Self {
             config,
@@ -559,7 +560,13 @@ impl PerfModel {
         parts
     }
 
-    /// [`Self::run`] plus trace emission, with identical metrics.
+    /// Full generation run, with trace emission when the tracer is
+    /// enabled (callers wanting no tracing pass
+    /// [`Tracer::disabled`] — emission is skipped entirely and the
+    /// metrics are identical either way).
+    ///
+    /// Decode time integrates the per-step cost, which is affine in
+    /// context length, via the midpoint step (exact for affine costs).
     ///
     /// When the tracer is enabled, emits a `prefill` step span at local
     /// time 0 and a single aggregated `decode` span (one midpoint step
@@ -568,7 +575,7 @@ impl PerfModel {
     /// each tiled by per-component child spans. The caller picks the
     /// `track` and is responsible for advancing the tracer base between
     /// runs.
-    pub fn run_traced(
+    pub fn run(
         &self,
         batch: usize,
         input: usize,
@@ -577,9 +584,9 @@ impl PerfModel {
         track: TrackId,
     ) -> Result<RunMetrics, OomError> {
         if !tracer.is_enabled() {
-            return self.run(batch, input, output);
+            return self.compute_metrics(batch, input, output);
         }
-        let metrics = self.run(batch, input, output)?;
+        let metrics = self.compute_metrics(batch, input, output)?;
         let prefill = self.forward_parts(batch * input, batch, input, Phase::Prefill);
         prefill.emit(
             tracer,
@@ -676,10 +683,13 @@ impl PerfModel {
         self.forward_time(batch, batch, ctx, Phase::Decode)
     }
 
-    /// Full generation run. Decode time integrates the per-step cost,
-    /// which is affine in context length, via the midpoint step (exact for
-    /// affine costs).
-    pub fn run(&self, batch: usize, input: usize, output: usize) -> Result<RunMetrics, OomError> {
+    /// The untraced metric computation behind [`Self::run`].
+    fn compute_metrics(
+        &self,
+        batch: usize,
+        input: usize,
+        output: usize,
+    ) -> Result<RunMetrics, OomError> {
         self.check_memory(batch, input + output)?;
         let ttft = self.prefill_time(batch, input);
         let steps = output.saturating_sub(1);
@@ -768,7 +778,7 @@ mod tests {
         let m = PerfModel::h100(olmoe_1b_7b());
         let mut last = 0.0;
         for b in [1usize, 16, 32, 64] {
-            let r = m.run(b, 512, 512).unwrap();
+            let r = m.run(b, 512, 512, &mut Tracer::disabled(), 0).unwrap();
             assert!(r.throughput_tok_s > last, "batch {b}");
             last = r.throughput_tok_s;
         }
@@ -777,8 +787,14 @@ mod tests {
     #[test]
     fn batch_scaling_sublinear() {
         let m = PerfModel::h100(olmoe_1b_7b());
-        let t1 = m.run(1, 512, 512).unwrap().throughput_tok_s;
-        let t64 = m.run(64, 512, 512).unwrap().throughput_tok_s;
+        let t1 = m
+            .run(1, 512, 512, &mut Tracer::disabled(), 0)
+            .unwrap()
+            .throughput_tok_s;
+        let t64 = m
+            .run(64, 512, 512, &mut Tracer::disabled(), 0)
+            .unwrap()
+            .throughput_tok_s;
         let gain = t64 / t1;
         assert!(gain > 4.0 && gain < 64.0, "gain {gain}");
     }
@@ -788,8 +804,14 @@ mod tests {
         // Fig. 6: throughput at in/out 128 beats in/out 2048. (TP2: the
         // batch-64, 4K-context KV cache exceeds a single 80 GB device.)
         let m = model_on(deepseek_v2_lite(), 2, ParallelPlan::tensor(2));
-        let short = m.run(64, 128, 128).unwrap().throughput_tok_s;
-        let long = m.run(64, 2048, 2048).unwrap().throughput_tok_s;
+        let short = m
+            .run(64, 128, 128, &mut Tracer::disabled(), 0)
+            .unwrap()
+            .throughput_tok_s;
+        let long = m
+            .run(64, 2048, 2048, &mut Tracer::disabled(), 0)
+            .unwrap()
+            .throughput_tok_s;
         assert!(short > long, "short {short} long {long}");
     }
 
@@ -822,7 +844,7 @@ mod tests {
         let mut last = f64::INFINITY;
         for k in [1usize, 2, 4, 8, 16, 32] {
             let m = model_on(base.with_top_k(k), 2, ParallelPlan::tensor(2));
-            let r = m.run(64, 1024, 1024).unwrap();
+            let r = m.run(64, 1024, 1024, &mut Tracer::disabled(), 0).unwrap();
             assert!(r.throughput_tok_s < last, "k={k}");
             last = r.throughput_tok_s;
         }
@@ -840,7 +862,7 @@ mod tests {
                     .with_precision(p),
             )
             .unwrap()
-            .run(64, 1024, 1024)
+            .run(64, 1024, 1024, &mut Tracer::disabled(), 0)
             .unwrap()
             .throughput_tok_s
         };
@@ -860,7 +882,7 @@ mod tests {
                     .with_fused_moe(fused),
             )
             .unwrap()
-            .run(16, 1024, 1024)
+            .run(16, 1024, 1024, &mut Tracer::disabled(), 0)
             .unwrap()
             .throughput_tok_s
         };
@@ -882,7 +904,7 @@ mod tests {
                     .with_plan(plan),
             )
             .unwrap()
-            .run(16, 1024, 1024)
+            .run(16, 1024, 1024, &mut Tracer::disabled(), 0)
             .unwrap()
             .throughput_tok_s
         };
@@ -897,7 +919,7 @@ mod tests {
     #[test]
     fn tp_with_ep_scales_worse_than_pure_tp() {
         let tp4 = model_on(qwen15_moe_a27b(), 4, ParallelPlan::tensor(4))
-            .run(16, 1024, 1024)
+            .run(16, 1024, 1024, &mut Tracer::disabled(), 0)
             .unwrap()
             .throughput_tok_s;
         let tp4ep = model_on(
@@ -905,7 +927,7 @@ mod tests {
             4,
             ParallelPlan::tensor(4).with_expert_parallel(),
         )
-        .run(16, 1024, 1024)
+        .run(16, 1024, 1024, &mut Tracer::disabled(), 0)
         .unwrap()
         .throughput_tok_s;
         assert!(tp4ep < tp4, "TP4+EP {tp4ep} vs TP4 {tp4}");
@@ -914,13 +936,13 @@ mod tests {
     #[test]
     fn oom_propagates_from_run() {
         let m = PerfModel::h100(mixtral_8x7b()); // 94 GB fp16 on one 80 GB GPU
-        assert!(m.run(1, 128, 128).is_err());
+        assert!(m.run(1, 128, 128, &mut Tracer::disabled(), 0).is_err());
     }
 
     #[test]
     fn dense_draft_model_runs() {
         let m = PerfModel::h100(qwen3_1_7b());
-        let r = m.run(8, 256, 256).unwrap();
+        let r = m.run(8, 256, 256, &mut Tracer::disabled(), 0).unwrap();
         assert!(r.throughput_tok_s > 0.0);
         assert!(r.itl_s > 0.0);
     }
@@ -928,7 +950,7 @@ mod tests {
     #[test]
     fn metrics_identities_hold() {
         let m = PerfModel::h100(olmoe_1b_7b());
-        let r = m.run(16, 512, 512).unwrap();
+        let r = m.run(16, 512, 512, &mut Tracer::disabled(), 0).unwrap();
         assert!(r.e2e_s > r.ttft_s);
         let expect_tp = 16.0 * 1024.0 / r.e2e_s;
         assert!((r.throughput_tok_s - expect_tp).abs() < 1e-9);
@@ -998,12 +1020,12 @@ mod tests {
     }
 
     #[test]
-    fn run_traced_matches_run_and_covers_e2e() {
+    fn traced_run_matches_untraced_and_covers_e2e() {
         use moe_trace::{timeline_coverage, MemorySink, Tracer};
         let m = PerfModel::h100(olmoe_1b_7b());
-        let plain = m.run(8, 512, 256).unwrap();
+        let plain = m.run(8, 512, 256, &mut Tracer::disabled(), 0).unwrap();
         let mut tracer = Tracer::new(Box::new(MemorySink::new()));
-        let traced = m.run_traced(8, 512, 256, &mut tracer, 0).unwrap();
+        let traced = m.run(8, 512, 256, &mut tracer, 0).unwrap();
         assert_eq!(plain, traced);
         let evs = tracer.snapshot();
         assert!(!evs.is_empty());
@@ -1011,7 +1033,7 @@ mod tests {
         assert!(cov > 0.999, "coverage {cov}");
         // Disabled tracer takes the plain path and emits nothing.
         let mut off = Tracer::disabled();
-        let silent = m.run_traced(8, 512, 256, &mut off, 0).unwrap();
+        let silent = m.run(8, 512, 256, &mut off, 0).unwrap();
         assert_eq!(plain, silent);
         assert!(off.snapshot().is_empty());
     }

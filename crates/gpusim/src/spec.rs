@@ -263,7 +263,9 @@ mod tests {
             1024,
         )
         .unwrap();
-        let vanilla = target.run(16, 512, 1024).unwrap();
+        let vanilla = target
+            .run(16, 512, 1024, &mut moe_trace::Tracer::disabled(), 0)
+            .unwrap();
         assert!(
             spec.itl_s < vanilla.itl_s,
             "spec itl {} vs vanilla {}",

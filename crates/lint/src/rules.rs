@@ -131,7 +131,7 @@ impl Rule for NoUnseededRng {
 pub struct NoWallClock;
 
 const CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime::now"];
-const CLOCK_CRATES: &[&str] = &["gpusim", "engine", "runtime", "plan"];
+const CLOCK_CRATES: &[&str] = &["gpusim", "engine", "runtime", "plan", "par"];
 
 impl Rule for NoWallClock {
     fn name(&self) -> &'static str {
@@ -440,7 +440,8 @@ fn contains_float_literal(s: &str) -> bool {
 // ---------------------------------------------------------------------------
 
 /// Bans iterating a `HashMap` inside the simulation crates (`gpusim`,
-/// `runtime`, `cluster`). `HashMap` iteration order is randomized per
+/// `runtime`, `cluster`, ..., and the `par` executor feeding them).
+/// `HashMap` iteration order is randomized per
 /// process, so any simulator state or report built from it is not
 /// reproducible. Keyed lookups are fine; iteration must go through
 /// `BTreeMap` (or sorted keys). Two passes: collect identifiers bound to a
@@ -448,7 +449,7 @@ fn contains_float_literal(s: &str) -> bool {
 /// HashMap::new()` locals), then flag order-observing calls on them.
 pub struct NoHashMapIterInSim;
 
-const HASHMAP_SIM_CRATES: &[&str] = &["gpusim", "runtime", "cluster", "plan"];
+const HASHMAP_SIM_CRATES: &[&str] = &["gpusim", "runtime", "cluster", "plan", "par"];
 const ORDER_OBSERVING_METHODS: &[&str] = &[
     ".iter()",
     ".iter_mut()",

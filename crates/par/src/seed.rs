@@ -1,0 +1,48 @@
+//! Splittable-seed derivation for parallel tasks.
+//!
+//! Every parallel stochastic task must derive its RNG stream from its
+//! **task index**, never from a shared generator whose consumption order
+//! would depend on the schedule. This module is the single place that
+//! mixing is defined; `moe_tensor::rng` re-exports it so existing
+//! call sites keep working.
+
+/// Derive an independent child seed from a parent seed and a label
+/// (typically a task index).
+///
+/// This is a cheap stand-in for proper stream splitting: the label is
+/// mixed into the seed with SplitMix64 finalization, which is enough to
+/// decorrelate streams for benchmarking purposes (we never need
+/// cryptographic quality). The function is pure, so a task's stream
+/// depends only on `(parent, label)` — not on which worker ran it or
+/// when.
+pub fn derive_seed(parent: u64, label: u64) -> u64 {
+    let mut z = parent ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_decorrelates_labels() {
+        let s = 7;
+        assert_ne!(derive_seed(s, 0), derive_seed(s, 1));
+        assert_ne!(derive_seed(s, 1), derive_seed(s, 2));
+    }
+
+    #[test]
+    fn derive_seed_is_pure() {
+        assert_eq!(derive_seed(42, 9), derive_seed(42, 9));
+    }
+
+    #[test]
+    fn derive_seed_golden() {
+        // Pinned values: changing the mixing constants would silently
+        // reshuffle every seeded workload in the workspace.
+        assert_eq!(derive_seed(0, 0), 0);
+        assert_ne!(derive_seed(0, 1), derive_seed(1, 0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Worker-count resolution: test override, `MOE_THREADS`, host default.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide test override; 0 means unset.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached host parallelism — the only component that is safe to cache,
+/// because it cannot change for the life of the process. 0 = unprobed.
+static HOST: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker count used by the executor. Always at least 1.
+///
+/// Resolution order:
+///
+/// 1. the [`set_workers_for_test`] override, if set;
+/// 2. the `MOE_THREADS` environment variable — **re-read on every
+///    call**, so a driver or test that sets it after the first use is
+///    honored (the old `moe_tensor::par` cached the env read once and
+///    silently ignored later changes);
+/// 3. [`std::thread::available_parallelism`], probed once and cached.
+pub fn workers() -> usize {
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("MOE_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    let cached = HOST.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    HOST.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Force the worker count for the current process, taking priority over
+/// `MOE_THREADS` and the host default. Pass 0 to clear the override.
+///
+/// This exists for determinism gates that sweep thread counts within one
+/// process: mutating the environment from a multi-threaded test harness
+/// is racy, an atomic override is not. The executor's output is
+/// schedule-independent, so flipping this mid-process can change timing
+/// only, never results.
+pub fn set_workers_for_test(n: usize) {
+    OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_at_least_one() {
+        assert!(workers() >= 1);
+    }
+
+    #[test]
+    fn override_wins_and_clears() {
+        // Serialized against other override users via the executor test
+        // lock (this module's only mutable state is the override atomic).
+        let _guard = crate::executor::test_lock();
+        set_workers_for_test(5);
+        assert_eq!(workers(), 5);
+        set_workers_for_test(0);
+        assert!(workers() >= 1);
+    }
+}

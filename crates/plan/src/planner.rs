@@ -168,9 +168,24 @@ pub fn plan_traced(spec: &PlannerSpec, tracer: &mut Tracer) -> Result<PlanReport
     picks.sort_by_key(|c| refinement_rank(c));
     picks.truncate(spec.refine_top_k);
 
+    // Refine picks concurrently on the work-stealing pool, one child
+    // tracer per pick, absorbed in submission order — the composed
+    // timeline is a pure function of the pick list, not of the worker
+    // count or steal schedule.
+    let enabled = tracer.is_enabled();
+    let results = moe_par::map_collect(picks.len(), |i| {
+        let mut child = if enabled {
+            Tracer::new(Box::new(moe_trace::MemorySink::new()))
+        } else {
+            Tracer::disabled()
+        };
+        let outcome = refine_candidate(spec, &sketch, &picks[i].config, &trace, &mut child);
+        (outcome, child)
+    });
     let mut refined: Vec<RefinedScore> = Vec::new();
-    for pick in &picks {
-        match refine_candidate(spec, &sketch, &pick.config, &trace, tracer) {
+    for (outcome, child) in results {
+        tracer.absorb(child);
+        match outcome {
             Ok(r) => refined.push(r),
             // Defensive: frontier members scored feasible, so refinement
             // cannot reject them; skip rather than abort if it ever does.

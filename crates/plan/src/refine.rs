@@ -118,9 +118,9 @@ fn simulate_policy(
     };
     let sim = ClusterSim::new(engine, sched, cfg, FaultPlan::none(), trace.clone());
     if tracer.is_enabled() && config.replicas <= MAX_TRACED_REPLICAS {
-        sim.run_traced(tracer)
+        sim.run(tracer)
     } else {
-        sim.run()
+        sim.run(&mut Tracer::disabled())
     }
 }
 

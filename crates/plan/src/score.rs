@@ -233,7 +233,13 @@ fn run_metrics(
         }
     }
     engine
-        .run(batch, sketch.mean_input, sketch.mean_output)
+        .run(
+            batch,
+            sketch.mean_input,
+            sketch.mean_output,
+            &mut moe_trace::Tracer::disabled(),
+            0,
+        )
         .map_err(Infeasible::Oom)
 }
 

@@ -114,6 +114,16 @@ pub fn pareto_frontier(scored: &[CandidateScore]) -> Vec<CandidateScore> {
     frontier
 }
 
+/// Fold a parallel stage's per-shape count delta into the totals (the
+/// grid-level `shapes`/`enumerated` fields are set once up front).
+fn add_counts(into: &mut SearchCounts, delta: &SearchCounts) {
+    into.scored += delta.scored;
+    into.infeasible_plan += delta.infeasible_plan;
+    into.infeasible_oom += delta.infeasible_oom;
+    into.pruned_by_bound += delta.pruned_by_bound;
+    into.pruned_by_width += delta.pruned_by_width;
+}
+
 fn tally(counts: &mut SearchCounts, err: &Infeasible) {
     match err {
         Infeasible::Plan(_) => counts.infeasible_plan += 1,
@@ -231,16 +241,43 @@ pub fn search(spec: &PlannerSpec, sketch: &WorkloadSketch) -> SearchOutcome {
 
     match spec.mode {
         SearchMode::Exhaustive => {
-            for shape in &shapes {
-                expand_shape(spec, sketch, shape, &completions, &mut scored, &mut counts);
+            // Shapes expand independently on the work-stealing pool;
+            // per-shape results and count deltas merge back in
+            // enumeration order, so the scored list and accounting are
+            // identical to the serial loop's for any worker count.
+            let expanded = moe_par::map_collect(shapes.len(), |i| {
+                let mut part = Vec::new();
+                let mut delta = SearchCounts::default();
+                expand_shape(
+                    spec,
+                    sketch,
+                    &shapes[i],
+                    &completions,
+                    &mut part,
+                    &mut delta,
+                );
+                (part, delta)
+            });
+            for (part, delta) in expanded {
+                scored.extend(part);
+                add_counts(&mut counts, &delta);
             }
         }
         SearchMode::Beam { width } => {
-            // Bound every shape, then keep the `width` most promising by
-            // optimistic cost (ties: accuracy, throughput, order key).
+            // Bound every shape (independent probes, parallel), then
+            // keep the `width` most promising by optimistic cost (ties:
+            // accuracy, throughput, order key). The expansion phase
+            // below stays serial: its dominance pruning is
+            // order-dependent by design.
+            let probes = moe_par::map_collect(shapes.len(), |i| {
+                let mut delta = SearchCounts::default();
+                let bound = shape_bound(spec, sketch, &shapes[i], &completions, &mut delta);
+                (bound, delta)
+            });
             let mut bounded: Vec<(usize, OptimisticBound)> = Vec::new();
-            for (i, shape) in shapes.iter().enumerate() {
-                if let Some(b) = shape_bound(spec, sketch, shape, &completions, &mut counts) {
+            for (i, (bound, delta)) in probes.into_iter().enumerate() {
+                add_counts(&mut counts, &delta);
+                if let Some(b) = bound {
                     bounded.push((i, b));
                 }
             }

@@ -115,7 +115,7 @@ pub struct SimServer {
     steps: usize,
     next_external: RequestId,
     outputs: Vec<RequestOutput>,
-    /// Trace collector; disabled (zero-cost) unless [`Self::run_traced`]
+    /// Trace collector; disabled (zero-cost) unless [`Self::run`]
     /// installs an enabled one.
     tracer: Tracer,
 }
@@ -382,19 +382,16 @@ impl SimServer {
         )
     }
 
-    /// Run until every submitted request completes.
-    pub fn run(self) -> SimReport {
-        self.run_consume().0
-    }
-
-    /// Run until completion, recording into `tracer`.
+    /// Run until every submitted request completes, recording into
+    /// `tracer` (callers wanting no tracing pass
+    /// [`Tracer::disabled`]).
     ///
     /// The tracer is borrowed for the duration of the run and handed
     /// back with all events recorded; its base offset is *not* advanced
     /// (the caller decides how runs tile the global timeline). With a
-    /// disabled tracer this is exactly [`Self::run`] — same step
-    /// sequence, same report, no recording overhead.
-    pub fn run_traced(mut self, tracer: &mut Tracer) -> SimReport {
+    /// disabled tracer the step sequence and report are identical and
+    /// there is no recording overhead.
+    pub fn run(mut self, tracer: &mut Tracer) -> SimReport {
         std::mem::swap(&mut self.tracer, tracer);
         self.scheduler.set_record_events(self.tracer.is_enabled());
         self.tracer.name_track(ENGINE_TRACK, "engine");
@@ -406,22 +403,10 @@ impl SimServer {
 }
 
 /// Serve a static batch (the paper's benchmark style): `batch` identical
-/// requests arriving together.
+/// requests arriving together, recording into `tracer` (callers wanting
+/// no tracing pass [`Tracer::disabled`]; the report is identical either
+/// way).
 pub fn serve_static_batch(
-    model: PerfModel,
-    batch: usize,
-    input_tokens: usize,
-    output_tokens: usize,
-) -> SimReport {
-    let mut server = SimServer::sized_for(model, input_tokens + output_tokens);
-    for _ in 0..batch {
-        server.submit(Request::new(input_tokens, output_tokens));
-    }
-    server.run()
-}
-
-/// [`serve_static_batch`] recording into `tracer` (identical report).
-pub fn serve_static_batch_traced(
     model: PerfModel,
     batch: usize,
     input_tokens: usize,
@@ -432,7 +417,7 @@ pub fn serve_static_batch_traced(
     for _ in 0..batch {
         server.submit(Request::new(input_tokens, output_tokens));
     }
-    server.run_traced(tracer)
+    server.run(tracer)
 }
 
 #[cfg(test)]
@@ -454,7 +439,7 @@ mod tests {
 
     #[test]
     fn static_batch_completes_everything() {
-        let report = serve_static_batch(olmoe_server(), 8, 128, 64);
+        let report = serve_static_batch(olmoe_server(), 8, 128, 64, &mut Tracer::disabled());
         assert_eq!(report.outputs.len(), 8);
         for o in &report.outputs {
             assert_eq!(o.generated, 64);
@@ -466,8 +451,8 @@ mod tests {
 
     #[test]
     fn larger_batch_raises_throughput() {
-        let small = serve_static_batch(olmoe_server(), 1, 256, 128);
-        let large = serve_static_batch(olmoe_server(), 32, 256, 128);
+        let small = serve_static_batch(olmoe_server(), 1, 256, 128, &mut Tracer::disabled());
+        let large = serve_static_batch(olmoe_server(), 32, 256, 128, &mut Tracer::disabled());
         assert!(large.throughput_tok_s > 2.0 * small.throughput_tok_s);
     }
 
@@ -476,7 +461,7 @@ mod tests {
         let mut server = SimServer::sized_for(olmoe_server(), 512);
         server.submit(Request::new(128, 32).at(0.0));
         server.submit(Request::new(128, 32).at(100.0)); // long after the first finishes
-        let report = server.run();
+        let report = server.run(&mut Tracer::disabled());
         assert_eq!(report.outputs.len(), 2);
         let late = &report.outputs[1];
         assert!(late.first_token_s >= 100.0, "must not start before arrival");
@@ -489,8 +474,8 @@ mod tests {
     fn continuous_batching_beats_sequential() {
         // 16 requests served together finish far sooner than the sum of
         // 16 solo runs.
-        let batch = serve_static_batch(olmoe_server(), 16, 256, 128);
-        let solo = serve_static_batch(olmoe_server(), 1, 256, 128);
+        let batch = serve_static_batch(olmoe_server(), 16, 256, 128, &mut Tracer::disabled());
+        let solo = serve_static_batch(olmoe_server(), 1, 256, 128, &mut Tracer::disabled());
         assert!(batch.makespan_s < 16.0 * solo.makespan_s * 0.5);
     }
 
@@ -509,16 +494,16 @@ mod tests {
             EngineOptions::default().with_plan(ParallelPlan::tensor(4)),
         )
         .unwrap();
-        let report = serve_static_batch(model, 4, 128, 32);
+        let report = serve_static_batch(model, 4, 128, 32, &mut Tracer::disabled());
         assert_eq!(report.outputs.len(), 4);
     }
 
     #[test]
     fn traced_run_reports_identically_and_records() {
         use moe_trace::{timeline_coverage, MemorySink, TraceEvent};
-        let plain = serve_static_batch(olmoe_server(), 4, 128, 32);
+        let plain = serve_static_batch(olmoe_server(), 4, 128, 32, &mut Tracer::disabled());
         let mut tracer = Tracer::new(Box::new(MemorySink::new()));
-        let traced = serve_static_batch_traced(olmoe_server(), 4, 128, 32, &mut tracer);
+        let traced = serve_static_batch(olmoe_server(), 4, 128, 32, &mut tracer);
         assert_eq!(plain, traced, "tracing must not perturb the simulation");
 
         let evs = tracer.snapshot();
@@ -557,9 +542,9 @@ mod tests {
 
     #[test]
     fn traced_run_with_disabled_tracer_is_plain_run() {
-        let plain = serve_static_batch(olmoe_server(), 2, 64, 16);
+        let plain = serve_static_batch(olmoe_server(), 2, 64, 16, &mut Tracer::disabled());
         let mut off = Tracer::disabled();
-        let silent = serve_static_batch_traced(olmoe_server(), 2, 64, 16, &mut off);
+        let silent = serve_static_batch(olmoe_server(), 2, 64, 16, &mut off);
         assert_eq!(plain, silent);
         assert!(off.snapshot().is_empty());
         assert!(off.tracks().is_empty());
@@ -567,7 +552,7 @@ mod tests {
 
     #[test]
     fn report_aggregates_consistent() {
-        let report = serve_static_batch(olmoe_server(), 4, 64, 16);
+        let report = serve_static_batch(olmoe_server(), 4, 64, 16, &mut Tracer::disabled());
         let worst = report.outputs.iter().map(|o| o.e2e_s()).fold(0.0, f64::max);
         assert!((report.e2e.max_s - worst).abs() < 1e-12);
         assert!(report.mean_ttft_s() <= report.mean_e2e_s());

@@ -15,8 +15,9 @@
 //!   uses a counter-based ChaCha stream ([`rng`]), so functional experiments
 //!   are bit-reproducible across thread counts.
 //! * **Parallelism** — GEMMs parallelize over output-row blocks with the
-//!   scoped-thread helper in [`par`]; sequential kernels are used below a
-//!   size threshold to avoid fork/join overhead on the tiny matrices the
+//!   contiguous-run helper in `moe_par` (the workspace's deterministic
+//!   fork/join executor); sequential kernels are used below a size
+//!   threshold to avoid fork/join overhead on the tiny matrices the
 //!   down-scaled models use.
 //! * **No `unsafe`** — the kernels stay within safe Rust; performance on the
 //!   down-scaled models is more than sufficient and data-race freedom is
@@ -26,7 +27,6 @@
 
 pub mod matrix;
 pub mod ops;
-pub mod par;
 pub mod quant;
 pub mod rng;
 pub mod topk;

@@ -1,7 +1,7 @@
 //! Row-major 2-D matrix over `f32` and the GEMM/GEMV kernels.
 //!
 //! The matmul kernels parallelize over blocks of output rows with the
-//! scoped-thread helper in [`crate::par`] and use an inner loop ordered for
+//! scoped-thread helper in [`moe_par`] and use an inner loop ordered for
 //! sequential access of both operands (`C[i,:] += A[i,k] * B[k,:]`), which
 //! the compiler auto-vectorizes. Matrices smaller than [`PAR_THRESHOLD`]
 //! multiply sequentially to avoid fork/join overhead on the down-scaled
@@ -9,8 +9,8 @@
 
 use moe_json::{FromJson, ToJson};
 
-use crate::par;
 use crate::rng;
+use moe_par as par;
 
 /// Minimum number of output elements before a GEMM goes parallel.
 pub const PAR_THRESHOLD: usize = 64 * 64;

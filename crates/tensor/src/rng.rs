@@ -145,15 +145,11 @@ pub fn rng_from_seed(seed: u64) -> DetRng {
 
 /// Derive an independent child stream from a parent seed and a label.
 ///
-/// This is a cheap stand-in for proper stream splitting: the label is mixed
-/// into the seed with SplitMix64 finalization, which is enough to decorrelate
-/// streams for benchmarking purposes (we never need cryptographic quality).
-pub fn derive_seed(parent: u64, label: u64) -> u64 {
-    let mut z = parent ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// The mixing now lives in [`moe_par::derive_seed`] — the executor's
+/// splittable-seed adapter — so parallel tasks and tensor initializers
+/// share one definition; this re-export keeps existing call sites
+/// working.
+pub use moe_par::derive_seed;
 
 /// Fill a slice with uniform values in `[-scale, scale)`.
 pub fn fill_uniform(data: &mut [f32], seed: u64, scale: f32) {

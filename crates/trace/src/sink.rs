@@ -7,7 +7,12 @@ use crate::span::TraceEvent;
 /// Implementations must be deterministic: `snapshot` returns events in
 /// the order they were recorded (the ring sink returns the surviving
 /// suffix in record order).
-pub trait TraceSink {
+///
+/// Sinks are `Send` so a [`crate::Tracer`] can be moved into a parallel
+/// task (each task records into its own child tracer, later merged in
+/// submission order via [`crate::Tracer::absorb`]); they are never
+/// shared between threads, so `Sync` is not required.
+pub trait TraceSink: Send {
     /// Record one event.
     fn record(&mut self, event: TraceEvent);
 

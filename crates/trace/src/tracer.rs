@@ -152,6 +152,34 @@ impl Tracer {
         }
     }
 
+    /// Merge a child tracer — recorded on its own local timeline
+    /// starting at 0 — into this one.
+    ///
+    /// Every child event is re-recorded shifted forward by this tracer's
+    /// current base, child track names are registered in the child's
+    /// registration order (last name wins, as with
+    /// [`Tracer::name_track`]), and this tracer's base advances by the
+    /// child's accumulated base — exactly as if the child's emissions
+    /// had happened inline followed by [`Tracer::advance`].
+    ///
+    /// This is how parallel drivers compose timelines
+    /// deterministically: each task records into its own child tracer,
+    /// and the caller absorbs the children **in submission order**, so
+    /// the merged trace is independent of the execution schedule.
+    pub fn absorb(&mut self, child: Tracer) {
+        let child_dur_s = child.base_s;
+        for (track, name) in &child.tracks {
+            self.name_track(*track, name);
+        }
+        let base = self.base_s;
+        if let Some(sink) = self.sink.as_mut() {
+            for event in child.snapshot() {
+                sink.record(shift_event(event, base));
+            }
+        }
+        self.base_s += child_dur_s;
+    }
+
     /// The retained events, oldest first (empty when disabled).
     pub fn snapshot(&self) -> Vec<TraceEvent> {
         match &self.sink {
@@ -166,6 +194,45 @@ impl Tracer {
             Some(sink) => sink.dropped(),
             None => 0,
         }
+    }
+}
+
+/// Shift an event's timestamp forward by `base` seconds.
+fn shift_event(event: TraceEvent, base: f64) -> TraceEvent {
+    match event {
+        TraceEvent::Span {
+            name,
+            cat,
+            track,
+            start_s,
+            dur_s,
+            args,
+        } => TraceEvent::Span {
+            name,
+            cat,
+            track,
+            start_s: base + start_s,
+            dur_s,
+            args,
+        },
+        TraceEvent::Instant {
+            name,
+            cat,
+            track,
+            t_s,
+            args,
+        } => TraceEvent::Instant {
+            name,
+            cat,
+            track,
+            t_s: base + t_s,
+            args,
+        },
+        TraceEvent::Counter { name, t_s, value } => TraceEvent::Counter {
+            name,
+            t_s: base + t_s,
+            value,
+        },
     }
 }
 
@@ -205,6 +272,51 @@ mod tests {
             TraceEvent::Span { dur_s, .. } => assert!(*dur_s >= 0.0),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn absorb_matches_inline_emission() {
+        // Inline: emit, advance, emit.
+        let mut inline = Tracer::new(Box::new(MemorySink::new()));
+        inline.name_track(1, "a");
+        inline.span(1, Category::Step, "x", 0.25, 1.0);
+        inline.advance(3.0);
+        inline.name_track(2, "b");
+        inline.span(2, Category::Step, "y", 0.5, 1.0);
+        inline.advance(2.0);
+
+        // Composed: the same work split into two child tracers.
+        let mut parent = Tracer::new(Box::new(MemorySink::new()));
+        let mut c1 = Tracer::new(Box::new(MemorySink::new()));
+        c1.name_track(1, "a");
+        c1.span(1, Category::Step, "x", 0.25, 1.0);
+        c1.advance(3.0);
+        let mut c2 = Tracer::new(Box::new(MemorySink::new()));
+        c2.name_track(2, "b");
+        c2.span(2, Category::Step, "y", 0.5, 1.0);
+        c2.advance(2.0);
+        parent.absorb(c1);
+        parent.absorb(c2);
+
+        assert_eq!(parent.base_s(), inline.base_s());
+        assert_eq!(parent.tracks(), inline.tracks());
+        let (p, i) = (parent.snapshot(), inline.snapshot());
+        assert_eq!(p.len(), i.len());
+        for (pe, ie) in p.iter().zip(&i) {
+            assert_eq!(pe.time_s().to_bits(), ie.time_s().to_bits());
+        }
+    }
+
+    #[test]
+    fn absorb_into_disabled_parent_still_advances() {
+        let mut parent = Tracer::disabled();
+        let mut child = Tracer::new(Box::new(MemorySink::new()));
+        child.span(0, Category::Step, "x", 0.0, 1.0);
+        child.advance(4.0);
+        parent.absorb(child);
+        assert_eq!(parent.base_s(), 4.0);
+        assert!(parent.snapshot().is_empty());
+        assert!(parent.tracks().is_empty());
     }
 
     #[test]

@@ -42,7 +42,9 @@ fn main() {
                 ) else {
                     continue;
                 };
-                if let Ok(run) = perf.run(batch, input, output) {
+                if let Ok(run) =
+                    perf.run(batch, input, output, &mut moe_trace::Tracer::disabled(), 0)
+                {
                     let fp = perf
                         .check_memory(batch, input + output)
                         .expect("run succeeded, memory must fit");

@@ -45,7 +45,9 @@ fn main() {
 
     println!("\nMixtral-8x7B on 4xH100 (TP4, fp16):");
     for batch in [1usize, 16, 64] {
-        let run = perf.run(batch, 1024, 1024).expect("fits");
+        let run = perf
+            .run(batch, 1024, 1024, &mut moe_trace::Tracer::disabled(), 0)
+            .expect("fits");
         println!(
             "  batch {batch:>3}: TTFT {:>7.1} ms | ITL {:>6.2} ms | {:>8.0} tok/s",
             run.ttft_s * 1e3,
@@ -63,8 +65,14 @@ fn main() {
             .with_precision(Precision::Fp8E4M3),
     )
     .expect("valid placement");
-    let f16 = perf.run(64, 1024, 1024).expect("fits").throughput_tok_s;
-    let f8 = perf8.run(64, 1024, 1024).expect("fits").throughput_tok_s;
+    let f16 = perf
+        .run(64, 1024, 1024, &mut moe_trace::Tracer::disabled(), 0)
+        .expect("fits")
+        .throughput_tok_s;
+    let f8 = perf8
+        .run(64, 1024, 1024, &mut moe_trace::Tracer::disabled(), 0)
+        .expect("fits")
+        .throughput_tok_s;
     println!(
         "\nFP8 vs FP16 at batch 64: {:.0} vs {:.0} tok/s ({:+.1}%)",
         f8,

@@ -26,7 +26,7 @@ fn main() {
             server.submit(Request::new(prompt, 256).at(burst as f64 * 5.0));
         }
     }
-    let report = server.run();
+    let report = server.run(&mut moe_trace::Tracer::disabled());
     println!("simulated serving of 48 bursty requests (OLMoE-1B-7B, 1xH100):");
     println!(
         "  makespan        {:>8.2} s over {} engine steps",

@@ -49,7 +49,10 @@ fn main() {
         .expect("TP2 valid")
     };
     let target = placed(registry::qwen3_30b_a3b());
-    let vanilla_tput = target.run(16, 1024, 256).expect("fits").throughput_tok_s;
+    let vanilla_tput = target
+        .run(16, 1024, 256, &mut moe_trace::Tracer::disabled(), 0)
+        .expect("fits")
+        .throughput_tok_s;
     println!(
         "\nQwen3-30B-A3B on 2xH100 — vanilla: {vanilla_tput:.0} tok/s; with drafts (gamma=3):"
     );

@@ -27,7 +27,7 @@ fn main() -> std::io::Result<()> {
     //    each decomposed into kernel/communication spans.
     let model = PerfModel::h100(olmoe_1b_7b());
     let run = model
-        .run_traced(8, 512, 128, &mut tracer, ENGINE_TRACK)
+        .run(8, 512, 128, &mut tracer, ENGINE_TRACK)
         .expect("OLMoE fits on one H100");
     tracer.span_with(
         BENCH_TRACK,
@@ -54,7 +54,7 @@ fn main() -> std::io::Result<()> {
     for i in 0..12 {
         server.submit(Request::new(256, 64).at(0.05 * i as f64));
     }
-    let report = server.run_traced(&mut tracer);
+    let report = server.run(&mut tracer);
     tracer.span_with(
         BENCH_TRACK,
         Category::Bench,

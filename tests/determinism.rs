@@ -170,3 +170,86 @@ fn ext_cluster_fast_tracing_does_not_perturb_report() {
     assert!(trace.contains("router"), "router track missing from trace");
     assert!(trace.contains("replica 0"), "replica tracks missing");
 }
+
+/// Full `moe-bench all --fast` pass: every report plus the composed
+/// multi-experiment Chrome trace, rendered to bytes.
+fn traced_run_all() -> (String, String) {
+    let mut tracer = moe_trace::Tracer::new(Box::new(moe_trace::MemorySink::new()));
+    let reports = moe_bench::run_all(true, &mut tracer);
+    let trace = moe_trace::chrome_trace_json(&tracer.snapshot(), tracer.tracks());
+    (moe_json::to_string_pretty(&reports), trace)
+}
+
+/// Everything the parallel drivers produce, for one forced thread count.
+struct MatrixSample {
+    threads: usize,
+    all_reports: String,
+    all_trace: String,
+    plan_report: String,
+    plan_trace: String,
+    cluster_report: String,
+    cluster_trace: String,
+}
+
+fn matrix_sample(threads: usize) -> MatrixSample {
+    // The atomic override stands in for `MOE_THREADS`: mutating the
+    // environment from a threaded test harness is racy, the override is
+    // not, and `workers()` resolves it ahead of the env variable.
+    moe_par::set_workers_for_test(threads);
+    let (all_reports, all_trace) = traced_run_all();
+    let (plan_report, plan_trace) = traced_plan();
+    let (cluster_report, cluster_trace) = traced_cluster();
+    moe_par::set_workers_for_test(0);
+    MatrixSample {
+        threads,
+        all_reports,
+        all_trace,
+        plan_report,
+        plan_trace,
+        cluster_report,
+        cluster_trace,
+    }
+}
+
+/// The headline invariant of the `moe-par` rollout: the number of worker
+/// threads is invisible in every produced byte. `moe-bench all --fast`
+/// (all 24 reports *and* the composed multi-experiment trace), `ext-plan`
+/// and `ext-cluster` must render identically for `MOE_THREADS` = 1, 2
+/// and 8 — the work-stealing schedule may vary, the ordered reduction
+/// and base-offset trace composition must hide it completely.
+#[test]
+fn thread_count_matrix_is_byte_identical() {
+    let baseline = matrix_sample(1);
+    assert!(!baseline.all_reports.is_empty());
+    assert!(baseline.all_trace.contains("\"traceEvents\""));
+    for threads in [2usize, 8] {
+        let sample = matrix_sample(threads);
+        let pairs = [
+            ("all reports", &baseline.all_reports, &sample.all_reports),
+            ("all trace", &baseline.all_trace, &sample.all_trace),
+            (
+                "ext-plan report",
+                &baseline.plan_report,
+                &sample.plan_report,
+            ),
+            ("ext-plan trace", &baseline.plan_trace, &sample.plan_trace),
+            (
+                "ext-cluster report",
+                &baseline.cluster_report,
+                &sample.cluster_report,
+            ),
+            (
+                "ext-cluster trace",
+                &baseline.cluster_trace,
+                &sample.cluster_trace,
+            ),
+        ];
+        for (what, base, got) in pairs {
+            assert_eq!(
+                base, got,
+                "{what} differs between {} and {} worker thread(s)",
+                baseline.threads, sample.threads
+            );
+        }
+    }
+}

@@ -86,7 +86,7 @@ fn perf_model_consistent_with_memory_model() {
                 EngineOptions::default().with_plan(ParallelPlan::tensor(gpus)),
             )
             .expect("valid plan");
-            match perf.run(16, 512, 512) {
+            match perf.run(16, 512, 512, &mut moe_trace::Tracer::disabled(), 0) {
                 Ok(r) => {
                     assert!(r.throughput_tok_s > 0.0);
                     assert!(perf.check_memory(16, 1024).is_ok());
@@ -110,7 +110,10 @@ fn more_gpus_never_slower_under_tp() {
                 EngineOptions::default().with_plan(ParallelPlan::tensor(gpus)),
             )
             .expect("valid plan");
-            let t = perf.run(16, 512, 512).expect("fits").throughput_tok_s;
+            let t = perf
+                .run(16, 512, 512, &mut moe_trace::Tracer::disabled(), 0)
+                .expect("fits")
+                .throughput_tok_s;
             assert!(
                 t >= last * 0.98,
                 "{} at {gpus} GPUs: {t} < {last}",
@@ -131,7 +134,9 @@ fn paper_formulas_hold_across_the_roster() {
         ) else {
             continue;
         };
-        let r = perf.run(8, 256, 128).expect("fits on 4 GPUs");
+        let r = perf
+            .run(8, 256, 128, &mut moe_trace::Tracer::disabled(), 0)
+            .expect("fits on 4 GPUs");
         // Eq. 2.
         let expect = 8.0 * (256.0 + 128.0) / r.e2e_s;
         assert!(

@@ -66,7 +66,13 @@ fn planner_never_returns_an_infeasible_config() {
                     );
                     let batch = operating_batch(&engine, &config, &sketch);
                     engine
-                        .run(batch, sketch.mean_input, sketch.mean_output)
+                        .run(
+                            batch,
+                            sketch.mean_input,
+                            sketch.mean_output,
+                            &mut moe_trace::Tracer::disabled(),
+                            0,
+                        )
                         .unwrap_or_else(|e| {
                             panic!("planner returned OOM config {}: {e}", config.label())
                         });
