@@ -59,8 +59,15 @@ fn main() {
     eprintln!("parallel: {parallel_s:.3} s");
     let speedup = serial_s / parallel_s;
 
+    let note = if host_cores == 1 {
+        "single-core host: pool resolves to 1 worker, so serial vs parallel \
+         differ only by scheduling noise and the ratio is ~1.0 by construction"
+    } else {
+        "multi-core host: ratio reflects real work-stealing overlap"
+    };
     let json = Json::Obj(vec![
         ("bench".into(), Json::Str("moe-bench all --fast".into())),
+        ("note".into(), Json::Str(note.into())),
         (
             "experiments".into(),
             Json::Int(moe_bench::REGISTRY.len() as i128),

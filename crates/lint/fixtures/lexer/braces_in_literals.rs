@@ -1,0 +1,12 @@
+//@ path: crates/runtime/src/fixture.rs
+#[cfg(test)]
+mod tests {
+    fn t(x: Option<u64>) {
+        let s = "}";
+        let c = '}';
+        x.unwrap();
+    }
+}
+fn outside_test_scope(x: Option<u64>) -> u64 {
+    x.unwrap() //~ no-panic-in-lib
+}

@@ -1,0 +1,11 @@
+//@ path: crates/runtime/src/fixture.rs
+fn lifetimes<'a>(x: &'a str) -> &'a str {
+    x
+}
+fn chars(x: Option<u64>) -> u64 {
+    let q = '"';
+    let e = '\'';
+    let n = '\n';
+    let u = '\u{1F600}';
+    x.unwrap() //~ no-panic-in-lib
+}

@@ -1,0 +1,10 @@
+//@ path: crates/engine/src/fixture.rs
+fn numbers(x: f64, n: u64) -> bool {
+    let a = 1.max(2);
+    let r = 0..10;
+    let e = x == 1e3; // exponent without dot: deliberately not a float token
+    let h = n == 0x1F;
+    let s = x == 2.5e-3; //~ no-float-eq
+    let t = x == 1.0f64; //~ no-float-eq
+    e && h && s && t
+}

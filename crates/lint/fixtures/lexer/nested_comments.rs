@@ -1,0 +1,6 @@
+//@ path: crates/gpusim/src/fixture.rs
+/* outer /* inner thread_rng */ still commented Instant::now() */
+fn after_comment() {
+    /* panic!("boom") /* .unwrap() */ rand::random */
+    let ok = 1;
+}

@@ -1,0 +1,12 @@
+//@ path: crates/gpusim/src/fixture.rs
+fn raw_literals() {
+    let a = r"thread_rng Instant::now()";
+    let b = r#"panic!("x") .unwrap() == 0.0"#;
+    let c = r##"nested "# hash depth SystemTime::now"##;
+    let d = br#"bytes with env::var("X")"#;
+}
+fn not_a_raw_string(records: &[u64]) {
+    for r in records {
+        let _ = r;
+    }
+}

@@ -1,0 +1,3 @@
+//@ path: crates/x/src/lib.rs
+//~ forbid-unsafe-header @ 1
+pub fn f() {}

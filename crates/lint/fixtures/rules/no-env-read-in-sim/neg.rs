@@ -1,0 +1,8 @@
+//@ path: crates/par/src/fixture.rs
+// The executor owns the MOE_THREADS knob (documented: must not change results).
+fn workers() -> usize {
+    std::env::var("MOE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

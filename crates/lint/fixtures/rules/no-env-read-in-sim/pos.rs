@@ -1,0 +1,5 @@
+//@ path: crates/gpusim/src/fixture.rs
+fn hidden_input() {
+    let a = std::env::var("MOE_FAST_PATH").ok(); //~ no-env-read-in-sim
+    let b = env::var_os("MOE_CACHE_DIR"); //~ no-env-read-in-sim
+}

@@ -1,0 +1,15 @@
+//@ path: crates/engine/src/fixture.rs
+fn compare(v: u64, e: u64, a: f64) -> bool {
+    let p = v == 0;
+    let q = e == 0x0f;
+    let r = a <= 1.0;
+    let s = a >= 2.5;
+    p && q && r && s
+}
+
+#[cfg(test)]
+mod tests {
+    fn bit_exact_replay_is_the_contract(a: f64) {
+        assert!(a == 0.125);
+    }
+}

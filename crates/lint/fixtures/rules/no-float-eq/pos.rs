@@ -1,0 +1,8 @@
+//@ path: crates/engine/src/fixture.rs
+fn compare(v: f64, x: f64) -> bool {
+    let a = v == 0.0; //~ no-float-eq
+    let b = 1.5 != x; //~ no-float-eq
+    let c = x == -2.25; //~ no-float-eq
+    let d = v == 3f64; //~ no-float-eq
+    a && b && c && d
+}

@@ -1,0 +1,22 @@
+//@ path: crates/runtime/src/fixture.rs
+struct S {
+    seqs: HashMap<u64, u64>,
+    ids: Vec<u64>,
+    sorted: BTreeMap<u64, u64>,
+}
+fn keyed(s: &S) {
+    s.seqs.get(&1);
+    s.seqs.contains_key(&2);
+}
+fn ordered(s: &S) {
+    for i in &s.ids {}
+    for v in s.sorted.values() {}
+    for v in s.prefix_seqs.iter() {}
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_may_iterate(s: &super::S) {
+        for v in s.seqs.values() {}
+    }
+}

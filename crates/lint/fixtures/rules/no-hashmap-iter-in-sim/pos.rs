@@ -1,0 +1,16 @@
+//@ path: crates/runtime/src/fixture.rs
+struct S {
+    seqs: HashMap<u64, u64>,
+}
+fn observe(s: &S) {
+    for v in s.seqs.values() {} //~ no-hashmap-iter-in-sim
+}
+fn local_loop() {
+    let mut live = std::collections::HashMap::new();
+    live.insert(1u64, 2u64);
+    for (_k, _v) in &live {} //~ no-hashmap-iter-in-sim
+}
+fn mutate(m: &mut HashMap<u64, u64>) {
+    m.retain(|_, v| *v > 0); //~ no-hashmap-iter-in-sim
+    let d: Vec<_> = m.drain().collect(); //~ no-hashmap-iter-in-sim
+}

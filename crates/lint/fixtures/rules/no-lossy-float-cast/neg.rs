@@ -1,0 +1,14 @@
+//@ path: crates/gpusim/src/fixture.rs
+fn casts(len: u64, a: u64, b: u64, n: u64) -> u64 {
+    let p = len as u64;
+    let q = (a + b) as usize;
+    let widen = n as f64;
+    p + q as u64 + widen as u64 // lint:allow(no-lossy-float-cast) -- audited: widen is integral by construction
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_are_exempt(x: f64) -> usize {
+        x.ceil() as usize
+    }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/gpusim/src/fixture.rs
+fn casts(x: f64, y: u64) -> usize {
+    let a = (x / y as f64).max(1.0) as usize; //~ no-lossy-float-cast
+    let b = x.ceil() as u64; //~ no-lossy-float-cast
+    let c = 2.5 as usize; //~ no-lossy-float-cast
+    let scaled = x * 1.5;
+    let d = scaled as u32; //~ no-lossy-float-cast
+    a + b as usize + c + d as usize
+}

@@ -1,0 +1,16 @@
+//@ path: crates/runtime/src/fixture.rs
+fn handled(x: Option<u64>) -> u64 {
+    let a = x.unwrap_or(0);
+    let b = x.unwrap_or_else(|| 1);
+    let s = "panic!( and .unwrap() in a string";
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_may_panic(x: Option<u64>) {
+        let a = x.unwrap();
+        let b = x.expect("test");
+        panic!("assert style");
+    }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/runtime/src/fixture.rs
+fn lib_code(x: Option<u64>) -> u64 {
+    let a = x.unwrap(); //~ no-panic-in-lib
+    let b = x.expect("present"); //~ no-panic-in-lib
+    if a == 0 {
+        panic!("zero"); //~ no-panic-in-lib
+    }
+    b
+}

@@ -1,0 +1,24 @@
+//@ path: crates/eval/src/fixture.rs
+fn ordered(sorted_scores: &BTreeMap<u64, f64>) -> f64 {
+    sorted_scores.values().copied().sum::<f64>()
+}
+fn int_reduce(m: &HashMap<u64, u64>) -> u64 {
+    m.values().copied().sum::<u64>()
+}
+fn sorted_keys(m: &HashMap<u64, f64>) -> f64 {
+    let mut keys: Vec<u64> = Vec::new();
+    keys.sort();
+    let mut total = 0.0;
+    for k in keys {
+        total += m[&k];
+    }
+    total
+}
+fn closure_local(xs: &[f64]) -> f64 {
+    let sums = moe_par::map_collect(xs, |x| {
+        let mut local = 0.0;
+        local += *x;
+        local
+    });
+    sums.iter().sum()
+}

@@ -1,0 +1,21 @@
+//@ path: crates/eval/src/fixture.rs
+fn chain(m: &HashMap<u64, f64>) -> f64 {
+    m.values().copied().sum::<f64>() //~ no-unordered-float-reduce
+}
+fn set_fold(s: &HashSet<u64>) -> f64 {
+    s.iter().fold(0.0, |a, b| a + *b as f64) //~ no-unordered-float-reduce
+}
+fn loop_accumulate(m: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in &m {
+        total += v; //~ no-unordered-float-reduce
+    }
+    total
+}
+fn par_capture(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    moe_par::for_each_chunk_mut(xs, 8, |chunk| {
+        total += chunk[0]; //~ no-unordered-float-reduce
+    });
+    total
+}

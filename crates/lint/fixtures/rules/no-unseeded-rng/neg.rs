@@ -1,0 +1,10 @@
+//@ path: crates/tensor/src/fixture.rs
+fn seeded(seed: u64) {
+    let r = rng_from_seed(seed);
+    let s = moe_tensor::rng::rng_from_seed(seed);
+}
+// mentions of thread_rng in comments are masked
+fn doc() {
+    let msg = "thread_rng and from_entropy are banned";
+    let my_thread_rng_helper = 1; // exact-ident match: no false positive
+}

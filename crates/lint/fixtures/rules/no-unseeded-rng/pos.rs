@@ -1,0 +1,15 @@
+//@ path: crates/tensor/src/fixture.rs
+fn entropy() {
+    let mut a = rand::thread_rng(); //~ no-unseeded-rng
+    let b = SmallRng::from_entropy(); //~ no-unseeded-rng
+    let c: u64 = rand::random(); //~ no-unseeded-rng
+    let d = StdRng::from_os_rng(); //~ no-unseeded-rng
+    let e = OsRng; //~ no-unseeded-rng
+}
+
+#[cfg(test)]
+mod tests {
+    fn in_tests_too() {
+        let r = rand::thread_rng(); //~ no-unseeded-rng
+    }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/tensor/src/fixture.rs
+// The tensor crate is outside the simulation scope.
+fn timing() {
+    let t0 = std::time::Instant::now();
+}
+fn masked() {
+    let s = "Instant::now() inside a string";
+    // Instant::now() inside a comment
+}

@@ -1,0 +1,12 @@
+//@ path: crates/gpusim/src/fixture.rs
+fn timing() {
+    let t0 = std::time::Instant::now(); //~ no-wall-clock
+    let t1 = SystemTime::now(); //~ no-wall-clock
+}
+
+#[cfg(test)]
+mod tests {
+    fn applies_in_tests_too() {
+        let t = std::time::Instant::now(); //~ no-wall-clock
+    }
+}

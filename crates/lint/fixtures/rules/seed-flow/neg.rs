@@ -1,0 +1,23 @@
+//@ path: crates/gpusim/src/fixture.rs
+fn from_param(seed: u64) {
+    let r = rng_from_seed(seed);
+}
+fn derived(seed: u64, lane: u64) {
+    let task_seed = derive_seed(seed, lane);
+    let r = rng_from_seed(task_seed);
+}
+fn through_locals(seed: u64) {
+    let base = seed ^ 0x9e37;
+    let shifted = base + 1;
+    let r = rng_from_seed(shifted);
+}
+fn from_field(cfg: &Config) {
+    let r = rng_from_seed(cfg.seed);
+}
+
+#[cfg(test)]
+mod tests {
+    fn pinned_literals_are_the_point() {
+        let r = rng_from_seed(42);
+    }
+}

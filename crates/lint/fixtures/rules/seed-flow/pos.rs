@@ -1,0 +1,11 @@
+//@ path: crates/gpusim/src/fixture.rs
+fn hard_coded() {
+    let r = rng_from_seed(42); //~ seed-flow
+}
+fn unrelated_arg(n: u64) {
+    let r = moe_tensor::rng::rng_from_seed(n); //~ seed-flow
+}
+fn laundered(n: u64) {
+    let streams = n * 2;
+    let r = rng_from_seed(streams); //~ seed-flow
+}

@@ -1,0 +1,4 @@
+//@ path: crates/runtime/src/fixture.rs
+fn justified_marker(x: Option<u64>) -> u64 {
+    x.unwrap() // lint:allow(no-panic-in-lib) -- startup contract: config was validated by the caller
+}

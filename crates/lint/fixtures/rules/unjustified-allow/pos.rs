@@ -1,0 +1,4 @@
+//@ path: crates/runtime/src/fixture.rs
+fn bare_marker(x: Option<u64>) -> u64 {
+    x.unwrap() // lint:allow(no-panic-in-lib) //~ unjustified-allow, no-panic-in-lib
+}

@@ -1,0 +1,5 @@
+//@ path: crates/runtime/src/fixture.rs
+fn live_marker(x: Option<u64>) -> u64 {
+    // lint:allow(no-panic-in-lib) -- scheduler invariant: id inserted at submit
+    x.unwrap()
+}

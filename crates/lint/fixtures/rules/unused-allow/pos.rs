@@ -1,0 +1,9 @@
+//@ path: crates/runtime/src/fixture.rs
+fn clean_code(x: Option<u64>) -> u64 {
+    // lint:allow(no-panic-in-lib) -- stale: the unwrap below was fixed //~ unused-allow
+    x.unwrap_or(0)
+}
+fn wrong_scope(m: &BTreeMap<u64, u64>) -> u64 {
+    // lint:allow(no-hashmap-iter-in-sim) -- stale: this is a BTreeMap now //~ unused-allow
+    m.values().sum()
+}

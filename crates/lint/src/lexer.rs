@@ -1,0 +1,673 @@
+//! The from-scratch tokenizer feeding every structural analysis.
+//!
+//! One pass over the source produces three views that stay in sync by
+//! construction:
+//!
+//! * a token stream ([`Token`]) — identifiers, lifetimes, numeric
+//!   literals, string/char literals (contents discarded), glued
+//!   multi-char operators, and delimiters;
+//! * the *masked text* — the original text with every character inside a
+//!   comment or string/char literal blanked to a space, preserving line
+//!   and column positions exactly (legacy line-oriented checks and
+//!   diagnostic snippets read this);
+//! * the comment bodies, per line, which is where `lint:allow`
+//!   suppression markers live.
+//!
+//! The tricky cases are handled the way `rustc`'s lexer does, not by
+//! regex guesswork: raw strings (`r"…"`, `r#"…"#`, `br##"…"##`) with any
+//! hash depth, *nested* block comments (`/* /* */ */`), and the
+//! char-literal vs lifetime ambiguity (`'a'` is a literal, `'a` in
+//! `<'a>` is not).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `let`, `HashMap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — text includes the leading quote.
+    Lifetime,
+    /// Numeric literal, verbatim (`1.5e3`, `0x4b_c1`, `2f64`).
+    Num,
+    /// String literal (ordinary, byte, or raw). Contents are discarded;
+    /// `text` is `"\""` as a stand-in.
+    Str,
+    /// Char or byte-char literal. Contents discarded.
+    Char,
+    /// Punctuation: one operator, multi-char forms glued (`==`, `::`,
+    /// `+=`, `->`, …).
+    Punct,
+    /// Opening delimiter: `(`, `[` or `{`.
+    Open,
+    /// Closing delimiter: `)`, `]` or `}`.
+    Close,
+}
+
+/// One lexeme with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Lexeme text (see [`TokKind`] for what each class stores).
+    pub text: String,
+    /// 1-based source line of the first character.
+    pub line: usize,
+    /// 0-based character column of the first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Everything the single lexer pass produces.
+#[derive(Debug)]
+pub struct LexOut {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// Masked source text: same shape as the input, comment and literal
+    /// contents blanked.
+    pub masked: String,
+    /// Comment bodies as `(1-based line, text)`; block comments are split
+    /// per line. Line comments keep their `//` prefix so doc comments
+    /// (`///`, `//!`) are distinguishable.
+    pub comments: Vec<(usize, String)>,
+}
+
+/// Multi-char operators the lexer glues, longest first. Shifts (`<<`,
+/// `>>`) are deliberately absent: gluing them would corrupt nested
+/// generics like `Vec<Vec<u8>>`.
+const GLUED: &[&str] = &[
+    "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+    "|=", "&&", "||", "..",
+];
+
+struct Lexer {
+    b: Vec<char>,
+    i: usize,
+    line: usize,
+    col: usize,
+    out: LexOut,
+}
+
+/// Tokenize `text`. Never fails: malformed input degrades to best-effort
+/// single-char punctuation so the linter can still report on broken files.
+pub fn lex(text: &str) -> LexOut {
+    let mut lx = Lexer {
+        b: text.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 0,
+        out: LexOut {
+            tokens: Vec::new(),
+            masked: String::with_capacity(text.len()),
+            comments: Vec::new(),
+        },
+    };
+    lx.run();
+    lx.out
+}
+
+impl Lexer {
+    /// Emit one source char into the masked text: verbatim if `keep`,
+    /// blanked otherwise. Newlines always survive so line structure is
+    /// exact.
+    fn emit(&mut self, c: char, keep: bool) {
+        if c == '\n' {
+            self.out.masked.push('\n');
+            self.line += 1;
+            self.col = 0;
+        } else {
+            self.out.masked.push(if keep { c } else { ' ' });
+            self.col += 1;
+        }
+    }
+
+    /// Consume one char, masked.
+    fn skip(&mut self) {
+        let c = self.b[self.i];
+        self.emit(c, false);
+        self.i += 1;
+    }
+
+    /// Consume one char, kept.
+    fn keep(&mut self) {
+        let c = self.b[self.i];
+        self.emit(c, true);
+        self.i += 1;
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize, col: usize) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(&mut self) {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            let (line, col) = (self.line, self.col);
+            // Line comment (incl. doc comments).
+            if c == '/' && self.peek(1) == Some('/') {
+                let mut body = String::new();
+                while self.i < self.b.len() && self.b[self.i] != '\n' {
+                    body.push(self.b[self.i]);
+                    self.skip();
+                }
+                self.out.comments.push((line, body));
+                continue;
+            }
+            // Block comment; nests like Rust's.
+            if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+                continue;
+            }
+            // Raw string: r"…" / r#"…"# / br##"…"## …
+            if (c == 'r' || c == 'b') && self.raw_string() {
+                continue;
+            }
+            // Byte string b"…" handled by the string arm below via `b` skip.
+            if c == 'b' && self.peek(1) == Some('"') {
+                self.keep(); // the b prefix survives masking
+                self.string(line, col);
+                continue;
+            }
+            // Byte char b'x'.
+            if c == 'b' && self.peek(1) == Some('\'') {
+                self.keep();
+                self.char_or_lifetime(line, col);
+                continue;
+            }
+            if c == '"' {
+                self.string(line, col);
+                continue;
+            }
+            if c == '\'' {
+                self.char_or_lifetime(line, col);
+                continue;
+            }
+            if c.is_alphabetic() || c == '_' {
+                let mut text = String::new();
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    text.push(self.b[self.i]);
+                    self.keep();
+                }
+                self.push(TokKind::Ident, text, line, col);
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let text = self.number();
+                self.push(TokKind::Num, text, line, col);
+                continue;
+            }
+            if matches!(c, '(' | '[' | '{') {
+                self.push(TokKind::Open, c.to_string(), line, col);
+                self.keep();
+                continue;
+            }
+            if matches!(c, ')' | ']' | '}') {
+                self.push(TokKind::Close, c.to_string(), line, col);
+                self.keep();
+                continue;
+            }
+            if c.is_whitespace() {
+                self.keep();
+                continue;
+            }
+            // Punctuation: glue known multi-char operators.
+            let mut glued = None;
+            for op in GLUED {
+                let n = op.chars().count();
+                if self.b[self.i..].starts_with(&op.chars().collect::<Vec<_>>()[..])
+                    && glued.is_none()
+                {
+                    glued = Some((op.to_string(), n));
+                }
+            }
+            if let Some((op, n)) = glued {
+                for _ in 0..n {
+                    self.keep();
+                }
+                self.push(TokKind::Punct, op, line, col);
+            } else {
+                self.push(TokKind::Punct, c.to_string(), line, col);
+                self.keep();
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let mut depth = 0usize;
+        let mut body = String::new();
+        let mut body_line = self.line;
+        while self.i < self.b.len() {
+            if self.b[self.i] == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.skip();
+                self.skip();
+            } else if self.b[self.i] == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                self.skip();
+                self.skip();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if self.b[self.i] == '\n' {
+                    self.out
+                        .comments
+                        .push((body_line, std::mem::take(&mut body)));
+                    body_line = self.line + 1;
+                } else {
+                    body.push(self.b[self.i]);
+                }
+                self.skip();
+            }
+        }
+        self.out.comments.push((body_line, body));
+    }
+
+    /// If position `i` starts a raw string literal, consume it (emitting a
+    /// `Str` token) and return true.
+    fn raw_string(&mut self) -> bool {
+        // Reject identifier contexts like `for r in ..`: the char before
+        // must not be part of an identifier.
+        if self.i > 0 {
+            let p = self.b[self.i - 1];
+            if p.is_alphanumeric() || p == '_' {
+                return false;
+            }
+        }
+        let mut j = 0usize;
+        if self.peek(j) == Some('b') {
+            j += 1;
+        }
+        if self.peek(j) != Some('r') {
+            return false;
+        }
+        j += 1;
+        let mut hashes = 0usize;
+        while self.peek(j + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(j + hashes) != Some('"') {
+            return false;
+        }
+        let (line, col) = (self.line, self.col);
+        // Prefix (r / br and hashes) plus the opening quote survive masking.
+        for _ in 0..=(j + hashes) {
+            self.keep();
+        }
+        // Mask until `"` followed by `hashes` #'s.
+        while self.i < self.b.len() {
+            if self.b[self.i] == '"' {
+                let mut n = 0usize;
+                while self.peek(1 + n) == Some('#') && n < hashes {
+                    n += 1;
+                }
+                if n >= hashes {
+                    self.keep(); // closing quote
+                    for _ in 0..hashes {
+                        self.keep();
+                    }
+                    break;
+                }
+            }
+            self.skip();
+        }
+        self.push(TokKind::Str, "\"".to_string(), line, col);
+        true
+    }
+
+    fn string(&mut self, line: usize, col: usize) {
+        self.keep(); // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                '\\' if self.i + 1 < self.b.len() => {
+                    self.skip();
+                    self.skip();
+                }
+                '"' => {
+                    self.keep();
+                    break;
+                }
+                _ => self.skip(),
+            }
+        }
+        self.push(TokKind::Str, "\"".to_string(), line, col);
+    }
+
+    /// Disambiguate `'a'` (char literal) from `'a` (lifetime) the way the
+    /// reference grammar does: a quote opens a char literal iff an escape
+    /// follows or the char after next closes it.
+    fn char_or_lifetime(&mut self, line: usize, col: usize) {
+        if self.peek(1) == Some('\\') {
+            // Escaped char literal: consume to the closing quote within a
+            // small window ('\n', '\'', '\u{1F600}').
+            self.keep(); // '
+            self.skip(); // backslash
+            self.skip(); // escaped char
+            let mut guard = 0;
+            while self.i < self.b.len() && self.b[self.i] != '\'' && guard < 10 {
+                self.skip();
+                guard += 1;
+            }
+            if self.peek(0) == Some('\'') {
+                self.keep();
+            }
+            self.push(TokKind::Char, "'".to_string(), line, col);
+            return;
+        }
+        if self.peek(2) == Some('\'') && self.peek(1) != Some('\'') {
+            self.keep(); // '
+            self.skip(); // the char
+            self.keep(); // '
+            self.push(TokKind::Char, "'".to_string(), line, col);
+            return;
+        }
+        // Lifetime: quote plus identifier chars.
+        let mut text = String::from('\'');
+        self.keep();
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            text.push(self.b[self.i]);
+            self.keep();
+        }
+        self.push(TokKind::Lifetime, text, line, col);
+    }
+
+    /// Lex a numeric literal, handling `0x…` radixes, `_` separators,
+    /// fractional parts, exponents and type suffixes. `1.max(2)` and
+    /// `0..10` keep their dots: a `.` is consumed only when a digit
+    /// follows, or when nothing identifier-like or dot-like does
+    /// (trailing-dot floats such as `1.`).
+    fn number(&mut self) -> String {
+        let mut text = String::new();
+        let radix_prefixed =
+            self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b'));
+        if radix_prefixed {
+            // 0x / 0o / 0b: alphanumeric run covers digits and suffix.
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                text.push(self.b[self.i]);
+                self.keep();
+            }
+            return text;
+        }
+        let digits = |lx: &mut Self, text: &mut String| {
+            while lx.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                text.push(lx.b[lx.i]);
+                lx.keep();
+            }
+        };
+        digits(self, &mut text);
+        if self.peek(0) == Some('.') {
+            let next = self.peek(1);
+            let fractional = next.is_some_and(|c| c.is_ascii_digit());
+            let trailing_dot = !next
+                .is_some_and(|c| c.is_ascii_digit() || c.is_alphabetic() || c == '_' || c == '.');
+            if fractional || trailing_dot {
+                text.push('.');
+                self.keep();
+                digits(self, &mut text);
+            }
+        }
+        if matches!(self.peek(0), Some('e') | Some('E'))
+            && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek(1), Some('+') | Some('-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            text.push(self.b[self.i]);
+            self.keep();
+            if matches!(self.peek(0), Some('+') | Some('-')) {
+                text.push(self.b[self.i]);
+                self.keep();
+            }
+            digits(self, &mut text);
+        }
+        // Type suffix (f64, u32, usize, …).
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            text.push(self.b[self.i]);
+            self.keep();
+        }
+        text
+    }
+}
+
+/// Is this numeric-literal text a float (`1.0`, `3.5e2`, `0f32`,
+/// `1.5f64`, `1.`)? Digit-led tokens only; `1e3` without a dot or suffix
+/// is deliberately not classified (matching the original rule set).
+pub fn is_float_literal(t: &str) -> bool {
+    let t = t.trim_start_matches(['-', '+']);
+    if t.is_empty() || !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
+        return false;
+    }
+    if t.ends_with("f32") || t.ends_with("f64") {
+        return true;
+    }
+    if let Some(dot) = t.find('.') {
+        let frac = &t[dot + 1..];
+        return frac.is_empty() || frac.starts_with(|c: char| c.is_ascii_digit());
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_nums_puncts() {
+        let t = kinds("let x = a + 1.5e3;");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Num, "1.5e3".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn glued_operators() {
+        let t = kinds("a == b != c += d :: e -> f");
+        let puncts: Vec<String> = t
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "+=", "::", "->"]);
+    }
+
+    #[test]
+    fn generics_do_not_glue_shifts() {
+        let t = kinds("Vec<Vec<u8>>");
+        let puncts: Vec<String> = t
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(puncts, vec!["<", "<", ">", ">"]);
+    }
+
+    #[test]
+    fn method_on_int_keeps_dot_separate() {
+        let t = kinds("1.max(2)");
+        assert_eq!(t[0], (TokKind::Num, "1".into()));
+        assert_eq!(t[1], (TokKind::Punct, ".".into()));
+        assert_eq!(t[2], (TokKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn range_keeps_dots() {
+        let t = kinds("0..10");
+        assert_eq!(t[0], (TokKind::Num, "0".into()));
+        assert_eq!(t[1], (TokKind::Punct, "..".into()));
+        assert_eq!(t[2], (TokKind::Num, "10".into()));
+    }
+
+    #[test]
+    fn trailing_dot_float() {
+        let t = kinds("x = 1.;");
+        assert_eq!(t[2], (TokKind::Num, "1.".into()));
+    }
+
+    #[test]
+    fn hex_with_separators() {
+        let t = kinds("0x4b_c1 0b1010 17_000u64 2.5f32");
+        assert_eq!(t[0], (TokKind::Num, "0x4b_c1".into()));
+        assert_eq!(t[1], (TokKind::Num, "0b1010".into()));
+        assert_eq!(t[2], (TokKind::Num, "17_000u64".into()));
+        assert_eq!(t[3], (TokKind::Num, "2.5f32".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let t = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(t.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(t.contains(&(TokKind::Char, "'".into())));
+        // Escaped char and quote-char literals.
+        let t = kinds(r"let a = '\n'; let b = '\''; let c = '\u{1F600}';");
+        let chars = t.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(chars, 3, "{t:?}");
+    }
+
+    #[test]
+    fn static_lifetime() {
+        let t = kinds("&'static str");
+        assert!(t.contains(&(TokKind::Lifetime, "'static".into())));
+    }
+
+    #[test]
+    fn strings_masked_delims_kept() {
+        let out = lex("let s = \"Instant::now()\";");
+        assert!(!out.masked.contains("Instant"));
+        assert!(out.masked.contains('"'));
+        assert!(out.tokens.iter().any(|t| t.kind == TokKind::Str));
+        // No tokens produced from string contents.
+        assert!(!out.tokens.iter().any(|t| t.is_ident("Instant")));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        for src in [
+            "r\"panic!(x)\"",
+            "r#\"panic!(\"x\")\"#",
+            "r##\"a \"# b\"##",
+            "br#\"bytes\"#",
+        ] {
+            let out = lex(src);
+            assert!(
+                !out.masked.contains("panic") && !out.masked.contains("bytes"),
+                "{src}"
+            );
+            assert_eq!(
+                out.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+                1,
+                "{src}"
+            );
+        }
+        // `for r in xs` is not a raw string.
+        let out = lex("for r in xs {}");
+        assert!(out.tokens.iter().any(|t| t.is_ident("r")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("a /* x /* thread_rng */ y */ b");
+        assert!(!out.masked.contains("thread_rng"));
+        assert!(out.tokens.iter().any(|t| t.is_ident("a")));
+        assert!(out.tokens.iter().any(|t| t.is_ident("b")));
+        assert_eq!(out.tokens.len(), 2);
+    }
+
+    #[test]
+    fn braces_inside_literals_do_not_tokenize() {
+        let out = lex("let s = \"{ } ( [\"; let c = '{';");
+        let delims = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Open | TokKind::Close))
+            .count();
+        assert_eq!(delims, 0, "{:?}", out.tokens);
+    }
+
+    #[test]
+    fn comments_collected_with_lines() {
+        let out = lex("x\n// one\ny /* two\nthree */ z\n");
+        assert!(out.comments.contains(&(2, "// one".into())));
+        assert!(out
+            .comments
+            .iter()
+            .any(|(l, c)| *l == 3 && c.contains("two")));
+        assert!(out
+            .comments
+            .iter()
+            .any(|(l, c)| *l == 4 && c.contains("three")));
+    }
+
+    #[test]
+    fn positions_track_lines_and_cols() {
+        let out = lex("ab cd\n  ef\n");
+        let ef = out.tokens.iter().find(|t| t.is_ident("ef")).unwrap();
+        assert_eq!((ef.line, ef.col), (2, 2));
+    }
+
+    #[test]
+    fn masked_text_same_shape() {
+        let src = "let s = \"x\"; // c\nnext\n";
+        let out = lex(src);
+        assert_eq!(out.masked.len(), src.len());
+        assert_eq!(out.masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn float_literal_classifier() {
+        for t in ["1.0", "-3.5e2", "0f32", "1.5f64", "1."] {
+            assert!(is_float_literal(t), "{t}");
+        }
+        for t in ["1", "0x0f", "1e3", "len", "0b11", "17_000u64"] {
+            assert!(!is_float_literal(t), "{t}");
+        }
+    }
+}

@@ -1,22 +1,32 @@
 //! # moe-lint
 //!
-//! A from-scratch static-analysis pass over this workspace's Rust sources,
+//! A from-scratch static analyzer over this workspace's Rust sources,
 //! enforcing the determinism and safety invariants the simulator depends
-//! on. No external parser: sources are preprocessed by a small lexer that
-//! masks comments and string literals while preserving line structure, and
-//! rules run as line-oriented pattern checks over the masked text.
+//! on. No external parser: a zero-dependency lexer ([`lexer`]) produces a
+//! token stream (plus a position-preserving masked view of the text), a
+//! builder folds it into balanced-delimiter token trees ([`tree`]), an
+//! item parser recovers `fn` / `impl` / `mod` boundaries and
+//! `#[cfg(test)]` scoping ([`items`]), and a small workspace symbol index
+//! ([`index`]) resolves intra-workspace call edges. Rules run as
+//! structural checks over those views ([`rules`], [`flow`]).
 //!
 //! ## Rules
 //!
 //! | rule | scope | bans |
 //! |------|-------|------|
 //! | `no-unseeded-rng` | everywhere, incl. tests | `thread_rng`, `from_entropy`, `rand::random`, `from_os_rng`, `OsRng` |
-//! | `no-wall-clock` | gpusim / engine / runtime | `Instant::now`, `SystemTime::now` |
+//! | `no-wall-clock` | gpusim / engine / runtime / plan / par | `Instant::now`, `SystemTime::now` |
 //! | `no-panic-in-lib` | non-test library code (bench harness exempt) | `.unwrap()`, `.expect(`, `panic!(` |
 //! | `no-float-eq` | non-test code | `==` / `!=` against a float literal |
-//! | `no-lossy-float-cast` | gpusim non-test code | `as <int>` on a float-valued expression |
-//! | `no-hashmap-iter-in-sim` | gpusim / runtime / cluster non-test code | `.iter()` / `.values()` / `.keys()` / `.drain()` / `.retain()` / `for .. in` over a `HashMap` |
+//! | `no-lossy-float-cast` | gpusim / plan non-test code | `as <int>` on a float-valued expression (float locals tracked per fn) |
+//! | `no-hashmap-iter-in-sim` | gpusim / runtime / cluster / plan / par non-test code | `.iter()` / `.values()` / `.keys()` / `.drain()` / `.retain()` / `for .. in` over a `HashMap` |
 //! | `forbid-unsafe-header` | crate roots | missing `#![forbid(unsafe_code)]` |
+//! | `no-env-read-in-sim` | sim crates (par / bench exempt) | `env::var` / `env::var_os` |
+//! | `seed-flow` | sim crates, non-test code | RNG constructions not derived (by dataflow) from a seed |
+//! | `no-unordered-float-reduce` | non-test code | float accumulation over `HashMap`/`HashSet` iteration or captured in `moe-par` closures |
+//! | `unused-allow` | everywhere | justified `lint:allow` markers that suppress nothing |
+//!
+//! `moe-lint --explain <rule>` prints the long-form rationale for any rule.
 //!
 //! ## Suppressions
 //!
@@ -28,15 +38,22 @@
 //! ```
 //!
 //! The ` -- justification` part is mandatory; a bare `lint:allow` marker
-//! is itself reported (rule `unjustified-allow`).
+//! is itself reported (rule `unjustified-allow`), and a justified marker
+//! that no longer suppresses anything is reported as `unused-allow`.
 
 #![forbid(unsafe_code)]
 
+pub mod flow;
+pub mod index;
+pub mod items;
+pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod tree;
 pub mod walk;
 
-pub use rules::{default_rules, Diagnostic, Rule};
+pub use index::Workspace;
+pub use rules::{default_rules, explain_rule, rule_names, Diagnostic, Rule};
 pub use source::SourceFile;
 pub use walk::lint_workspace;
 

@@ -3,10 +3,12 @@
 //!
 //! ```text
 //! moe-lint [--json] [ROOT]
+//! moe-lint --explain <rule>
 //! ```
 //!
 //! `ROOT` defaults to the current directory (the workspace root when run
-//! via `cargo run -p moe-lint`).
+//! via `cargo run -p moe-lint`). `--explain` prints the long-form
+//! rationale for one rule and exits.
 
 #![forbid(unsafe_code)]
 
@@ -16,11 +18,20 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--explain" => {
+                let Some(rule) = args.next() else {
+                    eprintln!("moe-lint: --explain requires a rule name");
+                    return ExitCode::from(2);
+                };
+                return explain(&rule);
+            }
             "--help" | "-h" => {
                 println!("usage: moe-lint [--json] [ROOT]");
+                println!("       moe-lint --explain <rule>");
                 return ExitCode::SUCCESS;
             }
             other if !other.starts_with('-') && root.is_none() => {
@@ -56,5 +67,23 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn explain(rule: &str) -> ExitCode {
+    match moe_lint::explain_rule(rule) {
+        Some(text) => {
+            println!("{rule}");
+            println!("{}", "-".repeat(rule.len()));
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("moe-lint: unknown rule `{rule}`; available rules:");
+            for name in moe_lint::rule_names() {
+                eprintln!("  {name}");
+            }
+            ExitCode::from(2)
+        }
     }
 }

@@ -1,7 +1,15 @@
-//! The rule registry: each rule is a line-oriented check over a
-//! preprocessed [`SourceFile`].
+//! The rule registry: structural checks over a preprocessed
+//! [`SourceFile`] (token forest + parsed items), with diagnostics
+//! reconstructed against the masked text so messages stay stable.
 
+use std::collections::BTreeSet;
+
+use crate::flow::{float_idents, NoUnorderedFloatReduce, SeedFlow};
+use crate::index::Workspace;
+use crate::items::FnItem;
+use crate::lexer::{is_float_literal, TokKind, Token};
 use crate::source::SourceFile;
+use crate::tree::{is_ident, is_punct, Tree};
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,11 +25,13 @@ pub struct Diagnostic {
 }
 
 /// A lint rule. `applies` scopes the rule to crates/files; `check` emits
-/// diagnostics (suppressions are applied by the driver, not the rule).
+/// diagnostics (suppressions are applied by the driver, not the rule);
+/// `explain` is the long-form rationale behind `moe-lint --explain`.
 pub trait Rule {
     fn name(&self) -> &'static str;
+    fn explain(&self) -> &'static str;
     fn applies(&self, file: &SourceFile) -> bool;
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+    fn check(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Diagnostic>);
 }
 
 /// All rules, in report order.
@@ -34,21 +44,65 @@ pub fn default_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoLossyFloatCast),
         Box::new(NoHashMapIterInSim),
         Box::new(ForbidUnsafeHeader),
+        Box::new(NoEnvReadInSim),
+        Box::new(SeedFlow),
+        Box::new(NoUnorderedFloatReduce),
     ]
 }
 
+/// Rationale for the two driver-level meta rules (they have no `Rule`
+/// instance: the suppression machinery itself emits them).
+const META_EXPLAIN: &[(&str, &str)] = &[
+    (
+        "unjustified-allow",
+        "Every `lint:allow(rule)` marker must carry a ` -- justification` \
+         explaining why the violation is acceptable at that site. A bare \
+         suppression silences a check without leaving the reviewer anything \
+         to audit, so the driver reports it even though the underlying rule \
+         is also still reported.",
+    ),
+    (
+        "unused-allow",
+        "A justified `lint:allow(rule)` that no longer matches any \
+         diagnostic on its line (or the line below) is dead: the code it \
+         excused has been fixed or moved, and the stale marker would \
+         silently swallow a future regression at that site. Delete it — or, \
+         if it was masking a rule that simply did not fire yet, fix the \
+         underlying code instead.",
+    ),
+];
+
+/// Long-form rationale for `--explain <rule>`; `None` for unknown rules.
+pub fn explain_rule(name: &str) -> Option<&'static str> {
+    if let Some((_, text)) = META_EXPLAIN.iter().find(|(n, _)| *n == name) {
+        return Some(text);
+    }
+    default_rules()
+        .into_iter()
+        .find(|r| r.name() == name)
+        .map(|r| r.explain())
+}
+
+/// Every explainable rule name, in report order.
+pub fn rule_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = default_rules().iter().map(|r| r.name()).collect();
+    names.extend(META_EXPLAIN.iter().map(|(n, _)| *n));
+    names
+}
+
 /// Run every applicable rule over one file, honoring suppressions and
-/// reporting unjustified `lint:allow` markers.
-pub fn check_file(file: &SourceFile, rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
+/// auditing the suppressions themselves (unjustified and stale markers).
+pub fn check_file(file: &SourceFile, ws: &Workspace, rules: &[Box<dyn Rule>]) -> Vec<Diagnostic> {
     let mut raw = Vec::new();
     for rule in rules {
         if rule.applies(file) {
-            rule.check(file, &mut raw);
+            rule.check(file, ws, &mut raw);
         }
     }
     let mut out: Vec<Diagnostic> = raw
-        .into_iter()
+        .iter()
         .filter(|d| !file.is_suppressed(d.rule, d.line))
+        .cloned()
         .collect();
     for sups in file.suppressions.values() {
         for s in sups {
@@ -62,20 +116,53 @@ pub fn check_file(file: &SourceFile, rules: &[Box<dyn Rule>]) -> Vec<Diagnostic>
                         s.rule
                     ),
                 });
+                continue;
+            }
+            // A justified marker is *used* iff some pre-filter diagnostic
+            // of its rule lands on its line or the line below.
+            let used = raw
+                .iter()
+                .any(|d| d.rule == s.rule && (d.line == s.line || d.line == s.line + 1));
+            if !used && !file.is_suppressed("unused-allow", s.line) {
+                out.push(Diagnostic {
+                    path: file.rel.clone(),
+                    line: s.line,
+                    rule: "unused-allow",
+                    message: format!(
+                        "lint:allow({}) no longer suppresses anything; delete the stale marker",
+                        s.rule
+                    ),
+                });
             }
         }
     }
     out.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
+    out.dedup();
     out
 }
 
-fn diag(file: &SourceFile, line_idx: usize, rule: &'static str, message: String) -> Diagnostic {
+fn diag_at(file: &SourceFile, line: usize, rule: &'static str, message: String) -> Diagnostic {
     Diagnostic {
         path: file.rel.clone(),
-        line: line_idx + 1,
+        line,
         rule,
         message,
     }
+}
+
+/// Is token `i` (an ident) immediately followed by `::` `member`?
+fn path_pair(toks: &[Token], i: usize, head: &str, member: &str) -> bool {
+    toks[i].is_ident(head)
+        && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+        && toks.get(i + 2).is_some_and(|t| t.is_ident(member))
+}
+
+/// The innermost parsed `fn` whose span covers 1-based `line`.
+fn enclosing_fn(file: &SourceFile, line: usize) -> Option<&FnItem> {
+    file.fns
+        .iter()
+        .rev()
+        .find(|f| f.line <= line && line <= f.end_line)
 }
 
 // ---------------------------------------------------------------------------
@@ -87,35 +174,46 @@ fn diag(file: &SourceFile, line_idx: usize, rule: &'static str, message: String)
 /// flow from an explicit seed through `moe_tensor::rng::DetRng`.
 pub struct NoUnseededRng;
 
-const RNG_PATTERNS: &[&str] = &[
-    "thread_rng",
-    "from_entropy",
-    "rand::random",
-    "from_os_rng",
-    "OsRng",
-];
+const RNG_IDENTS: &[&str] = &["thread_rng", "from_entropy", "from_os_rng", "OsRng"];
 
 impl Rule for NoUnseededRng {
     fn name(&self) -> &'static str {
         "no-unseeded-rng"
     }
 
+    fn explain(&self) -> &'static str {
+        "Entropy-seeded constructors (thread_rng, from_entropy, OsRng, \
+         rand::random) make every run unique, so no result can be replayed \
+         or bisected. The workspace routes all randomness through \
+         moe_tensor::rng::rng_from_seed, a counter-mode ChaCha8 stream that \
+         is a pure function of an explicit u64 seed. The rule applies even \
+         in tests: a test that cannot be replayed cannot be debugged."
+    }
+
     fn applies(&self, _file: &SourceFile) -> bool {
         true
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        for (i, line) in file.masked.iter().enumerate() {
-            for pat in RNG_PATTERNS {
-                if line.contains(pat) {
-                    out.push(diag(
-                        file,
-                        i,
-                        self.name(),
-                        format!("`{pat}` is entropy-seeded; use moe_tensor::rng::rng_from_seed"),
-                    ));
-                }
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let mut hits: BTreeSet<(usize, &str)> = BTreeSet::new();
+        for (i, t) in file.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
             }
+            if let Some(pat) = RNG_IDENTS.iter().find(|p| t.is_ident(p)) {
+                hits.insert((t.line, pat));
+            }
+            if path_pair(&file.tokens, i, "rand", "random") {
+                hits.insert((t.line, "rand::random"));
+            }
+        }
+        for (line, pat) in hits {
+            out.push(diag_at(
+                file,
+                line,
+                self.name(),
+                format!("`{pat}` is entropy-seeded; use moe_tensor::rng::rng_from_seed"),
+            ));
         }
     }
 }
@@ -130,7 +228,10 @@ impl Rule for NoUnseededRng {
 /// timing the host is the point.
 pub struct NoWallClock;
 
-const CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime::now"];
+const CLOCK_PAIRS: &[(&str, &str, &str)] = &[
+    ("Instant", "now", "Instant::now"),
+    ("SystemTime", "now", "SystemTime::now"),
+];
 const CLOCK_CRATES: &[&str] = &["gpusim", "engine", "runtime", "plan", "par"];
 
 impl Rule for NoWallClock {
@@ -138,22 +239,35 @@ impl Rule for NoWallClock {
         "no-wall-clock"
     }
 
+    fn explain(&self) -> &'static str {
+        "Simulated time comes from the discrete-event queue and the \
+         analytic cost model; reading Instant::now or SystemTime::now \
+         inside a simulation crate couples results to host speed and load, \
+         which breaks byte-identical replays and makes CI timing-sensitive. \
+         Only the bench crate (whose entire job is timing the host) may \
+         read the wall clock."
+    }
+
     fn applies(&self, file: &SourceFile) -> bool {
         CLOCK_CRATES.contains(&file.crate_name.as_str())
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        for (i, line) in file.masked.iter().enumerate() {
-            for pat in CLOCK_PATTERNS {
-                if line.contains(pat) {
-                    out.push(diag(
-                        file,
-                        i,
-                        self.name(),
-                        format!("`{pat}` reads the wall clock inside a simulation crate; simulated time must come from the DES/cost model"),
-                    ));
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let mut hits: BTreeSet<(usize, &str)> = BTreeSet::new();
+        for (i, t) in file.tokens.iter().enumerate() {
+            for (head, member, pat) in CLOCK_PAIRS {
+                if path_pair(&file.tokens, i, head, member) {
+                    hits.insert((t.line, pat));
                 }
             }
+        }
+        for (line, pat) in hits {
+            out.push(diag_at(
+                file,
+                line,
+                self.name(),
+                format!("`{pat}` reads the wall clock inside a simulation crate; simulated time must come from the DES/cost model"),
+            ));
         }
     }
 }
@@ -168,11 +282,18 @@ impl Rule for NoWallClock {
 /// into the simulator.
 pub struct NoPanicInLib;
 
-const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!("];
-
 impl Rule for NoPanicInLib {
     fn name(&self) -> &'static str {
         "no-panic-in-lib"
+    }
+
+    fn explain(&self) -> &'static str {
+        "A panic in library code aborts the whole experiment sweep, \
+         including unrelated configurations queued behind the failing one. \
+         Library paths must return Result or handle the case; panicking is \
+         reserved for tests (where it is the assertion mechanism), the \
+         bench crate, and examples/ — fail-fast top-level drivers that are \
+         never linked into the simulator."
     }
 
     fn applies(&self, file: &SourceFile) -> bool {
@@ -181,23 +302,46 @@ impl Rule for NoPanicInLib {
             && !file.rel.split('/').any(|seg| seg == "examples")
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        for (i, line) in file.masked.iter().enumerate() {
-            if file.line_in_test(i + 1) {
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let toks = &file.tokens;
+        let mut hits: BTreeSet<(usize, &str)> = BTreeSet::new();
+        for (i, t) in toks.iter().enumerate() {
+            if file.line_in_test(t.line) {
                 continue;
             }
-            for pat in PANIC_PATTERNS {
-                if line.contains(pat) {
-                    out.push(diag(
-                        file,
-                        i,
-                        self.name(),
-                        format!(
-                            "`{pat}` can panic in library code; return an error or handle the case"
-                        ),
-                    ));
-                }
+            let next_open = |j: usize| {
+                toks.get(j)
+                    .is_some_and(|t| t.kind == TokKind::Open && t.text == "(")
+            };
+            // `.unwrap()` — exactly empty parens, so `.unwrap_or(..)` and
+            // `.unwrap_or_else(..)` stay legal.
+            if t.is_punct(".")
+                && toks.get(i + 1).is_some_and(|t| t.is_ident("unwrap"))
+                && next_open(i + 2)
+                && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Close)
+            {
+                hits.insert((t.line, ".unwrap()"));
             }
+            if t.is_punct(".")
+                && toks.get(i + 1).is_some_and(|t| t.is_ident("expect"))
+                && next_open(i + 2)
+            {
+                hits.insert((t.line, ".expect("));
+            }
+            if t.is_ident("panic")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+                && next_open(i + 2)
+            {
+                hits.insert((t.line, "panic!("));
+            }
+        }
+        for (line, pat) in hits {
+            out.push(diag_at(
+                file,
+                line,
+                self.name(),
+                format!("`{pat}` can panic in library code; return an error or handle the case"),
+            ));
         }
     }
 }
@@ -216,62 +360,70 @@ impl Rule for NoFloatEq {
         "no-float-eq"
     }
 
+    fn explain(&self) -> &'static str {
+        "Exact float comparison against a literal is almost always a \
+         rounding bug waiting for a different code path: two mathematically \
+         equal computations can differ in the last ulp. Compare with an \
+         explicit tolerance, or compare bit patterns (to_bits) when literal \
+         identity is genuinely intended. Tests are exempt — asserting on \
+         bit-exact replay is the determinism contract itself."
+    }
+
     fn applies(&self, file: &SourceFile) -> bool {
         !file.is_test_file
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        for (i, line) in file.masked.iter().enumerate() {
-            if file.line_in_test(i + 1) {
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if !(t.is_punct("==") || t.is_punct("!=")) || file.line_in_test(t.line) {
                 continue;
             }
-            for pos in find_eq_ops(line) {
-                let lhs = token_before(line, pos);
-                let rhs = token_after(line, pos + 2);
-                if is_float_token(lhs) || is_float_token(rhs) {
-                    out.push(diag(
-                        file,
-                        i,
-                        self.name(),
-                        format!(
-                            "exact float comparison `{} {} {}`; use a tolerance or compare bit patterns",
-                            lhs,
-                            &line[pos..pos + 2],
-                            rhs
-                        ),
-                    ));
+            let lhs_float = i
+                .checked_sub(1)
+                .and_then(|j| toks.get(j))
+                .is_some_and(num_float);
+            let rhs_float = {
+                let mut j = i + 1;
+                // A sign glued onto the literal (`== -1.0`).
+                if let (Some(sign), Some(num)) = (toks.get(j), toks.get(j + 1)) {
+                    if (sign.is_punct("-") || sign.is_punct("+"))
+                        && sign.line == num.line
+                        && sign.col + 1 == num.col
+                    {
+                        j += 1;
+                    }
                 }
+                toks.get(j).is_some_and(num_float)
+            };
+            if !(lhs_float || rhs_float) {
+                continue;
             }
+            let Some(line_text) = file.masked.get(t.line - 1) else {
+                continue;
+            };
+            let pos = t.col.min(line_text.len());
+            let lhs = token_before(line_text, pos);
+            let rhs = token_after(line_text, (pos + 2).min(line_text.len()));
+            out.push(diag_at(
+                file,
+                t.line,
+                self.name(),
+                format!(
+                    "exact float comparison `{} {} {}`; use a tolerance or compare bit patterns",
+                    lhs, t.text, rhs
+                ),
+            ));
         }
     }
 }
 
-/// Byte offsets of standalone `==` / `!=` operators in a line.
-fn find_eq_ops(line: &str) -> Vec<usize> {
-    let b = line.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 1 < b.len() {
-        let two = &b[i..i + 2];
-        if two == b"==" {
-            let prev = if i > 0 { b[i - 1] } else { b' ' };
-            let next = if i + 2 < b.len() { b[i + 2] } else { b' ' };
-            if !matches!(prev, b'<' | b'>' | b'!' | b'=') && next != b'=' {
-                out.push(i);
-            }
-            i += 2;
-        } else if two == b"!=" {
-            out.push(i);
-            i += 2;
-        } else {
-            i += 1;
-        }
-    }
-    out
+fn num_float(t: &Token) -> bool {
+    t.kind == TokKind::Num && is_float_literal(&t.text)
 }
 
 /// The expression token ending just before byte `pos` (identifier/number
-/// path, greedily).
+/// path, greedily) — used only to reconstruct diagnostic text.
 fn token_before(line: &str, pos: usize) -> &str {
     let b = line.as_bytes();
     let mut end = pos;
@@ -312,35 +464,16 @@ fn token_after(line: &str, pos: usize) -> &str {
     &line[start..end]
 }
 
-/// Is this token a float literal (`1.0`, `-3.5e2`, `0f32`, `1.5f64`)?
-fn is_float_token(tok: &str) -> bool {
-    let t = tok.trim_start_matches(['-', '+']);
-    if t.is_empty() || !t.starts_with(|c: char| c.is_ascii_digit()) {
-        return false;
-    }
-    if t.ends_with("f32") || t.ends_with("f64") {
-        return true;
-    }
-    // A digit-led token containing a '.' (but not a method call like
-    // `1.max(x)` — the token scanner stops at '(' so `1.max` would need
-    // an alphabetic segment after the dot).
-    if let Some(dot) = t.find('.') {
-        let frac = &t[dot + 1..];
-        return frac.is_empty() || frac.starts_with(|c: char| c.is_ascii_digit());
-    }
-    false
-}
-
 // ---------------------------------------------------------------------------
 // no-lossy-float-cast
 // ---------------------------------------------------------------------------
 
 /// Bans `as usize` / `as u64` / ... where the source expression is visibly
-/// float-valued (float literal, float-only method, or a parenthesized
-/// group mentioning floats) inside the gpusim cost model and the planner
-/// built on it. `f64 -> usize` truncates and saturates silently; counts
-/// must go through a checked helper that asserts the value is a small
-/// non-negative integer.
+/// float-valued (float literal, float-only method, a parenthesized group
+/// mentioning floats, or a local the per-function dataflow knows is float)
+/// inside the gpusim cost model and the planner built on it. `f64 -> usize`
+/// truncates and saturates silently; counts must go through a checked
+/// helper that asserts the value is a small non-negative integer.
 pub struct NoLossyFloatCast;
 
 const INT_TARGETS: &[&str] = &["usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32"];
@@ -353,50 +486,66 @@ impl Rule for NoLossyFloatCast {
         "no-lossy-float-cast"
     }
 
+    fn explain(&self) -> &'static str {
+        "`f64 as usize` truncates toward zero and saturates out-of-range \
+         values silently, so an off-by-one-ulp cost estimate becomes an \
+         off-by-one tile count with no error. In the cost model (gpusim) \
+         and the planner built on it, float-to-count conversions must go \
+         through moe_gpusim::convert::f64_to_count, which asserts the value \
+         is a small non-negative near-integer. The rule tracks float-typed \
+         locals per function, so naming an intermediate does not hide the \
+         cast."
+    }
+
     fn applies(&self, file: &SourceFile) -> bool {
         ["gpusim", "plan"].contains(&file.crate_name.as_str()) && !file.is_test_file
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        for (i, line) in file.masked.iter().enumerate() {
-            if file.line_in_test(i + 1) {
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let toks = &file.tokens;
+        let mut hits: BTreeSet<(usize, String)> = BTreeSet::new();
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is_ident("as") || file.line_in_test(t.line) {
                 continue;
             }
-            let mut search = 0;
-            while let Some(rel_pos) = line[search..].find(" as ") {
-                let pos = search + rel_pos;
-                search = pos + 4;
-                let target = token_after(line, pos + 4);
-                if !INT_TARGETS.contains(&target) {
-                    continue;
-                }
-                if float_valued_before(line, pos) {
-                    out.push(diag(
-                        file,
-                        i,
-                        self.name(),
-                        format!(
-                            "float expression cast with `as {target}` truncates/saturates silently; use a checked conversion helper"
-                        ),
-                    ));
-                }
+            let Some(target) = toks
+                .get(i + 1)
+                .filter(|n| n.kind == TokKind::Ident && INT_TARGETS.contains(&n.text.as_str()))
+            else {
+                continue;
+            };
+            if float_valued_before(file, i) {
+                hits.insert((t.line, target.text.clone()));
             }
+        }
+        for (line, target) in hits {
+            out.push(diag_at(
+                file,
+                line,
+                self.name(),
+                format!(
+                    "float expression cast with `as {target}` truncates/saturates silently; use a checked conversion helper"
+                ),
+            ));
         }
     }
 }
 
-/// Does the expression ending at byte `pos` look float-valued?
-fn float_valued_before(line: &str, pos: usize) -> bool {
-    let head = line[..pos].trim_end();
-    if head.ends_with(')') {
-        // Find the matching open paren.
-        let b = head.as_bytes();
+/// Does the expression ending just before token `i` look float-valued?
+fn float_valued_before(file: &SourceFile, i: usize) -> bool {
+    let toks = &file.tokens;
+    let Some(prev) = i.checked_sub(1).and_then(|j| toks.get(j)) else {
+        return false;
+    };
+    // `(…) as usize`: scan the group contents for float evidence, then
+    // check for a float-only method call (`x.ceil() as u64`).
+    if prev.kind == TokKind::Close && prev.text == ")" {
         let mut depth = 0i64;
         let mut open = None;
-        for j in (0..b.len()).rev() {
-            match b[j] {
-                b')' => depth += 1,
-                b'(' => {
+        for j in (0..i).rev() {
+            match (toks[j].kind, toks[j].text.as_str()) {
+                (TokKind::Close, ")") => depth += 1,
+                (TokKind::Open, "(") => {
                     depth -= 1;
                     if depth == 0 {
                         open = Some(j);
@@ -406,30 +555,32 @@ fn float_valued_before(line: &str, pos: usize) -> bool {
                 _ => {}
             }
         }
-        let Some(open) = open else { return false };
-        let inside = &head[open + 1..head.len() - 1];
-        if inside.contains("f64") || inside.contains("f32") || contains_float_literal(inside) {
+        let Some(open) = open else {
+            return false;
+        };
+        let inside_float = toks[open + 1..i - 1].iter().any(|t| {
+            t.is_ident("f64")
+                || t.is_ident("f32")
+                || num_float(t)
+                || (t.kind == TokKind::Num && (t.text.contains("f64") || t.text.contains("f32")))
+        });
+        if inside_float {
             return true;
         }
-        // Method call: the identifier before the open paren.
-        let callee = token_before(head, open);
-        let method = callee.rsplit('.').next().unwrap_or("");
-        return FLOAT_METHODS.contains(&method);
+        let method = open
+            .checked_sub(1)
+            .and_then(|j| toks.get(j))
+            .filter(|m| m.kind == TokKind::Ident)
+            .filter(|_| open >= 2 && toks[open - 2].is_punct("."));
+        return method.is_some_and(|m| FLOAT_METHODS.contains(&m.text.as_str()));
     }
-    let tok = token_before(line, pos);
-    is_float_token(tok)
-}
-
-/// Any float literal (digits '.' digit) in a snippet?
-fn contains_float_literal(s: &str) -> bool {
-    let b = s.as_bytes();
-    for (j, &c) in b.iter().enumerate() {
-        if c == b'.'
-            && j > 0
-            && b[j - 1].is_ascii_digit()
-            && b.get(j + 1).is_some_and(|n| n.is_ascii_digit())
-        {
-            return true;
+    if num_float(prev) {
+        return true;
+    }
+    // A local the per-function dataflow knows is float-typed.
+    if prev.kind == TokKind::Ident {
+        if let Some(f) = enclosing_fn(file, prev.line) {
+            return float_idents(f).contains(&prev.text);
         }
     }
     false
@@ -441,172 +592,189 @@ fn contains_float_literal(s: &str) -> bool {
 
 /// Bans iterating a `HashMap` inside the simulation crates (`gpusim`,
 /// `runtime`, `cluster`, ..., and the `par` executor feeding them).
-/// `HashMap` iteration order is randomized per
-/// process, so any simulator state or report built from it is not
-/// reproducible. Keyed lookups are fine; iteration must go through
-/// `BTreeMap` (or sorted keys). Two passes: collect identifiers bound to a
-/// `HashMap` type (`name: HashMap<..>` fields/params, `let name =
-/// HashMap::new()` locals), then flag order-observing calls on them.
+/// `HashMap` iteration order is randomized per process, so any simulator
+/// state or report built from it is not reproducible. Keyed lookups are
+/// fine; iteration must go through `BTreeMap` (or sorted keys). Two
+/// passes: collect identifiers bound to a `HashMap` type (`name:
+/// HashMap<..>` fields/params, `name = HashMap::new()` locals), then flag
+/// order-observing uses of them.
 pub struct NoHashMapIterInSim;
 
 const HASHMAP_SIM_CRATES: &[&str] = &["gpusim", "runtime", "cluster", "plan", "par"];
-const ORDER_OBSERVING_METHODS: &[&str] = &[
-    ".iter()",
-    ".iter_mut()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".drain(",
-    ".retain(",
-    ".into_iter()",
+/// Order-observing methods that take no arguments (`()` required).
+const ORDER_METHODS_EMPTY: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
 ];
+/// Order-observing methods that take arguments.
+const ORDER_METHODS_ARGS: &[&str] = &["drain", "retain"];
 
 impl Rule for NoHashMapIterInSim {
     fn name(&self) -> &'static str {
         "no-hashmap-iter-in-sim"
     }
 
+    fn explain(&self) -> &'static str {
+        "std HashMap randomizes its hash state per process, so iteration \
+         order differs between runs even with identical inputs. Any \
+         simulator decision or report row produced by iterating one is \
+         nondeterministic. Keyed lookups (get, contains_key, insert) are \
+         fine; anything order-observing (iter, keys, values, drain, retain, \
+         for-in) must use a BTreeMap or iterate sorted keys. The rule binds \
+         names to HashMap declarations and flags order-observing uses of \
+         those names in the simulation crates."
+    }
+
     fn applies(&self, file: &SourceFile) -> bool {
         HASHMAP_SIM_CRATES.contains(&file.crate_name.as_str()) && !file.is_test_file
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
-        // Pass 1: names bound to a HashMap anywhere in the file.
-        let mut names: Vec<String> = Vec::new();
-        for line in file.masked.iter() {
-            let mut search = 0;
-            while let Some(rel) = line[search..].find("HashMap") {
-                let pos = search + rel;
-                search = pos + "HashMap".len();
-                if let Some(name) = hashmap_binding_name(line, pos) {
-                    if !names.contains(&name) {
-                        names.push(name);
-                    }
-                }
-            }
-        }
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let names = bindings_of(&file.tokens, &["HashMap"]);
         if names.is_empty() {
             return;
         }
-        // Pass 2: order-observing uses of those names in non-test code.
-        for (i, line) in file.masked.iter().enumerate() {
-            if file.line_in_test(i + 1) {
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || !names.contains(&t.text) || file.line_in_test(t.line) {
                 continue;
             }
-            for name in &names {
-                for method in ORDER_OBSERVING_METHODS {
-                    let needle = format!("{name}{method}");
-                    if find_word_start(line, &needle).is_some() {
-                        out.push(diag(
-                            file,
-                            i,
-                            self.name(),
-                            format!(
-                                "iterating `HashMap` `{name}` (via `{}`) in a simulation crate; \
-                                 iteration order is nondeterministic — use `BTreeMap` or sort the keys",
-                                method.trim_matches(['.', '(', ')'])
-                            ),
-                        ));
-                    }
-                }
-                if for_loop_over(line, name) {
-                    out.push(diag(
+            let is_method = toks.get(i + 1).is_some_and(|d| d.is_punct("."))
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|o| o.kind == TokKind::Open && o.text == "(");
+            if !is_method {
+                continue;
+            }
+            let Some(m) = toks.get(i + 2).filter(|m| m.kind == TokKind::Ident) else {
+                continue;
+            };
+            let empty_call = toks.get(i + 4).is_some_and(|c| c.kind == TokKind::Close);
+            let observing = (ORDER_METHODS_EMPTY.contains(&m.text.as_str()) && empty_call)
+                || ORDER_METHODS_ARGS.contains(&m.text.as_str());
+            if observing {
+                out.push(diag_at(
+                    file,
+                    m.line,
+                    self.name(),
+                    format!(
+                        "iterating `HashMap` `{}` (via `{}`) in a simulation crate; \
+                         iteration order is nondeterministic — use `BTreeMap` or sort the keys",
+                        t.text, m.text
+                    ),
+                ));
+            }
+        }
+        for_in_over(file, &file.trees, &names, self.name(), out);
+    }
+}
+
+/// Flag `for .. in [&[mut ]][self.]name` loops over the given names.
+fn for_in_over(
+    file: &SourceFile,
+    seq: &[Tree],
+    names: &[String],
+    rule: &'static str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut i = 0usize;
+    while i < seq.len() {
+        if let Tree::Group(g) = &seq[i] {
+            for_in_over(file, &g.children, names, rule, out);
+            i += 1;
+            continue;
+        }
+        if !is_ident(&seq[i], "for") {
+            i += 1;
+            continue;
+        }
+        let Some(in_pos) = (i + 1..seq.len())
+            .take_while(|&j| seq[j].group().is_none_or(|g| g.delim != '{'))
+            .find(|&j| is_ident(&seq[j], "in"))
+        else {
+            i += 1;
+            continue;
+        };
+        let Some(body_pos) =
+            (in_pos + 1..seq.len()).find(|&j| seq[j].group().is_some_and(|g| g.delim == '{'))
+        else {
+            i += 1;
+            continue;
+        };
+        let mut expr = &seq[in_pos + 1..body_pos];
+        // Strip `&` / `&mut` / leading `self.` — the loop must end *at*
+        // the map itself; method chains are caught by the method pass.
+        while let Some(first) = expr.first() {
+            if is_punct(first, "&") || is_ident(first, "mut") {
+                expr = &expr[1..];
+            } else if expr.len() >= 3 && is_ident(first, "self") && is_punct(&expr[1], ".") {
+                expr = &expr[2..];
+            } else {
+                break;
+            }
+        }
+        if expr.len() == 1 {
+            if let Some(t) = expr[0].leaf().filter(|t| t.kind == TokKind::Ident) {
+                if names.contains(&t.text) && !file.line_in_test(seq[i].line()) {
+                    out.push(diag_at(
                         file,
-                        i,
-                        self.name(),
+                        seq[i].line(),
+                        rule,
                         format!(
-                            "`for .. in` over `HashMap` `{name}` in a simulation crate; \
-                             iteration order is nondeterministic — use `BTreeMap` or sort the keys"
+                            "`for .. in` over `HashMap` `{}` in a simulation crate; \
+                             iteration order is nondeterministic — use `BTreeMap` or sort the keys",
+                            t.text
                         ),
                     ));
                 }
             }
         }
+        i = body_pos + 1;
     }
 }
 
-/// The identifier a `HashMap` occurrence at byte `pos` is bound to, if the
-/// line declares one: `name: HashMap<..>` (struct field / param / typed
-/// let) or `name = HashMap::new()` / `with_capacity` / `from` (local).
-fn hashmap_binding_name(line: &str, pos: usize) -> Option<String> {
-    let mut head = line[..pos].trim_end();
-    // Strip a path qualifier (`std::collections::HashMap`).
-    while head.ends_with("::") {
-        head = head[..head.len() - 2].trim_end();
-        let start = head
-            .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
-            .map_or(0, |i| i + 1);
-        head = head[..start].trim_end();
-    }
-    // Strip reference sigils so `name: &mut HashMap<..>` params collect too.
-    if let Some(h) = head.strip_suffix("mut") {
-        head = h.trim_end();
-    }
-    if let Some(h) = head.strip_suffix('&') {
-        head = h.trim_end();
-    }
-    let name_end = if let Some(h) = head.strip_suffix(':') {
-        // `name: HashMap<..>` — but not `::` (already stripped).
-        h.trim_end()
-    } else if let Some(h) = head.strip_suffix('=') {
-        // `let [mut] name = HashMap::new()` (also `name: Ty =`, covered
-        // by the colon arm on the type side).
-        h.trim_end()
-    } else {
-        return None;
-    };
-    let start = name_end
-        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
-        .map_or(0, |i| i + 1);
-    let name = &name_end[start..];
-    let ok = name
-        .chars()
-        .next()
-        .is_some_and(|c| c.is_alphabetic() || c == '_');
-    ok.then(|| name.to_string())
-}
-
-/// Byte offset of `needle` in `line` where the match starts at an
-/// identifier boundary (so `seqs.iter()` does not match `prefix_seqs.iter()`,
-/// while field accesses like `self.seqs.iter()` still do).
-fn find_word_start(line: &str, needle: &str) -> Option<usize> {
-    let mut search = 0;
-    while let Some(rel) = line[search..].find(needle) {
-        let pos = search + rel;
-        search = pos + 1;
-        let boundary = pos == 0
-            || !line[..pos]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if boundary {
-            return Some(pos);
+/// Identifiers the file binds to one of the given container types:
+/// `name: [&[mut ]]Type<..>` (fields, params, typed lets) and
+/// `name = Type::new()`-style locals. Path qualifiers
+/// (`std::collections::Type`) are skipped.
+pub(crate) fn bindings_of(tokens: &[Token], types: &[&str]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident || !types.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Rewind over a path prefix.
+        let mut j = i;
+        while j >= 2 && tokens[j - 1].is_punct("::") && tokens[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        // Rewind over reference sigils and lifetimes.
+        while let Some(prev) = j.checked_sub(1).and_then(|k| tokens.get(k)) {
+            if prev.is_punct("&") || prev.is_ident("mut") || prev.kind == TokKind::Lifetime {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        let bound = j
+            .checked_sub(1)
+            .and_then(|k| tokens.get(k))
+            .filter(|p| p.is_punct(":") || p.is_punct("="))
+            .and_then(|_| j.checked_sub(2))
+            .and_then(|k| tokens.get(k))
+            .filter(|n| n.kind == TokKind::Ident && n.text != "let" && n.text != "mut");
+        if let Some(n) = bound {
+            if !names.contains(&n.text) {
+                names.push(n.text.clone());
+            }
         }
     }
-    None
-}
-
-/// Does the line loop directly over the named map (`for .. in [&[mut ]]name`)?
-fn for_loop_over(line: &str, name: &str) -> bool {
-    let Some(for_pos) = find_word_start(line, "for ") else {
-        return false;
-    };
-    let Some(in_rel) = line[for_pos..].find(" in ") else {
-        return false;
-    };
-    let mut expr = line[for_pos + in_rel + 4..].trim_start();
-    expr = expr.strip_prefix("&mut ").unwrap_or(expr);
-    expr = expr.strip_prefix('&').unwrap_or(expr);
-    expr = expr.strip_prefix("self.").unwrap_or(expr);
-    let Some(rest) = expr.strip_prefix(name) else {
-        return false;
-    };
-    // The loop expression must *end* at the map (method calls like
-    // `.iter()` are caught by the method pass).
-    !rest
-        .chars()
-        .next()
-        .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.')
+    names
 }
 
 // ---------------------------------------------------------------------------
@@ -622,18 +790,81 @@ impl Rule for ForbidUnsafeHeader {
         "forbid-unsafe-header"
     }
 
+    fn explain(&self) -> &'static str {
+        "With `#![forbid(unsafe_code)]` in every crate root, the compiler \
+         proves the entire workspace is safe Rust — no reviewer has to \
+         audit for transmutes or raw-pointer tricks, and `forbid` (unlike \
+         `deny`) cannot be overridden further down the module tree."
+    }
+
     fn applies(&self, file: &SourceFile) -> bool {
         file.is_crate_root
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Diagnostic>) {
         if !file.raw.contains("#![forbid(unsafe_code)]") {
-            out.push(Diagnostic {
-                path: file.rel.clone(),
-                line: 1,
-                rule: self.name(),
-                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
-            });
+            out.push(diag_at(
+                file,
+                1,
+                self.name(),
+                "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-env-read-in-sim
+// ---------------------------------------------------------------------------
+
+/// Bans `std::env::var` / `var_os` outside the `par` executor and the
+/// bench harness. Simulation results must be a pure function of the
+/// explicit experiment configuration; an environment read is a hidden
+/// input that does not appear in the recorded config.
+pub struct NoEnvReadInSim;
+
+const ENV_EXEMPT_CRATES: &[&str] = &["par", "bench", "lint"];
+
+impl Rule for NoEnvReadInSim {
+    fn name(&self) -> &'static str {
+        "no-env-read-in-sim"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Reports record the experiment configuration so results can be \
+         reproduced from it alone. An env read inside a simulation crate \
+         is a hidden input: two hosts with different environments silently \
+         produce different results from the same recorded config. Env \
+         reads are confined to moe-par (MOE_THREADS, a documented \
+         execution knob that must not change results) and the bench/lint \
+         binaries, which are host tools, not simulators."
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        !ENV_EXEMPT_CRATES.contains(&file.crate_name.as_str())
+            && !file.is_test_file
+            && !file.rel.split('/').any(|seg| seg == "examples")
+    }
+
+    fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if file.line_in_test(t.line) {
+                continue;
+            }
+            for member in ["var", "var_os"] {
+                if path_pair(toks, i, "env", member) {
+                    out.push(diag_at(
+                        file,
+                        t.line,
+                        self.name(),
+                        format!(
+                            "`env::{member}` reads the environment inside a simulation crate; \
+                             results must be a pure function of the explicit config"
+                        ),
+                    ));
+                }
+            }
         }
     }
 }
@@ -644,7 +875,8 @@ mod tests {
 
     fn run_on(rel: &str, src: &str) -> Vec<Diagnostic> {
         let f = SourceFile::from_source(rel, src);
-        check_file(&f, &default_rules())
+        let ws = Workspace::single(&f);
+        check_file(&f, &ws, &default_rules())
     }
 
     fn rules_hit(diags: &[Diagnostic]) -> Vec<&'static str> {
@@ -719,6 +951,15 @@ mod tests {
     }
 
     #[test]
+    fn float_eq_message_reconstructs_operands() {
+        let d = run_on("crates/x/src/a.rs", "if util == 1.0 { }\n");
+        assert_eq!(
+            d[0].message,
+            "exact float comparison `util == 1.0`; use a tolerance or compare bit patterns"
+        );
+    }
+
+    #[test]
     fn int_eq_is_fine() {
         for src in [
             "if v == 0 { }\n",
@@ -743,6 +984,17 @@ mod tests {
                 "{src:?} -> {d:?}"
             );
         }
+    }
+
+    #[test]
+    fn lossy_cast_tracks_float_locals_through_names() {
+        let src =
+            "fn f(x: f64) -> usize {\n    let clamped = x.max(0.0);\n    clamped as usize\n}\n";
+        let d = run_on("crates/gpusim/src/a.rs", src);
+        assert!(
+            rules_hit(&d).contains(&"no-lossy-float-cast"),
+            "{src:?} -> {d:?}"
+        );
     }
 
     #[test]
@@ -822,6 +1074,69 @@ mod tests {
         assert!(run_on("crates/x/src/other.rs", "pub fn f() {}\n").is_empty());
     }
 
+    // --- new structural rules ---
+
+    #[test]
+    fn detects_env_read_in_sim() {
+        let src = "let t = std::env::var(\"MOE_TRACE\").ok();\n";
+        let d = run_on("crates/gpusim/src/a.rs", src);
+        assert!(rules_hit(&d).contains(&"no-env-read-in-sim"), "{d:?}");
+        // The executor and bench harness may read their knobs.
+        assert!(run_on("crates/par/src/a.rs", src).is_empty());
+        assert!(run_on("crates/bench/src/a.rs", src).is_empty());
+        // `env::args` in a binary is not an env read.
+        let args = "let a: Vec<String> = std::env::args().collect();\n";
+        assert!(run_on("crates/eval/src/main.rs", args)
+            .iter()
+            .all(|d| d.rule != "no-env-read-in-sim"));
+    }
+
+    #[test]
+    fn seed_flow_accepts_derived_and_flags_literal() {
+        let ok = "fn f(seed: u64) {\n    let s2 = derive_seed(seed, 1);\n    let r = rng_from_seed(s2);\n}\n";
+        assert!(run_on("crates/gpusim/src/a.rs", ok).is_empty());
+        let bad = "fn f() {\n    let r = rng_from_seed(42);\n}\n";
+        let d = run_on("crates/gpusim/src/a.rs", bad);
+        assert!(rules_hit(&d).contains(&"seed-flow"), "{d:?}");
+        // Tests may pin literal seeds.
+        let test = "#[cfg(test)]\nmod tests {\n    fn t() { let r = rng_from_seed(42); }\n}\n";
+        assert!(run_on("crates/gpusim/src/a.rs", test).is_empty());
+    }
+
+    #[test]
+    fn unordered_float_reduce_flags_hashmap_sum() {
+        let src = "fn f(m: &HashMap<u64, f64>) -> f64 {\n    m.values().copied().sum::<f64>()\n}\n";
+        let d = run_on("crates/eval/src/a.rs", src);
+        assert!(
+            rules_hit(&d).contains(&"no-unordered-float-reduce"),
+            "{d:?}"
+        );
+        // Integer reduction over the same container is order-insensitive.
+        let ok = "fn f(m: &HashMap<u64, u64>) -> u64 {\n    m.values().copied().sum::<u64>()\n}\n";
+        let d = run_on("crates/eval/src/a.rs", ok);
+        assert!(
+            !rules_hit(&d).contains(&"no-unordered-float-reduce"),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn unordered_float_reduce_flags_par_closure_accumulation() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n    let mut total = 0.0;\n    moe_par::for_each_chunk_mut(xs, 8, |chunk| {\n        total += chunk[0];\n    });\n    total\n}\n";
+        let d = run_on("crates/eval/src/a.rs", src);
+        assert!(
+            rules_hit(&d).contains(&"no-unordered-float-reduce"),
+            "{d:?}"
+        );
+        // Closure-local accumulation is fine: the merge is ordered.
+        let ok = "fn f(xs: &[f64]) -> f64 {\n    let sums = moe_par::map_collect(xs, |x| {\n        let mut local = 0.0;\n        local += *x;\n        local\n    });\n    sums.iter().sum()\n}\n";
+        let d = run_on("crates/eval/src/a.rs", ok);
+        assert!(
+            !rules_hit(&d).contains(&"no-unordered-float-reduce"),
+            "{d:?}"
+        );
+    }
+
     // --- suppression machinery ---
 
     #[test]
@@ -848,6 +1163,25 @@ mod tests {
         let src = "// lint:allow(no-float-eq) -- wrong rule\nx.unwrap();\n";
         let d = run_on("crates/x/src/a.rs", src);
         assert!(rules_hit(&d).contains(&"no-panic-in-lib"), "{d:?}");
+    }
+
+    #[test]
+    fn stale_suppression_is_reported_unused() {
+        // Justified, but nothing to suppress: the code below is clean.
+        let src = "// lint:allow(no-panic-in-lib) -- stale excuse\nlet y = x.unwrap_or(0);\n";
+        let d = run_on("crates/x/src/a.rs", src);
+        assert_eq!(rules_hit(&d), vec!["unused-allow"], "{d:?}");
+        // A live suppression is not flagged.
+        let live = "// lint:allow(no-panic-in-lib) -- fail fast on purpose\nx.unwrap();\n";
+        assert!(run_on("crates/x/src/a.rs", live).is_empty());
+    }
+
+    #[test]
+    fn explain_covers_every_rule() {
+        for name in rule_names() {
+            assert!(explain_rule(name).is_some(), "{name} missing explain()");
+        }
+        assert!(explain_rule("no-such-rule").is_none());
     }
 
     // --- masking soundness ---

@@ -1,13 +1,18 @@
-//! Source preprocessing: comment/string masking, test-scope tracking, and
-//! suppression parsing.
+//! Source preprocessing: one lexer pass feeding every later stage.
 //!
-//! Rules never see raw source. They see [`SourceFile::masked`], where every
-//! character inside a comment or a string/char literal is replaced by a
-//! space. That keeps column positions and line counts identical to the raw
-//! text while making naive substring checks sound: `"thread_rng"` inside a
-//! doc comment or an error message can no longer trip a rule.
+//! A [`SourceFile`] carries four synchronized views of one file:
+//! the raw text, the *masked* text (comment and literal contents blanked
+//! with spaces, so positions are stable and substring checks are sound),
+//! the token forest from [`crate::lexer`] + [`crate::tree`], and the
+//! parsed [`crate::items`] (functions, `#[cfg(test)]` ranges). Rules pick
+//! whichever view fits: structural rules walk tokens and items, message
+//! reconstruction still reads the masked line.
 
 use std::collections::HashMap;
+
+use crate::items::{self, FnItem};
+use crate::lexer::{lex, Token};
+use crate::tree::{build, Tree};
 
 /// One parsed `lint:allow` marker.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,8 +43,14 @@ pub struct SourceFile {
     /// Per-line masked text: comments and string/char literal contents
     /// blanked with spaces.
     pub masked: Vec<String>,
-    /// Per-line flag: inside a `#[cfg(test)]` module (or a `tests/` file).
+    /// Per-line flag: inside a `#[cfg(test)]` item (or a `tests/` file).
     pub in_test: Vec<bool>,
+    /// Lexed token stream (comments and literal contents excluded).
+    pub tokens: Vec<Token>,
+    /// Balanced-delimiter token forest over `tokens`.
+    pub trees: Vec<Tree>,
+    /// Parsed `fn` items, in source order, with test scope resolved.
+    pub fns: Vec<FnItem>,
     /// Suppressions keyed by the 1-based line they appear on.
     pub suppressions: HashMap<usize, Vec<Suppression>>,
 }
@@ -51,18 +62,43 @@ impl SourceFile {
         let crate_name = crate_of(&rel);
         let is_test_file = rel.split('/').any(|seg| seg == "tests" || seg == "benches");
         let is_crate_root = is_crate_root(&rel);
-        let (masked_text, comments) = mask(text);
-        let masked: Vec<String> = masked_text.lines().map(str::to_string).collect();
+
+        let lexed = lex(text);
+        let masked: Vec<String> = lexed.masked.lines().map(str::to_string).collect();
+        let trees = build(&lexed.tokens);
+        let parsed = items::parse(&trees);
+
         let mut in_test = vec![is_test_file; masked.len()];
         if !is_test_file {
-            mark_test_scopes(&masked, &mut in_test);
+            for &(start, end) in &parsed.test_ranges {
+                for line in start..=end.min(masked.len()) {
+                    if let Some(slot) = in_test.get_mut(line - 1) {
+                        *slot = true;
+                    }
+                }
+            }
         }
+        let mut fns = parsed.fns;
+        if is_test_file {
+            for f in &mut fns {
+                f.in_test = true;
+            }
+        }
+
         let mut suppressions: HashMap<usize, Vec<Suppression>> = HashMap::new();
-        for (line, text) in &comments {
-            for s in parse_suppressions(*line, text) {
+        for (line, body) in &lexed.comments {
+            // Doc comments are rendered documentation, not directives: a
+            // `lint:allow` spelled in an example must not count (and must
+            // not be flagged as unused).
+            let t = body.trim_start();
+            if t.starts_with("///") || t.starts_with("//!") {
+                continue;
+            }
+            for s in parse_suppressions(*line, body) {
                 suppressions.entry(*line).or_default().push(s);
             }
         }
+
         Self {
             rel,
             crate_name,
@@ -71,6 +107,9 @@ impl SourceFile {
             raw: text.to_string(),
             masked,
             in_test,
+            tokens: lexed.tokens,
+            trees,
+            fns,
             suppressions,
         }
     }
@@ -109,246 +148,6 @@ fn is_crate_root(rel: &str) -> bool {
         ["src", f] => *f == "lib.rs" || *f == "main.rs",
         ["crates", _, "src", f] => *f == "lib.rs" || *f == "main.rs",
         _ => false,
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Masking lexer
-// ---------------------------------------------------------------------------
-
-/// Replace the contents of comments and string/char literals with spaces.
-/// Returns the masked text plus the comment bodies as `(1-based line, text)`
-/// pairs (suppression markers live in comments, which rules cannot see).
-fn mask(text: &str) -> (String, Vec<(usize, String)>) {
-    let b: Vec<char> = text.chars().collect();
-    let mut out = String::with_capacity(text.len());
-    let mut comments: Vec<(usize, String)> = Vec::new();
-    let mut line = 1usize;
-    let mut i = 0usize;
-
-    // Push either the source char or a blank, tracking line numbers.
-    macro_rules! emit {
-        ($c:expr, $blank:expr) => {{
-            let c = $c;
-            if c == '\n' {
-                out.push('\n');
-                line += 1;
-            } else if $blank {
-                out.push(' ');
-            } else {
-                out.push(c);
-            }
-        }};
-    }
-
-    while i < b.len() {
-        let c = b[i];
-        // Line comment.
-        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
-            let start_line = line;
-            let mut body = String::new();
-            while i < b.len() && b[i] != '\n' {
-                body.push(b[i]);
-                emit!(b[i], true);
-                i += 1;
-            }
-            comments.push((start_line, body));
-            continue;
-        }
-        // Block comment (nests, like Rust's).
-        if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
-            let mut depth = 0usize;
-            let mut body = String::new();
-            let mut body_line = line;
-            while i < b.len() {
-                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
-                    depth += 1;
-                    emit!('/', true);
-                    emit!('*', true);
-                    i += 2;
-                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
-                    depth -= 1;
-                    emit!('*', true);
-                    emit!('/', true);
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    if b[i] == '\n' {
-                        comments.push((body_line, std::mem::take(&mut body)));
-                        body_line = line + 1;
-                    } else {
-                        body.push(b[i]);
-                    }
-                    emit!(b[i], true);
-                    i += 1;
-                }
-            }
-            comments.push((body_line, body));
-            continue;
-        }
-        // Raw string: r"..." / r#"..."# / br#"..."# etc.
-        if c == 'r' || c == 'b' {
-            if let Some((hashes, quote_at)) = raw_string_start(&b, i) {
-                // Emit the prefix (r / br and hashes) unmasked.
-                while i <= quote_at {
-                    emit!(b[i], false);
-                    i += 1;
-                }
-                // Mask until `"` followed by `hashes` #'s.
-                while i < b.len() {
-                    if b[i] == '"' && count_hashes(&b, i + 1) >= hashes {
-                        emit!('"', false);
-                        i += 1;
-                        for _ in 0..hashes {
-                            emit!('#', false);
-                            i += 1;
-                        }
-                        break;
-                    }
-                    emit!(b[i], true);
-                    i += 1;
-                }
-                continue;
-            }
-        }
-        // Ordinary string (covers b"...").
-        if c == '"' {
-            emit!('"', false);
-            i += 1;
-            while i < b.len() {
-                if b[i] == '\\' && i + 1 < b.len() {
-                    emit!(b[i], true);
-                    emit!(b[i + 1], true);
-                    i += 2;
-                } else if b[i] == '"' {
-                    emit!('"', false);
-                    i += 1;
-                    break;
-                } else {
-                    emit!(b[i], true);
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime: 'x' or '\n' is a literal; 'a in `<'a>`
-        // is not (no closing quote in range).
-        if c == '\'' {
-            let lit_len = char_literal_len(&b, i);
-            if let Some(n) = lit_len {
-                emit!('\'', false);
-                for k in 1..n - 1 {
-                    emit!(b[i + k], true);
-                }
-                emit!('\'', false);
-                i += n;
-                continue;
-            }
-        }
-        emit!(c, false);
-        i += 1;
-    }
-    (out, comments)
-}
-
-/// If `b[i..]` starts a raw string literal, return `(hash_count, index of
-/// the opening quote)`.
-fn raw_string_start(b: &[char], i: usize) -> Option<(usize, usize)> {
-    // Reject identifier contexts like `for r in ..` by requiring the char
-    // before `r`/`br` not be alphanumeric or `_`.
-    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
-        return None;
-    }
-    let mut j = i;
-    if b[j] == 'b' {
-        j += 1;
-    }
-    if j >= b.len() || b[j] != 'r' {
-        return None;
-    }
-    j += 1;
-    let hashes = count_hashes(b, j);
-    let q = j + hashes;
-    if q < b.len() && b[q] == '"' {
-        Some((hashes, q))
-    } else {
-        None
-    }
-}
-
-fn count_hashes(b: &[char], mut i: usize) -> usize {
-    let mut n = 0;
-    while i < b.len() && b[i] == '#' {
-        n += 1;
-        i += 1;
-    }
-    n
-}
-
-/// Length (in chars, including both quotes) of a char literal starting at
-/// `i`, or `None` if this `'` is a lifetime.
-fn char_literal_len(b: &[char], i: usize) -> Option<usize> {
-    // Lifetime heuristic: '' followed by ident char and no close quote.
-    if i + 2 < b.len() && b[i + 1] == '\\' {
-        // Escaped: find the closing quote within a small window
-        // (\n, \', \u{1F600} ...).
-        for k in 3..12.min(b.len() - i) {
-            if b[i + k] == '\'' {
-                return Some(k + 1);
-            }
-        }
-        return None;
-    }
-    if i + 2 < b.len() && b[i + 2] == '\'' && b[i + 1] != '\'' {
-        return Some(3);
-    }
-    None
-}
-
-// ---------------------------------------------------------------------------
-// Test-scope tracking
-// ---------------------------------------------------------------------------
-
-/// Mark lines inside `#[cfg(test)]`-gated items (typically `mod tests`) by
-/// brace-depth tracking over the masked text.
-fn mark_test_scopes(masked: &[String], in_test: &mut [bool]) {
-    let mut idx = 0usize;
-    while idx < masked.len() {
-        let line = masked[idx].trim_start();
-        if line.starts_with("#[cfg(test)]") {
-            // Find the opening brace of the gated item, then its match.
-            let mut depth = 0i64;
-            let mut opened = false;
-            let mut j = idx;
-            'outer: while j < masked.len() {
-                in_test[j] = true;
-                for ch in masked[j].chars() {
-                    match ch {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => {
-                            depth -= 1;
-                            if opened && depth == 0 {
-                                in_test[j] = true;
-                                break 'outer;
-                            }
-                        }
-                        // An attribute gating a braceless item (e.g. a
-                        // `mod tests;` declaration) ends at the semicolon.
-                        ';' if !opened => break 'outer,
-                        _ => {}
-                    }
-                }
-                j += 1;
-            }
-            idx = j + 1;
-        } else {
-            idx += 1;
-        }
     }
 }
 
@@ -443,6 +242,7 @@ mod tests {
         assert!(f.is_test_file);
         assert!(f.line_in_test(1));
         assert_eq!(f.crate_name, "root");
+        assert!(f.fns[0].in_test);
     }
 
     #[test]
@@ -455,6 +255,17 @@ mod tests {
         let h = SourceFile::from_source("src/lib.rs", "");
         assert_eq!(h.crate_name, "root");
         assert!(h.is_crate_root);
+    }
+
+    #[test]
+    fn exposes_tokens_trees_and_fns() {
+        let f =
+            SourceFile::from_source("crates/x/src/a.rs", "pub fn f(seed: u64) -> u64 { seed }\n");
+        assert!(!f.tokens.is_empty());
+        assert!(!f.trees.is_empty());
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "f");
+        assert_eq!(f.fns[0].params[0].ty, "u64");
     }
 
     #[test]
@@ -473,5 +284,12 @@ mod tests {
         let s = &f.suppressions[&1][0];
         assert!(!s.justified);
         assert!(!f.is_suppressed("no-panic-in-lib", 1));
+    }
+
+    #[test]
+    fn doc_comment_allow_is_not_a_directive() {
+        let src = "//! e.g. `// lint:allow(no-float-eq) -- why`\nfn f() {}\n";
+        let f = SourceFile::from_source("src/x.rs", src);
+        assert!(f.suppressions.is_empty(), "{:?}", f.suppressions);
     }
 }

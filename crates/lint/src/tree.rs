@@ -1,0 +1,200 @@
+//! Balanced-delimiter token trees.
+//!
+//! The flat token stream from [`crate::lexer`] is folded into a forest:
+//! every `(…)`, `[…]`, `{…}` becomes a [`Group`] containing its own
+//! forest, everything else stays a leaf. Rules that used to count braces
+//! line-by-line now ask structural questions ("the expression before this
+//! `as`", "the body of this `for` loop") directly.
+
+use crate::lexer::{TokKind, Token};
+
+/// One node of the token forest.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    /// A non-delimiter token.
+    Leaf(Token),
+    /// A balanced delimiter group.
+    Group(Group),
+}
+
+/// A balanced `(…)`, `[…]` or `{…}` with its nested contents.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Opening delimiter char: `(`, `[` or `{`.
+    pub delim: char,
+    /// 1-based line of the opening delimiter.
+    pub open_line: usize,
+    /// 1-based line of the closing delimiter (opening line if unclosed).
+    pub close_line: usize,
+    /// Nested forest.
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// The token if this is a leaf.
+    pub fn leaf(&self) -> Option<&Token> {
+        match self {
+            Tree::Leaf(t) => Some(t),
+            Tree::Group(_) => None,
+        }
+    }
+
+    /// The group if this is one.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tree::Leaf(_) => None,
+            Tree::Group(g) => Some(g),
+        }
+    }
+
+    /// 1-based line this node starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group(g) => g.open_line,
+        }
+    }
+
+    /// 1-based line this node ends on.
+    pub fn end_line(&self) -> usize {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group(g) => g.close_line,
+        }
+    }
+}
+
+/// Is this leaf an identifier with the given text?
+pub fn is_ident(t: &Tree, s: &str) -> bool {
+    t.leaf().is_some_and(|t| t.is_ident(s))
+}
+
+/// Is this leaf a punctuation token with the given text?
+pub fn is_punct(t: &Tree, s: &str) -> bool {
+    t.leaf().is_some_and(|t| t.is_punct(s))
+}
+
+fn close_of(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+/// Build the forest. Lenient on malformed input: a stray closer becomes a
+/// leaf, an unclosed group ends at end-of-file — the linter must degrade
+/// gracefully on files that do not parse.
+pub fn build(tokens: &[Token]) -> Vec<Tree> {
+    let mut idx = 0usize;
+    build_seq(tokens, &mut idx, None)
+}
+
+fn build_seq(tokens: &[Token], idx: &mut usize, closing: Option<char>) -> Vec<Tree> {
+    let mut out = Vec::new();
+    while *idx < tokens.len() {
+        let t = &tokens[*idx];
+        match t.kind {
+            TokKind::Open => {
+                let delim = t.text.chars().next().unwrap_or('(');
+                let open_line = t.line;
+                *idx += 1;
+                let children = build_seq(tokens, idx, Some(close_of(delim)));
+                // `idx` now sits just past the matching closer (or at EOF).
+                let close_line = tokens
+                    .get(idx.saturating_sub(1))
+                    .map_or(open_line, |t| t.line);
+                out.push(Tree::Group(Group {
+                    delim,
+                    open_line,
+                    close_line,
+                    children,
+                }));
+            }
+            TokKind::Close => {
+                if closing == t.text.chars().next() {
+                    *idx += 1;
+                    return out;
+                }
+                // Stray closer: keep as a leaf and continue.
+                out.push(Tree::Leaf(t.clone()));
+                *idx += 1;
+            }
+            _ => {
+                out.push(Tree::Leaf(t.clone()));
+                *idx += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Append every leaf token under `trees` (depth-first, source order) to
+/// `out`. Group delimiters themselves are not included.
+pub fn flatten<'a>(trees: &'a [Tree], out: &mut Vec<&'a Token>) {
+    for t in trees {
+        match t {
+            Tree::Leaf(tok) => out.push(tok),
+            Tree::Group(g) => flatten(&g.children, out),
+        }
+    }
+}
+
+/// Render a token sequence as compact source-ish text (single spaces
+/// between lexemes) — used for diagnostics and signature strings.
+pub fn render(trees: &[Tree]) -> String {
+    let mut flat = Vec::new();
+    flatten(trees, &mut flat);
+    flat.iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn forest(src: &str) -> Vec<Tree> {
+        build(&lex(src).tokens)
+    }
+
+    #[test]
+    fn nests_groups() {
+        let f = forest("fn f(a: u64) { g(h(1)); }");
+        // fn, f, (..), {..}
+        assert_eq!(f.len(), 4);
+        let body = f[3].group().unwrap();
+        assert_eq!(body.delim, '{');
+        let call = body.children[1].group().unwrap();
+        assert_eq!(call.delim, '(');
+        assert!(call.children[0].group().is_none());
+    }
+
+    #[test]
+    fn records_line_spans() {
+        let f = forest("mod m {\n  fn f() {\n  }\n}\n");
+        let g = f[2].group().unwrap();
+        assert_eq!((g.open_line, g.close_line), (1, 4));
+    }
+
+    #[test]
+    fn tolerates_stray_and_unclosed() {
+        let f = forest(") a ( b");
+        assert!(f[0].leaf().is_some()); // stray closer kept
+        assert!(is_ident(&f[1], "a"));
+        let g = f[2].group().unwrap();
+        assert!(is_ident(&g.children[0], "b")); // unclosed group still captured
+    }
+
+    #[test]
+    fn flatten_and_render() {
+        let f = forest("a(b, c)");
+        let mut flat = Vec::new();
+        flatten(&f, &mut flat);
+        let texts: Vec<&str> = flat.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", "b", ",", "c"]);
+        assert_eq!(render(&f), "a b , c");
+    }
+}

@@ -4,11 +4,13 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::index::Workspace;
 use crate::rules::{check_file, default_rules, Diagnostic};
 use crate::source::SourceFile;
 
-/// Directories never descended into.
-const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
+/// Directories never descended into. `fixtures` holds the lint crate's
+/// own test corpus of deliberate violations.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures"];
 
 /// Collect every `.rs` file under `root`, sorted by relative path so
 /// output order is stable across filesystems.
@@ -37,11 +39,12 @@ fn walk_dir(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lint every Rust source under `root` with the default rules. Returns the
-/// surviving (unsuppressed) diagnostics, sorted by path then line.
+/// Lint every Rust source under `root` with the default rules. Two
+/// phases: parse every file, build the workspace symbol index, then run
+/// the rules with that cross-file context. Returns the surviving
+/// (unsuppressed) diagnostics, sorted by path then line.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let rules = default_rules();
-    let mut diags = Vec::new();
+    let mut files = Vec::new();
     for path in collect_rust_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -49,8 +52,13 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             .to_string_lossy()
             .replace('\\', "/");
         let text = fs::read_to_string(&path)?;
-        let file = SourceFile::from_source(&rel, &text);
-        diags.extend(check_file(&file, &rules));
+        files.push(SourceFile::from_source(&rel, &text));
+    }
+    let ws = Workspace::build(&files);
+    let rules = default_rules();
+    let mut diags = Vec::new();
+    for file in &files {
+        diags.extend(check_file(file, &ws, &rules));
     }
     diags.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
     Ok(diags)

@@ -1,0 +1,122 @@
+//! Fixture corpus runner.
+//!
+//! Every `.rs` file under `crates/lint/fixtures/` is linted in isolation
+//! and its diagnostics compared — as an exact `(line, rule)` set — against
+//! expectations embedded in the file:
+//!
+//! - line 1 may carry `//@ path: <virtual rel path>` to control crate
+//!   scoping (rules key off the workspace-relative path);
+//! - `//~ rule[, rule...]` on any line expects those rules on that line;
+//! - `//~ rule @ N` expects the rule on absolute line `N` (for rules that
+//!   report at a fixed location, like the crate-root header check).
+//!
+//! The corpus is excluded from the workspace lint walk (`fixtures` is a
+//! skipped directory), so the deliberate violations never trip the gate.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use moe_lint::rules::check_file;
+use moe_lint::{default_rules, SourceFile, Workspace};
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = fs::read_dir(dir).expect("fixtures dir readable");
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            collect(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Parse `//~` expectation markers into a `(line, rule)` set.
+fn expectations(text: &str) -> BTreeSet<(usize, String)> {
+    let mut want = BTreeSet::new();
+    for (idx, line) in text.lines().enumerate() {
+        let Some(pos) = line.find("//~") else {
+            continue;
+        };
+        for entry in line[pos + 3..].split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            if let Some((rule, at)) = entry.split_once('@') {
+                let at: usize = at.trim().parse().expect("line number after @");
+                want.insert((at, rule.trim().to_string()));
+            } else {
+                want.insert((idx + 1, entry.to_string()));
+            }
+        }
+    }
+    want
+}
+
+#[test]
+fn fixture_corpus() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut files = Vec::new();
+    collect(&root, &mut files);
+    files.sort();
+    assert!(
+        files.len() >= 25,
+        "expected a full corpus, found {} files",
+        files.len()
+    );
+
+    let rules = default_rules();
+    let mut failures = Vec::new();
+    for path in &files {
+        let text = fs::read_to_string(path).expect("fixture readable");
+        let rel = text
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("//@ path:"))
+            .map(str::trim)
+            .unwrap_or("crates/x/src/fixture.rs")
+            .to_string();
+        let file = SourceFile::from_source(&rel, &text);
+        let ws = Workspace::single(&file);
+        let got: BTreeSet<(usize, String)> = check_file(&file, &ws, &rules)
+            .into_iter()
+            .map(|d| (d.line, d.rule.to_string()))
+            .collect();
+        let want = expectations(&text);
+        if got != want {
+            let missing: Vec<_> = want.difference(&got).collect();
+            let extra: Vec<_> = got.difference(&want).collect();
+            failures.push(format!(
+                "{}: missing {:?}, unexpected {:?}",
+                path.display(),
+                missing,
+                extra
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn every_rule_has_positive_and_negative_fixtures() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/rules");
+    let mut covered = BTreeSet::new();
+    for entry in fs::read_dir(&root).expect("rules fixtures dir") {
+        let dir = entry.expect("dir entry").path();
+        assert!(
+            dir.join("pos.rs").is_file() && dir.join("neg.rs").is_file(),
+            "{} needs both pos.rs and neg.rs",
+            dir.display()
+        );
+        covered.insert(
+            dir.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+        );
+    }
+    for name in moe_lint::rule_names() {
+        assert!(covered.contains(name), "no fixture directory for {name}");
+    }
+}

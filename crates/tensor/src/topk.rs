@@ -143,10 +143,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, v)| (v, i))
                 .collect();
-            pairs.sort_by(|a, b| {
-                // lint:allow(no-panic-in-lib) -- test scope; finite floats always compare
-                b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1))
-            });
+            pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
             let expect: Vec<usize> = pairs[..k].iter().map(|p| p.1).collect();
             assert_eq!(t.indices, expect);
         }
