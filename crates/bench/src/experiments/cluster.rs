@@ -55,6 +55,7 @@ fn cluster_config(policy: RoutePolicy) -> ClusterConfig {
         router: RouterConfig::default(),
         prefix_capacity: 16,
         seed: 1,
+        ..ClusterConfig::default()
     }
 }
 

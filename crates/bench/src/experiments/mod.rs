@@ -26,5 +26,6 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod plan;
+pub mod scale;
 pub mod sweep59;
 pub mod table1;

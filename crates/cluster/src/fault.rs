@@ -66,6 +66,17 @@ impl FaultEvent {
             | FaultEvent::SlowdownEnd { replica, .. } => *replica,
         }
     }
+
+    /// Point the event at a different replica index. The sharded runner
+    /// uses this to remap global replica indices to shard-local ones.
+    pub fn retarget(&mut self, idx: usize) {
+        match self {
+            FaultEvent::Crash { replica, .. }
+            | FaultEvent::Recover { replica, .. }
+            | FaultEvent::SlowdownStart { replica, .. }
+            | FaultEvent::SlowdownEnd { replica, .. } => *replica = idx,
+        }
+    }
 }
 
 /// A time-sorted fault schedule.

@@ -7,28 +7,40 @@
 //! * [`workload`] — seeded open-loop arrival generation (Poisson, bursty
 //!   Markov-modulated, diurnal ramp), per-tenant request shapes and
 //!   shared-prefix groups, materialized into a replayable
-//!   [`workload::RequestTrace`] that round-trips through `moe-json`.
+//!   [`workload::RequestTrace`] that round-trips through `moe-json` —
+//!   or streamed lazily through any [`workload::ArrivalSource`]
+//!   ([`workload::WorkloadStream`]), so memory never scales with trace
+//!   length.
 //! * [`router`] — pluggable replica-selection policies (round-robin,
 //!   least-outstanding, power-of-two-choices, prefix-affinity) plus the
 //!   admission-queue / retry / TTFT-timeout knobs in
 //!   [`router::RouterConfig`].
 //! * [`fault`] — seeded crash/recover and slowdown schedules as plain
 //!   data ([`fault::FaultPlan`]).
-//! * [`sim`] — the event loop tying them together; produces a
+//! * [`sim`] — the event loop tying them together on one indexed binary
+//!   event heap with streaming histogram aggregation; produces a
 //!   [`sim::ClusterReport`] and, via [`sim::ClusterSim::run`],
 //!   a `moe-trace` timeline with router-decision instants, per-replica
 //!   step spans and queue-depth counters.
+//! * [`shard`] — planet-scale execution: independent replica groups
+//!   partitioned by seeded hashing, run across `moe-par` workers, and
+//!   merged deterministically ([`shard::ShardPlan`], with multi-region
+//!   [`shard::RegionTier`]s pricing network RTT into user-perceived
+//!   latency). See `docs/SCALE.md`.
 //!
 //! Everything is seeded and tie-broken deterministically: the same
-//! `(trace, config, fault plan)` replays byte-identically, which
+//! `(trace, config, fault plan)` replays byte-identically — at any
+//! `MOE_THREADS` worker count when sharded — which
 //! `tests/determinism.rs` pins at the workspace level.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod events;
 pub mod fault;
 pub(crate) mod replica;
 pub mod router;
+pub mod shard;
 pub mod sim;
 pub mod workload;
 
@@ -42,7 +54,9 @@ pub const REPLICA_TRACK_BASE: moe_trace::TrackId = 9;
 
 pub use fault::{FaultEvent, FaultPlan};
 pub use router::{RoutePolicy, RouterConfig};
+pub use shard::{run_sharded, run_sharded_detailed, run_sharded_stream, RegionTier, ShardPlan};
 pub use sim::{ClusterConfig, ClusterOutput, ClusterReport, ClusterSim};
 pub use workload::{
-    generate, ArrivalProcess, ClusterRequest, RequestTrace, TenantSpec, WorkloadSpec,
+    generate, ArrivalProcess, ArrivalSource, ClusterRequest, RequestTrace, TenantSpec, TraceSource,
+    WorkloadSpec, WorkloadStream,
 };

@@ -22,6 +22,7 @@ use moe_gpusim::perfmodel::{PerfModel, Phase};
 use moe_runtime::request::{Request, RequestId};
 use moe_runtime::scheduler::{Scheduler, SchedulerConfig, StepPlan};
 
+use crate::router::ReplicaLoad;
 use crate::workload::ClusterRequest;
 
 /// Cluster-side bookkeeping for one request resident on a replica.
@@ -45,6 +46,38 @@ pub(crate) struct FinishedRequest {
     pub finish_s: f64,
 }
 
+/// Memoized step pricing, shared by every replica of one simulation.
+///
+/// All replicas run the same [`PerfModel`], so a step's cost is a pure
+/// function of its shape: `(tokens, batch)` for prefill, `(batch,
+/// mean context)` for decode. At cluster scale the same few thousand
+/// shapes recur across hundreds of thousands of steps, and the
+/// per-layer cost walk in `forward_time` dominates the event loop —
+/// memoizing it cuts pricing to a map lookup. Cached values are the
+/// *nominal* times; the per-replica slowdown factor is applied by the
+/// caller, so straggler windows never pollute the shared cache.
+/// Determinism is untouched: a hit returns bit-identically what the
+/// model would recompute.
+#[derive(Debug, Default)]
+pub(crate) struct PriceCache {
+    map: BTreeMap<(u8, u64, u64), f64>,
+}
+
+impl PriceCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_price(&mut self, key: (u8, u64, u64), price: impl FnOnce() -> f64) -> f64 {
+        if let Some(&dt) = self.map.get(&key) {
+            return dt;
+        }
+        let dt = price();
+        self.map.insert(key, dt);
+        dt
+    }
+}
+
 /// The step currently executing on the replica.
 #[derive(Debug)]
 struct InFlight {
@@ -54,6 +87,10 @@ struct InFlight {
     kind: &'static str,
     batch: usize,
     start_s: f64,
+    /// Monotonic step generation, matched against heap entries so a
+    /// completion event scheduled for a step that a crash wiped out is
+    /// recognized as stale instead of committing the wrong step.
+    gen: u64,
 }
 
 /// One simulated engine replica.
@@ -75,6 +112,8 @@ pub(crate) struct Replica {
     prefix_capacity: usize,
     /// Scheduler-local id -> cluster request bookkeeping.
     active: BTreeMap<RequestId, ActiveRequest>,
+    /// Generation of the most recently started step (see [`InFlight::gen`]).
+    step_gen: u64,
     pub prefix_hits: u64,
     pub prefix_misses: u64,
     pub completed: usize,
@@ -94,6 +133,7 @@ impl Replica {
             lru_clock: 0,
             prefix_capacity,
             active: BTreeMap::new(),
+            step_gen: 0,
             prefix_hits: 0,
             prefix_misses: 0,
             completed: 0,
@@ -114,6 +154,21 @@ impl Replica {
     /// Completion time of the in-flight step, if one is executing.
     pub fn step_end_s(&self) -> Option<f64> {
         self.in_flight.as_ref().map(|f| f.end_s)
+    }
+
+    /// Generation of the in-flight step, if one is executing. A heap
+    /// entry whose generation differs is stale.
+    pub fn current_gen(&self) -> Option<u64> {
+        self.in_flight.as_ref().map(|f| f.gen)
+    }
+
+    /// Snapshot of this replica's load for the router.
+    pub fn load(&self) -> ReplicaLoad {
+        ReplicaLoad {
+            alive: self.alive,
+            queued: self.queued(),
+            outstanding: self.outstanding(),
+        }
     }
 
     /// Accept a dispatched request. Consults the prefix LRU: a resident
@@ -175,9 +230,10 @@ impl Replica {
         self.scheduler.cancel(sched_id)
     }
 
-    /// If idle, alive and holding work, plan and price the next step;
-    /// returns its completion time. `None` when nothing starts.
-    pub fn try_start_step(&mut self, now_s: f64) -> Option<f64> {
+    /// If idle, alive and holding work, plan and price the next step
+    /// (through the shared [`PriceCache`]); returns its completion time.
+    /// `None` when nothing starts.
+    pub fn try_start_step(&mut self, now_s: f64, prices: &mut PriceCache) -> Option<f64> {
         if !self.alive || self.in_flight.is_some() || !self.scheduler.has_work() {
             return None;
         }
@@ -186,9 +242,11 @@ impl Replica {
             StepPlan::Prefill { ids, tokens } => {
                 let batch = ids.len().max(1);
                 let per_seq = tokens.div_ceil(batch);
+                let model = &self.model;
                 (
-                    self.model
-                        .forward_time(*tokens, batch, per_seq, Phase::Prefill),
+                    prices.get_or_price((0, *tokens as u64, batch as u64), || {
+                        model.forward_time(*tokens, batch, per_seq, Phase::Prefill)
+                    }),
                     "prefill",
                     batch,
                 )
@@ -201,8 +259,11 @@ impl Replica {
                     .map(|s| s.context_len())
                     .sum();
                 let mean_ctx = (ctx_sum / batch).max(1);
+                let model = &self.model;
                 (
-                    self.model.decode_step_time(batch, mean_ctx),
+                    prices.get_or_price((1, batch as u64, mean_ctx as u64), || {
+                        model.decode_step_time(batch, mean_ctx)
+                    }),
                     "decode",
                     batch,
                 )
@@ -220,12 +281,14 @@ impl Replica {
             }
         };
         let end_s = now_s + dt * self.slowdown;
+        self.step_gen += 1;
         self.in_flight = Some(InFlight {
             plan,
             end_s,
             kind,
             batch,
             start_s: now_s,
+            gen: self.step_gen,
         });
         Some(end_s)
     }
@@ -331,9 +394,10 @@ mod tests {
     }
 
     fn run_to_drain(r: &mut Replica, mut now: f64) -> (Vec<FinishedRequest>, f64) {
+        let mut prices = PriceCache::new();
         let mut done = Vec::new();
         let mut guard = 0;
-        while let Some(end) = r.try_start_step(now) {
+        while let Some(end) = r.try_start_step(now, &mut prices) {
             now = end;
             let (fin, _) = r.complete_step();
             done.extend(fin);
@@ -413,14 +477,18 @@ mod tests {
         let mut r = test_replica(4);
         r.enqueue(&req(10, 128, 64));
         r.enqueue(&req(11, 128, 64));
-        let end = r.try_start_step(0.0).expect("step starts");
+        let mut prices = PriceCache::new();
+        let end = r.try_start_step(0.0, &mut prices).expect("step starts");
         assert!(end > 0.0);
         let failed = r.crash();
         assert_eq!(failed.len(), 2);
         assert!(!r.alive);
         assert_eq!(r.outstanding(), 0);
         assert!(r.step_end_s().is_none());
-        assert!(r.try_start_step(1.0).is_none(), "dead replicas don't step");
+        assert!(
+            r.try_start_step(1.0, &mut prices).is_none(),
+            "dead replicas don't step"
+        );
         r.recover();
         r.enqueue(&req(12, 64, 4));
         let (done, _) = run_to_drain(&mut r, 2.0);
@@ -431,7 +499,8 @@ mod tests {
     fn cancel_mid_flight_is_not_reported_finished() {
         let mut r = test_replica(0);
         let sid = r.enqueue(&req(0, 64, 1)); // finishes at its prefill
-        r.try_start_step(0.0).expect("step starts");
+        r.try_start_step(0.0, &mut PriceCache::new())
+            .expect("step starts");
         assert!(r.cancel(sid));
         let (done, _) = r.complete_step();
         assert!(done.is_empty(), "canceled request must not complete");
@@ -439,14 +508,17 @@ mod tests {
 
     #[test]
     fn slowdown_scales_step_cost() {
+        let mut prices = PriceCache::new();
         let mut a = test_replica(0);
         a.enqueue(&req(0, 256, 1));
-        let nominal = a.try_start_step(0.0).expect("step");
+        let nominal = a.try_start_step(0.0, &mut prices).expect("step");
 
+        // The second replica reuses the shared cache: the scaled cost
+        // must come out of the cached nominal price.
         let mut b = test_replica(0);
         b.slowdown = 3.0;
         b.enqueue(&req(0, 256, 1));
-        let slowed = b.try_start_step(0.0).expect("step");
+        let slowed = b.try_start_step(0.0, &mut prices).expect("step");
         assert!((slowed - 3.0 * nominal).abs() < 1e-9 * nominal.max(1.0));
     }
 }

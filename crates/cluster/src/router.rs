@@ -236,7 +236,7 @@ fn least_outstanding(loads: &[ReplicaLoad]) -> Option<usize> {
 }
 
 /// SplitMix64-style avalanche of seed and key — stable across platforms.
-fn mix(seed: u64, key: u64) -> u64 {
+pub(crate) fn mix(seed: u64, key: u64) -> u64 {
     let mut z = seed ^ key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -1,0 +1,536 @@
+//! Sharded cluster execution: independent replica groups across
+//! `moe-par` workers, merged into one deterministic report.
+//!
+//! ## The sharding model
+//!
+//! A [`ShardPlan`] splits a planet-scale deployment into shards of
+//! `replicas_per_shard` replicas, grouped into named [`RegionTier`]s
+//! with a per-tier network round trip. Requests are partitioned by a
+//! seeded hash of their prefix group (falling back to the request id),
+//! so a shared-prefix family always lands on one shard and
+//! prefix-affinity routing keeps working inside it. Shards share
+//! nothing — no router, queue or cache state crosses the boundary — so
+//! each one is an ordinary [`ClusterSim`] that can run on any worker.
+//!
+//! ## Why the merge is deterministic
+//!
+//! Each shard's simulation is a pure function of its `(sub-trace,
+//! config, sub-plan)` triple: the partition is seeded hashing, the
+//! per-shard seed comes from `derive_seed`, and nothing reads the
+//! worker that happened to execute it. `moe_par::map_collect` returns
+//! results **in index order regardless of the steal schedule**, and the
+//! merge folds counters, histograms and per-replica vectors in that
+//! fixed shard order — u64 sums and histogram bucket adds are
+//! associative, and the two float folds (makespan max, histogram sums)
+//! happen sequentially on the caller's thread in shard order. The
+//! merged report is therefore byte-identical across `MOE_THREADS`
+//! settings, which `tests/determinism.rs` gates at 1000-replica scale.
+//! `docs/SCALE.md` walks the argument end to end.
+
+use moe_gpusim::perfmodel::PerfModel;
+use moe_json::{FromJson, ToJson};
+use moe_runtime::metrics::LatencySummary;
+use moe_runtime::scheduler::SchedulerConfig;
+use moe_runtime::simserver::scheduler_config_for;
+use moe_trace::{Histogram, Tracer};
+
+use crate::fault::FaultPlan;
+use crate::router::mix;
+use crate::sim::{ClusterConfig, ClusterReport, ClusterSim};
+use crate::workload::{ArrivalSource, ClusterRequest, RequestTrace, WorkloadSpec, WorkloadStream};
+
+/// Salt decorrelating shard placement from the router's affinity
+/// hashes, which reuse the same mixer with the raw config seed.
+const SHARD_SALT: u64 = 0x5ead_c0de_57ab_1e11;
+
+/// A group of shards sharing a network position relative to the
+/// workload's users.
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
+pub struct RegionTier {
+    /// Display name ("us-east", "ap-south", …).
+    pub name: String,
+    /// Number of shards in this tier.
+    pub shards: usize,
+    /// User-to-region network round trip (s), added to every TTFT/E2E
+    /// sample recorded by this tier's shards via
+    /// [`ClusterConfig::latency_offset_s`].
+    pub rtt_s: f64,
+}
+
+/// How to split a deployment into independently simulated shards.
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
+pub struct ShardPlan {
+    /// Replicas per shard (each shard is one [`ClusterSim`]).
+    pub replicas_per_shard: usize,
+    /// Region tiers in declaration order; shard indices are assigned
+    /// tier by tier, so tier boundaries are cumulative shard counts.
+    pub tiers: Vec<RegionTier>,
+}
+
+impl ShardPlan {
+    /// A single-region plan: `shards` shards with zero network offset.
+    pub fn single_region(shards: usize, replicas_per_shard: usize) -> Self {
+        Self {
+            replicas_per_shard,
+            tiers: vec![RegionTier {
+                name: "local".to_string(),
+                shards,
+                rtt_s: 0.0,
+            }],
+        }
+    }
+
+    /// Total shard count across tiers.
+    pub fn shards(&self) -> usize {
+        self.tiers.iter().map(|t| t.shards).sum()
+    }
+
+    /// Total replica count across shards.
+    pub fn replicas(&self) -> usize {
+        self.shards() * self.replicas_per_shard
+    }
+
+    /// The tier owning a shard index (shards are dealt tier by tier).
+    pub fn tier_of(&self, shard: usize) -> Option<&RegionTier> {
+        let mut base = 0;
+        for t in &self.tiers {
+            if shard < base + t.shards {
+                return Some(t);
+            }
+            base += t.shards;
+        }
+        None
+    }
+
+    /// The network round trip priced into a shard's latency samples.
+    pub fn rtt_of(&self, shard: usize) -> f64 {
+        self.tier_of(shard).map_or(0.0, |t| t.rtt_s)
+    }
+}
+
+/// The shard a request lands on: a seeded hash of its prefix group when
+/// it has one (keeping shared-prefix families together for affinity
+/// routing), else of its id. Pure and stateless, so the partition is
+/// identical however the requests are enumerated.
+pub fn shard_of(req: &ClusterRequest, seed: u64, shards: usize) -> usize {
+    let key = if req.prefix_len > 0 {
+        req.prefix_group
+    } else {
+        req.id
+    };
+    (mix(seed ^ SHARD_SALT, key) % shards.max(1) as u64) as usize
+}
+
+/// An [`ArrivalSource`] yielding only one shard's slice of a lazily
+/// generated workload. Each shard walks the full stream and filters, so
+/// memory stays O(1) in trace length at the cost of `shards` redundant
+/// generation passes — the trade the fully streaming mode makes.
+#[derive(Debug)]
+pub struct ShardStream {
+    inner: WorkloadStream,
+    part_seed: u64,
+    shard: usize,
+    shards: usize,
+}
+
+impl ShardStream {
+    /// Shard `shard` of `shards` over `spec` generated with
+    /// `workload_seed`; `part_seed` keys the placement hash (the trace
+    /// path uses the cluster config seed, so pass the same one here to
+    /// replay a materialized sharded run byte-identically).
+    pub fn new(
+        spec: WorkloadSpec,
+        workload_seed: u64,
+        part_seed: u64,
+        shard: usize,
+        shards: usize,
+    ) -> Self {
+        Self {
+            inner: WorkloadStream::new(spec, workload_seed),
+            part_seed,
+            shard,
+            shards,
+        }
+    }
+}
+
+impl ArrivalSource for ShardStream {
+    fn next_request(&mut self) -> Option<ClusterRequest> {
+        loop {
+            let req = self.inner.next_request()?;
+            if shard_of(&req, self.part_seed, self.shards) == self.shard {
+                return Some(req);
+            }
+        }
+    }
+}
+
+/// Split a materialized trace into per-shard sub-traces (arrival order
+/// is preserved inside every shard; ids keep their global values).
+pub fn partition_trace(trace: &RequestTrace, seed: u64, shards: usize) -> Vec<RequestTrace> {
+    let mut parts = vec![
+        RequestTrace {
+            requests: Vec::new()
+        };
+        shards
+    ];
+    for req in &trace.requests {
+        parts[shard_of(req, seed, shards)]
+            .requests
+            .push(req.clone());
+    }
+    parts
+}
+
+/// Split a fault plan over shards: global replica `g` maps to local
+/// replica `g % replicas_per_shard` on shard `g / replicas_per_shard`.
+/// Each sub-plan stays time-sorted (a subsequence of a sorted list).
+pub fn partition_faults(plan: &FaultPlan, shards: usize, per_shard: usize) -> Vec<FaultPlan> {
+    let mut parts = vec![FaultPlan::none(); shards];
+    for ev in &plan.events {
+        let g = ev.replica();
+        let shard = g / per_shard.max(1);
+        if shard >= shards {
+            continue; // fault targets a replica outside the plan
+        }
+        let mut local = ev.clone();
+        local.retarget(g % per_shard.max(1));
+        parts[shard].events.push(local);
+    }
+    parts
+}
+
+fn shard_config(base: &ClusterConfig, plan: &ShardPlan, shard: usize) -> ClusterConfig {
+    let mut cfg = *base;
+    cfg.replicas = plan.replicas_per_shard;
+    cfg.seed = moe_par::derive_seed(base.seed, shard as u64);
+    cfg.latency_offset_s = base.latency_offset_s + plan.rtt_of(shard);
+    cfg
+}
+
+/// Run a sharded deployment over a materialized trace and return the
+/// merged report plus every per-shard report (for tier breakdowns).
+/// Shards execute on the `moe-par` pool; the result is byte-identical
+/// for any worker count.
+pub fn run_sharded_detailed(
+    model: &PerfModel,
+    sched: SchedulerConfig,
+    base: &ClusterConfig,
+    plan: &ShardPlan,
+    faults: &FaultPlan,
+    trace: &RequestTrace,
+) -> (ClusterReport, Vec<ClusterReport>) {
+    let shards = plan.shards().max(1);
+    let traces = partition_trace(trace, base.seed, shards);
+    let fault_parts = partition_faults(faults, shards, plan.replicas_per_shard);
+    let reports = moe_par::map_collect(shards, |s| {
+        let cfg = shard_config(base, plan, s);
+        ClusterSim::new(model, sched, cfg, fault_parts[s].clone(), traces[s].clone())
+            .run(&mut Tracer::disabled())
+    });
+    let merged = merge_reports(&reports);
+    (merged, reports)
+}
+
+/// [`run_sharded_detailed`] keeping only the merged report.
+pub fn run_sharded(
+    model: &PerfModel,
+    sched: SchedulerConfig,
+    base: &ClusterConfig,
+    plan: &ShardPlan,
+    faults: &FaultPlan,
+    trace: &RequestTrace,
+) -> ClusterReport {
+    run_sharded_detailed(model, sched, base, plan, faults, trace).0
+}
+
+/// Fully streaming sharded run: every shard draws its slice lazily from
+/// the workload spec, so peak memory is bounded by peak concurrency even
+/// at millions of requests. `sized_for`-style KV sizing via `max_seq`.
+pub fn run_sharded_stream(
+    model: &PerfModel,
+    max_seq: usize,
+    base: &ClusterConfig,
+    plan: &ShardPlan,
+    faults: &FaultPlan,
+    spec: &WorkloadSpec,
+    workload_seed: u64,
+) -> ClusterReport {
+    let sched = scheduler_config_for(model, max_seq);
+    let shards = plan.shards().max(1);
+    let fault_parts = partition_faults(faults, shards, plan.replicas_per_shard);
+    let reports = moe_par::map_collect(shards, |s| {
+        let cfg = shard_config(base, plan, s);
+        let source = ShardStream::new(spec.clone(), workload_seed, base.seed, s, shards);
+        ClusterSim::with_source(model, sched, cfg, fault_parts[s].clone(), Box::new(source))
+            .run(&mut Tracer::disabled())
+    });
+    merge_reports(&reports)
+}
+
+/// Fold per-shard reports into one deployment-level report, in shard
+/// order. Counters and histogram buckets are integer sums; makespan is
+/// the max; latency summaries are recomputed from the merged
+/// histograms; `peak_live` sums shard high-water marks (an upper bound
+/// on global concurrency, since shard peaks need not coincide).
+pub fn merge_reports(reports: &[ClusterReport]) -> ClusterReport {
+    let mut ttft_hist = Histogram::new();
+    let mut e2e_hist = Histogram::new();
+    let mut itl_hist = Histogram::new();
+    let mut outputs = Vec::new();
+    let mut per_replica = Vec::new();
+    let mut makespan: f64 = 0.0;
+    let mut submitted = 0;
+    let mut completed = 0;
+    let mut timed_out = 0;
+    let mut dropped = 0;
+    let mut rejected = 0;
+    let mut retries = 0;
+    let mut crashes = 0;
+    let mut events: u64 = 0;
+    let mut peak_live = 0;
+    let mut prefix_hits: u64 = 0;
+    let mut prefix_misses: u64 = 0;
+    let mut tokens: u64 = 0;
+    let mut devices = 0;
+    for r in reports {
+        ttft_hist.merge(&r.ttft_hist);
+        e2e_hist.merge(&r.e2e_hist);
+        itl_hist.merge(&r.itl_hist);
+        outputs.extend(r.outputs.iter().cloned());
+        per_replica.extend(r.per_replica_completed.iter().copied());
+        makespan = makespan.max(r.makespan_s);
+        submitted += r.submitted;
+        completed += r.completed;
+        timed_out += r.timed_out;
+        dropped += r.dropped;
+        rejected += r.rejected;
+        retries += r.retries;
+        crashes += r.crashes;
+        events += r.events;
+        peak_live += r.peak_live;
+        prefix_hits += r.prefix_hits;
+        prefix_misses += r.prefix_misses;
+        tokens += r.completed_tokens;
+        devices += r.devices;
+    }
+    outputs.sort_by_key(|o| o.id);
+    let device_seconds = devices as f64 * makespan;
+    ClusterReport {
+        policy: reports
+            .first()
+            .map_or_else(String::new, |r| r.policy.clone()),
+        outputs,
+        makespan_s: makespan,
+        submitted,
+        completed,
+        timed_out,
+        dropped,
+        rejected,
+        retries,
+        crashes,
+        events,
+        peak_live,
+        prefix_hits,
+        prefix_misses,
+        ttft: LatencySummary::from_histogram(&ttft_hist),
+        e2e: LatencySummary::from_histogram(&e2e_hist),
+        itl: LatencySummary::from_histogram(&itl_hist),
+        completed_tokens: tokens,
+        throughput_tok_s: tokens as f64 / makespan.max(1e-12),
+        per_replica_completed: per_replica,
+        devices,
+        cost_per_token_device_s: device_seconds / (tokens as f64).max(1.0),
+        device_s_per_request: device_seconds / (completed as f64).max(1.0),
+        ttft_hist,
+        e2e_hist,
+        itl_hist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultEvent;
+    use crate::workload::{generate, TenantSpec};
+    use moe_gpusim::device::Cluster;
+    use moe_gpusim::perfmodel::EngineOptions;
+    use moe_model::registry::olmoe_1b_7b;
+
+    fn olmoe() -> PerfModel {
+        PerfModel::new(
+            olmoe_1b_7b(),
+            Cluster::h100_node(1),
+            EngineOptions::default(),
+        )
+        .unwrap()
+    }
+
+    fn base_cfg() -> ClusterConfig {
+        ClusterConfig {
+            seed: 11,
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn spec(n: usize) -> WorkloadSpec {
+        WorkloadSpec::poisson(40.0, n, TenantSpec::uniform("t", 1.0, (128, 256), (16, 32)))
+    }
+
+    #[test]
+    fn partition_covers_every_request_exactly_once() {
+        let trace = generate(&spec(200), 3);
+        let parts = partition_trace(&trace, 11, 4);
+        let total: usize = parts.iter().map(|p| p.requests.len()).sum();
+        assert_eq!(total, 200);
+        for (s, p) in parts.iter().enumerate() {
+            assert!(p
+                .requests
+                .windows(2)
+                .all(|w| w[0].arrival_s <= w[1].arrival_s));
+            for r in &p.requests {
+                assert_eq!(shard_of(r, 11, 4), s);
+            }
+        }
+        // Shared-prefix families stay together.
+        let heavy = generate(&WorkloadSpec::prefix_heavy(50.0, 300), 5);
+        for p in partition_trace(&heavy, 11, 4) {
+            let mut groups: Vec<u64> = p
+                .requests
+                .iter()
+                .filter(|r| r.prefix_len > 0)
+                .map(|r| r.prefix_group)
+                .collect();
+            groups.sort_unstable();
+            groups.dedup();
+            for g in groups {
+                let probe = ClusterRequest {
+                    prefix_group: g,
+                    prefix_len: 1,
+                    ..heavy.requests[0].clone()
+                };
+                let home = shard_of(&probe, 11, 4);
+                assert!(p.requests.iter().all(|r| r.prefix_len == 0
+                    || r.prefix_group != g
+                    || shard_of(r, 11, 4) == home));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_partition_remaps_global_to_local() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent::Crash {
+                    t_s: 1.0,
+                    replica: 0,
+                },
+                FaultEvent::Crash {
+                    t_s: 2.0,
+                    replica: 5,
+                },
+                FaultEvent::Recover {
+                    t_s: 3.0,
+                    replica: 5,
+                },
+                FaultEvent::Crash {
+                    t_s: 4.0,
+                    replica: 99,
+                },
+            ],
+        };
+        let parts = partition_faults(&plan, 3, 2);
+        assert_eq!(parts[0].events.len(), 1);
+        assert_eq!(parts[0].events[0].replica(), 0);
+        assert_eq!(parts[2].events.len(), 2);
+        assert_eq!(parts[2].events[0].replica(), 1, "global 5 -> local 1");
+        // Replica 99 is outside the 6-replica plan: dropped.
+        assert_eq!(parts.iter().map(|p| p.events.len()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn merged_report_accounts_for_every_request() {
+        let model = olmoe();
+        let sched = scheduler_config_for(&model, 2048);
+        let trace = generate(&spec(240), 7);
+        let plan = ShardPlan::single_region(4, 2);
+        let (merged, per_shard) = run_sharded_detailed(
+            &model,
+            sched,
+            &base_cfg(),
+            &plan,
+            &FaultPlan::none(),
+            &trace,
+        );
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(merged.submitted, 240);
+        assert_eq!(
+            merged.completed + merged.timed_out + merged.dropped + merged.rejected,
+            merged.submitted
+        );
+        assert_eq!(merged.devices, 8);
+        assert_eq!(merged.per_replica_completed.len(), 8);
+        assert_eq!(
+            merged.completed_tokens,
+            per_shard.iter().map(|r| r.completed_tokens).sum::<u64>()
+        );
+        assert_eq!(merged.ttft_hist.count(), merged.completed as u64);
+        let max_shard_makespan = per_shard
+            .iter()
+            .map(|r| r.makespan_s)
+            .fold(0.0f64, f64::max);
+        assert_eq!(merged.makespan_s, max_shard_makespan);
+    }
+
+    #[test]
+    fn stream_mode_matches_trace_mode_byte_for_byte() {
+        let model = olmoe();
+        let sched = scheduler_config_for(&model, 2048);
+        let cfg = base_cfg();
+        let plan = ShardPlan::single_region(3, 2);
+        let w = spec(150);
+        let from_trace = run_sharded(
+            &model,
+            sched,
+            &cfg,
+            &plan,
+            &FaultPlan::none(),
+            &generate(&w, 9),
+        );
+        let from_stream = run_sharded_stream(&model, 2048, &cfg, &plan, &FaultPlan::none(), &w, 9);
+        assert_eq!(
+            moe_json::to_string(&from_trace),
+            moe_json::to_string(&from_stream)
+        );
+    }
+
+    #[test]
+    fn region_tiers_price_the_round_trip_into_the_tail() {
+        let model = olmoe();
+        let sched = scheduler_config_for(&model, 2048);
+        let trace = generate(&spec(200), 13);
+        let local = ShardPlan::single_region(2, 2);
+        let far = ShardPlan {
+            replicas_per_shard: 2,
+            tiers: vec![RegionTier {
+                name: "ap-south".to_string(),
+                shards: 2,
+                rtt_s: 0.25,
+            }],
+        };
+        let near = run_sharded(
+            &model,
+            sched,
+            &base_cfg(),
+            &local,
+            &FaultPlan::none(),
+            &trace,
+        );
+        let remote = run_sharded(&model, sched, &base_cfg(), &far, &FaultPlan::none(), &trace);
+        assert!((remote.ttft.max_s - near.ttft.max_s - 0.25).abs() < 1e-9);
+        assert_eq!(remote.itl, near.itl, "rtt does not touch inter-token gaps");
+        assert_eq!(far.tier_of(1).map(|t| t.name.as_str()), Some("ap-south"));
+        assert_eq!(far.tier_of(2), None);
+        assert_eq!(far.replicas(), 4);
+    }
+}

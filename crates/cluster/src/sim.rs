@@ -1,17 +1,43 @@
 //! The cluster event loop: N replicas, one router, a fault schedule and
-//! a request trace, advanced on a single simulated clock.
+//! an arrival source, advanced on a single simulated clock.
+//!
+//! ## The heap-driven loop
+//!
+//! All five event sources — faults, step completions, retry releases,
+//! arrivals and TTFT timeouts — feed one indexed binary event heap
+//! (`events::EventHeap`) keyed `(time, source, id, gen)`, so finding
+//! the next event is
+//! O(log n) instead of a linear scan over every replica and pending
+//! queue. Events that coincide (within `EPS`) are drained into a round
+//! buffer and processed in **fixed priority order** — faults (plan
+//! order), step completions (time, then replica index), retry releases,
+//! arrivals, then timeouts — after which the router dispatches and idle
+//! replicas restart. Invalidated heap entries (a canceled request's
+//! timeout, a crashed step's completion) are skipped lazily via
+//! generation/liveness checks rather than removed. `docs/SCALE.md`
+//! documents the full ordering contract.
+//!
+//! ## Streaming aggregation
+//!
+//! Latency distributions accumulate into fixed-footprint log-linear
+//! [`Histogram`]s as requests finish, and per-request state lives in a
+//! table keyed by request id that only holds requests currently *in*
+//! the system. Peak memory is therefore bounded by peak concurrency,
+//! not trace length — the report's `peak_live` field records it.
+//! Per-request [`ClusterOutput`] rows are only collected when
+//! [`ClusterConfig::retain_outputs`] is set (tests and small debugging
+//! runs).
 //!
 //! ## Determinism
 //!
-//! The loop is a discrete-event simulation: the next clock value is the
-//! minimum over five event sources, and events that coincide (within
-//! `EPS`) are processed in a **fixed priority order** — faults (plan
-//! order), step completions (replica index order), retry re-queues,
-//! arrivals, then timeouts. Every queue is ordered by `(time, id)`, the
-//! router breaks ties by replica index, and all randomness was already
-//! materialized into the [`RequestTrace`]. The same `(trace, config,
-//! fault plan)` therefore replays byte-identically — `tests/determinism.rs`
-//! pins this end to end through the report *and* trace JSON.
+//! The heap key is total (`f64::total_cmp`, then source, id,
+//! generation), every queue is FIFO, the router breaks ties by replica
+//! index, and all randomness was already materialized into the arrival
+//! source. The same `(source, config, fault plan)` therefore replays
+//! byte-identically — `tests/determinism.rs` pins this end to end
+//! through the report *and* trace JSON.
+
+use std::collections::{BTreeMap, VecDeque};
 
 use moe_gpusim::perfmodel::PerfModel;
 use moe_json::{FromJson, ToJson};
@@ -19,12 +45,13 @@ use moe_runtime::metrics::LatencySummary;
 use moe_runtime::request::RequestId;
 use moe_runtime::scheduler::SchedulerConfig;
 use moe_runtime::simserver::scheduler_config_for;
-use moe_trace::{Category, Tracer};
+use moe_trace::{Category, Histogram, Tracer};
 
+use crate::events::{sort_round, Event, EventHeap, Source};
 use crate::fault::{FaultEvent, FaultPlan};
-use crate::replica::Replica;
+use crate::replica::{FinishedRequest, PriceCache, Replica};
 use crate::router::{ReplicaLoad, RoutePolicy, Router, RouterConfig};
-use crate::workload::RequestTrace;
+use crate::workload::{ArrivalSource, RequestTrace, TraceSource};
 use crate::{REPLICA_TRACK_BASE, ROUTER_TRACK};
 
 /// Events closer than this collapse into one processing round.
@@ -43,6 +70,15 @@ pub struct ClusterConfig {
     pub prefix_capacity: usize,
     /// Seed perturbing the router's affinity hashes.
     pub seed: u64,
+    /// Collect a per-request [`ClusterOutput`] row for every completion.
+    /// Off by default: the streaming histograms carry every reported
+    /// metric, and retaining rows makes memory grow with trace length.
+    pub retain_outputs: bool,
+    /// Constant added to every recorded TTFT/E2E sample (not ITL — a
+    /// constant shift cancels in inter-token gaps). The sharded runner
+    /// uses this to price multi-region network round trips into
+    /// user-perceived latency without perturbing cluster-side times.
+    pub latency_offset_s: f64,
 }
 
 impl Default for ClusterConfig {
@@ -53,11 +89,13 @@ impl Default for ClusterConfig {
             router: RouterConfig::default(),
             prefix_capacity: 0,
             seed: 0,
+            retain_outputs: false,
+            latency_offset_s: 0.0,
         }
     }
 }
 
-/// Terminal state of one traced request.
+/// Where a live request currently sits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ReqState {
     /// Parked at the router (initial, and between retries).
@@ -66,24 +104,23 @@ enum ReqState {
     Backoff,
     /// Resident on a replica.
     Dispatched,
-    Finished,
-    TimedOut,
-    /// Crash losses past the retry budget, or unservable at drain.
-    Dropped,
-    /// Bounced by admission control.
-    Rejected,
 }
 
-/// Per-request live bookkeeping (parallel to the trace).
+/// Bookkeeping for one request currently in the system. Entries are
+/// created at arrival delivery and removed at any terminal state, so
+/// the table size tracks concurrency, not trace length.
 #[derive(Debug, Clone)]
-struct ReqInfo {
+struct LiveReq {
+    req: crate::workload::ClusterRequest,
     state: ReqState,
     replica: usize,
     sched_id: RequestId,
     attempts: u32,
 }
 
-/// One completed request, cluster view.
+/// One completed request, cluster view. Only collected when
+/// [`ClusterConfig::retain_outputs`] is set; times are cluster-side
+/// (no [`ClusterConfig::latency_offset_s`] applied).
 #[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
 pub struct ClusterOutput {
     /// Trace id.
@@ -121,11 +158,13 @@ impl ClusterOutput {
 pub struct ClusterReport {
     /// Routing policy label.
     pub policy: String,
-    /// Completions, sorted by trace id.
+    /// Per-request completions, sorted by trace id. **Empty unless**
+    /// [`ClusterConfig::retain_outputs`] was set — every aggregate below
+    /// streams through histograms and does not need the rows.
     pub outputs: Vec<ClusterOutput>,
     /// Clock when the last event settled (s).
     pub makespan_s: f64,
-    /// Requests in the trace.
+    /// Requests delivered by the arrival source.
     pub submitted: usize,
     /// Requests that completed.
     pub completed: usize,
@@ -139,15 +178,29 @@ pub struct ClusterReport {
     pub retries: usize,
     /// Crash faults applied.
     pub crashes: usize,
+    /// Simulation events processed: faults applied, step completions,
+    /// retry releases, arrivals delivered and timeout firings.
+    pub events: u64,
+    /// High-water mark of requests simultaneously in the system — the
+    /// simulator's memory footprint is proportional to this, not to
+    /// `submitted` (streaming aggregation).
+    pub peak_live: usize,
     /// Prefix-cache hits summed over replicas.
     pub prefix_hits: u64,
     /// Prefix-cache misses summed over replicas.
     pub prefix_misses: u64,
-    /// TTFT distribution over completions.
+    /// TTFT distribution over completions (includes any configured
+    /// latency offset).
     pub ttft: LatencySummary,
-    /// End-to-end distribution over completions.
+    /// End-to-end distribution over completions (includes any
+    /// configured latency offset).
     pub e2e: LatencySummary,
-    /// Completed (prompt + generated) tokens over the makespan.
+    /// Inter-token latency distribution: `(finish - first_token) /
+    /// (generated - 1)` over completions that generated ≥ 2 tokens.
+    pub itl: LatencySummary,
+    /// Completed (prompt + generated) tokens.
+    pub completed_tokens: u64,
+    /// Completed tokens over the makespan.
     pub throughput_tok_s: f64,
     /// Completions per replica (load-balance signal).
     pub per_replica_completed: Vec<usize>,
@@ -161,6 +214,13 @@ pub struct ClusterReport {
     /// Device-seconds spent per completed request:
     /// `devices x makespan / completed`.
     pub device_s_per_request: f64,
+    /// Full TTFT histogram over completions, the basis for
+    /// [`ClusterReport::slo_attainment`] and for merging shard reports.
+    pub ttft_hist: Histogram,
+    /// Full end-to-end latency histogram over completions.
+    pub e2e_hist: Histogram,
+    /// Full inter-token latency histogram (see `itl`).
+    pub itl_hist: Histogram,
 }
 
 impl ClusterReport {
@@ -172,12 +232,12 @@ impl ClusterReport {
     /// Fraction of *submitted* requests that completed with
     /// TTFT ≤ `slo_s`. Timeouts, drops and rejections all count against
     /// attainment, so this is the serving-quality headline number.
+    /// Answered from the TTFT histogram at bucket resolution (~2%).
     pub fn slo_attainment(&self, slo_s: f64) -> f64 {
         if self.submitted == 0 {
             return 1.0;
         }
-        let ok = self.outputs.iter().filter(|o| o.ttft_s() <= slo_s).count();
-        ok as f64 / self.submitted as f64
+        self.ttft_hist.count_le(slo_s) as f64 / self.submitted as f64
     }
 
     /// Prefix-cache hit rate over all lookups (0 when caching is off).
@@ -200,31 +260,50 @@ pub struct ClusterSim {
     devices_per_replica: usize,
     replicas: Vec<Replica>,
     router: Router,
-    trace: RequestTrace,
-    info: Vec<ReqInfo>,
+    /// Lazy request source; only the next undelivered request is held.
+    source: Box<dyn ArrivalSource>,
+    pending_arrival: Option<crate::workload::ClusterRequest>,
+    /// Requests currently in the system, by trace id.
+    live: BTreeMap<u64, LiveReq>,
     faults: FaultPlan,
     fault_idx: usize,
-    /// Router admission queue: trace ids, FIFO.
-    queue: Vec<u64>,
-    /// Backoff re-queues: (ready time, trace id), kept sorted.
-    retries: Vec<(f64, u64)>,
-    /// TTFT deadlines: (deadline, trace id), kept sorted; entries are
-    /// skipped if the request got its first token or left the system.
-    timeouts: Vec<(f64, u64)>,
-    next_arrival: usize,
+    /// The indexed event heap over all five sources.
+    heap: EventHeap,
+    /// Reusable buffer of one coalesced round's events.
+    round: Vec<Event>,
+    /// Router admission queue: trace ids, FIFO. May contain entries for
+    /// requests that left the system (lazy deletion); `queue_dead`
+    /// counts them so admission control sees the live length.
+    queue: VecDeque<u64>,
+    queue_dead: usize,
+    /// Per-replica load snapshots, updated incrementally at every
+    /// mutation instead of rebuilt per routing decision.
+    loads: Vec<ReplicaLoad>,
+    /// Replicas touched this round (deduplicated before step starts).
+    dirty: Vec<usize>,
     clock_s: f64,
+    // Streaming aggregation state.
+    ttft_hist: Histogram,
+    e2e_hist: Histogram,
+    itl_hist: Histogram,
+    tokens: u64,
+    submitted: usize,
+    completed: usize,
+    peak_live: usize,
     outputs: Vec<ClusterOutput>,
     timed_out: usize,
     dropped: usize,
     rejected: usize,
     retry_count: usize,
     crashes: usize,
+    events: u64,
+    prices: PriceCache,
     tracer: Tracer,
 }
 
 impl ClusterSim {
     /// Build a cluster of identical replicas from an explicit scheduler
-    /// config.
+    /// config and a materialized trace.
     pub fn new(
         model: &PerfModel,
         sched: SchedulerConfig,
@@ -232,49 +311,57 @@ impl ClusterSim {
         faults: FaultPlan,
         trace: RequestTrace,
     ) -> Self {
+        Self::with_source(model, sched, cfg, faults, Box::new(TraceSource::new(trace)))
+    }
+
+    /// Build a cluster fed by any [`ArrivalSource`] — a materialized
+    /// trace or a lazy [`crate::workload::WorkloadStream`]. With a
+    /// streaming source the simulator's memory stays bounded by peak
+    /// concurrency regardless of how many requests the source yields.
+    pub fn with_source(
+        model: &PerfModel,
+        sched: SchedulerConfig,
+        cfg: ClusterConfig,
+        faults: FaultPlan,
+        source: Box<dyn ArrivalSource>,
+    ) -> Self {
         assert!(cfg.replicas > 0, "cluster needs at least one replica");
-        let replicas = (0..cfg.replicas)
+        let replicas: Vec<Replica> = (0..cfg.replicas)
             .map(|i| Replica::new(i, model.clone(), sched, cfg.prefix_capacity))
             .collect();
-        let info = trace
-            .requests
-            .iter()
-            .map(|_| ReqInfo {
-                state: ReqState::AtRouter,
-                replica: 0,
-                sched_id: 0,
-                attempts: 0,
-            })
-            .collect();
-        let mut timeouts: Vec<(f64, u64)> = Vec::new();
-        if cfg.router.ttft_timeout_s > 0.0 {
-            timeouts = trace
-                .requests
-                .iter()
-                .map(|r| (r.arrival_s + cfg.router.ttft_timeout_s, r.id))
-                .collect();
-            timeouts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        }
+        let loads = replicas.iter().map(Replica::load).collect();
         Self {
             router: Router::new(cfg.policy, cfg.seed),
             devices_per_replica: model.options().plan.degree,
             replicas,
             cfg,
-            trace,
-            info,
+            source,
+            pending_arrival: None,
+            live: BTreeMap::new(),
             faults,
             fault_idx: 0,
-            queue: Vec::new(),
-            retries: Vec::new(),
-            timeouts,
-            next_arrival: 0,
+            heap: EventHeap::new(),
+            round: Vec::new(),
+            queue: VecDeque::new(),
+            queue_dead: 0,
+            loads,
+            dirty: Vec::new(),
             clock_s: 0.0,
+            ttft_hist: Histogram::new(),
+            e2e_hist: Histogram::new(),
+            itl_hist: Histogram::new(),
+            tokens: 0,
+            submitted: 0,
+            completed: 0,
+            peak_live: 0,
             outputs: Vec::new(),
             timed_out: 0,
             dropped: 0,
             rejected: 0,
             retry_count: 0,
             crashes: 0,
+            events: 0,
+            prices: PriceCache::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -292,31 +379,46 @@ impl ClusterSim {
         Self::new(model, sched, cfg, faults, trace)
     }
 
-    /// Next pending event time over every source; `None` when drained.
-    fn next_event_s(&self) -> Option<f64> {
-        let mut next = f64::INFINITY;
-        if let Some(ev) = self.faults.events.get(self.fault_idx) {
-            next = next.min(ev.t_s());
-        }
-        for r in &self.replicas {
-            if let Some(end) = r.step_end_s() {
-                next = next.min(end);
+    /// Is a heap entry invalidated? Cursor events never are; step
+    /// completions are stale when the replica's in-flight generation
+    /// moved on (crash, or the step already committed); retry releases
+    /// are stale unless the request still waits in backoff; timeouts
+    /// are stale once the request left the system.
+    fn is_stale(&self, ev: &Event) -> bool {
+        match ev.source {
+            Source::Fault | Source::Arrival => false,
+            Source::StepEnd => {
+                self.replicas
+                    .get(ev.id as usize)
+                    .and_then(Replica::current_gen)
+                    != Some(ev.gen)
             }
+            Source::Retry => !self
+                .live
+                .get(&ev.id)
+                .is_some_and(|l| l.state == ReqState::Backoff),
+            Source::Timeout => !self.live.contains_key(&ev.id),
         }
-        if let Some((ready, _)) = self.retries.first() {
-            next = next.min(*ready);
-        }
-        if let Some(req) = self.trace.requests.get(self.next_arrival) {
-            next = next.min(req.arrival_s);
-        }
-        if let Some((deadline, _)) = self.timeouts.first() {
-            next = next.min(*deadline);
-        }
-        next.is_finite().then_some(next)
     }
 
-    /// Run the trace to completion and build the report, recording
-    /// router decisions, per-replica step spans and queue counters into
+    /// Next pending event time; `None` when drained. Pops stale entries
+    /// off the top so the clock never jumps to a dead deadline.
+    fn next_event_s(&mut self) -> Option<f64> {
+        loop {
+            let (t, stale) = match self.heap.peek() {
+                Some(ev) => (ev.t_s, self.is_stale(ev)),
+                None => return None,
+            };
+            if stale {
+                self.heap.pop();
+                continue;
+            }
+            return Some(t);
+        }
+    }
+
+    /// Run to completion and build the report, recording router
+    /// decisions, per-replica step spans and queue counters into
     /// `tracer` (see `docs/CLUSTER.md`). Callers wanting no tracing pass
     /// [`Tracer::disabled`] — the event sequence and report are
     /// identical, with no recording overhead.
@@ -335,12 +437,11 @@ impl ClusterSim {
     }
 
     fn run_consume(mut self) -> (ClusterReport, Tracer) {
-        // Kick off anything arriving at t=0.
-        self.process_round();
+        self.schedule_initial();
         let mut guard = 0u64;
         while let Some(next) = self.next_event_s() {
             guard += 1;
-            assert!(guard < 100_000_000, "cluster simulation livelock");
+            assert!(guard < 10_000_000_000, "cluster simulation livelock");
             self.clock_s = self.clock_s.max(next);
             self.process_round();
         }
@@ -348,15 +449,58 @@ impl ClusterSim {
         self.build_report()
     }
 
-    /// Process every event due at the current clock, in priority order,
-    /// then dispatch and restart replicas.
+    /// Seed the heap: the fault cursor and the first arrival. Exactly
+    /// one cursor event per source is ever pending; processing it
+    /// drains everything due and reschedules the cursor.
+    fn schedule_initial(&mut self) {
+        if let Some(ev) = self.faults.events.get(self.fault_idx) {
+            self.heap.push(Event {
+                t_s: ev.t_s(),
+                source: Source::Fault,
+                id: 0,
+                gen: 0,
+            });
+        }
+        self.pending_arrival = self.source.next_request();
+        if let Some(req) = &self.pending_arrival {
+            self.heap.push(Event {
+                t_s: req.arrival_s,
+                source: Source::Arrival,
+                id: 0,
+                gen: 0,
+            });
+        }
+    }
+
+    /// Drain every event due at the current clock into the round
+    /// buffer, sort it into source-priority order, process it, then
+    /// dispatch and restart replicas.
     fn process_round(&mut self) {
         let now = self.clock_s;
-        self.apply_faults(now);
-        self.complete_steps(now);
-        self.release_retries(now);
-        self.deliver_arrivals(now);
-        self.fire_timeouts(now);
+        let mut round = std::mem::take(&mut self.round);
+        loop {
+            let due = self.heap.peek().is_some_and(|ev| ev.t_s <= now + EPS);
+            if !due {
+                break;
+            }
+            if let Some(ev) = self.heap.pop() {
+                if !self.is_stale(&ev) {
+                    round.push(ev);
+                }
+            }
+        }
+        sort_round(&mut round);
+        for &ev in &round {
+            match ev.source {
+                Source::Fault => self.apply_faults(now),
+                Source::StepEnd => self.complete_step_on(ev.id as usize, ev.gen, now),
+                Source::Retry => self.release_retry(ev.id),
+                Source::Arrival => self.deliver_arrivals(now),
+                Source::Timeout => self.fire_timeout(ev.id, now),
+            }
+        }
+        round.clear();
+        self.round = round;
         self.dispatch(now);
         self.start_steps(now);
         self.sample_counters(now);
@@ -373,6 +517,7 @@ impl ClusterSim {
             if idx >= self.replicas.len() {
                 continue;
             }
+            self.events += 1;
             match ev {
                 FaultEvent::Crash { .. } => {
                     if !self.replicas[idx].alive {
@@ -380,6 +525,7 @@ impl ClusterSim {
                     }
                     self.crashes += 1;
                     let failed = self.replicas[idx].crash();
+                    self.refresh_load(idx);
                     self.trace_instant(
                         REPLICA_TRACK_BASE.saturating_add(idx as u32),
                         "crash",
@@ -392,6 +538,7 @@ impl ClusterSim {
                 }
                 FaultEvent::Recover { .. } => {
                     self.replicas[idx].recover();
+                    self.refresh_load(idx);
                     self.trace_instant(
                         REPLICA_TRACK_BASE.saturating_add(idx as u32),
                         "recover",
@@ -419,29 +566,39 @@ impl ClusterSim {
                 }
             }
         }
+        // Reschedule the cursor for the next pending fault.
+        if let Some(ev) = self.faults.events.get(self.fault_idx) {
+            self.heap.push(Event {
+                t_s: ev.t_s(),
+                source: Source::Fault,
+                id: 0,
+                gen: 0,
+            });
+        }
     }
 
     /// A crash loss either re-queues with backoff or drops.
     fn requeue_after_crash(&mut self, cluster_id: u64, now: f64) {
-        let info = &mut self.info[cluster_id as usize];
-        if info.state == ReqState::Finished {
+        let Some(lv) = self.live.get_mut(&cluster_id) else {
             return;
-        }
-        if info.attempts > self.cfg.router.max_retries {
-            info.state = ReqState::Dropped;
+        };
+        if lv.attempts > self.cfg.router.max_retries {
+            self.live.remove(&cluster_id);
             self.dropped += 1;
             self.trace_instant(ROUTER_TRACK, "drop", now, vec![("req", cluster_id.into())]);
             return;
         }
         // Exponential backoff keyed on the attempt that just failed.
-        let exp = info.attempts.saturating_sub(1).min(16);
+        let exp = lv.attempts.saturating_sub(1).min(16);
         let ready = now + self.cfg.router.backoff_s * f64::from(1u32 << exp);
-        info.state = ReqState::Backoff;
+        lv.state = ReqState::Backoff;
         self.retry_count += 1;
-        let pos = self
-            .retries
-            .partition_point(|&(t, id)| (t, id) < (ready, cluster_id));
-        self.retries.insert(pos, (ready, cluster_id));
+        self.heap.push(Event {
+            t_s: ready,
+            source: Source::Retry,
+            id: cluster_id,
+            gen: 0,
+        });
         self.trace_instant(
             ROUTER_TRACK,
             "retry",
@@ -450,126 +607,190 @@ impl ClusterSim {
         );
     }
 
-    fn complete_steps(&mut self, now: f64) {
-        for idx in 0..self.replicas.len() {
-            let due = self.replicas[idx]
-                .step_end_s()
-                .is_some_and(|end| end <= now + EPS);
-            if !due {
-                continue;
-            }
-            let (finished, step) = self.replicas[idx].complete_step();
-            if let Some((kind, batch, start_s)) = step {
+    /// Commit a replica's in-flight step. `gen` guards against a crash
+    /// earlier in this same round having wiped the step.
+    fn complete_step_on(&mut self, idx: usize, gen: u64, now: f64) {
+        if self.replicas[idx].current_gen() != Some(gen) {
+            return;
+        }
+        self.events += 1;
+        let (finished, step) = self.replicas[idx].complete_step();
+        if let Some((kind, batch, start_s)) = step {
+            if self.tracer.is_enabled() {
                 let track = REPLICA_TRACK_BASE.saturating_add(idx as u32);
-                if self.tracer.is_enabled() {
-                    self.tracer.span_with(
-                        track,
-                        Category::Step,
-                        kind,
-                        start_s,
-                        now - start_s,
-                        vec![("batch", batch.into())],
-                    );
-                }
+                self.tracer.span_with(
+                    track,
+                    Category::Step,
+                    kind,
+                    start_s,
+                    now - start_s,
+                    vec![("batch", batch.into())],
+                );
             }
-            for f in finished {
-                let req = &self.trace.requests[f.cluster_id as usize];
-                let info = &mut self.info[f.cluster_id as usize];
-                info.state = ReqState::Finished;
-                self.outputs.push(ClusterOutput {
-                    id: f.cluster_id,
-                    replica: idx,
-                    attempts: info.attempts,
-                    prompt_len: f.prompt_len,
-                    generated: f.generated,
-                    arrival_s: req.arrival_s,
-                    first_token_s: f.first_token_s,
-                    finish_s: f.finish_s,
+        }
+        for f in finished {
+            self.finish_request(idx, f);
+        }
+        self.refresh_load(idx);
+        self.dirty.push(idx);
+    }
+
+    /// Stream one completion into the aggregates and retire its live
+    /// entry.
+    fn finish_request(&mut self, replica: usize, f: FinishedRequest) {
+        let Some(lv) = self.live.remove(&f.cluster_id) else {
+            return;
+        };
+        let offset = self.cfg.latency_offset_s;
+        let ttft = f.first_token_s - lv.req.arrival_s + offset;
+        let e2e = f.finish_s - lv.req.arrival_s + offset;
+        self.ttft_hist.record(ttft);
+        self.e2e_hist.record(e2e);
+        if f.generated > 1 {
+            self.itl_hist
+                .record((f.finish_s - f.first_token_s) / (f.generated - 1) as f64);
+        }
+        self.tokens += (f.prompt_len + f.generated) as u64;
+        self.completed += 1;
+        if self.cfg.retain_outputs {
+            self.outputs.push(ClusterOutput {
+                id: f.cluster_id,
+                replica,
+                attempts: lv.attempts,
+                prompt_len: f.prompt_len,
+                generated: f.generated,
+                arrival_s: lv.req.arrival_s,
+                first_token_s: f.first_token_s,
+                finish_s: f.finish_s,
+            });
+        }
+    }
+
+    /// A backoff expired: the request re-enters the router queue.
+    fn release_retry(&mut self, id: u64) {
+        let Some(lv) = self.live.get_mut(&id) else {
+            return;
+        };
+        if lv.state != ReqState::Backoff {
+            return;
+        }
+        self.events += 1;
+        lv.state = ReqState::AtRouter;
+        self.queue.push_back(id);
+    }
+
+    /// Deliver every due arrival, then reschedule the cursor.
+    fn deliver_arrivals(&mut self, now: f64) {
+        while let Some(req) = self.pending_arrival.take() {
+            if req.arrival_s > now + EPS {
+                self.pending_arrival = Some(req);
+                break;
+            }
+            self.events += 1;
+            self.submitted += 1;
+            let id = req.id;
+            if self.cfg.router.ttft_timeout_s > 0.0 {
+                self.heap.push(Event {
+                    t_s: req.arrival_s + self.cfg.router.ttft_timeout_s,
+                    source: Source::Timeout,
+                    id,
+                    gen: 0,
                 });
             }
-        }
-    }
-
-    fn release_retries(&mut self, now: f64) {
-        while let Some(&(ready, id)) = self.retries.first() {
-            if ready > now + EPS {
-                break;
-            }
-            self.retries.remove(0);
-            if self.info[id as usize].state == ReqState::Backoff {
-                self.info[id as usize].state = ReqState::AtRouter;
-                self.queue.push(id);
-            }
-        }
-    }
-
-    fn deliver_arrivals(&mut self, now: f64) {
-        while let Some(req) = self.trace.requests.get(self.next_arrival) {
-            if req.arrival_s > now + EPS {
-                break;
-            }
-            self.queue.push(req.id);
-            self.next_arrival += 1;
-        }
-    }
-
-    fn fire_timeouts(&mut self, now: f64) {
-        while let Some(&(deadline, id)) = self.timeouts.first() {
-            if deadline > now + EPS {
-                break;
-            }
-            self.timeouts.remove(0);
-            let info = &mut self.info[id as usize];
-            let live = matches!(
-                info.state,
-                ReqState::AtRouter | ReqState::Backoff | ReqState::Dispatched
+            self.queue.push_back(id);
+            self.live.insert(
+                id,
+                LiveReq {
+                    req,
+                    state: ReqState::AtRouter,
+                    replica: 0,
+                    sched_id: 0,
+                    attempts: 0,
+                },
             );
-            if !live {
-                continue;
+            if self.live.len() > self.peak_live {
+                self.peak_live = self.live.len();
             }
-            // A request already emitting tokens is past its TTFT gate.
-            if info.state == ReqState::Dispatched {
-                let replica = info.replica;
-                let sched_id = info.sched_id;
-                if !self.replicas[replica].cancel(sched_id) {
-                    continue; // finished in this very round
-                }
-            } else {
-                self.queue.retain(|&q| q != id);
-                self.retries.retain(|&(_, q)| q != id);
-            }
-            self.info[id as usize].state = ReqState::TimedOut;
-            self.timed_out += 1;
-            self.trace_instant(ROUTER_TRACK, "timeout", now, vec![("req", id.into())]);
+            self.pending_arrival = self.source.next_request();
         }
+        if let Some(req) = &self.pending_arrival {
+            self.heap.push(Event {
+                t_s: req.arrival_s,
+                source: Source::Arrival,
+                id: 0,
+                gen: 0,
+            });
+        }
+    }
+
+    /// A request's TTFT deadline passed: cancel it wherever it sits.
+    /// Liveness was checked at pop time, but a step completion earlier
+    /// in this same round may have finished it — re-check.
+    fn fire_timeout(&mut self, id: u64, now: f64) {
+        let Some(lv) = self.live.get(&id) else {
+            return;
+        };
+        match lv.state {
+            ReqState::Dispatched => {
+                let (replica, sched_id) = (lv.replica, lv.sched_id);
+                if !self.replicas[replica].cancel(sched_id) {
+                    return; // finished in this very round
+                }
+                self.refresh_load(replica);
+            }
+            // The queue entry goes stale; dispatch skips it lazily.
+            ReqState::AtRouter => self.queue_dead += 1,
+            // The retry heap entry goes stale the same way.
+            ReqState::Backoff => {}
+        }
+        self.live.remove(&id);
+        self.events += 1;
+        self.timed_out += 1;
+        self.trace_instant(ROUTER_TRACK, "timeout", now, vec![("req", id.into())]);
     }
 
     /// Drain the router queue onto alive replicas, then enforce the
     /// admission bound (newest arrivals bounce first).
     fn dispatch(&mut self, now: f64) {
-        let mut head = 0;
-        while head < self.queue.len() {
-            let id = self.queue[head];
-            let loads: Vec<ReplicaLoad> = self
-                .replicas
-                .iter()
-                .map(|r| ReplicaLoad {
-                    alive: r.alive,
-                    queued: r.queued(),
-                    outstanding: r.outstanding(),
-                })
-                .collect();
-            let req = &self.trace.requests[id as usize];
-            let key = (req.prefix_len > 0).then_some(req.prefix_group);
-            let Some(target) = self.router.choose(&loads, key) else {
+        while let Some(&id) = self.queue.front() {
+            let Some((key, state)) = self.live.get(&id).map(|l| {
+                (
+                    (l.req.prefix_len > 0).then_some(l.req.prefix_group),
+                    l.state,
+                )
+            }) else {
+                // Lazily deleted entry (timed out while queued).
+                self.queue.pop_front();
+                self.queue_dead = self.queue_dead.saturating_sub(1);
+                continue;
+            };
+            if state != ReqState::AtRouter {
+                self.queue.pop_front();
+                self.queue_dead = self.queue_dead.saturating_sub(1);
+                continue;
+            }
+            let Some(target) = self.router.choose(&self.loads, key) else {
                 break; // nobody alive; leave the queue parked
             };
-            let sched_id = self.replicas[target].enqueue(req);
-            let info = &mut self.info[id as usize];
-            info.state = ReqState::Dispatched;
-            info.replica = target;
-            info.sched_id = sched_id;
-            info.attempts += 1;
+            self.queue.pop_front();
+            let mut attempts = 0;
+            if let Some(lv) = self.live.get_mut(&id) {
+                lv.state = ReqState::Dispatched;
+                lv.replica = target;
+                lv.attempts += 1;
+                attempts = lv.attempts;
+            }
+            // Split the borrow: enqueue reads the request, then the
+            // scheduler id is written back.
+            let sched_id = match self.live.get(&id) {
+                Some(lv) => self.replicas[target].enqueue(&lv.req),
+                None => continue,
+            };
+            if let Some(lv) = self.live.get_mut(&id) {
+                lv.sched_id = sched_id;
+            }
+            self.refresh_load(target);
+            self.dirty.push(target);
             self.trace_instant(
                 ROUTER_TRACK,
                 "dispatch",
@@ -577,33 +798,72 @@ impl ClusterSim {
                 vec![
                     ("req", id.into()),
                     ("replica", target.into()),
-                    ("attempt", self.info[id as usize].attempts.into()),
+                    ("attempt", attempts.into()),
                 ],
             );
-            head += 1;
         }
-        self.queue.drain(..head);
         // Admission control: bounce the newest arrivals over capacity.
-        while self.queue.len() > self.cfg.router.queue_capacity {
-            let Some(id) = self.queue.pop() else { break };
-            self.info[id as usize].state = ReqState::Rejected;
-            self.rejected += 1;
-            self.trace_instant(ROUTER_TRACK, "reject", now, vec![("req", id.into())]);
+        while self.queue.len().saturating_sub(self.queue_dead) > self.cfg.router.queue_capacity {
+            let Some(id) = self.queue.pop_back() else {
+                break;
+            };
+            if self
+                .live
+                .get(&id)
+                .is_some_and(|l| l.state == ReqState::AtRouter)
+            {
+                self.live.remove(&id);
+                self.rejected += 1;
+                self.trace_instant(ROUTER_TRACK, "reject", now, vec![("req", id.into())]);
+            } else {
+                self.queue_dead = self.queue_dead.saturating_sub(1);
+            }
         }
     }
 
+    /// Start steps only on replicas whose state changed this round —
+    /// a dispatch target, a step completion, or a recovery — instead of
+    /// probing all of them.
     fn start_steps(&mut self, now: f64) {
-        for r in &mut self.replicas {
-            r.try_start_step(now);
+        if self.dirty.is_empty() {
+            return;
         }
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        let dirty = std::mem::take(&mut self.dirty);
+        for &idx in &dirty {
+            if self.replicas[idx]
+                .try_start_step(now, &mut self.prices)
+                .is_some()
+            {
+                if let (Some(end), Some(gen)) = (
+                    self.replicas[idx].step_end_s(),
+                    self.replicas[idx].current_gen(),
+                ) {
+                    self.heap.push(Event {
+                        t_s: end,
+                        source: Source::StepEnd,
+                        id: idx as u64,
+                        gen,
+                    });
+                }
+                self.refresh_load(idx);
+            }
+        }
+        self.dirty = dirty;
+        self.dirty.clear();
+    }
+
+    fn refresh_load(&mut self, idx: usize) {
+        self.loads[idx] = self.replicas[idx].load();
     }
 
     fn sample_counters(&mut self, now: f64) {
         if !self.tracer.is_enabled() {
             return;
         }
-        self.tracer
-            .counter("router-queue-depth", now, self.queue.len() as f64);
+        let depth = self.queue.len().saturating_sub(self.queue_dead);
+        self.tracer.counter("router-queue-depth", now, depth as f64);
         for r in &self.replicas {
             self.tracer.counter(
                 &format!("outstanding-r{}", r.id),
@@ -628,52 +888,56 @@ impl ClusterSim {
     /// Anything still parked when no event source remains can never be
     /// served (every replica is down with no recovery scheduled): drop it.
     fn drain_unservable(&mut self) {
-        let mut leftovers: Vec<u64> = Vec::new();
-        leftovers.append(&mut self.queue);
-        leftovers.extend(self.retries.drain(..).map(|(_, id)| id));
+        let leftovers: Vec<u64> = self
+            .live
+            .iter()
+            .filter(|(_, l)| matches!(l.state, ReqState::AtRouter | ReqState::Backoff))
+            .map(|(id, _)| *id)
+            .collect();
         for id in leftovers {
-            let info = &mut self.info[id as usize];
-            if matches!(info.state, ReqState::AtRouter | ReqState::Backoff) {
-                info.state = ReqState::Dropped;
-                self.dropped += 1;
-            }
+            self.live.remove(&id);
+            self.dropped += 1;
         }
+        self.queue.clear();
+        self.queue_dead = 0;
     }
 
     fn build_report(mut self) -> (ClusterReport, Tracer) {
         self.outputs.sort_by_key(|o| o.id);
-        let ttfts: Vec<f64> = self.outputs.iter().map(ClusterOutput::ttft_s).collect();
-        let e2es: Vec<f64> = self.outputs.iter().map(ClusterOutput::e2e_s).collect();
-        let tokens: usize = self
-            .outputs
-            .iter()
-            .map(|o| o.prompt_len + o.generated)
-            .sum();
         let per_replica: Vec<usize> = self.replicas.iter().map(|r| r.completed).collect();
         let hits: u64 = self.replicas.iter().map(|r| r.prefix_hits).sum();
         let misses: u64 = self.replicas.iter().map(|r| r.prefix_misses).sum();
-        let completed = self.outputs.len();
         let devices = self.cfg.replicas * self.devices_per_replica;
         let device_seconds = devices as f64 * self.clock_s;
+        let ttft = LatencySummary::from_histogram(&self.ttft_hist);
+        let e2e = LatencySummary::from_histogram(&self.e2e_hist);
+        let itl = LatencySummary::from_histogram(&self.itl_hist);
         let report = ClusterReport {
             policy: self.cfg.policy.label().to_string(),
             makespan_s: self.clock_s,
-            submitted: self.trace.requests.len(),
-            completed,
+            submitted: self.submitted,
+            completed: self.completed,
             timed_out: self.timed_out,
             dropped: self.dropped,
             rejected: self.rejected,
             retries: self.retry_count,
             crashes: self.crashes,
+            events: self.events,
+            peak_live: self.peak_live,
             prefix_hits: hits,
             prefix_misses: misses,
-            ttft: LatencySummary::of(&ttfts),
-            e2e: LatencySummary::of(&e2es),
-            throughput_tok_s: tokens as f64 / self.clock_s.max(1e-12),
+            ttft,
+            e2e,
+            itl,
+            completed_tokens: self.tokens,
+            throughput_tok_s: self.tokens as f64 / self.clock_s.max(1e-12),
             per_replica_completed: per_replica,
             devices,
-            cost_per_token_device_s: device_seconds / (tokens as f64).max(1.0),
-            device_s_per_request: device_seconds / (completed as f64).max(1.0),
+            cost_per_token_device_s: device_seconds / (self.tokens as f64).max(1.0),
+            device_s_per_request: device_seconds / (self.completed as f64).max(1.0),
+            ttft_hist: self.ttft_hist,
+            e2e_hist: self.e2e_hist,
+            itl_hist: self.itl_hist,
             outputs: self.outputs,
         };
         (report, std::mem::take(&mut self.tracer))
@@ -693,7 +957,7 @@ pub(crate) fn assert_accounted(report: &ClusterReport) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::{generate, TenantSpec, WorkloadSpec};
+    use crate::workload::{generate, TenantSpec, WorkloadSpec, WorkloadStream};
     use moe_gpusim::device::Cluster;
     use moe_gpusim::perfmodel::EngineOptions;
     use moe_model::registry::olmoe_1b_7b;
@@ -721,6 +985,8 @@ mod tests {
             router: RouterConfig::default(),
             prefix_capacity: 0,
             seed: 1,
+            retain_outputs: false,
+            latency_offset_s: 0.0,
         }
     }
 
@@ -742,7 +1008,112 @@ mod tests {
             assert!(report.ttft.p99_s >= report.ttft.p50_s);
             // Every replica that completed work is accounted.
             assert_eq!(report.per_replica_completed.iter().sum::<usize>(), 60);
+            // Streaming aggregation: the histograms carry every completion.
+            assert_eq!(report.ttft_hist.count(), 60);
+            assert_eq!(report.e2e_hist.count(), 60);
+            assert!(report.peak_live > 0 && report.peak_live <= 60);
+            // Rows are only retained on request.
+            assert!(report.outputs.is_empty());
         }
+    }
+
+    #[test]
+    fn retained_outputs_match_streamed_aggregates() {
+        let mut cfg = base_cfg(RoutePolicy::LeastOutstanding);
+        cfg.retain_outputs = true;
+        let sim = ClusterSim::sized_for(
+            &olmoe(),
+            2048,
+            cfg,
+            FaultPlan::none(),
+            small_trace(80, 16.0, 5),
+        );
+        let report = sim.run(&mut Tracer::disabled());
+        assert_eq!(report.outputs.len(), report.completed);
+        // Rows arrive sorted by id.
+        assert!(report.outputs.windows(2).all(|w| w[0].id < w[1].id));
+        // The streamed token count equals the per-row sum.
+        let tokens: u64 = report
+            .outputs
+            .iter()
+            .map(|o| (o.prompt_len + o.generated) as u64)
+            .sum();
+        assert_eq!(tokens, report.completed_tokens);
+        // Exact aggregates agree with the rows.
+        let max_ttft = report
+            .outputs
+            .iter()
+            .map(ClusterOutput::ttft_s)
+            .fold(0.0f64, f64::max);
+        assert!((report.ttft.max_s - max_ttft).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retention_does_not_perturb_the_run() {
+        let run = |retain: bool| {
+            let mut cfg = base_cfg(RoutePolicy::PowerOfTwo);
+            cfg.retain_outputs = retain;
+            let mut report = ClusterSim::sized_for(
+                &olmoe(),
+                2048,
+                cfg,
+                FaultPlan::crash_window(1, 0.5, 1.0),
+                small_trace(50, 20.0, 11),
+            )
+            .run(&mut Tracer::disabled());
+            report.outputs.clear();
+            report
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn streaming_source_matches_materialized_trace() {
+        let spec = WorkloadSpec::poisson(
+            15.0,
+            70,
+            TenantSpec::uniform("t", 1.0, (128, 256), (16, 32)),
+        );
+        let cfg = base_cfg(RoutePolicy::LeastOutstanding);
+        let model = olmoe();
+        let sched = scheduler_config_for(&model, 2048);
+        let from_trace = ClusterSim::new(&model, sched, cfg, FaultPlan::none(), generate(&spec, 9))
+            .run(&mut Tracer::disabled());
+        let from_stream = ClusterSim::with_source(
+            &model,
+            sched,
+            cfg,
+            FaultPlan::none(),
+            Box::new(WorkloadStream::new(spec, 9)),
+        )
+        .run(&mut Tracer::disabled());
+        assert_eq!(
+            moe_json::to_string(&from_trace),
+            moe_json::to_string(&from_stream),
+            "a lazy source must replay the materialized run byte for byte"
+        );
+    }
+
+    #[test]
+    fn latency_offset_shifts_ttft_and_e2e_but_not_itl() {
+        let run = |offset: f64| {
+            let mut cfg = base_cfg(RoutePolicy::LeastOutstanding);
+            cfg.latency_offset_s = offset;
+            ClusterSim::sized_for(
+                &olmoe(),
+                2048,
+                cfg,
+                FaultPlan::none(),
+                small_trace(40, 10.0, 7),
+            )
+            .run(&mut Tracer::disabled())
+        };
+        let base = run(0.0);
+        let shifted = run(0.25);
+        assert!((shifted.ttft.max_s - base.ttft.max_s - 0.25).abs() < 1e-9);
+        assert!((shifted.e2e.max_s - base.e2e.max_s - 0.25).abs() < 1e-9);
+        assert_eq!(shifted.itl, base.itl, "a constant shift cancels in ITL");
+        assert_eq!(shifted.makespan_s, base.makespan_s);
     }
 
     #[test]
@@ -757,13 +1128,12 @@ mod tests {
         let report = sim.run(&mut Tracer::disabled());
         // Single-device replicas: devices == replicas.
         assert_eq!(report.devices, 3);
-        let tokens: usize = report
-            .outputs
-            .iter()
-            .map(|o| o.prompt_len + o.generated)
-            .sum();
         let device_seconds = report.devices as f64 * report.makespan_s;
-        assert!((report.cost_per_token_device_s - device_seconds / tokens as f64).abs() < 1e-12);
+        assert!(
+            (report.cost_per_token_device_s - device_seconds / report.completed_tokens as f64)
+                .abs()
+                < 1e-12
+        );
         assert!(
             (report.device_s_per_request - device_seconds / report.completed as f64).abs() < 1e-12
         );
@@ -860,6 +1230,7 @@ mod tests {
         let mut cfg = base_cfg(RoutePolicy::RoundRobin);
         cfg.replicas = 1;
         cfg.router.ttft_timeout_s = 0.5;
+        cfg.retain_outputs = true;
         // Overload a single replica: late arrivals cannot make the gate.
         let trace = small_trace(120, 200.0, 13);
         let sim = ClusterSim::sized_for(&olmoe(), 2048, cfg, FaultPlan::none(), trace);
@@ -874,6 +1245,7 @@ mod tests {
                 o.ttft_s()
             );
         }
+        assert!(report.ttft.max_s <= 0.5 + 1e-6);
     }
 
     #[test]
@@ -907,6 +1279,8 @@ mod tests {
             router: RouterConfig::default(),
             prefix_capacity: 16,
             seed: 1,
+            retain_outputs: false,
+            latency_offset_s: 0.0,
         };
         ClusterSim::sized_for(&olmoe(), 8192, cfg, FaultPlan::none(), trace)
             .run(&mut Tracer::disabled())

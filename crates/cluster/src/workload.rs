@@ -114,6 +114,7 @@ fn exp_gap(rng: &mut DetRng, rate: f64) -> f64 {
 }
 
 /// Mutable on/off state threaded through bursty sampling.
+#[derive(Debug, Clone)]
 struct BurstPhase {
     on: bool,
     until_s: f64,
@@ -182,6 +183,26 @@ impl WorkloadSpec {
             arrivals: ArrivalProcess::Poisson { rate_qps },
             num_requests,
             tenants: vec![tenant],
+        }
+    }
+
+    /// The `ext-scale` reference workload: one uniform chat-shaped
+    /// tenant driven by a simulated population of `users` on a diurnal
+    /// cycle. Each user re-issues a request on average every `think_s`
+    /// seconds at the crest, so the peak offered rate is
+    /// `users / think_s` QPS and the trough is 20% of it; one simulated
+    /// "day" is compressed to 300 s so a short horizon still sweeps the
+    /// full rate range.
+    pub fn diurnal_users(users: u64, think_s: f64, num_requests: usize) -> Self {
+        let peak_qps = users as f64 / think_s.max(1e-9);
+        Self {
+            arrivals: ArrivalProcess::Diurnal {
+                base_qps: 0.2 * peak_qps,
+                peak_qps,
+                period_s: 300.0,
+            },
+            num_requests,
+            tenants: vec![TenantSpec::uniform("u", 1.0, (128, 512), (16, 64))],
         }
     }
 
@@ -260,59 +281,136 @@ impl RequestTrace {
     }
 }
 
-/// Expand a spec into a concrete trace. Deterministic in `(spec, seed)`:
-/// arrivals, tenant assignment and request shapes each draw from an
-/// independent derived stream.
-pub fn generate(spec: &WorkloadSpec, seed: u64) -> RequestTrace {
-    assert!(
-        !spec.tenants.is_empty(),
-        "workload needs at least one tenant"
-    );
-    let mut arrival_rng = rng_from_seed(derive_seed(seed, 0x0a77));
-    let mut tenant_rng = rng_from_seed(derive_seed(seed, 0x7e4a));
-    let mut shape_rng = rng_from_seed(derive_seed(seed, 0x54a9));
+/// A pull source of requests in arrival order, consumed lazily by the
+/// cluster simulator. Implementations must yield non-decreasing
+/// `arrival_s` and unique ids; both a materialized [`RequestTrace`] and
+/// the streaming [`WorkloadStream`] qualify, which is what keeps the
+/// simulator's memory footprint independent of trace length — only the
+/// *live* requests are ever resident.
+pub trait ArrivalSource: std::fmt::Debug {
+    /// The next request, or `None` when the source is exhausted.
+    fn next_request(&mut self) -> Option<ClusterRequest>;
+}
 
-    let total_weight: f64 = spec.tenants.iter().map(|t| t.weight.max(0.0)).sum();
-    let mut phase = BurstPhase {
-        on: true,
-        until_s: 0.0,
-    };
-    let mut t = 0.0f64;
-    let mut requests = Vec::with_capacity(spec.num_requests);
-    for id in 0..spec.num_requests as u64 {
-        t = spec.arrivals.next_after(t, &mut arrival_rng, &mut phase);
+/// A materialized trace consumed front to back.
+#[derive(Debug)]
+pub struct TraceSource {
+    trace: RequestTrace,
+    next: usize,
+}
+
+impl TraceSource {
+    /// Wrap a trace for consumption.
+    pub fn new(trace: RequestTrace) -> Self {
+        Self { trace, next: 0 }
+    }
+}
+
+impl ArrivalSource for TraceSource {
+    fn next_request(&mut self) -> Option<ClusterRequest> {
+        let req = self.trace.requests.get(self.next)?.clone();
+        self.next += 1;
+        Some(req)
+    }
+}
+
+/// Lazy request generation: the exact sampling loop behind [`generate`],
+/// exposed as an [`ArrivalSource`] so arbitrarily long workloads never
+/// materialize. `generate(spec, seed)` and `WorkloadStream::new(spec,
+/// seed)` produce byte-identical request sequences — `generate` *is*
+/// this stream, collected.
+#[derive(Debug, Clone)]
+pub struct WorkloadStream {
+    spec: WorkloadSpec,
+    arrival_rng: DetRng,
+    tenant_rng: DetRng,
+    shape_rng: DetRng,
+    total_weight: f64,
+    phase: BurstPhase,
+    t: f64,
+    next_id: u64,
+}
+
+impl WorkloadStream {
+    /// Start the stream for `(spec, seed)`. Deterministic: arrivals,
+    /// tenant assignment and request shapes each draw from an
+    /// independent derived RNG stream.
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        assert!(
+            !spec.tenants.is_empty(),
+            "workload needs at least one tenant"
+        );
+        let total_weight = spec.tenants.iter().map(|t| t.weight.max(0.0)).sum();
+        Self {
+            arrival_rng: rng_from_seed(derive_seed(seed, 0x0a77)),
+            tenant_rng: rng_from_seed(derive_seed(seed, 0x7e4a)),
+            shape_rng: rng_from_seed(derive_seed(seed, 0x54a9)),
+            spec,
+            total_weight,
+            phase: BurstPhase {
+                on: true,
+                until_s: 0.0,
+            },
+            t: 0.0,
+            next_id: 0,
+        }
+    }
+}
+
+impl ArrivalSource for WorkloadStream {
+    fn next_request(&mut self) -> Option<ClusterRequest> {
+        if self.next_id >= self.spec.num_requests as u64 {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.t = self
+            .spec
+            .arrivals
+            .next_after(self.t, &mut self.arrival_rng, &mut self.phase);
 
         // Tenant by weight (categorical over the mix).
-        let mut pick = tenant_rng.next_f64() * total_weight.max(1e-12);
-        let mut tenant_idx = spec.tenants.len() - 1;
-        for (i, ten) in spec.tenants.iter().enumerate() {
+        let mut pick = self.tenant_rng.next_f64() * self.total_weight.max(1e-12);
+        let mut tenant_idx = self.spec.tenants.len() - 1;
+        for (i, ten) in self.spec.tenants.iter().enumerate() {
             pick -= ten.weight.max(0.0);
             if pick <= 0.0 {
                 tenant_idx = i;
                 break;
             }
         }
-        let ten = &spec.tenants[tenant_idx];
+        let ten = &self.spec.tenants[tenant_idx];
 
-        let prompt_len = sample_range(&mut shape_rng, ten.prompt_tokens).max(1);
-        let max_new_tokens = sample_range(&mut shape_rng, ten.output_tokens).max(1);
+        let prompt_len = sample_range(&mut self.shape_rng, ten.prompt_tokens).max(1);
+        let max_new_tokens = sample_range(&mut self.shape_rng, ten.output_tokens).max(1);
         let (prefix_group, prefix_len) = if ten.prefix_groups > 0 && ten.prefix_tokens > 0 {
-            let group = shape_rng.next_below(ten.prefix_groups) as u64;
+            let group = self.shape_rng.next_below(ten.prefix_groups) as u64;
             // Group ids are globally unique: offset by tenant index.
             let global = (tenant_idx as u64) << 32 | group;
             (global, ten.prefix_tokens.min(prompt_len.saturating_sub(1)))
         } else {
             (0, 0)
         };
-        requests.push(ClusterRequest {
+        Some(ClusterRequest {
             id,
-            arrival_s: t,
+            arrival_s: self.t,
             prompt_len,
             max_new_tokens,
             tenant: ten.name.clone(),
             prefix_group,
             prefix_len,
-        });
+        })
+    }
+}
+
+/// Expand a spec into a concrete trace. Deterministic in `(spec, seed)`;
+/// defined as the collected [`WorkloadStream`], so streaming and
+/// materialized consumption see the same requests byte for byte.
+pub fn generate(spec: &WorkloadSpec, seed: u64) -> RequestTrace {
+    let mut stream = WorkloadStream::new(spec.clone(), seed);
+    let mut requests = Vec::with_capacity(spec.num_requests);
+    while let Some(req) = stream.next_request() {
+        requests.push(req);
     }
     RequestTrace { requests }
 }
@@ -454,6 +552,45 @@ mod tests {
         }
         assert!(groups.len() <= 4);
         assert!(groups.len() >= 2, "expected multiple groups in 500 draws");
+    }
+
+    #[test]
+    fn stream_and_generate_are_byte_identical() {
+        let spec = WorkloadSpec {
+            arrivals: ArrivalProcess::Bursty {
+                on_rate_qps: 30.0,
+                off_rate_qps: 2.0,
+                mean_on_s: 1.0,
+                mean_off_s: 2.0,
+            },
+            num_requests: 400,
+            tenants: vec![
+                plain_tenant(),
+                TenantSpec::uniform("chat", 2.0, (64, 96), (4, 8)).with_shared_prefixes(4, 48),
+            ],
+        };
+        let trace = generate(&spec, 77);
+        let mut stream = WorkloadStream::new(spec, 77);
+        let mut streamed = Vec::new();
+        while let Some(r) = stream.next_request() {
+            streamed.push(r);
+        }
+        assert_eq!(trace.requests, streamed);
+        assert!(stream.next_request().is_none(), "stream stays exhausted");
+    }
+
+    #[test]
+    fn diurnal_users_peak_rate_matches_population() {
+        let spec = WorkloadSpec::diurnal_users(150_000, 300.0, 10);
+        match spec.arrivals {
+            ArrivalProcess::Diurnal {
+                base_qps, peak_qps, ..
+            } => {
+                assert!((peak_qps - 500.0).abs() < 1e-9);
+                assert!((base_qps - 100.0).abs() < 1e-9);
+            }
+            _ => panic!("diurnal_users must be diurnal"),
+        }
     }
 
     #[test]

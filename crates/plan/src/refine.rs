@@ -10,7 +10,6 @@ use moe_cluster::workload::RequestTrace;
 use moe_cluster::{ClusterConfig, ClusterReport, ClusterSim, FaultPlan, RoutePolicy, RouterConfig};
 use moe_gpusim::perfmodel::PerfModel;
 use moe_json::{FromJson, ToJson};
-use moe_runtime::metrics::LatencySummary;
 use moe_runtime::simserver::scheduler_config_for;
 use moe_tensor::rng::derive_seed;
 use moe_trace::{Category, Tracer};
@@ -59,20 +58,10 @@ pub struct RefinedScore {
     pub meets_slo: bool,
 }
 
-/// p99 inter-token latency over completions (decode span / tokens), or
-/// zero when nothing decoded more than one token.
+/// p99 inter-token latency over completions, streamed by the cluster's
+/// ITL histogram (zero when nothing decoded more than one token).
 fn p99_itl(report: &ClusterReport) -> f64 {
-    let itls: Vec<f64> = report
-        .outputs
-        .iter()
-        .filter(|o| o.generated > 1)
-        .map(|o| (o.finish_s - o.first_token_s) / (o.generated - 1) as f64)
-        .collect();
-    if itls.is_empty() {
-        0.0
-    } else {
-        LatencySummary::of(&itls).p99_s
-    }
+    report.itl.p99_s
 }
 
 /// Analytic decode-speedup factor a speculative candidate applies to the
@@ -115,6 +104,7 @@ fn simulate_policy(
         router: RouterConfig::default(),
         prefix_capacity: 16,
         seed: derive_seed(spec.seed, 0x9e37),
+        ..ClusterConfig::default()
     };
     let sim = ClusterSim::new(engine, sched, cfg, FaultPlan::none(), trace.clone());
     if tracer.is_enabled() && config.replicas <= MAX_TRACED_REPLICAS {

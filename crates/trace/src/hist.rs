@@ -1,5 +1,7 @@
 //! A deterministic log-linear histogram for latency distributions.
 
+use moe_json::{FromJson, Json, ToJson};
+
 /// Linear sub-buckets per power-of-two octave (≤ ~2.2% relative error).
 const SUBS: usize = 32;
 /// Smallest representable octave: 2^-40 ≈ 9e-13 (sub-picosecond).
@@ -161,6 +163,15 @@ impl Histogram {
         self.max()
     }
 
+    /// Samples ≤ `v`, answered at bucket resolution: every bucket whose
+    /// index is at or below `v`'s bucket counts in full, so the result
+    /// can overcount by at most one bucket's width (~3% of `v`). Exact
+    /// when `v` sits on a bucket boundary or beyond the observed max.
+    pub fn count_le(&self, v: f64) -> u64 {
+        let idx = Self::bucket_index(v);
+        self.counts[..=idx].iter().sum()
+    }
+
     /// One-line render: `count mean p50 p95 p99 max` (times in ms).
     pub fn render_ms(&self, label: &str) -> String {
         format!(
@@ -172,6 +183,49 @@ impl Histogram {
             self.percentile(99.0) * 1e3,
             self.max() * 1e3,
         )
+    }
+}
+
+impl ToJson for Histogram {
+    /// Sparse image: exact `count`/`sum`/`min`/`max` plus the non-empty
+    /// buckets as `[index, count]` pairs in index order, so the size is
+    /// proportional to the number of *occupied* buckets, not the grid.
+    fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Arr(vec![(i as u64).to_json(), c.to_json()]))
+            .collect();
+        Json::Obj(vec![
+            ("count".to_string(), self.count.to_json()),
+            ("sum".to_string(), self.sum.to_json()),
+            ("min".to_string(), self.min().to_json()),
+            ("max".to_string(), self.max().to_json()),
+            ("buckets".to_string(), Json::Arr(buckets)),
+        ])
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(v: &Json) -> Result<Self, moe_json::Error> {
+        let mut h = Histogram::new();
+        h.count = moe_json::field(v, "count")?;
+        h.sum = moe_json::field(v, "sum")?;
+        if h.count > 0 {
+            h.min = moe_json::field(v, "min")?;
+            h.max = moe_json::field(v, "max")?;
+        }
+        let buckets: Vec<(u64, u64)> = moe_json::field(v, "buckets")?;
+        for (idx, c) in buckets {
+            let slot = h
+                .counts
+                .get_mut(idx as usize)
+                .ok_or_else(|| moe_json::Error::new(format!("bucket index {idx} out of range")))?;
+            *slot = c;
+        }
+        Ok(h)
     }
 }
 
@@ -254,6 +308,38 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert!(h.percentile(100.0) <= 1e9);
         assert!(h.percentile(100.0) > 1e6);
+    }
+
+    #[test]
+    fn count_le_brackets_the_exact_count() {
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64 * 1e-3).collect();
+        let h = Histogram::from_samples(&samples);
+        for v in [0.1, 0.25, 0.5, 0.9] {
+            let exact = samples.iter().filter(|&&s| s <= v).count() as u64;
+            let got = h.count_le(v);
+            // Never undercounts; overcounts by at most one bucket (~3%).
+            assert!(got >= exact, "count_le({v}) = {got} < exact {exact}");
+            assert!(
+                got as f64 <= exact as f64 * 1.05 + 1.0,
+                "count_le({v}) = {got} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.count_le(2.0), 1000, "beyond max counts everything");
+        assert_eq!(h.count_le(0.0), 0, "underflow bucket only");
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let h = Histogram::from_samples(&[1e-6, 0.003, 0.01, 0.01, 7.5]);
+        let json = moe_json::to_string(&h);
+        let back: Histogram = moe_json::from_str(&json).expect("histogram json parses");
+        assert_eq!(h, back);
+        assert_eq!(json, moe_json::to_string(&back));
+
+        let empty = Histogram::new();
+        let back: Histogram = moe_json::from_str(&moe_json::to_string(&empty)).unwrap();
+        assert_eq!(empty, back);
+        assert_eq!(back.percentile(50.0), 0.0);
     }
 
     #[test]

@@ -191,6 +191,15 @@ struct MatrixSample {
     cluster_trace: String,
 }
 
+/// Tests that sweep the worker-count override must not interleave: the
+/// override is process-global, so two concurrent sweeps would clobber
+/// each other's forced counts mid-run.
+fn worker_override_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn matrix_sample(threads: usize) -> MatrixSample {
     // The atomic override stands in for `MOE_THREADS`: mutating the
     // environment from a threaded test harness is racy, the override is
@@ -213,12 +222,13 @@ fn matrix_sample(threads: usize) -> MatrixSample {
 
 /// The headline invariant of the `moe-par` rollout: the number of worker
 /// threads is invisible in every produced byte. `moe-bench all --fast`
-/// (all 24 reports *and* the composed multi-experiment trace), `ext-plan`
+/// (all 25 reports *and* the composed multi-experiment trace), `ext-plan`
 /// and `ext-cluster` must render identically for `MOE_THREADS` = 1, 2
 /// and 8 — the work-stealing schedule may vary, the ordered reduction
 /// and base-offset trace composition must hide it completely.
 #[test]
 fn thread_count_matrix_is_byte_identical() {
+    let _guard = worker_override_lock();
     let baseline = matrix_sample(1);
     assert!(!baseline.all_reports.is_empty());
     assert!(baseline.all_trace.contains("\"traceEvents\""));
@@ -251,5 +261,109 @@ fn thread_count_matrix_is_byte_identical() {
                 baseline.threads, sample.threads
             );
         }
+    }
+}
+
+/// One 1000-replica sharded run at planet scale, rendered to bytes:
+/// 50 shards x 20 replicas, lazily streamed diurnal think-time traffic,
+/// crash faults remapped per shard.
+fn ext_scale_sharded_json() -> String {
+    use moe_cluster::{
+        run_sharded_stream, ClusterConfig, FaultPlan, RoutePolicy, ShardPlan, WorkloadSpec,
+    };
+    use moe_gpusim::perfmodel::PerfModel;
+    use moe_model::registry::olmoe_1b_7b;
+
+    let model = PerfModel::h100(olmoe_1b_7b());
+    let plan = ShardPlan::single_region(50, 20);
+    let mut cfg = ClusterConfig {
+        policy: RoutePolicy::LeastOutstanding,
+        seed: 42,
+        ..ClusterConfig::default()
+    };
+    cfg.router.ttft_timeout_s = 2.0;
+    let spec = WorkloadSpec::diurnal_users(100_000, 300.0, 2_500);
+    let faults = FaultPlan::random_crashes(42, plan.replicas(), 15.0, 10, 5.0);
+    let report = run_sharded_stream(&model, 2048, &cfg, &plan, &faults, &spec, 42);
+    moe_json::to_string(&report)
+}
+
+/// The ext-scale determinism gate: the merged report of a 1000-replica
+/// sharded diurnal run must render byte-identically for `MOE_THREADS` =
+/// 1, 2 and 8 *and* across repeated runs at the same count. This is the
+/// contract that makes `moe-par` sharding invisible: per-shard seeds
+/// derive from the shard index (not the executor schedule) and the
+/// merge folds shard reports in shard order.
+#[test]
+fn ext_scale_sharded_run_is_byte_identical_across_thread_counts() {
+    let _guard = worker_override_lock();
+    let mut renders = Vec::new();
+    for threads in [1usize, 1, 2, 8] {
+        moe_par::set_workers_for_test(threads);
+        renders.push((threads, ext_scale_sharded_json()));
+    }
+    moe_par::set_workers_for_test(0);
+    assert!(renders[0].1.contains("\"events\""));
+    for (threads, render) in &renders[1..] {
+        assert_eq!(
+            &renders[0].1, render,
+            "ext-scale sharded report differs between 1 and {threads} worker thread(s)"
+        );
+    }
+}
+
+/// Statistical sanity of streaming aggregation: percentiles read from
+/// the cluster's log-bucketed histograms must agree with exact
+/// percentiles computed from the retained per-request rows, within the
+/// histogram's resolution (buckets grow ~2.2% per step; 5% leaves slack
+/// for rank rounding).
+#[test]
+fn streaming_percentiles_match_exact_within_histogram_error() {
+    use moe_cluster::{
+        generate, ClusterConfig, ClusterSim, FaultPlan, RoutePolicy, TenantSpec, WorkloadSpec,
+    };
+    use moe_gpusim::perfmodel::PerfModel;
+    use moe_model::registry::olmoe_1b_7b;
+
+    let model = PerfModel::h100(olmoe_1b_7b());
+    let spec = WorkloadSpec::poisson(
+        60.0,
+        600,
+        TenantSpec::uniform("t", 1.0, (128, 512), (16, 64)),
+    );
+    let trace = generate(&spec, 7);
+    let cfg = ClusterConfig {
+        replicas: 4,
+        policy: RoutePolicy::LeastOutstanding,
+        seed: 7,
+        retain_outputs: true,
+        ..ClusterConfig::default()
+    };
+    let report = ClusterSim::sized_for(&model, 2048, cfg, FaultPlan::none(), trace)
+        .run(&mut moe_trace::Tracer::disabled());
+    assert_eq!(report.completed, report.submitted);
+    assert_eq!(report.outputs.len(), report.completed);
+
+    let ttft: Vec<f64> = report.outputs.iter().map(|o| o.ttft_s()).collect();
+    let e2e: Vec<f64> = report.outputs.iter().map(|o| o.e2e_s()).collect();
+    let close = |streamed: f64, exact: f64, what: &str| {
+        assert!(
+            (streamed - exact).abs() <= 0.05 * exact.abs() + 1e-9,
+            "{what}: streamed {streamed} vs exact {exact}"
+        );
+    };
+    for (p, streamed, what) in [
+        (50.0, report.ttft.p50_s, "ttft p50"),
+        (95.0, report.ttft.p95_s, "ttft p95"),
+        (99.0, report.ttft.p99_s, "ttft p99"),
+    ] {
+        close(streamed, moe_runtime::metrics::percentile(&ttft, p), what);
+    }
+    for (p, streamed, what) in [
+        (50.0, report.e2e.p50_s, "e2e p50"),
+        (95.0, report.e2e.p95_s, "e2e p95"),
+        (99.0, report.e2e.p99_s, "e2e p99"),
+    ] {
+        close(streamed, moe_runtime::metrics::percentile(&e2e, p), what);
     }
 }

@@ -32,6 +32,7 @@ fn every_paper_artifact_is_registered() {
         "ext-qps",
         "ext-cluster",
         "ext-plan",
+        "ext-scale",
     ];
     assert_eq!(ids, expected);
 }
