@@ -60,14 +60,15 @@ fn main() {
     let speedup = serial_s / parallel_s;
 
     let note = if host_cores == 1 {
-        "single-core host: pool resolves to 1 worker, so serial vs parallel \
+        "1-core host: pool resolves to 1 worker, so serial vs parallel \
          differ only by scheduling noise and the ratio is ~1.0 by construction"
+            .to_string()
     } else {
-        "multi-core host: ratio reflects real work-stealing overlap"
+        format!("{host_cores}-core host: ratio reflects real work-stealing overlap")
     };
     let json = Json::Obj(vec![
         ("bench".into(), Json::Str("moe-bench all --fast".into())),
-        ("note".into(), Json::Str(note.into())),
+        ("note".into(), Json::Str(note)),
         (
             "experiments".into(),
             Json::Int(moe_bench::REGISTRY.len() as i128),

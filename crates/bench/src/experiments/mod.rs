@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod cluster;
+pub mod ctrl;
 pub mod extensions;
 pub mod fig01;
 pub mod fig03;

@@ -1,0 +1,158 @@
+//! Control-plane interface: the observation/action contract between the
+//! cluster simulator and an online controller.
+//!
+//! The simulator stays policy-free: when built with
+//! [`crate::sim::ClusterSim::with_controller`], it fires a `Control`
+//! event every `interval_s` of *simulated* time, snapshots the cluster
+//! into a [`ControlObs`], and hands it to the registered [`ControlHook`].
+//! The hook answers with a list of [`ControlAction`]s which the
+//! simulator executes inside the same event round — so a reconfiguration
+//! is just another deterministic event, totally ordered after every
+//! fault, completion, arrival and timeout of that round.
+//!
+//! The policy half (SLO-burn monitors, the warm-started re-planner,
+//! canary promotion) lives in the separate `moe-ctrl` crate, which
+//! depends on this one; the split keeps the simulator free of planning
+//! logic and the planner free of event-loop internals.
+
+use moe_gpusim::perfmodel::PerfModel;
+use moe_runtime::scheduler::SchedulerConfig;
+use moe_trace::Histogram;
+
+/// Everything needed to provision one new replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaSpec {
+    /// Performance model the replica runs (fixes TP/EP plan, precision,
+    /// device count per replica via the engine's parallel degree).
+    pub model: PerfModel,
+    /// Scheduler configuration (KV pool, batching bounds).
+    pub sched: SchedulerConfig,
+    /// Plan generation the replica belongs to. Canary routing splits
+    /// traffic by generation, so a re-planned config gets a fresh one.
+    pub generation: u32,
+    /// Provisioned from the spot market: cheaper per device-second but
+    /// subject to [`crate::fault::FaultEvent::Preempt`] reclaims.
+    pub spot: bool,
+    /// Price multiplier on accrued device-seconds (1.0 = on-demand;
+    /// spot capacity is typically well below 1).
+    pub price_factor: f64,
+    /// Provisioning delay: the replica joins the fleet now (and starts
+    /// accruing cost) but only starts serving after this long.
+    pub ready_delay_s: f64,
+}
+
+/// One reconfiguration the controller asks the simulator to perform.
+#[derive(Debug, Clone)]
+pub enum ControlAction {
+    /// Provision a new replica. It accrues device-seconds from the
+    /// moment of the action and goes live after the spec's ready delay.
+    AddReplica(Box<ReplicaSpec>),
+    /// Stop routing new work to a replica; it finishes its resident
+    /// requests, then retires. `migration_s` models the KV/state
+    /// migration tail: that many extra seconds of the replica's devices
+    /// are charged at retirement.
+    DrainReplica {
+        /// Fleet index of the replica to drain.
+        replica: usize,
+        /// Extra device-time charged when the drain completes (s).
+        migration_s: f64,
+    },
+    /// Split traffic between plan generations: a seeded hash of each
+    /// request id routes `fraction` of requests onto replicas of
+    /// `generation` and the rest onto every other generation (either
+    /// side falls back to the whole fleet if its slice is empty).
+    SetCanary {
+        /// Generation receiving the canary slice.
+        generation: u32,
+        /// Fraction of requests in `[0, 1]` routed to the canary.
+        fraction: f64,
+    },
+    /// Remove the canary split; all generations serve all traffic.
+    ClearCanary,
+}
+
+/// Per-replica controller-visible state.
+#[derive(Debug, Clone)]
+pub struct ReplicaObs {
+    /// Serving steps right now (false while provisioning, crashed,
+    /// retired).
+    pub alive: bool,
+    /// Draining: finishing resident work, closed to new dispatches.
+    pub draining: bool,
+    /// Permanently gone (drain completed or spot-preempted).
+    pub retired: bool,
+    /// Provisioned but not yet past its ready delay.
+    pub provisioning: bool,
+    /// Spot-market capacity (subject to preemption).
+    pub spot: bool,
+    /// Plan generation.
+    pub generation: u32,
+    /// Devices the replica holds (its engine's parallel degree).
+    pub devices: usize,
+    /// Requests admitted but not yet past prefill.
+    pub queued: usize,
+    /// Queued + running requests.
+    pub outstanding: usize,
+    /// Requests completed on this replica so far.
+    pub completed: usize,
+}
+
+/// Snapshot of the cluster handed to [`ControlHook::tick`]. All
+/// quantities are cumulative since the start of the run (the monitors in
+/// `moe-ctrl` difference successive snapshots to get windowed rates).
+#[derive(Debug, Clone)]
+pub struct ControlObs {
+    /// Simulated time of the tick (s).
+    pub now_s: f64,
+    /// Requests delivered by the arrival source so far.
+    pub submitted: usize,
+    /// Requests completed so far.
+    pub completed: usize,
+    /// Requests canceled at their TTFT deadline so far.
+    pub timed_out: usize,
+    /// Crash losses past the retry budget so far.
+    pub dropped: usize,
+    /// Admission-control rejections so far.
+    pub rejected: usize,
+    /// Requests currently parked at the router.
+    pub queue_depth: usize,
+    /// Completed (prompt + generated) tokens so far.
+    pub completed_tokens: u64,
+    /// Device-seconds accrued so far (price factors applied).
+    pub device_seconds: f64,
+    /// Cumulative TTFT histogram over completions.
+    pub ttft_hist: Histogram,
+    /// Cumulative inter-token-latency histogram over completions.
+    pub itl_hist: Histogram,
+    /// Active canary split, if any.
+    pub canary: Option<(u32, f64)>,
+    /// Per-replica state, indexed by fleet position.
+    pub replicas: Vec<ReplicaObs>,
+}
+
+impl ControlObs {
+    /// Replicas currently accepting routed work.
+    pub fn routable(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.alive && !r.draining && !r.retired)
+            .count()
+    }
+
+    /// Replicas paid for right now: everything not yet retired,
+    /// provisioning included.
+    pub fn paid(&self) -> usize {
+        self.replicas.iter().filter(|r| !r.retired).count()
+    }
+}
+
+/// An online controller. The simulator calls [`ControlHook::tick`] every
+/// control interval; the returned actions are applied immediately, in
+/// order, inside the same event round. Implementations must be
+/// deterministic functions of the observation stream (seeded state is
+/// fine; wall-clock or environment reads are not — `moe-lint` enforces
+/// this for the `ctrl` crate).
+pub trait ControlHook: std::fmt::Debug {
+    /// Observe the cluster and decide on reconfigurations.
+    fn tick(&mut self, obs: &ControlObs) -> Vec<ControlAction>;
+}

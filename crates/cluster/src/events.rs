@@ -38,6 +38,11 @@ pub(crate) enum Source {
     Arrival = 3,
     /// A request's TTFT deadline passed.
     Timeout = 4,
+    /// A provisioning replica finished warming up and goes live.
+    Reconfig = 5,
+    /// Control-plane tick: observe the cluster, apply controller actions.
+    /// Last in the round so the controller sees fully settled state.
+    Control = 6,
 }
 
 /// One scheduled event. `id` is the replica index for [`Source::StepEnd`],

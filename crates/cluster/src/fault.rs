@@ -44,6 +44,18 @@ pub enum FaultEvent {
         /// Replica index.
         replica: usize,
     },
+    /// Spot-market reclaim: the replica is taken away permanently (no
+    /// recovery is ever scheduled for it). In-flight and queued requests
+    /// fail back to the router exactly as a crash, but a controlled
+    /// simulation also *retires* the replica — it stops accruing
+    /// device-seconds, which is the economic half of running on spot
+    /// capacity at a discount.
+    Preempt {
+        /// Simulated time (s).
+        t_s: f64,
+        /// Replica index.
+        replica: usize,
+    },
 }
 
 impl FaultEvent {
@@ -53,7 +65,8 @@ impl FaultEvent {
             FaultEvent::Crash { t_s, .. }
             | FaultEvent::Recover { t_s, .. }
             | FaultEvent::SlowdownStart { t_s, .. }
-            | FaultEvent::SlowdownEnd { t_s, .. } => *t_s,
+            | FaultEvent::SlowdownEnd { t_s, .. }
+            | FaultEvent::Preempt { t_s, .. } => *t_s,
         }
     }
 
@@ -63,7 +76,8 @@ impl FaultEvent {
             FaultEvent::Crash { replica, .. }
             | FaultEvent::Recover { replica, .. }
             | FaultEvent::SlowdownStart { replica, .. }
-            | FaultEvent::SlowdownEnd { replica, .. } => *replica,
+            | FaultEvent::SlowdownEnd { replica, .. }
+            | FaultEvent::Preempt { replica, .. } => *replica,
         }
     }
 
@@ -74,7 +88,8 @@ impl FaultEvent {
             FaultEvent::Crash { replica, .. }
             | FaultEvent::Recover { replica, .. }
             | FaultEvent::SlowdownStart { replica, .. }
-            | FaultEvent::SlowdownEnd { replica, .. } => *replica = idx,
+            | FaultEvent::SlowdownEnd { replica, .. }
+            | FaultEvent::Preempt { replica, .. } => *replica = idx,
         }
     }
 }
@@ -141,6 +156,36 @@ impl FaultPlan {
         plan
     }
 
+    /// Seeded spot-market reclaim schedule: each listed replica slot
+    /// draws successive uptimes from an exponential distribution with
+    /// mean `mean_life_s`; every expiry inside `[0, horizon_s)` becomes
+    /// a [`FaultEvent::Preempt`]. A slot may be reclaimed more than once
+    /// — in a controlled simulation the slot index can be re-provisioned
+    /// by a later scale-up, and the next scheduled preemption then
+    /// applies to the new tenant of the slot, which is exactly how a
+    /// cloud provider reclaims by machine, not by workload.
+    pub fn spot_preemptions(seed: u64, slots: &[usize], horizon_s: f64, mean_life_s: f64) -> Self {
+        let mut plan = Self::none();
+        for &slot in slots {
+            let mut rng = rng_from_seed(derive_seed(seed, 0x5b07_0000 ^ slot as u64));
+            let mut t = 0.0f64;
+            loop {
+                let u = rng.next_f64().max(1e-12);
+                t += -u.ln() * mean_life_s.max(1e-9);
+                if t >= horizon_s {
+                    break;
+                }
+                plan.merge(Self {
+                    events: vec![FaultEvent::Preempt {
+                        t_s: t,
+                        replica: slot,
+                    }],
+                });
+            }
+        }
+        plan
+    }
+
     /// Merge another plan, keeping global time order (stable on ties).
     pub fn merge(&mut self, other: FaultPlan) {
         self.events.extend(other.events);
@@ -189,6 +234,25 @@ mod tests {
         }
         let c = FaultPlan::random_crashes(10, 4, 100.0, 3, 5.0);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spot_preemptions_are_seeded_sorted_and_bounded() {
+        let a = FaultPlan::spot_preemptions(3, &[0, 2, 5], 500.0, 120.0);
+        let b = FaultPlan::spot_preemptions(3, &[0, 2, 5], 500.0, 120.0);
+        assert_eq!(a, b, "same seed replays the reclaim schedule");
+        assert!(!a.events.is_empty(), "500s horizon at 120s mean lifetime");
+        let times: Vec<f64> = a.events.iter().map(FaultEvent::t_s).collect();
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(times, sorted);
+        for ev in &a.events {
+            assert!(matches!(ev, FaultEvent::Preempt { .. }));
+            assert!([0, 2, 5].contains(&ev.replica()));
+            assert!(ev.t_s() > 0.0 && ev.t_s() < 500.0);
+        }
+        let c = FaultPlan::spot_preemptions(4, &[0, 2, 5], 500.0, 120.0);
+        assert_ne!(a, c, "different seed, different schedule");
     }
 
     #[test]

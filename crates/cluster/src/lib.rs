@@ -22,6 +22,13 @@
 //!   [`sim::ClusterReport`] and, via [`sim::ClusterSim::run`],
 //!   a `moe-trace` timeline with router-decision instants, per-replica
 //!   step spans and queue-depth counters.
+//! * [`ctrl`] — the control-plane contract: a [`ctrl::ControlHook`]
+//!   registered via [`sim::ClusterSim::with_controller`] is ticked on
+//!   the simulated clock, observes the cluster ([`ctrl::ControlObs`])
+//!   and reconfigures it live ([`ctrl::ControlAction`]: replica
+//!   add/drain with modeled provisioning and migration cost, canary
+//!   routing between plan generations). The policy side lives in the
+//!   `moe-ctrl` crate.
 //! * [`shard`] — planet-scale execution: independent replica groups
 //!   partitioned by seeded hashing, run across `moe-par` workers, and
 //!   merged deterministically ([`shard::ShardPlan`], with multi-region
@@ -36,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ctrl;
 pub(crate) mod events;
 pub mod fault;
 pub(crate) mod replica;
@@ -43,6 +51,10 @@ pub mod router;
 pub mod shard;
 pub mod sim;
 pub mod workload;
+
+/// Trace track carrying control-plane decisions (provision/ready/drain/
+/// retire/canary instants emitted by a controlled [`sim::ClusterSim`]).
+pub const CONTROL_TRACK: moe_trace::TrackId = 7;
 
 /// Trace track carrying router decisions (dispatch/retry/timeout/reject).
 pub const ROUTER_TRACK: moe_trace::TrackId = 8;
@@ -52,6 +64,7 @@ pub const ROUTER_TRACK: moe_trace::TrackId = 8;
 /// to stay below `moe_trace::REQUEST_TRACK_BASE`.
 pub const REPLICA_TRACK_BASE: moe_trace::TrackId = 9;
 
+pub use ctrl::{ControlAction, ControlHook, ControlObs, ReplicaObs, ReplicaSpec};
 pub use fault::{FaultEvent, FaultPlan};
 pub use router::{RoutePolicy, RouterConfig};
 pub use shard::{run_sharded, run_sharded_detailed, run_sharded_stream, RegionTier, ShardPlan};

@@ -293,6 +293,8 @@ pub fn merge_reports(reports: &[ClusterReport]) -> ClusterReport {
     let mut prefix_misses: u64 = 0;
     let mut tokens: u64 = 0;
     let mut devices = 0;
+    let mut reconfigs = 0;
+    let mut preemptions = 0;
     for r in reports {
         ttft_hist.merge(&r.ttft_hist);
         e2e_hist.merge(&r.e2e_hist);
@@ -313,6 +315,8 @@ pub fn merge_reports(reports: &[ClusterReport]) -> ClusterReport {
         prefix_misses += r.prefix_misses;
         tokens += r.completed_tokens;
         devices += r.devices;
+        reconfigs += r.reconfigs;
+        preemptions += r.preemptions;
     }
     outputs.sort_by_key(|o| o.id);
     let device_seconds = devices as f64 * makespan;
@@ -342,6 +346,9 @@ pub fn merge_reports(reports: &[ClusterReport]) -> ClusterReport {
         devices,
         cost_per_token_device_s: device_seconds / (tokens as f64).max(1.0),
         device_s_per_request: device_seconds / (completed as f64).max(1.0),
+        device_seconds,
+        reconfigs,
+        preemptions,
         ttft_hist,
         e2e_hist,
         itl_hist,

@@ -47,15 +47,69 @@ use moe_runtime::scheduler::SchedulerConfig;
 use moe_runtime::simserver::scheduler_config_for;
 use moe_trace::{Category, Histogram, Tracer};
 
+use crate::ctrl::{ControlAction, ControlHook, ControlObs, ReplicaObs};
 use crate::events::{sort_round, Event, EventHeap, Source};
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::replica::{FinishedRequest, PriceCache, Replica};
-use crate::router::{ReplicaLoad, RoutePolicy, Router, RouterConfig};
+use crate::router::{mix, ReplicaLoad, RoutePolicy, Router, RouterConfig};
 use crate::workload::{ArrivalSource, RequestTrace, TraceSource};
-use crate::{REPLICA_TRACK_BASE, ROUTER_TRACK};
+use crate::{CONTROL_TRACK, REPLICA_TRACK_BASE, ROUTER_TRACK};
 
 /// Events closer than this collapse into one processing round.
 const EPS: f64 = 1e-9;
+
+/// Salt decorrelating canary membership hashes from the router's
+/// affinity hashes and the shard partition, which share the mixer.
+const CANARY_SALT: u64 = 0xca4a_57e1_0000_00d5;
+
+/// Is request `id` in the canary slice of size `frac`? A pure seeded
+/// hash, so membership is stable across retries and replays.
+fn canary_pick(seed: u64, id: u64, frac: f64) -> bool {
+    let h = mix(seed ^ CANARY_SALT, id);
+    ((h >> 11) as f64 / (1u64 << 53) as f64) < frac
+}
+
+/// Fleet-lifecycle bookkeeping for one replica slot, parallel to
+/// `ClusterSim::replicas`. Static runs never touch it beyond defaults;
+/// a controlled run uses it to integrate per-replica device-seconds
+/// over provision→retire lifetimes and to scope canary routing.
+#[derive(Debug, Clone)]
+struct ReplicaMeta {
+    /// Devices the replica holds (its engine's parallel degree).
+    devices: usize,
+    /// Plan generation (0 for the initial fleet).
+    generation: u32,
+    /// When the replica started accruing device-seconds.
+    born_s: f64,
+    /// When it starts serving (> `born_s` while provisioning).
+    ready_s: f64,
+    /// Closed to new dispatches, finishing resident work.
+    draining: bool,
+    /// Permanently gone since this time (drain completed or preempted).
+    retired_s: Option<f64>,
+    /// Spot-market capacity.
+    spot: bool,
+    /// Price multiplier on accrued device-seconds.
+    price_factor: f64,
+    /// Extra device-time charged at retirement (drain migration tail).
+    extra_s: f64,
+}
+
+impl ReplicaMeta {
+    fn initial(devices: usize) -> Self {
+        Self {
+            devices,
+            generation: 0,
+            born_s: 0.0,
+            ready_s: 0.0,
+            draining: false,
+            retired_s: None,
+            spot: false,
+            price_factor: 1.0,
+            extra_s: 0.0,
+        }
+    }
+}
 
 /// Cluster-level knobs.
 #[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
@@ -214,6 +268,16 @@ pub struct ClusterReport {
     /// Device-seconds spent per completed request:
     /// `devices x makespan / completed`.
     pub device_s_per_request: f64,
+    /// Device-seconds accrued over the run, price factors applied. For
+    /// a static fleet this is exactly `devices x makespan`; under a
+    /// controller (or spot preemption) it integrates each replica's
+    /// provision→retire lifetime instead, and `devices` reports the
+    /// peak concurrently-held device count.
+    pub device_seconds: f64,
+    /// Reconfiguration actions executed (replica adds + drain starts).
+    pub reconfigs: usize,
+    /// Spot-market preemptions applied.
+    pub preemptions: usize,
     /// Full TTFT histogram over completions, the basis for
     /// [`ClusterReport::slo_attainment`] and for merging shard reports.
     pub ttft_hist: Histogram,
@@ -259,6 +323,22 @@ pub struct ClusterSim {
     /// report's device-seconds cost accounting.
     devices_per_replica: usize,
     replicas: Vec<Replica>,
+    /// Fleet-lifecycle state, parallel to `replicas`.
+    meta: Vec<ReplicaMeta>,
+    /// Online controller ticked every `ctrl_interval_s`, if configured.
+    controller: Option<Box<dyn ControlHook>>,
+    ctrl_interval_s: f64,
+    /// Lifetime-integrated cost accounting is in effect (controller
+    /// configured, replica added/drained, or a preemption applied).
+    /// Static runs keep the exact legacy `devices x makespan` math.
+    dynamic_fleet: bool,
+    /// Active canary split: `(generation, fraction)`.
+    canary: Option<(u32, f64)>,
+    reconfigs: usize,
+    preemptions: usize,
+    /// Devices held by non-retired replicas right now, and the peak.
+    cur_devices: usize,
+    peak_devices: usize,
     router: Router,
     /// Lazy request source; only the next undelivered request is held.
     source: Box<dyn ArrivalSource>,
@@ -330,9 +410,19 @@ impl ClusterSim {
             .map(|i| Replica::new(i, model.clone(), sched, cfg.prefix_capacity))
             .collect();
         let loads = replicas.iter().map(Replica::load).collect();
+        let devices_per_replica = model.options().plan.degree;
         Self {
             router: Router::new(cfg.policy, cfg.seed),
-            devices_per_replica: model.options().plan.degree,
+            devices_per_replica,
+            meta: vec![ReplicaMeta::initial(devices_per_replica); cfg.replicas],
+            controller: None,
+            ctrl_interval_s: 0.0,
+            dynamic_fleet: false,
+            canary: None,
+            reconfigs: 0,
+            preemptions: 0,
+            cur_devices: cfg.replicas * devices_per_replica,
+            peak_devices: cfg.replicas * devices_per_replica,
             replicas,
             cfg,
             source,
@@ -366,6 +456,21 @@ impl ClusterSim {
         }
     }
 
+    /// Attach an online controller, ticked every `interval_s` of
+    /// simulated time (first tick at `interval_s`). The tick is an
+    /// ordinary heap event processed *last* in its round, so the
+    /// controller observes fully settled state; its actions execute
+    /// immediately and deterministically. A controlled run switches the
+    /// cost accounting to per-replica lifetime integration (see
+    /// [`ClusterReport::device_seconds`]).
+    pub fn with_controller(mut self, hook: Box<dyn ControlHook>, interval_s: f64) -> Self {
+        assert!(interval_s > 0.0, "control interval must be positive");
+        self.controller = Some(hook);
+        self.ctrl_interval_s = interval_s;
+        self.dynamic_fleet = true;
+        self
+    }
+
     /// Build a cluster whose replica KV pools are derived from device
     /// memory, mirroring `SimServer::sized_for`.
     pub fn sized_for(
@@ -386,7 +491,7 @@ impl ClusterSim {
     /// are stale once the request left the system.
     fn is_stale(&self, ev: &Event) -> bool {
         match ev.source {
-            Source::Fault | Source::Arrival => false,
+            Source::Fault | Source::Arrival | Source::Reconfig | Source::Control => false,
             Source::StepEnd => {
                 self.replicas
                     .get(ev.id as usize)
@@ -426,6 +531,9 @@ impl ClusterSim {
         std::mem::swap(&mut self.tracer, tracer);
         if self.tracer.is_enabled() {
             self.tracer.name_track(ROUTER_TRACK, "router");
+            if self.controller.is_some() {
+                self.tracer.name_track(CONTROL_TRACK, "control");
+            }
             for i in 0..self.replicas.len() {
                 let track = REPLICA_TRACK_BASE.saturating_add(i as u32);
                 self.tracer.name_track(track, &format!("replica {i}"));
@@ -470,6 +578,14 @@ impl ClusterSim {
                 gen: 0,
             });
         }
+        if self.controller.is_some() {
+            self.heap.push(Event {
+                t_s: self.ctrl_interval_s,
+                source: Source::Control,
+                id: 0,
+                gen: 0,
+            });
+        }
     }
 
     /// Drain every event due at the current clock into the round
@@ -497,6 +613,8 @@ impl ClusterSim {
                 Source::Retry => self.release_retry(ev.id),
                 Source::Arrival => self.deliver_arrivals(now),
                 Source::Timeout => self.fire_timeout(ev.id, now),
+                Source::Reconfig => self.activate_replica(ev.id as usize, now),
+                Source::Control => self.control_tick(now),
             }
         }
         round.clear();
@@ -516,6 +634,9 @@ impl ClusterSim {
             let idx = ev.replica();
             if idx >= self.replicas.len() {
                 continue;
+            }
+            if self.meta[idx].retired_s.is_some() {
+                continue; // retired slots are beyond fault reach
             }
             self.events += 1;
             match ev {
@@ -563,6 +684,27 @@ impl ClusterSim {
                         now,
                         vec![],
                     );
+                }
+                FaultEvent::Preempt { .. } => {
+                    // Spot reclaim: a crash that also retires the slot —
+                    // requests fail back to the router, but the replica
+                    // stops accruing device-seconds for good.
+                    self.preemptions += 1;
+                    self.dynamic_fleet = true;
+                    let failed = self.replicas[idx].crash();
+                    self.meta[idx].retired_s = Some(now);
+                    self.meta[idx].extra_s = 0.0; // no migration tail on reclaim
+                    self.cur_devices = self.cur_devices.saturating_sub(self.meta[idx].devices);
+                    self.refresh_load(idx);
+                    self.trace_instant(
+                        REPLICA_TRACK_BASE.saturating_add(idx as u32),
+                        "preempt",
+                        now,
+                        vec![("lost", failed.len().into())],
+                    );
+                    for a in failed {
+                        self.requeue_after_crash(a.cluster_id, now);
+                    }
                 }
             }
         }
@@ -633,6 +775,7 @@ impl ClusterSim {
         }
         self.refresh_load(idx);
         self.dirty.push(idx);
+        self.maybe_retire(idx, now);
     }
 
     /// Stream one completion into the aggregates and retire its live
@@ -769,7 +912,28 @@ impl ClusterSim {
                 self.queue_dead = self.queue_dead.saturating_sub(1);
                 continue;
             }
-            let Some(target) = self.router.choose(&self.loads, key) else {
+            let target = match self.canary {
+                Some((generation, frac)) => {
+                    // Restrict each side of the split to its generations,
+                    // falling back to the whole fleet if a side is empty
+                    // (e.g. the old generation fully drained).
+                    let is_canary = canary_pick(self.cfg.seed, id, frac);
+                    let mut masked: Vec<ReplicaLoad> = Vec::with_capacity(self.loads.len());
+                    for (l, m) in self.loads.iter().zip(&self.meta) {
+                        let keep = (m.generation == generation) == is_canary;
+                        let mut load = *l;
+                        load.alive = load.alive && keep;
+                        masked.push(load);
+                    }
+                    if masked.iter().any(|l| l.alive) {
+                        self.router.choose(&masked, key)
+                    } else {
+                        self.router.choose(&self.loads, key)
+                    }
+                }
+                None => self.router.choose(&self.loads, key),
+            };
+            let Some(target) = target else {
                 break; // nobody alive; leave the queue parked
             };
             self.queue.pop_front();
@@ -855,7 +1019,217 @@ impl ClusterSim {
     }
 
     fn refresh_load(&mut self, idx: usize) {
-        self.loads[idx] = self.replicas[idx].load();
+        let mut load = self.replicas[idx].load();
+        // Draining and retired replicas are closed to new dispatches;
+        // routing liveness is the replica's own liveness otherwise.
+        if self.meta[idx].draining || self.meta[idx].retired_s.is_some() {
+            load.alive = false;
+        }
+        self.loads[idx] = load;
+    }
+
+    /// A provisioning replica's ready delay elapsed: bring it online
+    /// (unless a preemption already reclaimed the slot).
+    fn activate_replica(&mut self, idx: usize, now: f64) {
+        if idx >= self.replicas.len()
+            || self.meta[idx].retired_s.is_some()
+            || self.replicas[idx].alive
+        {
+            return;
+        }
+        self.events += 1;
+        self.replicas[idx].recover();
+        self.refresh_load(idx);
+        self.dirty.push(idx);
+        self.trace_instant(CONTROL_TRACK, "ready", now, vec![("replica", idx.into())]);
+    }
+
+    /// A draining replica with no resident work retires: it stops
+    /// accruing device-seconds after charging its migration tail.
+    fn maybe_retire(&mut self, idx: usize, now: f64) {
+        if !self.meta[idx].draining || self.meta[idx].retired_s.is_some() {
+            return;
+        }
+        if self.replicas[idx].outstanding() > 0 || self.replicas[idx].current_gen().is_some() {
+            return;
+        }
+        self.replicas[idx].alive = false;
+        self.meta[idx].retired_s = Some(now);
+        self.cur_devices = self.cur_devices.saturating_sub(self.meta[idx].devices);
+        self.refresh_load(idx);
+        self.trace_instant(CONTROL_TRACK, "retire", now, vec![("replica", idx.into())]);
+    }
+
+    /// Device-seconds accrued by the whole fleet up to `now`: each
+    /// replica pays `devices x price_factor` per second from birth to
+    /// retirement (plus its migration tail) or to `now` if still held.
+    /// Summed in fleet index order, so the fold is deterministic.
+    fn accrued_device_s(&self, now: f64) -> f64 {
+        let mut total = 0.0;
+        for m in &self.meta {
+            let (end, extra) = match m.retired_s {
+                Some(t) => (t, m.extra_s),
+                None => (now, 0.0),
+            };
+            total += m.devices as f64 * ((end - m.born_s).max(0.0) + extra) * m.price_factor;
+        }
+        total
+    }
+
+    /// Snapshot the cluster for the controller.
+    fn build_obs(&self, now: f64) -> ControlObs {
+        let replicas = self
+            .replicas
+            .iter()
+            .zip(&self.meta)
+            .map(|(r, m)| ReplicaObs {
+                alive: r.alive,
+                draining: m.draining,
+                retired: m.retired_s.is_some(),
+                provisioning: m.retired_s.is_none() && now + EPS < m.ready_s,
+                spot: m.spot,
+                generation: m.generation,
+                devices: m.devices,
+                queued: r.queued(),
+                outstanding: r.outstanding(),
+                completed: r.completed,
+            })
+            .collect();
+        ControlObs {
+            now_s: now,
+            submitted: self.submitted,
+            completed: self.completed,
+            timed_out: self.timed_out,
+            dropped: self.dropped,
+            rejected: self.rejected,
+            queue_depth: self.queue.len().saturating_sub(self.queue_dead),
+            completed_tokens: self.tokens,
+            device_seconds: self.accrued_device_s(now),
+            ttft_hist: self.ttft_hist.clone(),
+            itl_hist: self.itl_hist.clone(),
+            canary: self.canary,
+            replicas,
+        }
+    }
+
+    /// Run one control tick: observe, apply the hook's actions, and
+    /// reschedule the next tick while there is still work in flight.
+    fn control_tick(&mut self, now: f64) {
+        let Some(mut hook) = self.controller.take() else {
+            return;
+        };
+        self.events += 1;
+        let obs = self.build_obs(now);
+        for action in hook.tick(&obs) {
+            self.apply_action(action, now);
+        }
+        self.controller = Some(hook);
+        if self.pending_arrival.is_some() || !self.live.is_empty() {
+            self.heap.push(Event {
+                t_s: now + self.ctrl_interval_s,
+                source: Source::Control,
+                id: 0,
+                gen: 0,
+            });
+        }
+    }
+
+    /// Execute one controller action at time `now`.
+    fn apply_action(&mut self, action: ControlAction, now: f64) {
+        match action {
+            ControlAction::AddReplica(spec) => {
+                let spec = *spec;
+                let idx = self.replicas.len();
+                let devices = spec.model.options().plan.degree;
+                let mut replica =
+                    Replica::new(idx, spec.model, spec.sched, self.cfg.prefix_capacity);
+                replica.alive = false; // provisioning until the ready event
+                self.replicas.push(replica);
+                self.loads.push(ReplicaLoad {
+                    alive: false,
+                    queued: 0,
+                    outstanding: 0,
+                });
+                self.meta.push(ReplicaMeta {
+                    devices,
+                    generation: spec.generation,
+                    born_s: now,
+                    ready_s: now + spec.ready_delay_s.max(0.0),
+                    draining: false,
+                    retired_s: None,
+                    spot: spec.spot,
+                    price_factor: spec.price_factor,
+                    extra_s: 0.0,
+                });
+                self.cur_devices += devices;
+                self.peak_devices = self.peak_devices.max(self.cur_devices);
+                self.reconfigs += 1;
+                self.dynamic_fleet = true;
+                self.heap.push(Event {
+                    t_s: now + spec.ready_delay_s.max(0.0),
+                    source: Source::Reconfig,
+                    id: idx as u64,
+                    gen: 0,
+                });
+                if self.tracer.is_enabled() {
+                    let track = REPLICA_TRACK_BASE.saturating_add(idx as u32);
+                    self.tracer.name_track(track, &format!("replica {idx}"));
+                }
+                self.trace_instant(
+                    CONTROL_TRACK,
+                    "provision",
+                    now,
+                    vec![
+                        ("replica", idx.into()),
+                        ("generation", u64::from(spec.generation).into()),
+                    ],
+                );
+            }
+            ControlAction::DrainReplica {
+                replica,
+                migration_s,
+            } => {
+                if replica >= self.replicas.len()
+                    || self.meta[replica].draining
+                    || self.meta[replica].retired_s.is_some()
+                {
+                    return;
+                }
+                self.meta[replica].draining = true;
+                self.meta[replica].extra_s = migration_s.max(0.0);
+                self.reconfigs += 1;
+                self.dynamic_fleet = true;
+                self.refresh_load(replica);
+                self.trace_instant(
+                    CONTROL_TRACK,
+                    "drain",
+                    now,
+                    vec![("replica", replica.into())],
+                );
+                self.maybe_retire(replica, now);
+            }
+            ControlAction::SetCanary {
+                generation,
+                fraction,
+            } => {
+                self.canary = Some((generation, fraction.clamp(0.0, 1.0)));
+                self.dynamic_fleet = true;
+                self.trace_instant(
+                    CONTROL_TRACK,
+                    "canary",
+                    now,
+                    vec![
+                        ("generation", u64::from(generation).into()),
+                        ("fraction", fraction.into()),
+                    ],
+                );
+            }
+            ControlAction::ClearCanary => {
+                if self.canary.take().is_some() {
+                    self.trace_instant(CONTROL_TRACK, "canary-clear", now, vec![]);
+                }
+            }
+        }
     }
 
     fn sample_counters(&mut self, now: f64) {
@@ -907,8 +1281,15 @@ impl ClusterSim {
         let per_replica: Vec<usize> = self.replicas.iter().map(|r| r.completed).collect();
         let hits: u64 = self.replicas.iter().map(|r| r.prefix_hits).sum();
         let misses: u64 = self.replicas.iter().map(|r| r.prefix_misses).sum();
-        let devices = self.cfg.replicas * self.devices_per_replica;
-        let device_seconds = devices as f64 * self.clock_s;
+        // Static fleets keep the exact legacy cost math (bit-identical
+        // to prior releases); dynamic fleets integrate per-replica
+        // lifetimes and report peak concurrently-held devices.
+        let (devices, device_seconds) = if self.dynamic_fleet {
+            (self.peak_devices, self.accrued_device_s(self.clock_s))
+        } else {
+            let devices = self.cfg.replicas * self.devices_per_replica;
+            (devices, devices as f64 * self.clock_s)
+        };
         let ttft = LatencySummary::from_histogram(&self.ttft_hist);
         let e2e = LatencySummary::from_histogram(&self.e2e_hist);
         let itl = LatencySummary::from_histogram(&self.itl_hist);
@@ -935,6 +1316,9 @@ impl ClusterSim {
             devices,
             cost_per_token_device_s: device_seconds / (self.tokens as f64).max(1.0),
             device_s_per_request: device_seconds / (self.completed as f64).max(1.0),
+            device_seconds,
+            reconfigs: self.reconfigs,
+            preemptions: self.preemptions,
             ttft_hist: self.ttft_hist,
             e2e_hist: self.e2e_hist,
             itl_hist: self.itl_hist,
@@ -1328,6 +1712,168 @@ mod tests {
                 pair[1].ttft.p99_s
             );
         }
+    }
+
+    #[test]
+    fn preemption_retires_the_slot_and_cuts_device_seconds() {
+        let trace = small_trace(80, 20.0, 5);
+        let preempt_at = trace.requests[20].arrival_s;
+        let faults = FaultPlan {
+            events: vec![FaultEvent::Preempt {
+                t_s: preempt_at,
+                replica: 0,
+            }],
+        };
+        let sim = ClusterSim::sized_for(
+            &olmoe(),
+            2048,
+            base_cfg(RoutePolicy::LeastOutstanding),
+            faults,
+            trace,
+        );
+        let report = sim.run(&mut Tracer::disabled());
+        assert_accounted(&report);
+        assert_eq!(report.preemptions, 1);
+        assert_eq!(report.crashes, 0, "preemption is not a crash");
+        assert_eq!(report.completed, 80, "retries recover the reclaim losses");
+        // The reclaimed slot stops accruing cost: lifetime accounting
+        // comes in strictly below the static devices x makespan product.
+        let static_cost = report.devices as f64 * report.makespan_s;
+        assert!(
+            report.device_seconds < static_cost - 1e-9,
+            "{} !< {}",
+            report.device_seconds,
+            static_cost
+        );
+        assert_eq!(report.per_replica_completed.len(), 3);
+    }
+
+    /// A scripted hook for the tests: at the first tick, add one
+    /// replica (generation 1, canaried at 50%); at the third, drain
+    /// replica 0.
+    #[derive(Debug, Default)]
+    struct ScriptedHook {
+        ticks: usize,
+        spec: Option<crate::ctrl::ReplicaSpec>,
+    }
+
+    impl crate::ctrl::ControlHook for ScriptedHook {
+        fn tick(&mut self, _obs: &crate::ctrl::ControlObs) -> Vec<ControlAction> {
+            self.ticks += 1;
+            match self.ticks {
+                1 => {
+                    let spec = self.spec.take().expect("spec consumed once");
+                    vec![
+                        ControlAction::AddReplica(Box::new(spec)),
+                        ControlAction::SetCanary {
+                            generation: 1,
+                            fraction: 0.5,
+                        },
+                    ]
+                }
+                3 => vec![
+                    ControlAction::DrainReplica {
+                        replica: 0,
+                        migration_s: 2.0,
+                    },
+                    ControlAction::ClearCanary,
+                ],
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn controller_grows_drains_and_accounts_lifetimes() {
+        let model = olmoe();
+        let sched = scheduler_config_for(&model, 2048);
+        let spec = crate::ctrl::ReplicaSpec {
+            model: model.clone(),
+            sched,
+            generation: 1,
+            spot: true,
+            price_factor: 0.4,
+            ready_delay_s: 0.5,
+        };
+        let hook = ScriptedHook {
+            ticks: 0,
+            spec: Some(spec),
+        };
+        let sim = ClusterSim::new(
+            &model,
+            sched,
+            base_cfg(RoutePolicy::LeastOutstanding),
+            FaultPlan::none(),
+            small_trace(200, 40.0, 9),
+        )
+        .with_controller(Box::new(hook), 1.0);
+        let report = sim.run(&mut Tracer::disabled());
+        assert_accounted(&report);
+        assert_eq!(report.completed, 200);
+        assert_eq!(report.reconfigs, 2, "one add + one drain");
+        // Four slots existed; the added one completed work after its
+        // ready delay, the drained one stopped at its drain point.
+        assert_eq!(report.per_replica_completed.len(), 4);
+        assert!(
+            report.per_replica_completed[3] > 0,
+            "provisioned replica must serve: {:?}",
+            report.per_replica_completed
+        );
+        // Peak fleet: 4 single-device replicas held concurrently.
+        assert_eq!(report.devices, 4);
+        // Lifetime accounting: strictly below paying for 4 devices the
+        // whole run (the spot add is discounted, the drain retires).
+        assert!(report.device_seconds < 4.0 * report.makespan_s);
+        assert!(report.device_seconds > 0.0);
+    }
+
+    #[test]
+    fn controlled_run_is_deterministic() {
+        let run = || {
+            let model = olmoe();
+            let sched = scheduler_config_for(&model, 2048);
+            let spec = crate::ctrl::ReplicaSpec {
+                model: model.clone(),
+                sched,
+                generation: 1,
+                spot: false,
+                price_factor: 1.0,
+                ready_delay_s: 0.25,
+            };
+            let hook = ScriptedHook {
+                ticks: 0,
+                spec: Some(spec),
+            };
+            let sim = ClusterSim::new(
+                &model,
+                sched,
+                base_cfg(RoutePolicy::PowerOfTwo),
+                FaultPlan::spot_preemptions(7, &[1], 20.0, 15.0),
+                small_trace(150, 50.0, 13),
+            )
+            .with_controller(Box::new(hook), 0.5);
+            moe_json::to_string(&sim.run(&mut Tracer::disabled()))
+        };
+        assert_eq!(run(), run(), "controlled runs replay byte-identically");
+    }
+
+    #[test]
+    fn uncontrolled_cost_math_is_bit_identical_to_legacy() {
+        let sim = ClusterSim::sized_for(
+            &olmoe(),
+            2048,
+            base_cfg(RoutePolicy::LeastOutstanding),
+            FaultPlan::none(),
+            small_trace(60, 12.0, 3),
+        );
+        let report = sim.run(&mut Tracer::disabled());
+        let legacy = report.devices as f64 * report.makespan_s;
+        assert_eq!(
+            report.device_seconds, legacy,
+            "static runs keep the exact product"
+        );
+        assert_eq!(report.reconfigs, 0);
+        assert_eq!(report.preemptions, 0);
     }
 
     #[test]

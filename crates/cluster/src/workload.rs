@@ -279,6 +279,39 @@ impl RequestTrace {
             self.requests.len() as f64 / span
         }
     }
+
+    /// Shift every arrival by `offset_s` (compose episodes in time).
+    pub fn shifted(mut self, offset_s: f64) -> Self {
+        for r in &mut self.requests {
+            r.arrival_s += offset_s;
+        }
+        self
+    }
+
+    /// Merge traces into one, interleaved by arrival time (stable on
+    /// ties: earlier input trace first) and re-id'd densely from 0 in
+    /// the merged arrival order, preserving the id invariant the
+    /// simulator relies on. Prefix groups are salted per input trace so
+    /// distinct traces never alias each other's shared-prefix families.
+    /// This is how the control-plane experiments compose a diurnal
+    /// baseline with a flash-crowd episode into one day.
+    pub fn merge(parts: Vec<RequestTrace>) -> Self {
+        let mut requests: Vec<ClusterRequest> = Vec::new();
+        for (i, part) in parts.into_iter().enumerate() {
+            let salt = (i as u64) << 56;
+            for mut r in part.requests {
+                if r.prefix_len > 0 {
+                    r.prefix_group ^= salt;
+                }
+                requests.push(r);
+            }
+        }
+        requests.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        for (id, r) in requests.iter_mut().enumerate() {
+            r.id = id as u64;
+        }
+        Self { requests }
+    }
 }
 
 /// A pull source of requests in arrival order, consumed lazily by the

@@ -1,0 +1,993 @@
+//! The controller policy: burn-triggered scaling, warm-started
+//! re-planning, canary rollout of new plan generations.
+//!
+//! [`Controller`] implements [`moe_cluster::ControlHook`]. Per tick it
+//! folds the cluster's cumulative TTFT/ITL histograms into two
+//! [`BurnMonitor`]s and acts on the worse burn:
+//!
+//! * **Scale out** when the burn crosses `upscale_burn` or the router
+//!   queue exceeds `upscale_queue_per_replica` per routable replica —
+//!   one replica per cooldown, optionally on discounted spot capacity.
+//! * **Scale in** after `calm_ticks` consecutive calm readings, draining
+//!   the youngest replica (spot first) with the configured migration
+//!   tail, never below `min_replicas`.
+//! * **Re-plan** every `replan_every_ticks`: re-estimate offered load
+//!   from arrival deltas, warm-start `moe-plan`'s search from the
+//!   incumbent configuration over the configured
+//!   [`ReachableSpace`], and — when a *different shape* wins at a
+//!   strictly lower per-token cost than the incumbent shape — roll it
+//!   out as a fresh replica generation behind a canary traffic split.
+//!   The re-planner chooses shapes only: the generation fills out to
+//!   capacity parity with the serving fleet, and the reactive loop owns
+//!   sizing from there. After `canary_ticks` the rollout is promoted
+//!   (old generation drained) if the burn stayed at or below
+//!   `promote_burn`, else rolled back; a rolled-back shape is not
+//!   retried.
+//!
+//! The controller is a pure function of the observation stream: no RNG,
+//! no clocks, no environment. Decisions are appended to a shared
+//! [`DecisionLog`] so callers keep a readable audit trail after the
+//! simulator has consumed the hook.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use moe_cluster::{ControlAction, ControlHook, ControlObs, ReplicaSpec};
+use moe_gpusim::perfmodel::PerfModel;
+use moe_json::{FromJson, ToJson};
+use moe_plan::score::build_engine;
+use moe_plan::{warm_search, CandidateConfig, CandidateScore, PlannerSpec, ReachableSpace};
+use moe_plan::{SearchOutcome, WorkloadSketch};
+use moe_runtime::scheduler::SchedulerConfig;
+use moe_runtime::simserver::scheduler_config_for;
+
+use crate::monitor::BurnMonitor;
+
+/// Tunables for [`Controller`]. Construct with [`ControllerConfig::for_slo`]
+/// and override fields as needed.
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
+pub struct ControllerConfig {
+    /// TTFT SLO bound (s).
+    pub ttft_slo_s: f64,
+    /// Inter-token-latency SLO bound (s).
+    pub itl_slo_s: f64,
+    /// Attainment target defining the error budget (e.g. 0.99 ⇒ 1%).
+    pub target_attainment: f64,
+    /// Burn-monitor sliding window, in control ticks.
+    pub window_ticks: usize,
+    /// Scale out when the worse burn reaches this.
+    pub upscale_burn: f64,
+    /// ... or when router queue depth per routable replica reaches this.
+    pub upscale_queue_per_replica: f64,
+    /// A tick is calm when the burn is at or below this.
+    pub downscale_burn: f64,
+    /// Consecutive calm ticks before the drain regime opens. Once open,
+    /// drains are spaced by [`ControllerConfig::cooldown_ticks`] until a
+    /// hot tick closes the regime again.
+    pub calm_ticks: usize,
+    /// Ticks between fleet-changing actions.
+    pub cooldown_ticks: usize,
+    /// Never drain below this many routable replicas.
+    pub min_replicas: usize,
+    /// Never provision beyond this many paid replicas.
+    pub max_replicas: usize,
+    /// Provisioning delay for scale-out replicas (s, simulated).
+    pub provision_delay_s: f64,
+    /// Migration tail charged when a drain completes (s of the
+    /// replica's devices).
+    pub migration_s: f64,
+    /// Provision scale-out replicas from the spot market.
+    pub spot_scaleout: bool,
+    /// Price multiplier for spot scale-out capacity.
+    pub spot_price_factor: f64,
+    /// Most replicas added in one hot tick: the step is
+    /// burn-proportional (`⌊burn / upscale_burn⌋`, at least 1), clamped
+    /// here so a flash crowd ramps in a few ticks without overshooting.
+    pub max_scale_step: usize,
+    /// Re-plan period in ticks (0 disables re-planning).
+    pub replan_every_ticks: usize,
+    /// Traffic fraction routed to a canary generation.
+    pub canary_fraction: f64,
+    /// Ticks a canary serves before the promote/rollback verdict.
+    pub canary_ticks: usize,
+    /// Promote the canary only if the burn is at or below this.
+    pub promote_burn: f64,
+}
+
+impl ControllerConfig {
+    /// Defaults tuned for the `ext-ctrl` experiment family: alert on a
+    /// 2× burn over a 6-tick window, drain after 8 calm ticks, re-plan
+    /// disabled until [`Controller::with_replanner`] turns it on.
+    pub fn for_slo(ttft_slo_s: f64, itl_slo_s: f64) -> Self {
+        Self {
+            ttft_slo_s,
+            itl_slo_s,
+            target_attainment: 0.99,
+            window_ticks: 6,
+            upscale_burn: 2.0,
+            upscale_queue_per_replica: 8.0,
+            downscale_burn: 0.25,
+            calm_ticks: 8,
+            cooldown_ticks: 2,
+            min_replicas: 1,
+            max_replicas: 16,
+            provision_delay_s: 20.0,
+            migration_s: 5.0,
+            spot_scaleout: true,
+            spot_price_factor: 0.35,
+            max_scale_step: 4,
+            replan_every_ticks: 0,
+            canary_fraction: 0.1,
+            canary_ticks: 4,
+            promote_burn: 1.0,
+        }
+    }
+}
+
+/// One audited controller decision (simulated time, trigger readings).
+#[derive(Debug, Clone, PartialEq, ToJson, FromJson)]
+pub enum Decision {
+    /// Provisioned scale-out replicas.
+    ScaleUp {
+        /// Tick time (s).
+        t_s: f64,
+        /// Paid replicas before the action.
+        paid_before: usize,
+        /// Replicas added (burn-proportional, ≥ 1).
+        added: usize,
+        /// Worse burn reading at the tick.
+        burn: f64,
+        /// Router queue depth at the tick.
+        queue_depth: usize,
+    },
+    /// Started draining one replica.
+    ScaleDown {
+        /// Tick time (s).
+        t_s: f64,
+        /// Fleet index drained.
+        replica: usize,
+        /// Worse burn reading at the tick.
+        burn: f64,
+    },
+    /// A re-plan chose a new shape; its generation is canarying.
+    RolloutStart {
+        /// Tick time (s).
+        t_s: f64,
+        /// New generation id.
+        generation: u32,
+        /// Chosen configuration label.
+        label: String,
+        /// Replicas provisioned for the new generation.
+        replicas: usize,
+    },
+    /// Canary passed: old generation drained, new one serving all traffic.
+    Promote {
+        /// Tick time (s).
+        t_s: f64,
+        /// Promoted generation.
+        generation: u32,
+        /// Old-generation replicas sent to drain.
+        drained: usize,
+    },
+    /// Canary failed its burn check and was drained.
+    Rollback {
+        /// Tick time (s).
+        t_s: f64,
+        /// Abandoned generation.
+        generation: u32,
+    },
+}
+
+/// Shared, interiorly-mutable decision audit trail. Clone a handle with
+/// [`Controller::log_handle`] before boxing the controller into the
+/// simulator; the handle stays readable after the run.
+pub type DecisionLog = Rc<RefCell<Vec<Decision>>>;
+
+/// Engine + scheduler template stamped onto scale-out replicas.
+#[derive(Debug, Clone)]
+struct ReplicaTemplate {
+    model: PerfModel,
+    sched: SchedulerConfig,
+}
+
+/// Re-planner state: the offline spec, the shape currently deployed and
+/// the reachable neighborhood around it.
+#[derive(Debug, Clone)]
+struct PlannerState {
+    spec: PlannerSpec,
+    sketch: WorkloadSketch,
+    incumbent: CandidateConfig,
+    reach: ReachableSpace,
+}
+
+/// An in-flight generation rollout awaiting its canary verdict.
+#[derive(Debug, Clone)]
+struct Rollout {
+    generation: u32,
+    config: CandidateConfig,
+    template: ReplicaTemplate,
+    start_tick: usize,
+    /// Ratio of the challenger's to the incumbent's per-token cost at
+    /// each family's efficiency frontier (< 1, since rollouts require a
+    /// strictly cheaper shape): one challenger replica replaces
+    /// `1/fill_scale` incumbent replicas of the same device count.
+    fill_scale: f64,
+    /// The canary verdict passed and the generation is provisioning out
+    /// to capacity parity with the serving fleet (the re-planner
+    /// chooses *shapes*; the reactive loop owns sizing); the incumbent
+    /// drains only once the fill is ready (make-before-break).
+    filling: bool,
+}
+
+/// The online controller. See the module docs for the policy.
+#[derive(Debug)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    ttft: BurnMonitor,
+    itl: BurnMonitor,
+    template: ReplicaTemplate,
+    generation: u32,
+    planner: Option<PlannerState>,
+    rollout: Option<Rollout>,
+    last_rejected: Option<CandidateConfig>,
+    tick_no: usize,
+    calm: usize,
+    cooldown: usize,
+    last_replan_t: f64,
+    last_replan_submitted: usize,
+    log: DecisionLog,
+}
+
+impl Controller {
+    /// A reactive-only controller: `model`/`sched` describe the replicas
+    /// it scales out (generation 0, the same shape the fleet started
+    /// with).
+    pub fn new(cfg: ControllerConfig, model: PerfModel, sched: SchedulerConfig) -> Self {
+        let ttft = BurnMonitor::new(cfg.ttft_slo_s, cfg.target_attainment, cfg.window_ticks);
+        let itl = BurnMonitor::new(cfg.itl_slo_s, cfg.target_attainment, cfg.window_ticks);
+        Self {
+            cfg,
+            ttft,
+            itl,
+            template: ReplicaTemplate { model, sched },
+            generation: 0,
+            planner: None,
+            rollout: None,
+            last_rejected: None,
+            tick_no: 0,
+            calm: 0,
+            cooldown: 0,
+            last_replan_t: 0.0,
+            last_replan_submitted: 0,
+            log: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Enable periodic re-planning: warm-start searches of `spec` around
+    /// `incumbent` within `reach`, every `cfg.replan_every_ticks` ticks
+    /// (which this setter requires to be non-zero).
+    pub fn with_replanner(
+        mut self,
+        spec: PlannerSpec,
+        sketch: WorkloadSketch,
+        incumbent: CandidateConfig,
+        reach: ReachableSpace,
+    ) -> Self {
+        assert!(
+            self.cfg.replan_every_ticks > 0,
+            "set replan_every_ticks before attaching a re-planner"
+        );
+        self.planner = Some(PlannerState {
+            spec,
+            sketch,
+            incumbent,
+            reach,
+        });
+        self
+    }
+
+    /// A handle onto the decision log that outlives the controller.
+    pub fn log_handle(&self) -> DecisionLog {
+        Rc::clone(&self.log)
+    }
+
+    fn decide(&self, d: Decision) {
+        self.log.borrow_mut().push(d);
+    }
+
+    fn scaleout_spec(&self) -> ReplicaSpec {
+        ReplicaSpec {
+            model: self.template.model.clone(),
+            sched: self.template.sched,
+            generation: self.generation,
+            spot: self.cfg.spot_scaleout,
+            price_factor: if self.cfg.spot_scaleout {
+                self.cfg.spot_price_factor
+            } else {
+                1.0
+            },
+            ready_delay_s: self.cfg.provision_delay_s,
+        }
+    }
+
+    /// Youngest drainable replica of the current generation, spot first.
+    fn drain_target(&self, obs: &ControlObs) -> Option<usize> {
+        obs.replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| {
+                r.generation == self.generation
+                    && !r.retired
+                    && !r.draining
+                    && (r.alive || r.provisioning)
+            })
+            .max_by_key(|(i, r)| (r.spot, *i))
+            .map(|(i, _)| i)
+    }
+
+    fn reactive(&mut self, obs: &ControlObs, burn: f64, actions: &mut Vec<ControlAction>) {
+        let routable = obs.routable();
+        let pending = obs
+            .replicas
+            .iter()
+            .filter(|r| r.provisioning && !r.retired)
+            .count();
+        let queue_per = obs.queue_depth as f64 / routable.max(1) as f64;
+        let hot = burn >= self.cfg.upscale_burn || queue_per >= self.cfg.upscale_queue_per_replica;
+        if hot {
+            self.calm = 0;
+            if pending == 0 && self.cooldown == 0 && obs.paid() < self.cfg.max_replicas {
+                let by_burn = if self.cfg.upscale_burn > 0.0 && burn.is_finite() {
+                    (burn / self.cfg.upscale_burn) as usize
+                } else {
+                    1
+                };
+                let added = by_burn
+                    .clamp(1, self.cfg.max_scale_step.max(1))
+                    .min(self.cfg.max_replicas - obs.paid());
+                for _ in 0..added {
+                    actions.push(ControlAction::AddReplica(Box::new(self.scaleout_spec())));
+                }
+                self.decide(Decision::ScaleUp {
+                    t_s: obs.now_s,
+                    paid_before: obs.paid(),
+                    added,
+                    burn,
+                    queue_depth: obs.queue_depth,
+                });
+                self.cooldown = self.cfg.cooldown_ticks;
+            }
+        } else if burn <= self.cfg.downscale_burn && queue_per < 1.0 {
+            self.calm += 1;
+            if self.calm >= self.cfg.calm_ticks
+                && self.cooldown == 0
+                && routable > self.cfg.min_replicas
+            {
+                if let Some(idx) = self.drain_target(obs) {
+                    actions.push(ControlAction::DrainReplica {
+                        replica: idx,
+                        migration_s: self.cfg.migration_s,
+                    });
+                    self.decide(Decision::ScaleDown {
+                        t_s: obs.now_s,
+                        replica: idx,
+                        burn,
+                    });
+                    self.cooldown = self.cfg.cooldown_ticks;
+                }
+            }
+        } else {
+            self.calm = 0;
+        }
+    }
+
+    /// Deterministic total order over frontier candidates: SLO-meeting
+    /// first, then the fewest devices (devices are the capital the
+    /// controller actually pays for — the analytic per-token cost
+    /// rewards deeper fleets for batching and would size every pick at
+    /// the cap), then cheapest, then lowest predicted TTFT, then label.
+    fn candidate_rank(c: &CandidateScore) -> (u8, usize, u64, u64, String) {
+        (
+            u8::from(!c.meets_slo),
+            c.config.devices(),
+            c.cost_per_token_device_s.to_bits(),
+            c.predicted_ttft_s.to_bits(),
+            c.label.clone(),
+        )
+    }
+
+    /// Same deployment shape up to replica count.
+    fn same_shape(a: &CandidateConfig, b: &CandidateConfig) -> bool {
+        a.plan == b.plan
+            && a.precision == b.precision
+            && a.prune_ratio == b.prune_ratio
+            && a.spec_decode == b.spec_decode
+            && a.max_batch_tokens == b.max_batch_tokens
+    }
+
+    fn maybe_replan(&mut self, obs: &ControlObs, burn: f64, actions: &mut Vec<ControlAction>) {
+        if self.cfg.replan_every_ticks == 0
+            || self.planner.is_none()
+            || !self.tick_no.is_multiple_of(self.cfg.replan_every_ticks)
+        {
+            return;
+        }
+        // Calm-weather rule: never start a migration during an incident.
+        // While the burn is hot, reactive scale-out owns the fleet; a
+        // canary split would divert traffic onto cold replicas exactly
+        // when the error budget is draining fastest.
+        if burn >= self.cfg.upscale_burn {
+            return;
+        }
+        let dt = obs.now_s - self.last_replan_t;
+        let d_sub = obs.submitted.saturating_sub(self.last_replan_submitted);
+        self.last_replan_t = obs.now_s;
+        self.last_replan_submitted = obs.submitted;
+        if dt <= 0.0 || d_sub == 0 {
+            return;
+        }
+        let Some(planner) = &self.planner else {
+            return;
+        };
+        let mut sketch = planner.sketch;
+        sketch.offered_qps = d_sub as f64 / dt;
+        let outcome: SearchOutcome =
+            warm_search(&planner.spec, &sketch, &planner.incumbent, &planner.reach);
+        let Some(best) = outcome
+            .frontier
+            .iter()
+            .min_by_key(|c| Self::candidate_rank(c))
+        else {
+            return;
+        };
+        if Self::same_shape(&best.config, &planner.incumbent) {
+            return;
+        }
+        if self
+            .last_rejected
+            .as_ref()
+            .is_some_and(|r| Self::same_shape(r, &best.config))
+        {
+            return;
+        }
+        // A migration must pay for itself: the challenger's shape
+        // family has to be strictly cheaper per token than the
+        // incumbent's at each family's efficiency frontier (the
+        // analytic per-token cost is utilization-dependent, so single
+        // candidates at different sizes are not comparable — the min
+        // over replica counts is a pure shape metric). This also gives
+        // the incumbent hysteresis: two shapes can never take turns
+        // winning on a cost tie.
+        let shape_min_cost = |shape: &CandidateConfig| {
+            outcome
+                .scored
+                .iter()
+                .filter(|c| Self::same_shape(&c.config, shape))
+                .map(|c| c.cost_per_token_device_s)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let best_min = shape_min_cost(&best.config);
+        let incumbent_min = shape_min_cost(&planner.incumbent);
+        if best_min >= incumbent_min {
+            return;
+        }
+        let fill_scale = if incumbent_min > 0.0 && best_min.is_finite() {
+            (best_min / incumbent_min).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let Ok((engine, _model)) = build_engine(&planner.spec, &best.config) else {
+            return;
+        };
+        let mut sched = scheduler_config_for(&engine, sketch.max_seq);
+        sched.max_batched_tokens = best.config.max_batch_tokens;
+        let generation = self.generation + 1;
+        let template = ReplicaTemplate {
+            model: engine,
+            sched,
+        };
+        // The new generation fills out to capacity parity with the
+        // fleet serving right now — the planner's own replica count is
+        // sized by its analytic model, which the reactive loop corrects
+        // online anyway. Canary-sized rollout: provision only the slice
+        // of the target fleet the canary fraction will route to. The
+        // remainder is provisioned at promote time, so a rejected
+        // canary wastes one or two replicas — never a parallel fleet.
+        let target_replicas = obs.routable().clamp(1, self.cfg.max_replicas.max(1));
+        let canary_replicas = ((target_replicas as f64 * self.cfg.canary_fraction).ceil() as usize)
+            .clamp(1, target_replicas);
+        for _ in 0..canary_replicas {
+            actions.push(ControlAction::AddReplica(Box::new(ReplicaSpec {
+                model: template.model.clone(),
+                sched: template.sched,
+                generation,
+                spot: false,
+                price_factor: 1.0,
+                ready_delay_s: self.cfg.provision_delay_s,
+            })));
+        }
+        actions.push(ControlAction::SetCanary {
+            generation,
+            fraction: self.cfg.canary_fraction,
+        });
+        self.decide(Decision::RolloutStart {
+            t_s: obs.now_s,
+            generation,
+            label: best.label.clone(),
+            replicas: target_replicas,
+        });
+        self.rollout = Some(Rollout {
+            generation,
+            config: best.config,
+            template,
+            start_tick: self.tick_no,
+            fill_scale,
+            filling: false,
+        });
+        self.cooldown = self.cfg.cooldown_ticks;
+        self.calm = 0;
+    }
+
+    fn step_rollout(&mut self, obs: &ControlObs, burn: f64, actions: &mut Vec<ControlAction>) {
+        let (generation, start_tick, filling) = match &self.rollout {
+            Some(r) => (r.generation, r.start_tick, r.filling),
+            None => return,
+        };
+        if !filling && self.tick_no < start_tick + self.cfg.canary_ticks {
+            return;
+        }
+        let canary_alive = obs
+            .replicas
+            .iter()
+            .any(|r| r.generation == generation && r.alive && !r.retired);
+        let Some(mut roll) = self.rollout.take() else {
+            return;
+        };
+        if !filling {
+            if canary_alive && burn <= self.cfg.promote_burn {
+                // Verdict passed: fill the generation out to capacity
+                // parity with the fleet serving *now* (the reactive
+                // loop may have resized the incumbent during the canary
+                // window). The incumbent keeps serving until the fill
+                // is ready (make-before-break), so the cutover never
+                // opens a capacity gap.
+                let existing = obs
+                    .replicas
+                    .iter()
+                    .filter(|r| r.generation == generation && !r.retired && !r.draining)
+                    .count();
+                let serving = obs
+                    .replicas
+                    .iter()
+                    .filter(|r| r.generation != generation && r.alive && !r.draining && !r.retired)
+                    .count();
+                // One challenger replica carries `1/fill_scale` of an
+                // incumbent replica's load (per the analytic cost
+                // ratio), so parity needs proportionally fewer.
+                let target = ((serving as f64 * roll.fill_scale).ceil() as usize)
+                    .max(existing)
+                    .max(self.cfg.min_replicas)
+                    .clamp(1, self.cfg.max_replicas.max(1));
+                for _ in existing..target {
+                    actions.push(ControlAction::AddReplica(Box::new(ReplicaSpec {
+                        model: roll.template.model.clone(),
+                        sched: roll.template.sched,
+                        generation,
+                        spot: false,
+                        price_factor: 1.0,
+                        ready_delay_s: self.cfg.provision_delay_s,
+                    })));
+                }
+                roll.filling = true;
+                self.rollout = Some(roll);
+            } else {
+                self.rollback(&roll, generation, obs, actions);
+            }
+            return;
+        }
+        // Filling: wait until no replica of the generation is still
+        // provisioning, then cut the incumbent fleet over.
+        let pending = obs
+            .replicas
+            .iter()
+            .any(|r| r.generation == generation && r.provisioning && !r.retired);
+        if pending {
+            self.rollout = Some(roll);
+            return;
+        }
+        if !canary_alive {
+            // The whole generation died while filling (e.g. preempted):
+            // draining the incumbent now would strand the cluster.
+            self.rollback(&roll, generation, obs, actions);
+            return;
+        }
+        {
+            let mut drained = 0;
+            for (i, r) in obs.replicas.iter().enumerate() {
+                if r.generation != generation && !r.retired && !r.draining {
+                    actions.push(ControlAction::DrainReplica {
+                        replica: i,
+                        migration_s: self.cfg.migration_s,
+                    });
+                    drained += 1;
+                }
+            }
+            actions.push(ControlAction::ClearCanary);
+            self.generation = generation;
+            self.template = roll.template;
+            if let Some(p) = &mut self.planner {
+                p.incumbent = roll.config;
+            }
+            self.decide(Decision::Promote {
+                t_s: obs.now_s,
+                generation,
+                drained,
+            });
+        }
+        self.cooldown = self.cfg.cooldown_ticks;
+        self.calm = 0;
+    }
+
+    /// Drain every replica of the rejected generation and remember the
+    /// shape so the next replan does not retry it.
+    fn rollback(
+        &mut self,
+        roll: &Rollout,
+        generation: u32,
+        obs: &ControlObs,
+        actions: &mut Vec<ControlAction>,
+    ) {
+        for (i, r) in obs.replicas.iter().enumerate() {
+            if r.generation == generation && !r.retired && !r.draining {
+                actions.push(ControlAction::DrainReplica {
+                    replica: i,
+                    migration_s: self.cfg.migration_s,
+                });
+            }
+        }
+        actions.push(ControlAction::ClearCanary);
+        self.last_rejected = Some(roll.config);
+        self.decide(Decision::Rollback {
+            t_s: obs.now_s,
+            generation,
+        });
+        self.cooldown = self.cfg.cooldown_ticks;
+        self.calm = 0;
+    }
+}
+
+impl ControlHook for Controller {
+    fn tick(&mut self, obs: &ControlObs) -> Vec<ControlAction> {
+        self.tick_no += 1;
+        let ttft = self.ttft.observe(obs.now_s, &obs.ttft_hist);
+        let itl = self.itl.observe(obs.now_s, &obs.itl_hist);
+        let burn = ttft.burn.max(itl.burn);
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+        }
+        let mut actions = Vec::new();
+        if self.rollout.is_some() {
+            self.step_rollout(obs, burn, &mut actions);
+            // During the canary window the reactive loop stays live for
+            // the incumbent fleet — draining overcapacity or riding a
+            // burn spike must not wait for the verdict. Once the fill
+            // is provisioning, the fleet is mid-cutover and holds.
+            if self.rollout.as_ref().is_some_and(|r| !r.filling) {
+                self.reactive(obs, burn, &mut actions);
+            }
+            return actions;
+        }
+        self.maybe_replan(obs, burn, &mut actions);
+        if !actions.is_empty() {
+            return actions;
+        }
+        self.reactive(obs, burn, &mut actions);
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moe_cluster::{ReplicaObs, TenantSpec, WorkloadSpec};
+    use moe_plan::{FleetSpec, SearchMode, SearchSpace, SloSpec};
+    use moe_trace::Histogram;
+
+    fn planner_spec() -> PlannerSpec {
+        PlannerSpec {
+            model: moe_model::registry::olmoe_1b_7b(),
+            draft: None,
+            fleet: FleetSpec::h100(4),
+            workload: WorkloadSpec::poisson(
+                40.0,
+                64,
+                TenantSpec::uniform("t", 1.0, (128, 256), (16, 64)),
+            ),
+            slo: SloSpec::latency(1.0, 0.05),
+            space: SearchSpace::minimal(),
+            mode: SearchMode::Exhaustive,
+            refine_top_k: 1,
+            seed: 5,
+        }
+    }
+
+    fn sketch() -> WorkloadSketch {
+        WorkloadSketch {
+            offered_qps: 40.0,
+            mean_input: 192,
+            mean_output: 40,
+            max_seq: 2048,
+        }
+    }
+
+    fn template() -> (PerfModel, SchedulerConfig) {
+        let spec = planner_spec();
+        let incumbent = moe_plan::search(&spec, &sketch()).frontier[0].config;
+        let (engine, _) = build_engine(&spec, &incumbent).unwrap();
+        let sched = scheduler_config_for(&engine, 2048);
+        (engine, sched)
+    }
+
+    fn replica(generation: u32) -> ReplicaObs {
+        ReplicaObs {
+            alive: true,
+            draining: false,
+            retired: false,
+            provisioning: false,
+            spot: false,
+            generation,
+            devices: 1,
+            queued: 0,
+            outstanding: 0,
+            completed: 0,
+        }
+    }
+
+    fn obs(now_s: f64, queue_depth: usize, replicas: Vec<ReplicaObs>) -> ControlObs {
+        ControlObs {
+            now_s,
+            submitted: 100,
+            completed: 50,
+            timed_out: 0,
+            dropped: 0,
+            rejected: 0,
+            queue_depth,
+            completed_tokens: 5_000,
+            device_seconds: 0.0,
+            ttft_hist: Histogram::new(),
+            itl_hist: Histogram::new(),
+            canary: None,
+            replicas,
+        }
+    }
+
+    #[test]
+    fn queue_pressure_scales_out_once_per_cooldown() {
+        let (model, sched) = template();
+        let mut ctl = Controller::new(ControllerConfig::for_slo(1.0, 0.05), model, sched);
+        let o = obs(10.0, 100, vec![replica(0), replica(0)]);
+        let first = ctl.tick(&o);
+        assert_eq!(first.len(), 1);
+        assert!(matches!(first[0], ControlAction::AddReplica(_)));
+        let second = ctl.tick(&o);
+        assert!(second.is_empty(), "cooldown suppresses the next add");
+        let log = ctl.log_handle();
+        assert_eq!(log.borrow().len(), 1);
+        assert!(matches!(log.borrow()[0], Decision::ScaleUp { .. }));
+    }
+
+    #[test]
+    fn burn_scales_out_and_spot_flag_follows_config() {
+        let (model, sched) = template();
+        let mut cfg = ControllerConfig::for_slo(1.0, 0.05);
+        cfg.spot_scaleout = true;
+        cfg.spot_price_factor = 0.4;
+        let mut ctl = Controller::new(cfg, model, sched);
+        let mut o = obs(10.0, 0, vec![replica(0)]);
+        for s in [2.0, 2.5, 3.0] {
+            o.ttft_hist.record(s); // every completion violates a 1s SLO
+        }
+        let actions = ctl.tick(&o);
+        // A 100% error rate on a 1% budget burns at 100x: the step
+        // saturates at max_scale_step.
+        assert_eq!(actions.len(), 4);
+        for a in &actions {
+            match a {
+                ControlAction::AddReplica(spec) => {
+                    assert!(spec.spot);
+                    assert_eq!(spec.price_factor, 0.4);
+                    assert_eq!(spec.generation, 0);
+                }
+                other => panic!("expected AddReplica, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sustained_calm_drains_youngest_spot_first() {
+        let (model, sched) = template();
+        let mut cfg = ControllerConfig::for_slo(1.0, 0.05);
+        cfg.calm_ticks = 3;
+        cfg.min_replicas = 1;
+        let mut ctl = Controller::new(cfg, model, sched);
+        let mut fleet = vec![replica(0), replica(0), replica(0)];
+        fleet[1].spot = true;
+        let mut drained = Vec::new();
+        for i in 0..5 {
+            for a in ctl.tick(&obs(10.0 + i as f64, 0, fleet.clone())) {
+                if let ControlAction::DrainReplica { replica, .. } = a {
+                    drained.push(replica);
+                    fleet[replica].draining = true;
+                }
+            }
+        }
+        // The drain regime opens after `calm_ticks` and then spaces
+        // drains by `cooldown_ticks`: spot first, then the youngest.
+        assert_eq!(drained, vec![1, 2]);
+    }
+
+    #[test]
+    fn never_drains_below_min_replicas() {
+        let (model, sched) = template();
+        let mut cfg = ControllerConfig::for_slo(1.0, 0.05);
+        cfg.calm_ticks = 1;
+        cfg.min_replicas = 2;
+        let mut ctl = Controller::new(cfg, model, sched);
+        for i in 0..10 {
+            let actions = ctl.tick(&obs(i as f64, 0, vec![replica(0), replica(0)]));
+            assert!(actions.is_empty(), "2 routable == min_replicas, no drain");
+        }
+    }
+
+    #[test]
+    fn replan_rolls_out_new_shape_then_promotes_on_clean_burn() {
+        let spec = planner_spec();
+        let sk = sketch();
+        // Force a shape the search will beat: the *worst* frontier
+        // candidate by the controller's own rank.
+        let outcome = moe_plan::search(&spec, &sk);
+        let worst = outcome
+            .frontier
+            .iter()
+            .max_by_key(|c| Controller::candidate_rank(c))
+            .unwrap()
+            .config;
+        let best = outcome
+            .frontier
+            .iter()
+            .min_by_key(|c| Controller::candidate_rank(c))
+            .unwrap()
+            .config;
+        if Controller::same_shape(&worst, &best) {
+            // Degenerate single-shape frontier: nothing to roll out.
+            return;
+        }
+        let (engine, _) = build_engine(&spec, &worst).unwrap();
+        let sched = scheduler_config_for(&engine, sk.max_seq);
+        let mut cfg = ControllerConfig::for_slo(1.0, 0.05);
+        cfg.replan_every_ticks = 1;
+        cfg.canary_ticks = 2;
+        let mut ctl = Controller::new(cfg, engine, sched).with_replanner(
+            spec,
+            sk,
+            worst,
+            ReachableSpace::rolling(4),
+        );
+        let fleet = vec![replica(0), replica(0)];
+        let actions = ctl.tick(&obs(30.0, 0, fleet.clone()));
+        let adds = actions
+            .iter()
+            .filter(|a| matches!(a, ControlAction::AddReplica(_)))
+            .count();
+        assert!(adds >= 1, "rollout provisions the new generation");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ControlAction::SetCanary { generation: 1, .. })));
+        // Canary ticks pass with a clean burn; generation 1 is serving.
+        // The verdict issues fill replicas (make-before-break); the
+        // incumbent drains once the fill shows up alive.
+        let mut canaried = fleet;
+        canaried.push(replica(1));
+        let mut promoted = Vec::new();
+        for i in 0..8 {
+            let acts = ctl.tick(&obs(31.0 + i as f64, 0, canaried.clone()));
+            for a in &acts {
+                if matches!(a, ControlAction::AddReplica(_)) {
+                    // The fill lands ready by the next tick.
+                    canaried.push(replica(1));
+                }
+            }
+            if acts
+                .iter()
+                .any(|a| matches!(a, ControlAction::DrainReplica { .. }))
+            {
+                promoted = acts;
+                break;
+            }
+        }
+        let drains = promoted
+            .iter()
+            .filter(|a| matches!(a, ControlAction::DrainReplica { .. }))
+            .count();
+        assert_eq!(drains, 2, "both generation-0 replicas drain on promote");
+        assert!(promoted
+            .iter()
+            .any(|a| matches!(a, ControlAction::ClearCanary)));
+        let log = ctl.log_handle();
+        let kinds: Vec<bool> = log
+            .borrow()
+            .iter()
+            .map(|d| matches!(d, Decision::Promote { .. }))
+            .collect();
+        assert!(kinds.iter().any(|&p| p), "promotion is audited");
+    }
+
+    #[test]
+    fn failed_canary_rolls_back_and_is_not_retried() {
+        let spec = planner_spec();
+        let sk = sketch();
+        let outcome = moe_plan::search(&spec, &sk);
+        let worst = outcome
+            .frontier
+            .iter()
+            .max_by_key(|c| Controller::candidate_rank(c))
+            .unwrap()
+            .config;
+        let best = outcome
+            .frontier
+            .iter()
+            .min_by_key(|c| Controller::candidate_rank(c))
+            .unwrap()
+            .config;
+        if Controller::same_shape(&worst, &best) {
+            return;
+        }
+        let (engine, _) = build_engine(&spec, &worst).unwrap();
+        let sched = scheduler_config_for(&engine, sk.max_seq);
+        let mut cfg = ControllerConfig::for_slo(1.0, 0.05);
+        cfg.replan_every_ticks = 1;
+        cfg.canary_ticks = 1;
+        cfg.upscale_burn = f64::INFINITY; // isolate the rollout machinery
+        cfg.upscale_queue_per_replica = f64::INFINITY;
+        let mut ctl = Controller::new(cfg, engine, sched).with_replanner(
+            spec,
+            sk,
+            worst,
+            ReachableSpace::rolling(4),
+        );
+        let fleet = vec![replica(0), replica(0)];
+        let started = ctl.tick(&obs(30.0, 0, fleet.clone()));
+        assert!(started
+            .iter()
+            .any(|a| matches!(a, ControlAction::SetCanary { .. })));
+        // Burn goes bad during the canary window.
+        let mut canaried = fleet;
+        canaried.push(replica(1));
+        let mut bad = obs(32.0, 0, canaried);
+        for _ in 0..20 {
+            bad.ttft_hist.record(5.0);
+        }
+        let verdict = ctl.tick(&bad);
+        let drained: Vec<usize> = verdict
+            .iter()
+            .filter_map(|a| match a {
+                ControlAction::DrainReplica { replica, .. } => Some(*replica),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drained, vec![2], "only the canary generation drains");
+        let log = ctl.log_handle();
+        assert!(log
+            .borrow()
+            .iter()
+            .any(|d| matches!(d, Decision::Rollback { generation: 1, .. })));
+        // The rejected shape is remembered: the next replan tick with
+        // fresh arrivals does not restart the same rollout.
+        let mut calm = obs(40.0, 0, vec![replica(0), replica(0)]);
+        calm.submitted = 200;
+        let again = ctl.tick(&calm);
+        assert!(!again
+            .iter()
+            .any(|a| matches!(a, ControlAction::SetCanary { .. })));
+    }
+}

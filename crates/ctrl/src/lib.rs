@@ -1,0 +1,36 @@
+//! moe-ctrl: the online control plane that closes the plan→serve loop.
+//!
+//! `moe-plan` answers the *offline* question — which deployment shape to
+//! buy for a workload sketch. This crate answers the *online* one: the
+//! sketch was wrong (diurnal swing, flash crowd, spot reclaims), so the
+//! fleet has to move while serving. Three pieces, layered on the
+//! simulator's [`moe_cluster::ControlHook`] contract:
+//!
+//! * [`monitor`] — SLO-burn monitors over the cluster's streaming TTFT /
+//!   inter-token-latency histograms: windowed error rate against the
+//!   error budget, in the SRE burn-rate sense, computed purely from
+//!   cumulative-histogram deltas on the simulated clock.
+//! * [`controller`] — the [`controller::Controller`] policy: burn- and
+//!   queue-triggered scale-out (optionally onto discounted spot
+//!   capacity), sustained-calm drain-down, and periodic re-planning.
+//! * re-planning warm-starts `moe-plan`'s beam search from the incumbent
+//!   configuration over a [`moe_plan::ReachableSpace`] of nearby shapes;
+//!   a shape change rolls out as a fresh replica *generation* behind a
+//!   canary traffic split, then is promoted (old generation drained) or
+//!   rolled back on the next burn reading.
+//!
+//! Everything is a deterministic function of the observation stream:
+//! the controller holds no RNG, reads no clock and no environment, so a
+//! controlled simulation replays byte-identically per seed — `moe-lint`
+//! enforces the same structural rules here as for the simulator crates.
+//! See `docs/CONTROL.md` for the monitor math and the reconfiguration
+//! cost model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod monitor;
+
+pub use controller::{Controller, ControllerConfig, Decision, DecisionLog};
+pub use monitor::{BurnMonitor, BurnSample};

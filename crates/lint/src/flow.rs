@@ -146,7 +146,7 @@ pub fn float_idents(f: &FnItem) -> BTreeSet<String> {
 /// Crates whose randomness must be replayable: everything that feeds
 /// simulated results. The bench harness and the linter itself are exempt.
 const SEED_CRATES: &[&str] = &[
-    "tensor", "gpusim", "engine", "runtime", "cluster", "plan", "eval", "trace", "par",
+    "tensor", "gpusim", "engine", "runtime", "cluster", "ctrl", "plan", "eval", "trace", "par",
 ];
 
 /// RNG constructor names whose argument must carry seed provenance.

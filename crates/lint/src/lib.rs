@@ -15,11 +15,11 @@
 //! | rule | scope | bans |
 //! |------|-------|------|
 //! | `no-unseeded-rng` | everywhere, incl. tests | `thread_rng`, `from_entropy`, `rand::random`, `from_os_rng`, `OsRng` |
-//! | `no-wall-clock` | gpusim / engine / runtime / plan / par | `Instant::now`, `SystemTime::now` |
+//! | `no-wall-clock` | gpusim / engine / runtime / ctrl / plan / par | `Instant::now`, `SystemTime::now` |
 //! | `no-panic-in-lib` | non-test library code (bench harness exempt) | `.unwrap()`, `.expect(`, `panic!(` |
 //! | `no-float-eq` | non-test code | `==` / `!=` against a float literal |
 //! | `no-lossy-float-cast` | gpusim / plan non-test code | `as <int>` on a float-valued expression (float locals tracked per fn) |
-//! | `no-hashmap-iter-in-sim` | gpusim / runtime / cluster / plan / par non-test code | `.iter()` / `.values()` / `.keys()` / `.drain()` / `.retain()` / `for .. in` over a `HashMap` |
+//! | `no-hashmap-iter-in-sim` | gpusim / runtime / cluster / ctrl / plan / par non-test code | `.iter()` / `.values()` / `.keys()` / `.drain()` / `.retain()` / `for .. in` over a `HashMap` |
 //! | `forbid-unsafe-header` | crate roots | missing `#![forbid(unsafe_code)]` |
 //! | `no-env-read-in-sim` | sim crates (par / bench exempt) | `env::var` / `env::var_os` |
 //! | `seed-flow` | sim crates, non-test code | RNG constructions not derived (by dataflow) from a seed |

@@ -232,7 +232,7 @@ const CLOCK_PAIRS: &[(&str, &str, &str)] = &[
     ("Instant", "now", "Instant::now"),
     ("SystemTime", "now", "SystemTime::now"),
 ];
-const CLOCK_CRATES: &[&str] = &["gpusim", "engine", "runtime", "plan", "par"];
+const CLOCK_CRATES: &[&str] = &["gpusim", "engine", "runtime", "ctrl", "plan", "par"];
 
 impl Rule for NoWallClock {
     fn name(&self) -> &'static str {
@@ -600,7 +600,7 @@ fn float_valued_before(file: &SourceFile, i: usize) -> bool {
 /// order-observing uses of them.
 pub struct NoHashMapIterInSim;
 
-const HASHMAP_SIM_CRATES: &[&str] = &["gpusim", "runtime", "cluster", "plan", "par"];
+const HASHMAP_SIM_CRATES: &[&str] = &["gpusim", "runtime", "cluster", "ctrl", "plan", "par"];
 /// Order-observing methods that take no arguments (`()` required).
 const ORDER_METHODS_EMPTY: &[&str] = &[
     "iter",

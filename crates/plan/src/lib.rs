@@ -45,5 +45,8 @@ pub use candidate::{enumerate_shapes, CandidateConfig};
 pub use planner::{plan, plan_traced, sketch_of, PlanFailure, PlanReport};
 pub use refine::RefinedScore;
 pub use score::{accuracy_proxy, score_candidate, CandidateScore, Infeasible, WorkloadSketch};
-pub use search::{pareto_frontier, search, SearchCounts, SearchOutcome};
+pub use search::{
+    pareto_frontier, reachable_shapes, search, warm_search, ReachableSpace, SearchCounts,
+    SearchOutcome,
+};
 pub use spec::{FleetSpec, PlannerSpec, SearchMode, SearchSpace, SloSpec};

@@ -26,7 +26,7 @@
 
 use moe_json::{FromJson, ToJson};
 
-use crate::candidate::{enumerate_shapes, order_key, Completions, Shape};
+use crate::candidate::{enumerate_shapes, order_key, CandidateConfig, Completions, Shape};
 use crate::score::{score_candidate, CandidateScore, Infeasible, WorkloadSketch};
 use crate::spec::{PlannerSpec, SearchMode};
 
@@ -320,6 +320,182 @@ pub fn search(spec: &PlannerSpec, sketch: &WorkloadSketch) -> SearchOutcome {
     }
 }
 
+/// Which reconfigurations are *reachable* from an incumbent deployment
+/// in one control-plane step. An online controller cannot jump to an
+/// arbitrary point of the config space — replicas are added or drained
+/// a few at a time, and plan/precision changes mean provisioning a new
+/// replica generation — so the incremental re-planner restricts the
+/// grid to this neighborhood before searching it.
+#[derive(Debug, Clone, Copy, PartialEq, ToJson, FromJson)]
+pub struct ReachableSpace {
+    /// Largest replica-count change considered (`|candidate - incumbent|`).
+    pub max_replica_delta: usize,
+    /// May the per-replica parallel plan (TP/EP/PP layout) change?
+    /// Requires rolling new replicas, so controllers canary it.
+    pub allow_plan_change: bool,
+    /// May the weight precision change? Also a rolling change.
+    pub allow_precision_change: bool,
+}
+
+impl ReachableSpace {
+    /// Replica scaling only: the cheapest, always-safe reconfiguration.
+    pub fn scaling_only(max_replica_delta: usize) -> Self {
+        Self {
+            max_replica_delta,
+            allow_plan_change: false,
+            allow_precision_change: false,
+        }
+    }
+
+    /// Everything within a replica delta, rolling changes included.
+    pub fn rolling(max_replica_delta: usize) -> Self {
+        Self {
+            max_replica_delta,
+            allow_plan_change: true,
+            allow_precision_change: true,
+        }
+    }
+
+    /// Is `shape` reachable from `incumbent` under this space?
+    pub fn admits(&self, shape: &Shape, incumbent: &CandidateConfig) -> bool {
+        shape.replicas.abs_diff(incumbent.replicas) <= self.max_replica_delta
+            && (self.allow_plan_change || shape.plan == incumbent.plan)
+            && (self.allow_precision_change || shape.precision == incumbent.precision)
+    }
+}
+
+/// Filter the full shape enumeration down to the reachable neighborhood
+/// of `incumbent` (enumeration order preserved).
+pub fn reachable_shapes(
+    spec: &PlannerSpec,
+    incumbent: &CandidateConfig,
+    reach: &ReachableSpace,
+) -> Vec<Shape> {
+    enumerate_shapes(&spec.fleet, &spec.space)
+        .into_iter()
+        .filter(|s| reach.admits(s, incumbent))
+        .collect()
+}
+
+/// Incremental re-plan: search only the reachable neighborhood of the
+/// incumbent config, *warm-started* from the incumbent's shape.
+///
+/// The incumbent shape expands first, unconditionally — it is exempt
+/// from the beam-width cap (the controller can always keep what it is
+/// already running) and its scores seed the dominance pruning, so in
+/// beam mode every other shape must beat the incumbent's optimistic
+/// bound to be expanded at all. With the same mode and a width covering
+/// the neighborhood, the frontier equals a cold [`search`] over the
+/// restricted grid — the warm start changes *work*, never the answer
+/// (`pruned_by_width == 0` certifies it, exactly as for cold beam).
+pub fn warm_search(
+    spec: &PlannerSpec,
+    sketch: &WorkloadSketch,
+    incumbent: &CandidateConfig,
+    reach: &ReachableSpace,
+) -> SearchOutcome {
+    let shapes = reachable_shapes(spec, incumbent, reach);
+    let completions = Completions::for_model(&spec.space, &spec.model, spec.draft.is_some());
+    let mut counts = SearchCounts {
+        shapes: shapes.len(),
+        enumerated: shapes.len() * completions.len(),
+        ..SearchCounts::default()
+    };
+    let mut scored: Vec<CandidateScore> = Vec::new();
+
+    let incumbent_shape = Shape {
+        plan: incumbent.plan,
+        replicas: incumbent.replicas,
+        precision: incumbent.precision,
+    };
+    let warm_idx = shapes.iter().position(|s| *s == incumbent_shape);
+    if let Some(i) = warm_idx {
+        expand_shape(
+            spec,
+            sketch,
+            &shapes[i],
+            &completions,
+            &mut scored,
+            &mut counts,
+        );
+    }
+
+    match spec.mode {
+        SearchMode::Exhaustive => {
+            let expanded = moe_par::map_collect(shapes.len(), |i| {
+                let mut part = Vec::new();
+                let mut delta = SearchCounts::default();
+                if Some(i) != warm_idx {
+                    expand_shape(
+                        spec,
+                        sketch,
+                        &shapes[i],
+                        &completions,
+                        &mut part,
+                        &mut delta,
+                    );
+                }
+                (part, delta)
+            });
+            for (part, delta) in expanded {
+                scored.extend(part);
+                add_counts(&mut counts, &delta);
+            }
+        }
+        SearchMode::Beam { width } => {
+            let probes = moe_par::map_collect(shapes.len(), |i| {
+                let mut delta = SearchCounts::default();
+                let bound = if Some(i) == warm_idx {
+                    None // already expanded, never re-probed
+                } else {
+                    shape_bound(spec, sketch, &shapes[i], &completions, &mut delta)
+                };
+                (bound, delta)
+            });
+            let mut bounded: Vec<(usize, OptimisticBound)> = Vec::new();
+            for (i, (bound, delta)) in probes.into_iter().enumerate() {
+                add_counts(&mut counts, &delta);
+                if let Some(b) = bound {
+                    bounded.push((i, b));
+                }
+            }
+            bounded.sort_by(|(ia, a), (ib, b)| {
+                a.cost_lb
+                    .total_cmp(&b.cost_lb)
+                    .then(b.accuracy_ub.total_cmp(&a.accuracy_ub))
+                    .then(b.tok_ub.total_cmp(&a.tok_ub))
+                    .then(ia.cmp(ib))
+            });
+            if bounded.len() > width {
+                counts.pruned_by_width += (bounded.len() - width) * completions.len();
+                bounded.truncate(width);
+            }
+            bounded.sort_by_key(|(i, _)| *i);
+            for (i, bound) in &bounded {
+                if scored.iter().any(|s| strictly_dominates_bound(s, bound)) {
+                    counts.pruned_by_bound += completions.len();
+                    continue;
+                }
+                expand_shape(
+                    spec,
+                    sketch,
+                    &shapes[*i],
+                    &completions,
+                    &mut scored,
+                    &mut counts,
+                );
+            }
+        }
+    }
+
+    let frontier = pareto_frontier(&scored);
+    SearchOutcome {
+        scored,
+        frontier,
+        counts,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,5 +546,94 @@ mod tests {
         assert!(!dominates(&a, &b));
         let better = score(1.0, 0.7, 101.0);
         assert!(dominates(&better, &a));
+    }
+
+    use crate::spec::{FleetSpec, SearchSpace, SloSpec};
+    use moe_cluster::{TenantSpec, WorkloadSpec};
+
+    fn planner_spec(mode: SearchMode) -> crate::spec::PlannerSpec {
+        crate::spec::PlannerSpec {
+            model: moe_model::registry::olmoe_1b_7b(),
+            draft: None,
+            fleet: FleetSpec::h100(4),
+            workload: WorkloadSpec::poisson(
+                40.0,
+                64,
+                TenantSpec::uniform("t", 1.0, (128, 256), (16, 64)),
+            ),
+            slo: SloSpec::latency(1.0, 0.05),
+            space: SearchSpace::minimal(),
+            mode,
+            refine_top_k: 1,
+            seed: 5,
+        }
+    }
+
+    fn sketch() -> WorkloadSketch {
+        WorkloadSketch {
+            offered_qps: 40.0,
+            mean_input: 192,
+            mean_output: 40,
+            max_seq: 2048,
+        }
+    }
+
+    /// Some feasible incumbent to warm from: the cold frontier's first.
+    fn incumbent(spec: &crate::spec::PlannerSpec) -> CandidateConfig {
+        search(spec, &sketch()).frontier[0].config
+    }
+
+    #[test]
+    fn unrestricted_warm_search_matches_cold_search() {
+        let spec = planner_spec(SearchMode::Exhaustive);
+        let inc = incumbent(&spec);
+        let cold = search(&spec, &sketch());
+        let warm = warm_search(&spec, &sketch(), &inc, &ReachableSpace::rolling(usize::MAX));
+        assert_eq!(
+            warm.frontier, cold.frontier,
+            "an unrestricted warm start changes work, never the answer"
+        );
+        assert_eq!(warm.counts.scored, cold.counts.scored);
+    }
+
+    #[test]
+    fn scaling_only_reach_pins_plan_and_precision() {
+        let spec = planner_spec(SearchMode::Exhaustive);
+        let inc = incumbent(&spec);
+        let shapes = reachable_shapes(&spec, &inc, &ReachableSpace::scaling_only(1));
+        assert!(!shapes.is_empty(), "the incumbent itself is reachable");
+        for s in &shapes {
+            assert_eq!(s.plan, inc.plan);
+            assert_eq!(s.precision, inc.precision);
+            assert!(s.replicas.abs_diff(inc.replicas) <= 1);
+        }
+        let out = warm_search(&spec, &sketch(), &inc, &ReachableSpace::scaling_only(1));
+        assert!(out
+            .frontier
+            .iter()
+            .all(|c| c.config.plan == inc.plan && c.config.precision == inc.precision));
+    }
+
+    #[test]
+    fn warm_beam_with_covering_width_matches_warm_exhaustive() {
+        let inc = incumbent(&planner_spec(SearchMode::Exhaustive));
+        let reach = ReachableSpace::rolling(2);
+        let ex = warm_search(
+            &planner_spec(SearchMode::Exhaustive),
+            &sketch(),
+            &inc,
+            &reach,
+        );
+        let beam = warm_search(
+            &planner_spec(SearchMode::Beam { width: 1024 }),
+            &sketch(),
+            &inc,
+            &reach,
+        );
+        assert_eq!(beam.counts.pruned_by_width, 0);
+        assert_eq!(beam.frontier, ex.frontier);
+        // The warm start did real pruning work: bound-pruned shapes are
+        // never expanded, so beam scores at most what exhaustive does.
+        assert!(beam.counts.scored <= ex.counts.scored);
     }
 }

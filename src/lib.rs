@@ -9,6 +9,9 @@
 //! * [`gpusim`] — H100/CS-3 roofline + discrete-event performance model ([`moe_gpusim`])
 //! * [`engine`] — functional MoE transformer executor ([`moe_engine`])
 //! * [`runtime`] — serving engine with continuous batching ([`moe_runtime`])
+//! * [`cluster`] — multi-replica fleet simulator: router, faults, control hook ([`moe_cluster`])
+//! * [`ctrl`] — online control plane: SLO-burn monitors, re-planning, canaries ([`moe_ctrl`])
+//! * [`plan`] — offline deployment planner over the joint config space ([`moe_plan`])
 //! * [`eval`] — accuracy-evaluation substrate ([`moe_eval`])
 //! * [`mod@bench`] — experiment harness regenerating every paper table/figure ([`moe_bench`])
 //! * [`trace`] — structured tracing on the simulated clock, Chrome-trace export ([`moe_trace`])
@@ -20,10 +23,13 @@
 #![forbid(unsafe_code)]
 
 pub use moe_bench as bench;
+pub use moe_cluster as cluster;
+pub use moe_ctrl as ctrl;
 pub use moe_engine as engine;
 pub use moe_eval as eval;
 pub use moe_gpusim as gpusim;
 pub use moe_model as model;
+pub use moe_plan as plan;
 pub use moe_runtime as runtime;
 pub use moe_tensor as tensor;
 pub use moe_trace as trace;

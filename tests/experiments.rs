@@ -33,6 +33,7 @@ fn every_paper_artifact_is_registered() {
         "ext-cluster",
         "ext-plan",
         "ext-scale",
+        "ext-ctrl",
     ];
     assert_eq!(ids, expected);
 }
