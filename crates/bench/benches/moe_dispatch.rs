@@ -19,11 +19,11 @@ fn main() {
             let x = Matrix::random(tokens, cfg.hidden_size, 7, 0.5);
             r.bench(
                 &format!("moe_dispatch/fused/e{experts}k{top_k}t{tokens}"),
-                || black_box(moe_forward_fused(layer, &moe, &x, None, 0)),
+                || black_box(moe_forward_fused(layer, &moe, &x, None, None, 0)),
             );
             r.bench(
                 &format!("moe_dispatch/unfused/e{experts}k{top_k}t{tokens}"),
-                || black_box(moe_forward_unfused(layer, &moe, &x, None, 0)),
+                || black_box(moe_forward_unfused(layer, &moe, &x, None, None, 0)),
             );
         }
     }

@@ -3,11 +3,18 @@
 //! pool, then writes the comparison to `BENCH_par.json` at the repo
 //! root. CI runs this as the parallel-driver timing smoke.
 //!
+//! The file is a measurement *history*, mirroring `BENCH_cluster.json`:
+//! entries marked `"committed": true` are frozen origins carried forward
+//! verbatim (the first is the original single-core measurement of the
+//! 26-experiment registry), and each run appends — never overwrites —
+//! its own fresh entry at the end. `tests/bench_history.rs` pins the
+//! ordering and the origin's numbers.
+//!
 //! Wall-clock is read here and in `timing.rs` only — these numbers
 //! describe the harness's own speed and never feed simulated time. The
 //! speedup column is honest about the host: on a single-core runner the
-//! pool has one worker and the ratio is ~1.0 by construction, so the
-//! JSON records `host_cores` alongside it.
+//! pool has one worker and the ratio is ~1.0 by construction, so each
+//! entry records `host_cores` and states it in its `note`.
 
 use moe_json::Json;
 use std::hint::black_box;
@@ -32,6 +39,37 @@ fn time_run_all(workers: usize, reps: usize) -> f64 {
     }
     moe_par::set_workers_for_test(0);
     best
+}
+
+/// Prior committed entries of `BENCH_par.json`, oldest first. Entries
+/// with `"committed": true` are carried forward verbatim; a previous
+/// run's own uncommitted tail entry is dropped (re-measuring replaces
+/// it). The pre-history flat layout — one measurement object at the top
+/// level — is wrapped as the committed origin entry.
+fn committed_history(path: &str) -> Vec<Json> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = moe_json::parse(&text) else {
+        return Vec::new();
+    };
+    match doc.get("history") {
+        Some(Json::Arr(entries)) => entries
+            .iter()
+            .filter(|e| matches!(e.get("committed"), Some(Json::Bool(true))))
+            .cloned()
+            .collect(),
+        _ => match doc {
+            // Legacy flat file: the object *is* the original measurement.
+            Json::Obj(pairs) if doc.get("serial_s").is_some() => {
+                let mut origin: Vec<(String, Json)> =
+                    pairs.into_iter().filter(|(k, _)| k != "bench").collect();
+                origin.push(("committed".into(), Json::Bool(true)));
+                vec![Json::Obj(origin)]
+            }
+            _ => Vec::new(),
+        },
+    }
 }
 
 fn main() {
@@ -60,14 +98,13 @@ fn main() {
     let speedup = serial_s / parallel_s;
 
     let note = if host_cores == 1 {
-        "1-core host: pool resolves to 1 worker, so serial vs parallel \
+        "measured on a 1-core host: pool resolves to 1 worker, so serial vs parallel \
          differ only by scheduling noise and the ratio is ~1.0 by construction"
             .to_string()
     } else {
-        format!("{host_cores}-core host: ratio reflects real work-stealing overlap")
+        format!("measured on a {host_cores}-core host: ratio reflects real work-stealing overlap")
     };
-    let json = Json::Obj(vec![
-        ("bench".into(), Json::Str("moe-bench all --fast".into())),
+    let entry = Json::Obj(vec![
         ("note".into(), Json::Str(note)),
         (
             "experiments".into(),
@@ -79,8 +116,15 @@ fn main() {
         ("serial_s".into(), Json::Float(serial_s)),
         ("parallel_s".into(), Json::Float(parallel_s)),
         ("speedup".into(), Json::Float(speedup)),
+        ("committed".into(), Json::Bool(false)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par.json");
+    let mut history = committed_history(path);
+    history.push(entry);
+    let json = Json::Obj(vec![
+        ("bench".into(), Json::Str("moe-bench all --fast".into())),
+        ("history".into(), Json::Arr(history)),
+    ]);
     std::fs::write(path, json.render_pretty() + "\n").expect("write BENCH_par.json");
     println!(
         "run_all fast: serial {serial_s:.3} s, {pool_workers}-worker {parallel_s:.3} s \

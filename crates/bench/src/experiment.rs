@@ -14,7 +14,7 @@ use moe_trace::{Category, MemorySink, Tracer, BENCH_TRACK};
 
 use crate::experiments::{
     ablations, cluster, ctrl, extensions, fig01, fig03, fig04, fig05, fig06, fig07, fig08, fig09,
-    fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, plan, scale, table1,
+    fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, mem, plan, scale, table1,
 };
 use crate::report::ExperimentReport;
 
@@ -70,6 +70,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &plan::ExtPlan,
     &scale::ExtScale,
     &ctrl::ExtCtrl,
+    &mem::ExtMem,
 ];
 
 /// Look up a registered experiment by id.
@@ -149,7 +150,7 @@ mod tests {
             assert!(seen.insert(e.id()), "duplicate id {}", e.id());
             assert!(!e.title().is_empty(), "{} lacks a title", e.id());
         }
-        assert_eq!(REGISTRY.len(), 26);
+        assert_eq!(REGISTRY.len(), 27);
     }
 
     #[test]

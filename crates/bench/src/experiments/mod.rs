@@ -26,6 +26,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod mem;
 pub mod plan;
 pub mod scale;
 pub mod sweep59;

@@ -191,6 +191,7 @@ pub fn fig13_rows(model: &ModelConfig) -> Vec<(String, f64, f64)> {
                 prune_ratio: 0.0,
                 spec_decode: false,
                 max_batch_tokens: 8192,
+                residency: moe_gpusim::residency::ExpertResidency::all_resident(),
             };
             score_candidate(&spec, &sketch, &candidate)
                 .ok()

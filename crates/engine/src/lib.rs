@@ -16,7 +16,9 @@
 //!   ([`prune`]);
 //! * greedy / temperature generation ([`generate`]) and speculative
 //!   decoding with the exact greedy-equivalence guarantee ([`spec`]);
-//! * expert-activation statistics for the Fig. 15 study ([`stats`]).
+//! * expert-activation statistics for the Fig. 15 study ([`stats`]), and
+//!   per-token routing traces exported as seeded replayable artifacts for
+//!   `moe-mem`'s prefetch predictors ([`trace`]).
 //!
 //! Weights are deterministic seeded random values: performance experiments
 //! never depend on weight *values* (only shapes), and functional
@@ -36,10 +38,12 @@ pub mod moe;
 pub mod prune;
 pub mod spec;
 pub mod stats;
+pub mod trace;
 pub mod weights;
 
 pub use generate::{GenerateParams, Generated};
 pub use kvcache::{ContiguousKv, KvStore, PagedKv, QuantizedKv, KV_BLOCK_TOKENS};
 pub use model::MoeTransformer;
 pub use stats::ActivationStats;
+pub use trace::{capture_trace, RoutingTrace, TraceArtifact};
 pub use weights::ModelWeights;

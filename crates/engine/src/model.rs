@@ -10,6 +10,7 @@ use crate::attention::{attention_forward, attention_forward_multi, AttentionPara
 use crate::kvcache::{KvStore, PagedKv};
 use crate::moe::{expert_forward_row, moe_forward_fused, moe_forward_unfused};
 use crate::stats::ActivationStats;
+use crate::trace::RoutingTrace;
 use crate::weights::ModelWeights;
 
 /// How a forward pass maps rows to KV caches.
@@ -27,6 +28,7 @@ pub struct MoeTransformer {
     weights: ModelWeights,
     fused_moe: bool,
     stats: Option<ActivationStats>,
+    trace: Option<RoutingTrace>,
     tokens_processed: u64,
 }
 
@@ -41,6 +43,7 @@ impl MoeTransformer {
             weights,
             fused_moe: true,
             stats: None,
+            trace: None,
             tokens_processed: 0,
         }
     }
@@ -52,6 +55,7 @@ impl MoeTransformer {
             weights,
             fused_moe: true,
             stats: None,
+            trace: None,
             tokens_processed: 0,
         }
     }
@@ -93,6 +97,23 @@ impl MoeTransformer {
     /// Stop collecting and return the statistics.
     pub fn take_stats(&mut self) -> Option<ActivationStats> {
         self.stats.take()
+    }
+
+    /// Start recording the per-token routing trace (see
+    /// [`crate::trace::RoutingTrace`]).
+    pub fn enable_trace(&mut self) {
+        let (experts, top_k) = self
+            .config
+            .moe
+            .as_ref()
+            .map(|m| (m.num_experts, m.top_k))
+            .unwrap_or((0, 0));
+        self.trace = Some(RoutingTrace::new(self.config.num_layers, experts, top_k));
+    }
+
+    /// Stop recording and return the routing trace.
+    pub fn take_trace(&mut self) -> Option<RoutingTrace> {
+        self.trace.take()
     }
 
     fn attention_params(&self) -> AttentionParams {
@@ -196,9 +217,23 @@ impl MoeTransformer {
                 let moe = self.config.moe.as_ref().expect("is_moe checked").clone(); // lint:allow(no-panic-in-lib) -- guarded by the is_moe branch above
                 let w = &self.weights.layers[layer_idx];
                 if self.fused_moe {
-                    moe_forward_fused(w, &moe, &normed, self.stats.as_mut(), layer_idx)
+                    moe_forward_fused(
+                        w,
+                        &moe,
+                        &normed,
+                        self.stats.as_mut(),
+                        self.trace.as_mut(),
+                        layer_idx,
+                    )
                 } else {
-                    moe_forward_unfused(w, &moe, &normed, self.stats.as_mut(), layer_idx)
+                    moe_forward_unfused(
+                        w,
+                        &moe,
+                        &normed,
+                        self.stats.as_mut(),
+                        self.trace.as_mut(),
+                        layer_idx,
+                    )
                 }
             } else {
                 let w = self.weights.layers[layer_idx]

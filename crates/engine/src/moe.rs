@@ -22,6 +22,7 @@ use moe_tensor::topk::{softmax_then_top_k, top_k_softmax, TopK};
 use moe_tensor::Matrix;
 
 use crate::stats::ActivationStats;
+use crate::trace::RoutingTrace;
 use crate::weights::{ExpertWeights, LayerWeights};
 
 /// Routing decision for one token.
@@ -76,10 +77,11 @@ pub fn moe_forward_unfused(
     moe: &MoeConfig,
     x: &Matrix,
     stats: Option<&mut ActivationStats>,
+    trace: Option<&mut RoutingTrace>,
     layer: usize,
 ) -> Matrix {
     let routing = route(w, moe, x);
-    record(stats, layer, &routing);
+    record(stats, trace, layer, &routing);
     let mut out = Matrix::zeros(x.rows(), x.cols());
     let rows: Vec<Vec<f32>> = par::map_collect(x.rows(), |r| {
         let mut acc = vec![0.0f32; x.cols()];
@@ -106,10 +108,11 @@ pub fn moe_forward_fused(
     moe: &MoeConfig,
     x: &Matrix,
     stats: Option<&mut ActivationStats>,
+    trace: Option<&mut RoutingTrace>,
     layer: usize,
 ) -> Matrix {
     let routing = route(w, moe, x);
-    record(stats, layer, &routing);
+    record(stats, trace, layer, &routing);
 
     // Build per-expert token groups.
     let mut groups: Vec<Vec<(usize, f32)>> = vec![Vec::new(); moe.num_experts];
@@ -153,10 +156,20 @@ fn add_shared_experts(w: &LayerWeights, x: &Matrix, out: &mut Matrix) {
     }
 }
 
-fn record(stats: Option<&mut ActivationStats>, layer: usize, routing: &[Routing]) {
+fn record(
+    stats: Option<&mut ActivationStats>,
+    trace: Option<&mut RoutingTrace>,
+    layer: usize,
+    routing: &[Routing],
+) {
     if let Some(s) = stats {
         for r in routing {
             s.record(layer, &r.experts.indices);
+        }
+    }
+    if let Some(t) = trace {
+        for r in routing {
+            t.record(layer, &r.experts.indices);
         }
     }
 }
@@ -202,8 +215,8 @@ mod tests {
         for (e, k) in [(4usize, 1usize), (8, 2), (8, 8), (16, 4)] {
             let (moe, w) = setup(e, k);
             let x = Matrix::random(13, 64, 3, 0.5);
-            let a = moe_forward_unfused(&w, &moe, &x, None, 0);
-            let b = moe_forward_fused(&w, &moe, &x, None, 0);
+            let a = moe_forward_unfused(&w, &moe, &x, None, None, 0);
+            let b = moe_forward_fused(&w, &moe, &x, None, None, 0);
             assert!(
                 a.max_abs_diff(&b) < 1e-4,
                 "e={e} k={k}: {}",
@@ -229,12 +242,12 @@ mod tests {
     fn shared_experts_always_contribute() {
         let (mut moe, mut w) = setup(4, 1);
         let x = Matrix::random(3, 64, 5, 0.5);
-        let without = moe_forward_fused(&w, &moe, &x, None, 0);
+        let without = moe_forward_fused(&w, &moe, &x, None, None, 0);
         // Add a shared expert.
         moe.num_shared_experts = 1;
         moe.shared_expert_ffn_dim = 96;
         w.shared_experts = vec![w.experts[0].clone()];
-        let with = moe_forward_fused(&w, &moe, &x, None, 0);
+        let with = moe_forward_fused(&w, &moe, &x, None, None, 0);
         assert!(without.max_abs_diff(&with) > 1e-6);
     }
 
@@ -243,7 +256,7 @@ mod tests {
         let (moe, w) = setup(8, 2);
         let x = Matrix::random(10, 64, 6, 0.5);
         let mut stats = ActivationStats::new(1, 8);
-        let _ = moe_forward_fused(&w, &moe, &x, Some(&mut stats), 0);
+        let _ = moe_forward_fused(&w, &moe, &x, Some(&mut stats), None, 0);
         assert_eq!(stats.total_assignments(), 10 * 2);
     }
 
@@ -270,8 +283,8 @@ mod tests {
             let rows = 1 + rng.next_below(19);
             let (moe, w) = setup(8, 2);
             let x = Matrix::random(rows, 64, seed, 0.5);
-            let a = moe_forward_unfused(&w, &moe, &x, None, 0);
-            let b = moe_forward_fused(&w, &moe, &x, None, 0);
+            let a = moe_forward_unfused(&w, &moe, &x, None, None, 0);
+            let b = moe_forward_fused(&w, &moe, &x, None, None, 0);
             assert!(
                 a.max_abs_diff(&b) < 1e-4,
                 "case {case}: seed {seed}, rows {rows}, diff {}",

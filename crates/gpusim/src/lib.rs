@@ -17,6 +17,9 @@
 //!   dispatch ([`moecost`]),
 //! * weight/KV/activation memory footprints and OOM boundaries
 //!   ([`memory`]),
+//! * expert residency across an HBM budget plus offload tiers, with
+//!   prefetch-overlap stall pricing for non-resident experts
+//!   ([`residency`], consumed by [`perfmodel`] and `moe-mem`),
 //! * tensor/pipeline/expert parallelism with ring-collective costs and a
 //!   discrete-event pipeline simulation ([`parallel`], [`des`]),
 //! * end-to-end serving metrics — TTFT, ITL, E2E latency, throughput —
@@ -37,6 +40,7 @@ pub mod moecost;
 pub mod parallel;
 pub mod perfmodel;
 pub mod placement;
+pub mod residency;
 pub mod roofline;
 pub mod spec;
 pub mod steptrace;
@@ -45,3 +49,4 @@ pub use device::{Cluster, DeviceProfile, Interconnect};
 pub use memory::{MemoryFootprint, OomError};
 pub use parallel::{ParallelMode, ParallelPlan, PlanError};
 pub use perfmodel::{EngineOptions, PerfModel, RunMetrics};
+pub use residency::ExpertResidency;

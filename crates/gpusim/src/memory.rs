@@ -101,9 +101,40 @@ pub fn footprint(
     batch: usize,
     max_seq: usize,
 ) -> MemoryFootprint {
+    footprint_resident(
+        config,
+        precision,
+        kv_precision,
+        plan,
+        cluster,
+        batch,
+        max_seq,
+        1.0,
+    )
+}
+
+/// Like [`footprint`], but with only `expert_resident_frac` of the
+/// routed-expert weights charged to HBM — the remainder lives on an
+/// offload tier (host DRAM / NVMe) and is streamed in on demand, which
+/// the perf model prices separately as prefetch/miss stalls. A fraction
+/// of `1.0` reproduces [`footprint`] exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn footprint_resident(
+    config: &ModelConfig,
+    precision: Precision,
+    kv_precision: Precision,
+    plan: &ParallelPlan,
+    cluster: &Cluster,
+    batch: usize,
+    max_seq: usize,
+    expert_resident_frac: f64,
+) -> MemoryFootprint {
     let shard = plan.degree as f64;
     let params = ParamBreakdown::of(config);
-    let weight_bytes = params.total() as f64 * precision.bytes_per_param() / shard;
+    let offloaded_params =
+        params.components.experts_total as f64 * (1.0 - expert_resident_frac.clamp(0.0, 1.0));
+    let weight_bytes =
+        (params.total() as f64 - offloaded_params) * precision.bytes_per_param() / shard;
     let kv_bytes = kv_cache_bytes(config, kv_precision, batch, max_seq) / shard;
 
     let live_tokens = (batch * max_seq).min(MAX_BATCHED_TOKENS).max(batch) as f64;
@@ -132,7 +163,7 @@ pub fn check_fits(
     batch: usize,
     max_seq: usize,
 ) -> Result<MemoryFootprint, OomError> {
-    let fp = footprint(
+    check_fits_resident(
         config,
         precision,
         kv_precision,
@@ -140,15 +171,46 @@ pub fn check_fits(
         cluster,
         batch,
         max_seq,
+        1.0,
+    )
+}
+
+/// Like [`footprint_resident`] but returns an [`OomError`] when the
+/// placement does not fit even with the offloaded experts out of HBM.
+#[allow(clippy::too_many_arguments)]
+pub fn check_fits_resident(
+    config: &ModelConfig,
+    precision: Precision,
+    kv_precision: Precision,
+    plan: &ParallelPlan,
+    cluster: &Cluster,
+    batch: usize,
+    max_seq: usize,
+    expert_resident_frac: f64,
+) -> Result<MemoryFootprint, OomError> {
+    let fp = footprint_resident(
+        config,
+        precision,
+        kv_precision,
+        plan,
+        cluster,
+        batch,
+        max_seq,
+        expert_resident_frac,
     );
     if fp.fits() {
         Ok(fp)
     } else {
+        let offload = if expert_resident_frac < 1.0 {
+            format!(" ({:.0}% experts resident)", expert_resident_frac * 100.0)
+        } else {
+            String::new()
+        };
         Err(OomError {
             required_bytes: fp.total(),
             capacity_bytes: fp.capacity_bytes,
             detail: format!(
-                "{}: weights {:.1} GB, kv {:.1} GB, act {:.1} GB on {} x {}",
+                "{}: weights {:.1} GB{offload}, kv {:.1} GB, act {:.1} GB on {} x {}",
                 config.name,
                 fp.weight_bytes / 1e9,
                 fp.kv_bytes / 1e9,
@@ -285,6 +347,71 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("OOM"));
         assert!(msg.contains("Mixtral-8x7B"));
+    }
+
+    #[test]
+    fn full_residency_matches_legacy_footprint_bitwise() {
+        let m = mixtral_8x7b();
+        let c = Cluster::h100_node(2);
+        let legacy = footprint(&m, Precision::F16, Precision::F16, &tp(2), &c, 8, 2048);
+        let resident =
+            footprint_resident(&m, Precision::F16, Precision::F16, &tp(2), &c, 8, 2048, 1.0);
+        assert_eq!(legacy, resident);
+    }
+
+    #[test]
+    fn offload_turns_the_mixtral_oom_wall_into_a_fit() {
+        let m = mixtral_8x7b();
+        let c = Cluster::h100_node(1);
+        let fits = |frac: f64| {
+            check_fits_resident(
+                &m,
+                Precision::F16,
+                Precision::F16,
+                &tp(1),
+                &c,
+                1,
+                4096,
+                frac,
+            )
+        };
+        assert!(fits(1.0).is_err(), "all-resident fp16 Mixtral OOMs");
+        let half = fits(0.5);
+        assert!(half.is_ok(), "{half:?}");
+        // Footprint shrinks monotonically with the resident fraction.
+        let fp = |frac: f64| {
+            footprint_resident(
+                &m,
+                Precision::F16,
+                Precision::F16,
+                &tp(1),
+                &c,
+                1,
+                4096,
+                frac,
+            )
+        };
+        assert!(fp(0.75).weight_bytes > fp(0.5).weight_bytes);
+        assert!(fp(0.5).weight_bytes > fp(0.25).weight_bytes);
+    }
+
+    #[test]
+    fn offloaded_oom_error_names_the_residency() {
+        // Half-resident Mixtral fits the weights, but a monster KV cache
+        // still OOMs — the error must say which regime it priced.
+        let m = mixtral_8x7b();
+        let err = check_fits_resident(
+            &m,
+            Precision::F16,
+            Precision::F16,
+            &tp(1),
+            &Cluster::h100_node(1),
+            64,
+            65_536,
+            0.5,
+        )
+        .unwrap_err();
+        assert!(err.detail.contains("experts resident"), "{}", err.detail);
     }
 
     #[test]

@@ -10,9 +10,10 @@ use moe_trace::{Tracer, TrackId};
 
 use crate::des::simulate_pipeline;
 use crate::device::Cluster;
-use crate::memory::{check_fits, MemoryFootprint, OomError};
-use crate::moecost::{imbalance_factor, moe_layer_cost, router_skew};
+use crate::memory::{check_fits_resident, MemoryFootprint, OomError};
+use crate::moecost::{expected_distinct_experts, imbalance_factor, moe_layer_cost, router_skew};
 use crate::parallel::{all_to_all_time, allreduce_time, p2p_time, ParallelMode, ParallelPlan};
+use crate::residency::ExpertResidency;
 use crate::roofline::{gemm_cost, stream_cost, OpCost};
 use crate::steptrace::StepParts;
 
@@ -46,6 +47,12 @@ pub struct EngineOptions {
     /// — vLLM-class serving engines pay milliseconds per iteration, which
     /// dominates small-batch decode.
     pub framework_overhead_s: f64,
+    /// Expert residency across memory tiers. `None` (and
+    /// [`ExpertResidency::all_resident`]) price every expert as
+    /// HBM-resident, the pre-`moe-mem` behavior; an offloaded residency
+    /// shrinks the weight footprint and adds prefetch/miss stalls to
+    /// every MoE layer.
+    pub residency: Option<ExpertResidency>,
 }
 
 impl Default for EngineOptions {
@@ -56,6 +63,7 @@ impl Default for EngineOptions {
             fused_moe: true,
             plan: ParallelPlan::single(),
             framework_overhead_s: 4e-3,
+            residency: None,
         }
     }
 }
@@ -84,6 +92,11 @@ impl EngineOptions {
     pub fn with_framework_overhead(mut self, seconds: f64) -> Self {
         assert!(seconds >= 0.0, "negative overhead");
         self.framework_overhead_s = seconds;
+        self
+    }
+
+    pub fn with_residency(mut self, residency: ExpertResidency) -> Self {
+        self.residency = Some(residency);
         self
     }
 }
@@ -180,9 +193,10 @@ impl PerfModel {
         &self.cluster
     }
 
-    /// Check that the run fits in memory.
+    /// Check that the run fits in memory. With an offloaded residency
+    /// configured, only the resident expert fraction is charged to HBM.
     pub fn check_memory(&self, batch: usize, max_seq: usize) -> Result<MemoryFootprint, OomError> {
-        check_fits(
+        check_fits_resident(
             &self.config,
             self.opts.precision,
             self.opts.kv_precision,
@@ -190,6 +204,7 @@ impl PerfModel {
             &self.cluster,
             batch,
             max_seq,
+            self.opts.residency.map_or(1.0, |r| r.resident_frac),
         )
     }
 
@@ -327,8 +342,65 @@ impl PerfModel {
         }
     }
 
+    /// Expected stall seconds of one MoE layer from streaming
+    /// non-resident expert weights in from the offload tier.
+    ///
+    /// Per the `moe-mem` overlap model (`docs/MEMORY.md`): of the distinct
+    /// experts the layer activates, `1 - residency_hit` are not in HBM; of
+    /// those, the predictor prefetched `predictor_hit` a layer ahead, so
+    /// their transfer overlaps `window` seconds of compute and stalls by
+    /// `max(0, load - window)`. The rest are synchronous misses whose load
+    /// is fully exposed. Exactly `0.0` when every needed expert is
+    /// resident, so an all-resident residency prices bit-for-bit like no
+    /// residency model at all.
+    fn expert_load_stall(&self, tokens: usize, window: f64) -> f64 {
+        let Some(res) = &self.opts.residency else {
+            return 0.0;
+        };
+        let Some(moe) = &self.config.moe else {
+            return 0.0;
+        };
+        let group = self.opts.plan.degree;
+        let (local_experts, local_assignments, bytes_per_expert) =
+            if self.opts.plan.expert_parallel && group > 1 {
+                // EP holds whole experts per rank; each rank streams full
+                // expert tables for its share of the tokens.
+                let e = (moe.num_experts / group).max(1);
+                let a = (tokens.div_ceil(group) * moe.top_k) as f64;
+                let b = 3.0
+                    * self.config.hidden_size as f64
+                    * moe.expert_ffn_dim as f64
+                    * self.opts.precision.bytes_per_param();
+                (e, a, b)
+            } else {
+                // TP shards every expert, so a miss streams only the shard.
+                let b = 3.0
+                    * self.config.hidden_size as f64
+                    * moe.expert_ffn_dim.div_ceil(self.tp()) as f64
+                    * self.opts.precision.bytes_per_param();
+                (moe.num_experts, (tokens * moe.top_k) as f64, b)
+            };
+        let distinct = expected_distinct_experts(local_experts, local_assignments);
+        let non_resident = distinct * (1.0 - res.residency_hit);
+        if non_resident <= 0.0 {
+            return 0.0;
+        }
+        let predicted = non_resident * res.predictor_hit;
+        let missed = non_resident - predicted;
+        let load =
+            |experts: f64| res.link.latency + experts * bytes_per_expert / res.link.bandwidth;
+        let prefetch_stall = if predicted > 0.0 {
+            (load(predicted) - window).max(0.0)
+        } else {
+            0.0
+        };
+        let miss_stall = if missed > 0.0 { load(missed) } else { 0.0 };
+        prefetch_stall + miss_stall
+    }
+
     /// Per-component times of one transformer layer on one device:
     /// `(attention, ffn/moe, expert-parallel comm, tensor-parallel comm)`.
+    /// Offload stalls from non-resident experts fold into the ffn term.
     fn layer_parts(
         &self,
         tokens: usize,
@@ -341,6 +413,13 @@ impl PerfModel {
         let attn = self.attn_layer_cost(tokens, batch, ctx, phase).time_on(d);
         let (ffn_cost, ep_comm) = self.ffn_layer_cost(tokens, moe_layer);
         let ffn = ffn_cost.time_on(d);
+        let stall = if moe_layer {
+            // The prefetch window is the layer's own compute: the next
+            // layer's experts load while this layer runs.
+            self.expert_load_stall(tokens, attn + ffn)
+        } else {
+            0.0
+        };
         let tp_comm = if self.opts.plan.mode == ParallelMode::Tensor && self.opts.plan.degree > 1 {
             // Two all-reduces per layer (post-attention, post-FFN).
             let bytes = (tokens * self.config.hidden_size) as f64 * 2.0;
@@ -352,7 +431,7 @@ impl PerfModel {
         } else {
             0.0
         };
-        (attn, ffn, ep_comm, tp_comm)
+        (attn, ffn + stall, ep_comm, tp_comm)
     }
 
     /// Time for one transformer layer on one device, including collectives.
@@ -1036,6 +1115,123 @@ mod tests {
         let silent = m.run(8, 512, 256, &mut off, 0).unwrap();
         assert_eq!(plain, silent);
         assert!(off.snapshot().is_empty());
+    }
+
+    #[test]
+    fn all_resident_residency_prices_bit_for_bit_like_none() {
+        // The oracle-predictor / unbounded-HBM configuration must
+        // reproduce the pre-moe-mem pricing exactly (not just closely).
+        let cases = [
+            (mixtral_8x7b(), 2, ParallelPlan::tensor(2)),
+            (
+                qwen15_moe_a27b(),
+                4,
+                ParallelPlan::tensor(4).with_expert_parallel(),
+            ),
+            (olmoe_1b_7b(), 1, ParallelPlan::single()),
+        ];
+        for (config, gpus, plan) in cases {
+            let without = model_on(config.clone(), gpus, plan);
+            let with = PerfModel::new(
+                config,
+                Cluster::h100_node(gpus),
+                EngineOptions::default()
+                    .with_plan(plan)
+                    .with_residency(crate::residency::ExpertResidency::all_resident()),
+            )
+            .unwrap();
+            let a = without
+                .run(16, 512, 256, &mut Tracer::disabled(), 0)
+                .unwrap();
+            let b = with.run(16, 512, 256, &mut Tracer::disabled(), 0).unwrap();
+            assert_eq!(a, b, "all-resident must price identically");
+            assert_eq!(
+                moe_json::to_string(&without.check_memory(16, 768).unwrap()),
+                moe_json::to_string(&with.check_memory(16, 768).unwrap()),
+            );
+        }
+    }
+
+    #[test]
+    fn offloaded_residency_stalls_decode() {
+        let residency = crate::residency::ExpertResidency::offloaded(0.5, 0.5, 0.8);
+        let base = model_on(mixtral_8x7b(), 2, ParallelPlan::tensor(2));
+        let offloaded = PerfModel::new(
+            mixtral_8x7b(),
+            Cluster::h100_node(2),
+            EngineOptions::default()
+                .with_plan(ParallelPlan::tensor(2))
+                .with_residency(residency),
+        )
+        .unwrap();
+        let fast = base.decode_step_time(16, 1024);
+        let slow = offloaded.decode_step_time(16, 1024);
+        assert!(slow > fast * 1.02, "offload must cost: {slow} vs {fast}");
+    }
+
+    #[test]
+    fn better_predictor_shrinks_the_stall() {
+        let mk = |predictor_hit: f64| {
+            PerfModel::new(
+                mixtral_8x7b(),
+                Cluster::h100_node(2),
+                EngineOptions::default()
+                    .with_plan(ParallelPlan::tensor(2))
+                    .with_residency(crate::residency::ExpertResidency::offloaded(
+                        0.5,
+                        0.5,
+                        predictor_hit,
+                    )),
+            )
+            .unwrap()
+            .decode_step_time(16, 1024)
+        };
+        let uniform = mk(0.0);
+        let frequency = mk(0.6);
+        let oracle = mk(1.0);
+        assert!(oracle < frequency && frequency < uniform);
+    }
+
+    #[test]
+    fn offload_admits_the_single_device_fp16_mixtral() {
+        // 94 GB fp16 Mixtral OOMs one 80 GB H100 all-resident; with half
+        // the experts offloaded it runs, feasible-but-slower.
+        let residency = crate::residency::ExpertResidency::offloaded(0.5, 0.6, 0.7);
+        let m = PerfModel::new(
+            mixtral_8x7b(),
+            Cluster::h100_node(1),
+            EngineOptions::default().with_residency(residency),
+        )
+        .unwrap();
+        let r = m.run(1, 128, 128, &mut Tracer::disabled(), 0).unwrap();
+        assert!(r.throughput_tok_s > 0.0);
+        assert!(PerfModel::h100(mixtral_8x7b())
+            .run(1, 128, 128, &mut Tracer::disabled(), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn residency_stall_preserves_forward_parts_tiling() {
+        let m = PerfModel::new(
+            qwen15_moe_a27b(),
+            Cluster::h100_node(4),
+            EngineOptions::default()
+                .with_plan(ParallelPlan::tensor(4).with_expert_parallel())
+                .with_residency(crate::residency::ExpertResidency::offloaded(0.4, 0.5, 0.5)),
+        )
+        .unwrap();
+        for (tokens, batch, ctx, phase) in [
+            (8 * 512, 8, 512, Phase::Prefill),
+            (8, 8, 768, Phase::Decode),
+        ] {
+            let parts = m.forward_parts(tokens, batch, ctx, phase);
+            let total = m.forward_time(tokens, batch, ctx, phase);
+            assert!(
+                (parts.component_sum_s() - total).abs() < 1e-9 * total.max(1.0),
+                "stalled components {} don't tile total {total}",
+                parts.component_sum_s()
+            );
+        }
     }
 
     #[test]

@@ -147,6 +147,7 @@ pub fn float_idents(f: &FnItem) -> BTreeSet<String> {
 /// simulated results. The bench harness and the linter itself are exempt.
 const SEED_CRATES: &[&str] = &[
     "tensor", "gpusim", "engine", "runtime", "cluster", "ctrl", "plan", "eval", "trace", "par",
+    "mem",
 ];
 
 /// RNG constructor names whose argument must carry seed provenance.

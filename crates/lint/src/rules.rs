@@ -232,7 +232,7 @@ const CLOCK_PAIRS: &[(&str, &str, &str)] = &[
     ("Instant", "now", "Instant::now"),
     ("SystemTime", "now", "SystemTime::now"),
 ];
-const CLOCK_CRATES: &[&str] = &["gpusim", "engine", "runtime", "ctrl", "plan", "par"];
+const CLOCK_CRATES: &[&str] = &["gpusim", "engine", "runtime", "ctrl", "plan", "par", "mem"];
 
 impl Rule for NoWallClock {
     fn name(&self) -> &'static str {
@@ -498,7 +498,7 @@ impl Rule for NoLossyFloatCast {
     }
 
     fn applies(&self, file: &SourceFile) -> bool {
-        ["gpusim", "plan"].contains(&file.crate_name.as_str()) && !file.is_test_file
+        ["gpusim", "plan", "mem"].contains(&file.crate_name.as_str()) && !file.is_test_file
     }
 
     fn check(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Diagnostic>) {
@@ -600,7 +600,7 @@ fn float_valued_before(file: &SourceFile, i: usize) -> bool {
 /// order-observing uses of them.
 pub struct NoHashMapIterInSim;
 
-const HASHMAP_SIM_CRATES: &[&str] = &["gpusim", "runtime", "cluster", "ctrl", "plan", "par"];
+const HASHMAP_SIM_CRATES: &[&str] = &["gpusim", "runtime", "cluster", "ctrl", "plan", "par", "mem"];
 /// Order-observing methods that take no arguments (`()` required).
 const ORDER_METHODS_EMPTY: &[&str] = &[
     "iter",

@@ -10,6 +10,7 @@
 //! byte-identically.
 
 use moe_gpusim::parallel::{ParallelMode, ParallelPlan};
+use moe_gpusim::residency::ExpertResidency;
 use moe_json::{FromJson, ToJson};
 use moe_model::ModelConfig;
 use moe_tensor::Precision;
@@ -31,6 +32,9 @@ pub struct CandidateConfig {
     pub spec_decode: bool,
     /// Max batched tokens per engine step (chunked-prefill budget).
     pub max_batch_tokens: usize,
+    /// Expert residency across the HBM budget (all-resident = the classic
+    /// no-offload deployment; offloaded turns OOM into a cost cliff).
+    pub residency: ExpertResidency,
 }
 
 impl CandidateConfig {
@@ -54,6 +58,9 @@ impl CandidateConfig {
             s.push_str(" spec");
         }
         s.push_str(&format!(" mbt{}", self.max_batch_tokens));
+        if self.residency.resident_frac < 1.0 {
+            s.push_str(&format!(" hbm{}%", prune_pct(self.residency.resident_frac)));
+        }
         s
     }
 }
@@ -66,8 +73,23 @@ fn prune_pct(ratio: f64) -> u32 {
 
 /// Total order over candidates used for every enumeration and tie-break:
 /// devices, then degree, mode, EP flag, replicas, precision, prune,
-/// spec-decode, batch budget. Deterministic and independent of scoring.
-pub fn order_key(c: &CandidateConfig) -> (usize, usize, u8, u8, usize, u8, u64, u8, usize) {
+/// spec-decode, batch budget, residency (all-resident first).
+/// Deterministic and independent of scoring.
+#[allow(clippy::type_complexity)]
+pub fn order_key(
+    c: &CandidateConfig,
+) -> (
+    usize,
+    usize,
+    u8,
+    u8,
+    usize,
+    u8,
+    u64,
+    u8,
+    usize,
+    (u64, u64, u64),
+) {
     (
         c.devices(),
         c.plan.degree,
@@ -83,6 +105,18 @@ pub fn order_key(c: &CandidateConfig) -> (usize, usize, u8, u8, usize, u8, u64, 
         c.prune_ratio.to_bits(),
         u8::from(c.spec_decode),
         c.max_batch_tokens,
+        residency_rank(&c.residency),
+    )
+}
+
+/// Stable rank for residencies: more resident sorts first, so the classic
+/// all-resident deployment leads every enumeration. The complements are
+/// finite non-negative f64s, so their bit patterns are monotone.
+pub fn residency_rank(r: &ExpertResidency) -> (u64, u64, u64) {
+    (
+        (1.0 - r.resident_frac).to_bits(),
+        (1.0 - r.residency_hit).to_bits(),
+        (1.0 - r.predictor_hit).to_bits(),
     )
 }
 
@@ -117,6 +151,7 @@ impl Shape {
         prune_ratio: f64,
         spec_decode: bool,
         max_batch_tokens: usize,
+        residency: ExpertResidency,
     ) -> CandidateConfig {
         CandidateConfig {
             plan: self.plan,
@@ -125,6 +160,7 @@ impl Shape {
             prune_ratio,
             spec_decode,
             max_batch_tokens,
+            residency,
         }
     }
 }
@@ -139,6 +175,8 @@ pub struct Completions {
     pub spec_decode: Vec<bool>,
     /// Max-batched-token budgets, ascending.
     pub max_batch_tokens: Vec<usize>,
+    /// Expert residencies, most-resident first (all-resident leads).
+    pub residencies: Vec<ExpertResidency>,
 }
 
 impl Completions {
@@ -162,16 +200,29 @@ impl Completions {
         let mut mbt = space.max_batch_tokens.clone();
         mbt.sort_unstable();
         mbt.dedup();
+        // Expert offload only applies to routed experts: dense models
+        // collapse to the all-resident identity.
+        let mut residencies: Vec<ExpertResidency> = if model.moe.is_some() {
+            space.residencies.clone()
+        } else {
+            vec![ExpertResidency::all_resident()]
+        };
+        residencies.sort_by_key(residency_rank);
+        residencies.dedup();
         Self {
             prune_ratios: prune,
             spec_decode: spec,
             max_batch_tokens: mbt,
+            residencies,
         }
     }
 
     /// Completions per shape.
     pub fn len(&self) -> usize {
-        self.prune_ratios.len() * self.spec_decode.len() * self.max_batch_tokens.len()
+        self.prune_ratios.len()
+            * self.spec_decode.len()
+            * self.max_batch_tokens.len()
+            * self.residencies.len()
     }
 
     /// True when no knob has any value (cannot happen for checked specs).
@@ -179,12 +230,14 @@ impl Completions {
         self.len() == 0
     }
 
-    /// All `(prune, spec, mbt)` triples in enumeration order.
-    pub fn iter(&self) -> impl Iterator<Item = (f64, bool, usize)> + '_ {
+    /// All `(prune, spec, mbt, residency)` tuples in enumeration order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, bool, usize, ExpertResidency)> + '_ {
         self.prune_ratios.iter().flat_map(move |&p| {
-            self.spec_decode
-                .iter()
-                .flat_map(move |&s| self.max_batch_tokens.iter().map(move |&m| (p, s, m)))
+            self.spec_decode.iter().flat_map(move |&s| {
+                self.max_batch_tokens
+                    .iter()
+                    .flat_map(move |&m| self.residencies.iter().map(move |&r| (p, s, m, r)))
+            })
         })
     }
 }
@@ -218,7 +271,7 @@ pub fn enumerate_shapes(fleet: &FleetSpec, space: &SearchSpace) -> Vec<Shape> {
         }
         degree *= 2;
     }
-    shapes.sort_by_key(|s| order_key(&s.complete(0.0, false, 1)));
+    shapes.sort_by_key(|s| order_key(&s.complete(0.0, false, 1, ExpertResidency::all_resident())));
     shapes.dedup();
     shapes
 }
@@ -236,9 +289,22 @@ mod tests {
             prune_ratio: 0.25,
             spec_decode: true,
             max_batch_tokens: 8192,
+            residency: ExpertResidency::all_resident(),
         };
         assert_eq!(c.label(), "2x TP2+EP fp8 prune25% spec mbt8192");
         assert_eq!(c.devices(), 4);
+        let offloaded = CandidateConfig {
+            residency: ExpertResidency::offloaded(0.5, 0.8, 0.7),
+            ..c
+        };
+        assert_eq!(
+            offloaded.label(),
+            "2x TP2+EP fp8 prune25% spec mbt8192 hbm50%"
+        );
+        assert!(
+            order_key(&c) < order_key(&offloaded),
+            "all-resident sorts first"
+        );
     }
 
     #[test]
@@ -251,7 +317,7 @@ mod tests {
         assert_eq!(shapes.len(), (4 + 4 * 2 + 4) * 2);
         let keys: Vec<_> = shapes
             .iter()
-            .map(|s| order_key(&s.complete(0.0, false, 1)))
+            .map(|s| order_key(&s.complete(0.0, false, 1, ExpertResidency::all_resident())))
             .collect();
         let mut sorted = keys.clone();
         sorted.sort();
@@ -273,5 +339,23 @@ mod tests {
         assert_eq!(without.prune_ratios, vec![0.0]);
         assert_eq!(without.spec_decode, vec![false]);
         assert_eq!(without.len(), 2); // two batch budgets
+    }
+
+    #[test]
+    fn residencies_collapse_for_dense_and_sort_most_resident_first() {
+        let offload = ExpertResidency::offloaded(0.5, 0.8, 0.7);
+        let space = SearchSpace {
+            residencies: vec![offload, ExpertResidency::all_resident()],
+            ..SearchSpace::minimal()
+        };
+        let moe = moe_model::registry::olmoe_1b_7b();
+        let dense = moe_model::registry::qwen3_1_7b();
+        let with_moe = Completions::for_model(&space, &moe, false);
+        assert_eq!(
+            with_moe.residencies,
+            vec![ExpertResidency::all_resident(), offload]
+        );
+        let without = Completions::for_model(&space, &dense, false);
+        assert_eq!(without.residencies, vec![ExpertResidency::all_resident()]);
     }
 }

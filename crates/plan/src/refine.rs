@@ -240,6 +240,7 @@ mod tests {
             prune_ratio: 0.0,
             spec_decode: false,
             max_batch_tokens: 32_768,
+            residency: moe_gpusim::residency::ExpertResidency::all_resident(),
         };
         let refined =
             refine_candidate(&spec, &sketch, &config, &trace, &mut Tracer::disabled()).unwrap();

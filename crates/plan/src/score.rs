@@ -7,6 +7,7 @@ use moe_gpusim::device::Cluster;
 use moe_gpusim::memory::OomError;
 use moe_gpusim::parallel::{ParallelPlan, PlanError};
 use moe_gpusim::perfmodel::{EngineOptions, PerfModel, RunMetrics};
+use moe_gpusim::residency::ExpertResidency;
 use moe_gpusim::spec::{acceptance_rate, spec_run, SpecParams};
 use moe_json::{FromJson, ToJson};
 use moe_model::prune::{PruneKind, PruneSpec};
@@ -103,10 +104,21 @@ pub fn candidate_model(base: &ModelConfig, prune_ratio: f64) -> ModelConfig {
 }
 
 /// Engine options for a candidate (fused kernels on, fp16 KV cache).
-pub fn candidate_options(plan: ParallelPlan, precision: Precision) -> EngineOptions {
-    EngineOptions::default()
+/// All-resident residencies are *not* attached, so classic candidates
+/// price through the exact pre-`moe-mem` option set.
+pub fn candidate_options(
+    plan: ParallelPlan,
+    precision: Precision,
+    residency: ExpertResidency,
+) -> EngineOptions {
+    let opts = EngineOptions::default()
         .with_precision(precision)
-        .with_plan(plan)
+        .with_plan(plan);
+    if residency.is_all_resident() {
+        opts
+    } else {
+        opts.with_residency(residency)
+    }
 }
 
 /// Build the placed engine model for a candidate; `Err` carries the typed
@@ -124,7 +136,7 @@ pub fn build_engine(
     let engine = PerfModel::new(
         model.clone(),
         cluster,
-        candidate_options(config.plan, config.precision),
+        candidate_options(config.plan, config.precision, config.residency),
     )
     .map_err(Infeasible::Engine)?;
     Ok((engine, model))
@@ -211,10 +223,15 @@ fn run_metrics(
 ) -> Result<RunMetrics, Infeasible> {
     if config.spec_decode {
         if let Some(draft_cfg) = &spec.draft {
+            // The draft is a small dense model: always fully resident.
             let draft = PerfModel::new(
                 draft_cfg.clone(),
                 spec.fleet.cluster(config.plan.degree),
-                candidate_options(draft_plan(config.plan), config.precision),
+                candidate_options(
+                    draft_plan(config.plan),
+                    config.precision,
+                    ExpertResidency::all_resident(),
+                ),
             )
             .map_err(Infeasible::Engine)?;
             let params = SpecParams {

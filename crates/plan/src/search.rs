@@ -142,8 +142,8 @@ fn expand_shape(
     scored: &mut Vec<CandidateScore>,
     counts: &mut SearchCounts,
 ) {
-    for (prune, spec_decode, mbt) in completions.iter() {
-        let candidate = shape.complete(prune, spec_decode, mbt);
+    for (prune, spec_decode, mbt, residency) in completions.iter() {
+        let candidate = shape.complete(prune, spec_decode, mbt, residency);
         match score_candidate(spec, sketch, &candidate) {
             Ok(score) => {
                 counts.scored += 1;
@@ -169,54 +169,64 @@ fn shape_bound(
     counts: &mut SearchCounts,
 ) -> Option<OptimisticBound> {
     let mut best: Option<OptimisticBound> = None;
-    for &prune in &completions.prune_ratios {
-        for &spec_decode in &completions.spec_decode {
-            let mut probed = None;
-            // Descending budgets: the largest feasible batch upper-bounds
-            // the throughput of every smaller budget.
-            for &mbt in completions.max_batch_tokens.iter().rev() {
-                let candidate = shape.complete(prune, spec_decode, mbt);
-                match score_candidate(spec, sketch, &candidate) {
-                    Ok(score) => {
-                        probed = Some(score);
-                        break;
+    for &residency in &completions.residencies {
+        for &prune in &completions.prune_ratios {
+            for &spec_decode in &completions.spec_decode {
+                let mut probed = None;
+                // Descending budgets: the largest feasible batch
+                // upper-bounds the throughput of every smaller budget.
+                for &mbt in completions.max_batch_tokens.iter().rev() {
+                    let candidate = shape.complete(prune, spec_decode, mbt, residency);
+                    match score_candidate(spec, sketch, &candidate) {
+                        Ok(score) => {
+                            probed = Some(score);
+                            break;
+                        }
+                        Err(Infeasible::Oom(_)) => continue,
+                        Err(_) => break, // plan errors hold for every budget
                     }
-                    Err(Infeasible::Oom(_)) => continue,
-                    Err(_) => break, // plan errors hold for every budget
                 }
-            }
-            let Some(score) = probed else { continue };
-            // The smallest budget runs the smallest operating batch and
-            // therefore the lowest per-step latency of any completion.
-            let itl_lb = completions
-                .max_batch_tokens
-                .first()
-                .and_then(|&mbt| {
-                    score_candidate(spec, sketch, &shape.complete(prune, spec_decode, mbt)).ok()
-                })
-                .map_or(score.predicted_itl_s, |s| {
-                    s.predicted_itl_s.min(score.predicted_itl_s)
+                let Some(score) = probed else { continue };
+                // The smallest budget runs the smallest operating batch
+                // and therefore the lowest per-step latency of any
+                // completion.
+                let itl_lb = completions
+                    .max_batch_tokens
+                    .first()
+                    .and_then(|&mbt| {
+                        score_candidate(
+                            spec,
+                            sketch,
+                            &shape.complete(prune, spec_decode, mbt, residency),
+                        )
+                        .ok()
+                    })
+                    .map_or(score.predicted_itl_s, |s| {
+                        s.predicted_itl_s.min(score.predicted_itl_s)
+                    });
+                let b = best.get_or_insert(OptimisticBound {
+                    cost_lb: f64::MAX,
+                    accuracy_ub: 0.0,
+                    tok_ub: 0.0,
+                    itl_lb: f64::MAX,
                 });
-            let b = best.get_or_insert(OptimisticBound {
-                cost_lb: f64::MAX,
-                accuracy_ub: 0.0,
-                tok_ub: 0.0,
-                itl_lb: f64::MAX,
-            });
-            b.cost_lb = b.cost_lb.min(score.cost_per_token_device_s);
-            b.accuracy_ub = b.accuracy_ub.max(score.accuracy);
-            b.tok_ub = b.tok_ub.max(score.predicted_tok_s);
-            b.itl_lb = b.itl_lb.min(itl_lb);
+                b.cost_lb = b.cost_lb.min(score.cost_per_token_device_s);
+                b.accuracy_ub = b.accuracy_ub.max(score.accuracy);
+                b.tok_ub = b.tok_ub.max(score.predicted_tok_s);
+                b.itl_lb = b.itl_lb.min(itl_lb);
+            }
         }
     }
     if best.is_none() {
         // Every probe failed: the shape cannot host the workload at any
         // budget. Attribute the whole expansion to the dominant cause by
-        // re-probing the cheapest completion once.
+        // re-probing the cheapest completion once (most-offloaded
+        // residency — the one with the best chance of fitting).
         let candidate = shape.complete(
             *completions.prune_ratios.last().unwrap_or(&0.0),
             false,
             *completions.max_batch_tokens.first().unwrap_or(&1),
+            completions.residencies.last().copied().unwrap_or_default(),
         );
         match score_candidate(spec, sketch, &candidate) {
             Err(Infeasible::Plan(_)) | Err(Infeasible::Engine(_)) => {
@@ -511,6 +521,7 @@ mod tests {
             prune_ratio: 0.0,
             spec_decode: false,
             max_batch_tokens: moe_gpusim::convert::f64_to_count(tok * 1000.0), // distinct order keys
+            residency: moe_gpusim::ExpertResidency::all_resident(),
         };
         CandidateScore {
             config,

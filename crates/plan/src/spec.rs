@@ -3,6 +3,7 @@
 
 use moe_cluster::{RoutePolicy, WorkloadSpec};
 use moe_gpusim::device::{Cluster, DeviceProfile, Interconnect};
+use moe_gpusim::residency::ExpertResidency;
 use moe_json::{FromJson, ToJson};
 use moe_model::ModelConfig;
 use moe_tensor::Precision;
@@ -105,6 +106,11 @@ pub struct SearchSpace {
     pub spec_decode: Vec<bool>,
     /// Max batched tokens per engine step (the chunked-prefill budget).
     pub max_batch_tokens: Vec<usize>,
+    /// Expert-residency configurations (HBM budget + offload tier).
+    /// [`ExpertResidency::all_resident`] is the classic no-offload
+    /// deployment; offloaded entries turn OOM walls into cost cliffs.
+    /// Collapses to all-resident for dense models.
+    pub residencies: Vec<ExpertResidency>,
     /// Router policies swept during cluster refinement (the analytic
     /// model is policy-blind, so policy is a refinement-stage knob).
     pub policies: Vec<RoutePolicy>,
@@ -119,6 +125,7 @@ impl SearchSpace {
             prune_ratios: vec![0.0, 0.25, 0.5],
             spec_decode: vec![false],
             max_batch_tokens: vec![8_192, 32_768],
+            residencies: vec![ExpertResidency::all_resident()],
             policies: vec![RoutePolicy::LeastOutstanding],
         }
     }
@@ -131,8 +138,16 @@ impl SearchSpace {
             prune_ratios: vec![0.0],
             spec_decode: vec![false],
             max_batch_tokens: vec![32_768],
+            residencies: vec![ExpertResidency::all_resident()],
             policies: vec![RoutePolicy::LeastOutstanding],
         }
+    }
+
+    /// Add offloaded residency configurations to the grid (all-resident
+    /// stays enumerated first).
+    pub fn with_residencies(mut self, extra: &[ExpertResidency]) -> Self {
+        self.residencies.extend_from_slice(extra);
+        self
     }
 }
 
@@ -209,9 +224,21 @@ impl PlannerSpec {
             || self.space.prune_ratios.is_empty()
             || self.space.spec_decode.is_empty()
             || self.space.max_batch_tokens.is_empty()
+            || self.space.residencies.is_empty()
             || self.space.policies.is_empty()
         {
             return fail("every search-space dimension needs at least one value".into());
+        }
+        for r in &self.space.residencies {
+            if !(r.resident_frac > 0.0 && r.resident_frac <= 1.0) {
+                return fail(format!(
+                    "residency resident_frac {} outside (0, 1]",
+                    r.resident_frac
+                ));
+            }
+            if !(0.0..=1.0).contains(&r.residency_hit) || !(0.0..=1.0).contains(&r.predictor_hit) {
+                return fail("residency hit probabilities must be in [0, 1]".into());
+            }
         }
         for &r in &self.space.prune_ratios {
             if !(0.0..1.0).contains(&r) {

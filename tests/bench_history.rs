@@ -80,16 +80,76 @@ fn bench_cluster_history_keeps_the_pre_heap_baseline_first() {
     }
 }
 
+/// Original single-core measurement of the 26-experiment registry: the
+/// frozen origin of the `BENCH_par.json` history. If it moved, the
+/// harness-speed narrative in EXPERIMENTS.md would silently change
+/// meaning — the bench carries `committed: true` entries forward
+/// verbatim and only appends.
+const PAR_ORIGIN_SERIAL_S: f64 = 2.760874293;
+const PAR_ORIGIN_EXPERIMENTS: f64 = 26.0;
+
+#[test]
+fn bench_par_history_keeps_the_origin_first_and_appends() {
+    let doc = moe_json::parse(&repo_file("BENCH_par.json")).expect("well-formed JSON");
+    let history = match doc.get("history") {
+        Some(Json::Arr(items)) => items,
+        other => panic!("history must be an array, got {other:?}"),
+    };
+    assert!(
+        history.len() >= 2,
+        "history must keep the origin plus at least one re-measurement"
+    );
+
+    let origin = &history[0];
+    assert_eq!(
+        origin.get("committed"),
+        Some(&Json::Bool(true)),
+        "first history entry must stay the committed origin"
+    );
+    assert_eq!(
+        number(origin.get("serial_s")),
+        Some(PAR_ORIGIN_SERIAL_S),
+        "the committed origin measurement is immutable"
+    );
+    assert_eq!(
+        number(origin.get("experiments")),
+        Some(PAR_ORIGIN_EXPERIMENTS)
+    );
+
+    // Later entries append in registry-growth order: the experiment
+    // count never shrinks along the history.
+    let mut last_experiments = PAR_ORIGIN_EXPERIMENTS;
+    for (i, entry) in history.iter().enumerate() {
+        let experiments = number(entry.get("experiments"))
+            .unwrap_or_else(|| panic!("history[{i}] lacks experiments"));
+        assert!(
+            experiments >= last_experiments,
+            "history[{i}] experiment count went backwards: {experiments} < {last_experiments}"
+        );
+        last_experiments = experiments;
+        assert!(number(entry.get("serial_s")).unwrap_or(0.0) > 0.0);
+        assert!(number(entry.get("parallel_s")).unwrap_or(0.0) > 0.0);
+    }
+}
+
 #[test]
 fn bench_par_history_records_host_core_count() {
     let doc = moe_json::parse(&repo_file("BENCH_par.json")).expect("well-formed JSON");
-    let cores = number(doc.get("host_cores")).expect("host_cores field");
-    assert!(cores >= 1.0);
-    // The note must state the core count it was measured on, so a future
-    // multi-core re-measurement can't reuse a stale narrative.
-    let note = string(doc.get("note")).expect("note field");
-    assert!(
-        note.contains("core"),
-        "note must describe the host core situation, got {note:?}"
-    );
+    let history = match doc.get("history") {
+        Some(Json::Arr(items)) => items,
+        other => panic!("history must be an array, got {other:?}"),
+    };
+    for (i, entry) in history.iter().enumerate() {
+        let cores = number(entry.get("host_cores"))
+            .unwrap_or_else(|| panic!("history[{i}] lacks host_cores"));
+        assert!(cores >= 1.0);
+        // The note must state the core count the entry was measured on,
+        // so a future multi-core re-measurement can't reuse a stale
+        // narrative.
+        let note = string(entry.get("note")).unwrap_or_else(|| panic!("history[{i}] lacks note"));
+        assert!(
+            note.contains(&format!("{}-core", cores as u64)),
+            "history[{i}] note must state its measured core count, got {note:?}"
+        );
+    }
 }

@@ -304,6 +304,43 @@ fn ext_ctrl_fast_report_and_trace_are_byte_identical_across_thread_counts() {
     }
 }
 
+fn traced_mem() -> (String, String) {
+    let mut tracer = moe_trace::Tracer::new(Box::new(moe_trace::MemorySink::new()));
+    let report = moe_bench::run_experiment_traced("ext-mem", true, &mut tracer)
+        .expect("ext-mem is registered");
+    let trace = moe_trace::chrome_trace_json(&tracer.snapshot(), tracer.tracks());
+    (moe_json::to_string_pretty(&report), trace)
+}
+
+/// The residency/offload family spans the whole derivation chain this
+/// gate protects: a seeded engine generation run (trace capture), the
+/// transition-table replay, hot-set selection, analytic offload pricing,
+/// and two full planner searches. Same seed must render byte-identical
+/// report JSON *and* byte-identical Chrome-trace JSON for `MOE_THREADS`
+/// = 1, 2 and 8, and across repeated runs at the same count.
+#[test]
+fn ext_mem_fast_report_and_trace_are_byte_identical_across_thread_counts() {
+    let _guard = worker_override_lock();
+    let mut renders = Vec::new();
+    for threads in [1usize, 1, 2, 8] {
+        moe_par::set_workers_for_test(threads);
+        renders.push((threads, traced_mem()));
+    }
+    moe_par::set_workers_for_test(0);
+    let (_, (base_report, base_trace)) = &renders[0];
+    assert!(base_report.contains("cost cliff"));
+    for (threads, (report, trace)) in &renders[1..] {
+        assert_eq!(
+            base_report, report,
+            "ext-mem report differs between 1 and {threads} worker thread(s)"
+        );
+        assert_eq!(
+            base_trace, trace,
+            "ext-mem trace differs between 1 and {threads} worker thread(s)"
+        );
+    }
+}
+
 /// One 1000-replica sharded run at planet scale, rendered to bytes:
 /// 50 shards x 20 replicas, lazily streamed diurnal think-time traffic,
 /// crash faults remapped per shard.

@@ -34,6 +34,7 @@ fn every_paper_artifact_is_registered() {
         "ext-plan",
         "ext-scale",
         "ext-ctrl",
+        "ext-mem",
     ];
     assert_eq!(ids, expected);
 }
