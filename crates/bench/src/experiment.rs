@@ -13,8 +13,8 @@
 use moe_trace::{Category, MemorySink, Tracer, BENCH_TRACK};
 
 use crate::experiments::{
-    ablations, cluster, ctrl, extensions, fig01, fig03, fig04, fig05, fig06, fig07, fig08, fig09,
-    fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, mem, plan, scale, table1,
+    ablations, cap, cluster, ctrl, extensions, fig01, fig03, fig04, fig05, fig06, fig07, fig08,
+    fig09, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, mem, plan, scale, table1,
 };
 use crate::report::ExperimentReport;
 
@@ -71,6 +71,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &scale::ExtScale,
     &ctrl::ExtCtrl,
     &mem::ExtMem,
+    &cap::ExtCap,
 ];
 
 /// Look up a registered experiment by id.
@@ -150,7 +151,7 @@ mod tests {
             assert!(seen.insert(e.id()), "duplicate id {}", e.id());
             assert!(!e.title().is_empty(), "{} lacks a title", e.id());
         }
-        assert_eq!(REGISTRY.len(), 27);
+        assert_eq!(REGISTRY.len(), 28);
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! `ext-cap`: the device zoo, sparsity-aware CAP cost metrics, mixed-fleet
+//! planning, and the edge-hardware bandwidth knee.
+//!
+//! Four studies driven by the redesigned `DeviceProfile` API:
+//!
+//! * **Zoo CAP table** — every registry device priced two ways: the naive
+//!   datasheet `$ / peak FLOP` and the MoE-CAP-corrected
+//!   `$ / achievable active FLOP` at Mixtral-8x7B's measured sparsity.
+//!   The correction inverts the ranking: the consumer 4090 looks cheapest
+//!   on paper but its thin GDDR bandwidth starves a sparse model, while
+//!   the weight-stationary CS-3 delivers its roofline.
+//! * **Per-class feasibility** — which models fit which device class
+//!   (the 24 GB consumer card rejects Mixtral even at fp8; the 192 GB
+//!   unified-memory Mac holds it at fp16).
+//! * **Mixed-fleet plan** — `plan_fleet` on 2x H100 + 4x RTX-4090:
+//!   per-class feasibility and pricing, then blended deployments on a
+//!   Pareto frontier with USD-per-Mtok as the priced CAP axis.
+//! * **Bandwidth knee** — the edge paper's headline: OLMoE-1B-7B (MoE)
+//!   against its capability-matched dense equivalent Qwen3-4B, swept down
+//!   a memory-bandwidth ladder on consumer/edge devices. At full
+//!   bandwidth the MoE's small active-parameter count wins on cost per
+//!   token; as bandwidth shrinks, decode turns weight-streaming-bound and
+//!   the MoE pays for *total* parameters (distinct-expert saturation)
+//!   while the dense model streams fewer bytes — below the knee the dense
+//!   equivalent is cheaper.
+
+use moe_cluster::{TenantSpec, WorkloadSpec};
+use moe_gpusim::cap;
+use moe_gpusim::device::{profile, zoo, Cluster, DeviceProfile};
+use moe_gpusim::memory::check_fits;
+use moe_gpusim::parallel::ParallelPlan;
+use moe_gpusim::perfmodel::{EngineOptions, PerfModel};
+use moe_model::registry::{mixtral_8x7b, olmoe_1b_7b, qwen3_4b};
+use moe_model::ModelConfig;
+use moe_plan::{plan_fleet, DevicePool, FleetPlanReport, FleetSpec, PlannerSpec};
+use moe_plan::{SearchMode, SearchSpace, SloSpec};
+use moe_tensor::Precision;
+
+use crate::experiment::{ExpCtx, Experiment};
+use crate::report::{num, secs, ExperimentReport, Table};
+
+/// Registry handle.
+pub struct ExtCap;
+
+impl Experiment for ExtCap {
+    fn id(&self) -> &'static str {
+        "ext-cap"
+    }
+    fn title(&self) -> &'static str {
+        "Extension: Device Zoo & CAP (sparsity-aware cost, mixed fleets, the bandwidth knee)"
+    }
+    fn run(&self, ctx: &mut ExpCtx<'_>) -> ExperimentReport {
+        build(ctx.fast)
+    }
+}
+
+/// Seed for the mixed-fleet planning workload.
+pub const CAP_SEED: u64 = 31;
+
+/// The knee workload: a balanced chat shape where prefill is long enough
+/// for the MoE's active-parameter compute advantage to show and decode is
+/// long enough for weight streaming to dominate as bandwidth shrinks.
+const KNEE_BATCH: usize = 16;
+const KNEE_INPUT: usize = 1024;
+const KNEE_OUTPUT: usize = 64;
+
+/// Bandwidth-scale ladder, descending from the stock device.
+fn knee_scales(fast: bool) -> Vec<f64> {
+    if fast {
+        vec![1.0, 0.5, 0.25, 0.15, 0.1]
+    } else {
+        vec![1.0, 0.7, 0.5, 0.4, 0.3, 0.25, 0.2, 0.15, 0.1]
+    }
+}
+
+/// Devices the knee is swept on: the consumer PCIe card and the edge SoC.
+const KNEE_DEVICES: [&str; 2] = ["4090", "jetson"];
+
+fn yes_no(b: bool) -> String {
+    if b { "yes" } else { "OOM" }.to_string()
+}
+
+/// Single-device engine for a zoo profile; `None` when construction fails
+/// (never expected for registry devices).
+fn engine_on(
+    device: &DeviceProfile,
+    model: &ModelConfig,
+    precision: Precision,
+) -> Option<PerfModel> {
+    let cluster = Cluster::uniform(device.clone(), 1);
+    let opts = EngineOptions::default().with_precision(precision);
+    PerfModel::new(model.clone(), cluster, opts).ok()
+}
+
+/// Throughput of `model` on one `device` at the knee workload, `None` on
+/// OOM.
+fn tok_s_on(device: &DeviceProfile, model: &ModelConfig, batch: usize) -> Option<f64> {
+    let engine = engine_on(device, model, Precision::Fp8E4M3)?;
+    engine.check_memory(batch, KNEE_INPUT + KNEE_OUTPUT).ok()?;
+    engine
+        .run(
+            batch,
+            KNEE_INPUT,
+            KNEE_OUTPUT,
+            &mut moe_trace::Tracer::disabled(),
+            0,
+        )
+        .ok()
+        .map(|r| r.throughput_tok_s)
+}
+
+fn zoo_table() -> Table {
+    let mixtral = mixtral_8x7b();
+    let p = Precision::Fp8E4M3;
+    let mut t = Table::new(
+        "device zoo: naive vs sparsity-aware cost (Mixtral-8x7B fp8)",
+        &[
+            "Device",
+            "Class",
+            "fp8 TFLOP/s",
+            "BW GB/s",
+            "Cap GB",
+            "USD/hr",
+            "naive $/PFLOP-s",
+            "effective $/active-PFLOP-s",
+        ],
+    );
+    for d in zoo() {
+        t.row(vec![
+            d.name.clone(),
+            d.class.label().to_string(),
+            num(d.peak_flops_8bit / 1e12),
+            num(d.mem_bandwidth() / 1e9),
+            num(d.mem_capacity() / 1e9),
+            num(d.power.price_per_hour_usd),
+            num(cap::usd_per_peak_pflop_s(&d, p)),
+            num(cap::effective_usd_per_active_pflop_s(&d, &mixtral, p)),
+        ]);
+    }
+    t
+}
+
+/// The model x precision pairs of the feasibility study.
+fn feasibility_cases() -> Vec<(ModelConfig, Precision, &'static str)> {
+    vec![
+        (mixtral_8x7b(), Precision::Fp8E4M3, "Mixtral-8x7B fp8"),
+        (mixtral_8x7b(), Precision::F16, "Mixtral-8x7B fp16"),
+        (olmoe_1b_7b(), Precision::Fp8E4M3, "OLMoE-1B-7B fp8"),
+        (qwen3_4b(), Precision::Fp8E4M3, "Qwen3-4B fp8"),
+    ]
+}
+
+/// Does the model fit a single device of this profile at the knee
+/// workload?
+fn fits_single(device: &DeviceProfile, model: &ModelConfig, precision: Precision) -> bool {
+    let plan = ParallelPlan::tensor(1);
+    let cluster = Cluster::uniform(device.clone(), 1);
+    let opts = EngineOptions::default().with_precision(precision);
+    check_fits(
+        model,
+        precision,
+        opts.kv_precision,
+        &plan,
+        &cluster,
+        KNEE_BATCH,
+        KNEE_INPUT + KNEE_OUTPUT,
+    )
+    .is_ok()
+}
+
+fn feasibility_table() -> Table {
+    let cases = feasibility_cases();
+    let mut columns = vec!["Device"];
+    for (_, _, label) in &cases {
+        columns.push(label);
+    }
+    let mut t = Table::new("per-class feasibility (one device, batch 16)", &columns);
+    for d in zoo() {
+        let mut row = vec![d.name.clone()];
+        for (model, precision, _) in &cases {
+            row.push(yes_no(fits_single(&d, model, *precision)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Mixed-fleet planning spec: OLMoE-1B-7B served on two datacenter H100s
+/// plus four consumer 4090s.
+fn fleet_spec(fast: bool) -> PlannerSpec {
+    PlannerSpec {
+        model: olmoe_1b_7b(),
+        draft: None,
+        fleet: FleetSpec::mixed(vec![
+            DevicePool::of("h100", 2).expect("h100 is in the zoo"),
+            DevicePool::of("4090", 4).expect("4090 is in the zoo"),
+        ]),
+        workload: WorkloadSpec::poisson(
+            4.0,
+            if fast { 40 } else { 120 },
+            TenantSpec::uniform("chat", 1.0, (128, 1024), (32, 128)),
+        ),
+        slo: SloSpec::latency(2.0, 0.1),
+        space: SearchSpace::minimal(),
+        mode: SearchMode::Exhaustive,
+        refine_top_k: 1,
+        seed: CAP_SEED,
+    }
+}
+
+/// The mixed-fleet planning report (per-class feasibility + blended
+/// frontier).
+pub fn fleet_report(fast: bool) -> FleetPlanReport {
+    plan_fleet(&fleet_spec(fast)).expect("the mixed OLMoE fleet is feasible")
+}
+
+fn class_table(report: &FleetPlanReport) -> Table {
+    let mut t = Table::new(
+        "per-class feasibility and pricing (mixed fleet)",
+        &[
+            "Device",
+            "Class",
+            "Count",
+            "USD/dev-hr",
+            "Feasible",
+            "Frontier",
+            "Best $/Mtok",
+        ],
+    );
+    for c in &report.classes {
+        let best = c
+            .frontier
+            .iter()
+            .map(|s| {
+                cap::usd_per_mtok(
+                    s.devices as f64 * c.usd_per_device_hour,
+                    s.predicted_tok_s.max(1e-12),
+                )
+            })
+            .fold(f64::MAX, f64::min);
+        t.row(vec![
+            c.device.clone(),
+            c.class.clone(),
+            num(c.count as f64),
+            num(c.usd_per_device_hour),
+            if c.feasible { "yes" } else { "no" }.to_string(),
+            num(c.frontier.len() as f64),
+            if best < f64::MAX {
+                num(best)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    t
+}
+
+fn mixed_frontier_table(report: &FleetPlanReport) -> Table {
+    let mut t = Table::new(
+        "mixed-fleet Pareto frontier (USD-ascending, CAP axes)",
+        &[
+            "Blend", "Devices", "tok/s", "TTFT", "ITL", "$/Mtok", "Accuracy",
+        ],
+    );
+    for m in report.frontier.iter().take(6) {
+        t.row(vec![
+            m.label.clone(),
+            num(m.devices as f64),
+            num(m.predicted_tok_s),
+            secs(m.predicted_ttft_s),
+            secs(m.predicted_itl_s),
+            num(m.usd_per_mtok),
+            num(m.accuracy),
+        ]);
+    }
+    t
+}
+
+/// One swept point of the bandwidth knee.
+pub struct KneeRow {
+    /// Zoo device the ladder starts from.
+    pub device: String,
+    /// Bandwidth scale applied to the stock profile.
+    pub scale: f64,
+    /// Effective weight-tier bandwidth after scaling (B/s).
+    pub bandwidth: f64,
+    /// MoE (OLMoE-1B-7B fp8) throughput, tokens/s.
+    pub moe_tok_s: f64,
+    /// Dense-equivalent (Qwen3-4B fp8) throughput, tokens/s.
+    pub dense_tok_s: f64,
+    /// MoE cost per million tokens (USD).
+    pub moe_usd_per_mtok: f64,
+    /// Dense-equivalent cost per million tokens (USD).
+    pub dense_usd_per_mtok: f64,
+}
+
+/// Sweep the knee ladder on one zoo device. Rows descend in bandwidth.
+pub fn knee_rows(device_name: &str, fast: bool) -> Vec<KneeRow> {
+    let base = profile(device_name).expect("knee device is in the zoo");
+    let moe = olmoe_1b_7b();
+    let dense = qwen3_4b();
+    let mut rows = Vec::new();
+    for scale in knee_scales(fast) {
+        let d = base.with_scaled_bandwidth(scale);
+        let (Some(moe_tok_s), Some(dense_tok_s)) = (
+            tok_s_on(&d, &moe, KNEE_BATCH),
+            tok_s_on(&d, &dense, KNEE_BATCH),
+        ) else {
+            continue;
+        };
+        let price = d.power.price_per_hour_usd;
+        rows.push(KneeRow {
+            device: d.name.clone(),
+            scale,
+            bandwidth: d.mem_bandwidth(),
+            moe_tok_s,
+            dense_tok_s,
+            moe_usd_per_mtok: cap::usd_per_mtok(price, moe_tok_s),
+            dense_usd_per_mtok: cap::usd_per_mtok(price, dense_tok_s),
+        });
+    }
+    rows
+}
+
+/// The knee: the first swept bandwidth (descending) where the dense
+/// equivalent's cost per token is no worse than the MoE's.
+pub fn knee_bandwidth(rows: &[KneeRow]) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.dense_usd_per_mtok <= r.moe_usd_per_mtok)
+        .map(|r| r.bandwidth)
+}
+
+fn knee_table(all_rows: &[Vec<KneeRow>]) -> Table {
+    let mut t = Table::new(
+        "bandwidth knee: OLMoE-1B-7B (MoE) vs Qwen3-4B (dense equivalent), fp8, batch 16",
+        &[
+            "Device",
+            "BW scale",
+            "BW GB/s",
+            "MoE tok/s",
+            "dense tok/s",
+            "MoE $/Mtok",
+            "dense $/Mtok",
+            "Winner",
+        ],
+    );
+    for rows in all_rows {
+        for r in rows {
+            let winner = if r.moe_usd_per_mtok <= r.dense_usd_per_mtok {
+                "MoE"
+            } else {
+                "dense"
+            };
+            t.row(vec![
+                r.device.clone(),
+                num(r.scale),
+                num(r.bandwidth / 1e9),
+                num(r.moe_tok_s),
+                num(r.dense_tok_s),
+                num(r.moe_usd_per_mtok),
+                num(r.dense_usd_per_mtok),
+                winner.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure-5-family batch sweep across the zoo: OLMoE fp8 throughput per
+/// device class, OOM cells where the model does not fit.
+fn zoo_sweep_table(fast: bool) -> Table {
+    let batches: &[usize] = if fast { &[1, 32] } else { &[1, 16, 32, 64] };
+    let moe = olmoe_1b_7b();
+    let mut columns = vec!["Device".to_string()];
+    for b in batches {
+        columns.push(format!("batch {b}"));
+    }
+    let column_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "zoo sweep (fig5 family): OLMoE-1B-7B fp8 tok/s by device class",
+        &column_refs,
+    );
+    for d in zoo() {
+        let mut row = vec![d.name.clone()];
+        for &b in batches {
+            row.push(crate::report::tput_cell(tok_s_on(&d, &moe, b)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+fn build(fast: bool) -> ExperimentReport {
+    let mut report = ExperimentReport::new(ExtCap.id(), ExtCap.title());
+    report.table(zoo_table());
+    report.table(feasibility_table());
+
+    let fleet = fleet_report(fast);
+    report.table(class_table(&fleet));
+    report.table(mixed_frontier_table(&fleet));
+
+    let all_rows: Vec<Vec<KneeRow>> = KNEE_DEVICES.iter().map(|d| knee_rows(d, fast)).collect();
+    report.table(knee_table(&all_rows));
+    report.table(zoo_sweep_table(fast));
+
+    let mixtral = mixtral_8x7b();
+    let p = Precision::Fp8E4M3;
+    let rtx = profile("4090").expect("zoo");
+    let cs3 = profile("cs3").expect("zoo");
+    let knees: Vec<String> = KNEE_DEVICES
+        .iter()
+        .zip(&all_rows)
+        .map(|(name, rows)| match knee_bandwidth(rows) {
+            Some(bw) => format!("{name}: {:.0} GB/s", bw / 1e9),
+            None => format!("{name}: below the sweep"),
+        })
+        .collect();
+    report.note(format!(
+        "Sparsity-aware cost inverts the naive ranking: per datasheet peak FLOP the 4090 is \
+         {:.1}x cheaper than the CS-3, but at Mixtral-8x7B's measured sparsity the \
+         weight-stationary CS-3 is {:.1}x cheaper per *achievable* active FLOP — and the 4090 \
+         cannot even hold Mixtral at fp8 (24 GB vs 47 GB of weights), while the 192 GB \
+         unified-memory Mac holds it at fp16. The bandwidth knee (OLMoE-1B-7B vs its \
+         capability-matched dense equivalent Qwen3-4B, fp8, batch {KNEE_BATCH}, \
+         {KNEE_INPUT}/{KNEE_OUTPUT} tokens): at stock bandwidth the MoE's 1.3B active \
+         parameters win on cost per token; as the ladder shrinks bandwidth, decode turns \
+         weight-streaming-bound and the MoE streams its full 6.9B-parameter weight table \
+         (distinct-expert saturation at batch {KNEE_BATCH}) against the dense model's 4B — \
+         the dense equivalent becomes cheaper below the knee at {}.",
+        cap::usd_per_peak_pflop_s(&cs3, p) / cap::usd_per_peak_pflop_s(&rtx, p),
+        cap::effective_usd_per_active_pflop_s(&rtx, &mixtral, p)
+            / cap::effective_usd_per_active_pflop_s(&cs3, &mixtral, p),
+        knees.join(", "),
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_with_all_tables() {
+        let rendered = build(true).render();
+        assert!(rendered.contains("device zoo"));
+        assert!(rendered.contains("per-class feasibility"));
+        assert!(rendered.contains("mixed-fleet Pareto frontier"));
+        assert!(rendered.contains("bandwidth knee"));
+        assert!(rendered.contains("zoo sweep"));
+        assert!(rendered.contains("dense equivalent becomes cheaper below the knee"));
+    }
+
+    #[test]
+    fn consumer_card_rejects_mixtral_but_mac_holds_fp16() {
+        let rtx = profile("4090").unwrap();
+        let mac = profile("mac").unwrap();
+        let h100 = profile("h100").unwrap();
+        assert!(!fits_single(&rtx, &mixtral_8x7b(), Precision::Fp8E4M3));
+        assert!(!fits_single(&rtx, &mixtral_8x7b(), Precision::F16));
+        assert!(fits_single(&mac, &mixtral_8x7b(), Precision::F16));
+        assert!(fits_single(&h100, &mixtral_8x7b(), Precision::Fp8E4M3));
+        assert!(!fits_single(&h100, &mixtral_8x7b(), Precision::F16));
+        assert!(fits_single(&rtx, &olmoe_1b_7b(), Precision::Fp8E4M3));
+    }
+
+    #[test]
+    fn the_knee_exists_on_an_edge_device() {
+        for device in KNEE_DEVICES {
+            let rows = knee_rows(device, true);
+            assert!(rows.len() >= 3, "{device}: ladder too short");
+            let first = &rows[0];
+            let last = rows.last().unwrap();
+            assert!(
+                first.moe_usd_per_mtok < first.dense_usd_per_mtok,
+                "{device}: the MoE must win at stock bandwidth"
+            );
+            assert!(
+                last.dense_usd_per_mtok < last.moe_usd_per_mtok,
+                "{device}: the dense equivalent must win at the bottom of the ladder"
+            );
+            assert!(
+                knee_bandwidth(&rows).is_some(),
+                "{device}: a crossing must exist inside the sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn moe_cost_degrades_monotonically_relative_to_dense() {
+        // The MoE/dense cost ratio grows as bandwidth shrinks: the MoE
+        // streams more weight bytes per decode step, so bandwidth hurts
+        // it more. This is the mechanism behind the knee, not just its
+        // existence.
+        for device in KNEE_DEVICES {
+            let rows = knee_rows(device, true);
+            let ratios: Vec<f64> = rows
+                .iter()
+                .map(|r| r.moe_usd_per_mtok / r.dense_usd_per_mtok)
+                .collect();
+            for pair in ratios.windows(2) {
+                assert!(
+                    pair[1] >= pair[0] - 1e-9,
+                    "{device}: ratio must not shrink as bandwidth drops: {ratios:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_fleet_prices_both_classes() {
+        let report = fleet_report(true);
+        assert_eq!(report.classes.len(), 2);
+        assert!(report.classes.iter().all(|c| c.feasible));
+        assert!(report.classes.iter().all(|c| c.usd_per_device_hour > 0.0));
+        assert!(!report.frontier.is_empty());
+        assert!(report.recommended.usd_per_mtok > 0.0);
+        // The H100 is faster but 10x the price: the frontier must keep a
+        // consumer-card deployment (cheaper $/Mtok somewhere on it).
+        assert!(report
+            .frontier
+            .iter()
+            .any(|m| m.parts.iter().any(|p| p.device == "RTX-4090-24GB")));
+    }
+}

@@ -6,6 +6,7 @@
 //! without changing the mechanisms exercised.
 
 pub mod ablations;
+pub mod cap;
 pub mod cluster;
 pub mod ctrl;
 pub mod extensions;

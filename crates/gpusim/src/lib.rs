@@ -1,11 +1,13 @@
 //! # moe-gpusim
 //!
-//! An analytical roofline + discrete-event performance model of the
-//! accelerators the paper measures on: the NVIDIA H100 SXM5 and the
-//! Cerebras CS-3. This crate is the substitution for the physical hardware
-//! (see `DESIGN.md`): it predicts *time*, *memory* and *scaling shape* for
-//! MoE transformer inference, and the serving runtime advances its
-//! simulated clock by these predictions.
+//! An analytical roofline + discrete-event performance model of a zoo of
+//! accelerators: the paper's testbed (NVIDIA H100 SXM5, Cerebras CS-3)
+//! plus consumer/edge classes (RTX 4090, M2 Ultra, Jetson AGX Orin),
+//! each described as a declarative [`device::DeviceProfile`] capability
+//! record (see `docs/DEVICES.md`). This crate is the substitution for
+//! the physical hardware (see `DESIGN.md`): it predicts *time*, *memory*
+//! and *scaling shape* for MoE transformer inference, and the serving
+//! runtime advances its simulated clock by these predictions.
 //!
 //! The model captures, explicitly and testably, the first-order mechanisms
 //! behind every performance result in the paper:
@@ -24,7 +26,9 @@
 //!   discrete-event pipeline simulation ([`parallel`], [`des`]),
 //! * end-to-end serving metrics — TTFT, ITL, E2E latency, throughput —
 //!   composed per layer and per phase ([`perfmodel`]),
-//! * a speculative-decoding cycle model ([`spec`]).
+//! * a speculative-decoding cycle model ([`spec`]),
+//! * sparsity-aware CAP cost metrics — naive $/peak-FLOP against
+//!   $/achievable-active-FLOP under weight streaming ([`cap`]).
 //!
 //! Nothing here claims absolute-accuracy against real silicon; the paper's
 //! *relative* results (who wins, by what factor, where the crossovers and
@@ -32,6 +36,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cap;
 pub mod convert;
 pub mod des;
 pub mod device;
@@ -45,7 +50,10 @@ pub mod roofline;
 pub mod spec;
 pub mod steptrace;
 
-pub use device::{Cluster, DeviceProfile, Interconnect};
+pub use device::{
+    Cluster, DeviceClass, DeviceProfile, DeviceProfileBuilder, Interconnect, InterconnectPort,
+    MemoryTier, PowerPrice,
+};
 pub use memory::{MemoryFootprint, OomError};
 pub use parallel::{ParallelMode, ParallelPlan, PlanError};
 pub use perfmodel::{EngineOptions, PerfModel, RunMetrics};

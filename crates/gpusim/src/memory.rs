@@ -148,7 +148,7 @@ pub fn footprint_resident(
         kv_bytes,
         activation_bytes,
         reserve_bytes: RUNTIME_RESERVE_BYTES,
-        capacity_bytes: cluster.device.mem_capacity,
+        capacity_bytes: cluster.device.mem_capacity(),
     }
 }
 

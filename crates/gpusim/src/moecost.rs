@@ -130,7 +130,7 @@ mod tests {
     use super::*;
 
     fn h100() -> DeviceProfile {
-        DeviceProfile::h100_sxm5()
+        crate::device::profile("h100").expect("h100 is in the zoo")
     }
 
     fn moe(e: usize, k: usize, ffn: usize) -> MoeConfig {

@@ -112,7 +112,7 @@ impl OpCost {
         } else {
             0.0
         };
-        let weight_traffic = if device.weights_stationary {
+        let weight_traffic = if device.weights_stationary() {
             0.0
         } else {
             self.weight_bytes
@@ -199,7 +199,7 @@ mod tests {
     use super::*;
 
     fn h100() -> DeviceProfile {
-        DeviceProfile::h100_sxm5()
+        crate::device::profile("h100").expect("h100 is in the zoo")
     }
 
     #[test]
@@ -240,7 +240,7 @@ mod tests {
 
     #[test]
     fn weight_stationary_device_skips_weight_traffic() {
-        let cs3 = DeviceProfile::cs3();
+        let cs3 = crate::device::profile("cs3").expect("cs3 is in the zoo");
         let c = gemm_cost(&cs3, Precision::F16, 1, 14_336, 4096);
         let t = c.time_on(&cs3);
         // Without weight streaming the op is dominated by launch overhead.

@@ -252,14 +252,14 @@ impl Completions {
 pub fn enumerate_shapes(fleet: &FleetSpec, space: &SearchSpace) -> Vec<Shape> {
     let mut shapes = Vec::new();
     let mut degree = 1usize;
-    while degree <= fleet.count {
+    while degree <= fleet.count() {
         let plans: Vec<ParallelPlan> = if degree == 1 {
             vec![ParallelPlan::single()]
         } else {
             ParallelPlan::fig13_plans(degree)
         };
         for plan in plans {
-            for replicas in 1..=fleet.count / degree {
+            for replicas in 1..=fleet.count() / degree {
                 for &precision in &space.precisions {
                     shapes.push(Shape {
                         plan,

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod candidate;
+pub mod fleet;
 pub mod planner;
 pub mod refine;
 pub mod score;
@@ -42,6 +43,7 @@ pub mod spec;
 pub const PLANNER_TRACK: moe_trace::TrackId = 3;
 
 pub use candidate::{enumerate_shapes, CandidateConfig};
+pub use fleet::{plan_fleet, plan_fleet_traced, ClassPlan, FleetPlanReport, MixedPart, MixedScore};
 pub use planner::{plan, plan_traced, sketch_of, PlanFailure, PlanReport};
 pub use refine::RefinedScore;
 pub use score::{accuracy_proxy, score_candidate, CandidateScore, Infeasible, WorkloadSketch};
@@ -49,4 +51,4 @@ pub use search::{
     pareto_frontier, reachable_shapes, search, warm_search, ReachableSpace, SearchCounts,
     SearchOutcome,
 };
-pub use spec::{FleetSpec, PlannerSpec, SearchMode, SearchSpace, SloSpec};
+pub use spec::{DevicePool, FleetSpec, PlannerSpec, SearchMode, SearchSpace, SloSpec};

@@ -201,7 +201,7 @@ pub fn plan_traced(spec: &PlannerSpec, tracer: &mut Tracer) -> Result<PlanReport
     Ok(PlanReport {
         model: spec.model.name.clone(),
         fleet: spec.fleet.label(),
-        devices: spec.fleet.count,
+        devices: spec.fleet.count(),
         mode: spec.mode.label(),
         seed: spec.seed,
         slo: spec.slo,

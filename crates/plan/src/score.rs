@@ -23,7 +23,16 @@ pub const SPEC_GAMMA: usize = 4;
 /// Utilization ceiling used when converting the load factor into a
 /// queueing inflation — keeps predicted TTFT finite (and JSON-safe) for
 /// saturated candidates, which fail the SLO anyway.
-const MAX_RHO: f64 = 0.999;
+pub const MAX_RHO: f64 = 0.999;
+
+/// M/D/1-flavored waiting-time inflation factor at effective utilization
+/// `rho_eff` (callers clamp to [`MAX_RHO`] first): light load leaves the
+/// raw estimate untouched, saturation blows it up. Exposed so mixed-fleet
+/// blending ([`crate::plan_fleet`]) can invert and re-apply the exact same
+/// inflation at the blended utilization.
+pub fn queueing_inflation(rho_eff: f64) -> f64 {
+    1.0 + rho_eff * rho_eff / (2.0 * (1.0 - rho_eff))
+}
 
 /// Largest decode batch the analytic capacity search will consider
 /// (matches the runtime scheduler's `max_running`).
@@ -185,9 +194,8 @@ pub fn score_candidate(
     let fleet_tok_s = config.replicas as f64 * metrics.throughput_tok_s;
     let rho = (sketch.offered_tok_s() / fleet_tok_s.max(1e-12)).max(0.0);
     let rho_eff = rho.min(MAX_RHO);
-    // M/D/1-flavored waiting inflation on the prefill estimate: light
-    // load leaves TTFT at the raw prefill time, saturation blows it up.
-    let ttft = metrics.ttft_s * (1.0 + rho_eff * rho_eff / (2.0 * (1.0 - rho_eff)));
+    // M/D/1-flavored waiting inflation on the prefill estimate.
+    let ttft = metrics.ttft_s * queueing_inflation(rho_eff);
     let cost = config.devices() as f64 / fleet_tok_s.max(1e-12);
     let accuracy = accuracy_proxy(&spec.model, config.precision, config.prune_ratio);
 

@@ -10,26 +10,39 @@ use moe_tensor::Precision;
 
 use crate::PlanFailure;
 
-/// A homogeneous device fleet: one accelerator profile, one intra-node
-/// fabric, `count` devices. Replicas carve device groups out of it.
+/// One homogeneous pool inside a (possibly mixed) fleet: one accelerator
+/// profile, one intra-node fabric, `count` devices. Replicas carve device
+/// groups out of a pool; a replica never spans pools.
 #[derive(Debug, Clone, PartialEq)]
-pub struct FleetSpec {
-    /// Accelerator profile shared by every device.
+pub struct DevicePool {
+    /// Accelerator profile shared by every device in the pool.
     pub device: DeviceProfile,
     /// Fabric inside a replica's device group.
     pub link: Interconnect,
-    /// Total devices available.
+    /// Devices in the pool.
     pub count: usize,
 }
 
-impl FleetSpec {
-    /// `count` H100 SXM5 devices on NVLink — the paper's testbed scaled out.
-    pub fn h100(count: usize) -> Self {
+impl DevicePool {
+    /// Pool of `count` devices of the given profile on the given fabric.
+    pub fn new(device: DeviceProfile, link: Interconnect, count: usize) -> Self {
         Self {
-            device: DeviceProfile::h100_sxm5(),
-            link: Interconnect::nvlink4(),
+            device,
+            link,
             count,
         }
+    }
+
+    /// Pool of `count` zoo devices looked up by name/alias, joined by the
+    /// profile's default port fabric. `None` for unknown devices.
+    pub fn of(name: &str, count: usize) -> Option<Self> {
+        let device = moe_gpusim::device::profile(name)?;
+        let link = device.default_link();
+        Some(Self {
+            device,
+            link,
+            count,
+        })
     }
 
     /// One replica's device group of the given degree.
@@ -43,9 +56,73 @@ impl FleetSpec {
         }
     }
 
-    /// Short label for reports, e.g. `4x H100-SXM5`.
+    /// Short label for reports, e.g. `4x H100-SXM5-80GB`.
     pub fn label(&self) -> String {
         format!("{}x {}", self.count, self.device.name)
+    }
+}
+
+/// The device fleet: one or more homogeneous pools. The classic planner
+/// ([`crate::plan`]) requires a single pool; mixed fleets go through
+/// [`crate::plan_fleet`], which plans each pool and blends the frontiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Homogeneous pools, in deterministic declaration order.
+    pub pools: Vec<DevicePool>,
+}
+
+impl FleetSpec {
+    /// `count` H100 SXM5 devices on NVLink — the paper's testbed scaled out.
+    pub fn h100(count: usize) -> Self {
+        Self::uniform(
+            moe_gpusim::device::profile("h100").expect("h100 is in the zoo"), // lint:allow(no-panic-in-lib) -- registry always carries the paper's baseline device
+            Interconnect::nvlink4(),
+            count,
+        )
+    }
+
+    /// A single homogeneous pool.
+    pub fn uniform(device: DeviceProfile, link: Interconnect, count: usize) -> Self {
+        Self {
+            pools: vec![DevicePool::new(device, link, count)],
+        }
+    }
+
+    /// A mixed fleet of several pools (declaration order is preserved and
+    /// deterministic).
+    pub fn mixed(pools: Vec<DevicePool>) -> Self {
+        Self { pools }
+    }
+
+    /// Total devices across pools.
+    pub fn count(&self) -> usize {
+        self.pools.iter().map(|p| p.count).sum()
+    }
+
+    /// Whether the fleet has more than one pool.
+    pub fn is_mixed(&self) -> bool {
+        self.pools.len() > 1
+    }
+
+    /// The first (and for uniform fleets, only) pool.
+    pub fn primary(&self) -> &DevicePool {
+        self.pools.first().expect("fleet needs at least one pool") // lint:allow(no-panic-in-lib) -- PlannerSpec::check rejects empty fleets before any planning path reaches here
+    }
+
+    /// One replica's device group of the given degree, carved from the
+    /// primary pool.
+    pub fn cluster(&self, degree: usize) -> Cluster {
+        self.primary().cluster(degree)
+    }
+
+    /// Short label for reports: `4x H100-SXM5-80GB`, or pools joined with
+    /// ` + ` for mixed fleets.
+    pub fn label(&self) -> String {
+        self.pools
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+            .join(" + ")
     }
 }
 
@@ -208,8 +285,11 @@ impl PlannerSpec {
     /// of panicking mid-search.
     pub fn check(&self) -> Result<(), PlanFailure> {
         let fail = |msg: String| Err(PlanFailure::InvalidSpec(msg));
-        if self.fleet.count == 0 {
+        if self.fleet.count() == 0 {
             return fail("fleet has zero devices".into());
+        }
+        if self.fleet.is_mixed() {
+            return fail("mixed fleet: the classic planner is single-pool; use plan_fleet".into());
         }
         if self.workload.num_requests == 0 {
             return fail("workload has zero requests".into());

@@ -341,6 +341,44 @@ fn ext_mem_fast_report_and_trace_are_byte_identical_across_thread_counts() {
     }
 }
 
+fn traced_cap() -> (String, String) {
+    let mut tracer = moe_trace::Tracer::new(Box::new(moe_trace::MemorySink::new()));
+    let report = moe_bench::run_experiment_traced("ext-cap", true, &mut tracer)
+        .expect("ext-cap is registered");
+    let trace = moe_trace::chrome_trace_json(&tracer.snapshot(), tracer.tracks());
+    (moe_json::to_string_pretty(&report), trace)
+}
+
+/// The device-zoo/CAP family covers the redesigned `DeviceProfile` API
+/// end to end: registry lookups, per-class feasibility, a mixed-fleet
+/// `plan_fleet` blend (whose composition enumeration and Pareto filter
+/// must not depend on worker count), and bandwidth-scaled profile
+/// variants. Same seed must render byte-identical report JSON *and*
+/// byte-identical Chrome-trace JSON for `MOE_THREADS` = 1, 2 and 8, and
+/// across repeated runs at the same count.
+#[test]
+fn ext_cap_fast_report_and_trace_are_byte_identical_across_thread_counts() {
+    let _guard = worker_override_lock();
+    let mut renders = Vec::new();
+    for threads in [1usize, 1, 2, 8] {
+        moe_par::set_workers_for_test(threads);
+        renders.push((threads, traced_cap()));
+    }
+    moe_par::set_workers_for_test(0);
+    let (_, (base_report, base_trace)) = &renders[0];
+    assert!(base_report.contains("bandwidth knee"));
+    for (threads, (report, trace)) in &renders[1..] {
+        assert_eq!(
+            base_report, report,
+            "ext-cap report differs between 1 and {threads} worker thread(s)"
+        );
+        assert_eq!(
+            base_trace, trace,
+            "ext-cap trace differs between 1 and {threads} worker thread(s)"
+        );
+    }
+}
+
 /// One 1000-replica sharded run at planet scale, rendered to bytes:
 /// 50 shards x 20 replicas, lazily streamed diurnal think-time traffic,
 /// crash faults remapped per shard.

@@ -35,6 +35,7 @@ fn every_paper_artifact_is_registered() {
         "ext-scale",
         "ext-ctrl",
         "ext-mem",
+        "ext-cap",
     ];
     assert_eq!(ids, expected);
 }
